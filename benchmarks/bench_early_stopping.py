@@ -1,0 +1,64 @@
+"""Ablation — study-level early stopping (paper §6.1).
+
+"The process can be stopped as soon as one task achieves a specified
+accuracy … it makes no sense to continue with other tasks after one has
+achieved the desired accuracy."  This bench quantifies the saving: the
+same grid with and without a target-accuracy stopper, on the simulated
+single node where the full run takes ~3.5 h.
+"""
+
+from conftest import banner
+
+from repro.hpo import (
+    GridSearch,
+    PyCOMPSsRunner,
+    TargetAccuracyStopper,
+    fast_mock_objective,
+    paper_search_space,
+)
+from repro.hpo.trial import TrialStatus
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster import mare_nostrum4
+
+TARGET = 0.93
+
+
+def run(with_stopper: bool):
+    cfg = RuntimeConfig(
+        cluster=mare_nostrum4(1), executor="simulated",
+        execute_bodies=True, reserved_cores=24,
+    )
+    runner = PyCOMPSsRunner(
+        GridSearch(paper_search_space()),
+        objective=fast_mock_objective,
+        constraint=ResourceConstraint(cpu_units=1),
+        runtime_config=cfg,
+        stoppers=[TargetAccuracyStopper(TARGET)] if with_stopper else [],
+    )
+    return runner.run()
+
+
+def test_early_stopping_saves_time(benchmark):
+    def both():
+        return run(False), run(True)
+
+    full, stopped = benchmark(both)
+    saving = 1.0 - stopped.total_duration_s / full.total_duration_s
+    banner(f"Ablation — early stopping at val_accuracy >= {TARGET}")
+    print(
+        f"full grid:     {full.total_duration_s / 60:6.0f} min, "
+        f"{len(full.completed())} trials completed"
+    )
+    print(
+        f"early stopped: {stopped.total_duration_s / 60:6.0f} min, "
+        f"{len(stopped.completed())} completed, "
+        f"{sum(1 for t in stopped.trials if t.status == TrialStatus.PRUNED)} pruned"
+    )
+    print(f"time saved:    {saving:.0%}  ({stopped.metadata.get('stop_reason')})")
+
+    assert len(full.completed()) == 27
+    assert stopped.metadata["stopped_early"] is True
+    assert stopped.best_trial().val_accuracy >= TARGET
+    assert stopped.total_duration_s < full.total_duration_s
+    assert saving > 0.2  # early stopping must save real time

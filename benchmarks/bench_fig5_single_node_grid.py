@@ -1,0 +1,73 @@
+"""Figure 5 — the full 27-config MNIST grid on one 48-core node.
+
+Paper observations this bench reproduces quantitatively:
+
+* the COMPSs worker takes half the node, leaving 24 cores, so exactly
+  24 tasks start at the same time and 3 wait for a resource;
+* waiting tasks start "as soon as a new resource is available";
+* tasks take different times ("some taking almost half the time") because
+  of the different epoch counts;
+* the whole application takes 207 minutes.
+"""
+
+import pytest
+from conftest import banner
+
+from repro.hpo import GridSearch, PyCOMPSsRunner, fast_mock_objective, paper_search_space
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.simcluster import mare_nostrum4
+
+PAPER_MINUTES = 207.0
+
+
+def run_grid():
+    cfg = RuntimeConfig(
+        cluster=mare_nostrum4(1), executor="simulated",
+        execute_bodies=True, reserved_cores=24,
+    )
+    runtime = COMPSsRuntime(cfg).start()
+    try:
+        runner = PyCOMPSsRunner(
+            GridSearch(paper_search_space()),
+            objective=fast_mock_objective,
+            constraint=ResourceConstraint(cpu_units=1),
+            study_name="fig5",
+        )
+        study = runner.run()
+        analysis = runtime.analysis()
+        durations = sorted(r.duration for r in runtime.tracer.records)
+        return {
+            "minutes": study.total_duration_s / 60.0,
+            "initial_wave": analysis.started_within(1.0),
+            "stragglers": len(analysis.stragglers()),
+            "peak": analysis.max_concurrency(),
+            "fastest_min": durations[0] / 60.0,
+            "slowest_min": durations[-1] / 60.0,
+            "gantt": analysis.gantt(width=60, max_rows=30),
+            "best": study.best_trial().describe_config(),
+        }
+    finally:
+        runtime.stop(wait=False)
+
+
+def test_fig5_single_node_grid(benchmark):
+    out = benchmark(run_grid)
+    banner("Fig. 5 — 27-task MNIST grid on one MN4 node (24 worker cores)")
+    print(f"paper:    24 tasks start together, 3 wait; total 207 min")
+    print(
+        f"measured: {out['initial_wave']} start together, "
+        f"{out['stragglers']} stragglers; total {out['minutes']:.0f} min; "
+        f"task durations {out['fastest_min']:.0f}–{out['slowest_min']:.0f} min; "
+        f"best config {out['best']}"
+    )
+    print(out["gantt"])
+
+    assert out["initial_wave"] == 24
+    assert out["stragglers"] == 3
+    assert out["peak"] == 24
+    # "some taking almost half the time": ≥2× spread between fastest/slowest.
+    assert out["slowest_min"] > 2 * out["fastest_min"]
+    # Total within ±25% of the paper's 207 minutes.
+    assert out["minutes"] == pytest.approx(PAPER_MINUTES, rel=0.25)

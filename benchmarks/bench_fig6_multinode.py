@@ -1,0 +1,84 @@
+"""Figure 6 — 27 CIFAR tasks across 28 vs 14 nodes.
+
+Paper observations reproduced:
+
+* (a) with 28 nodes, each task runs on its own node and all run in
+  parallel; "the first node seems empty as it is used by the worker";
+* (b) with 14 nodes the application takes "almost the same amount of
+  time" because nodes would otherwise idle waiting for the long tasks —
+  "clearly, this is a better utilisation of resources";
+* no code changes are needed to switch node counts.
+"""
+
+import pytest
+from conftest import banner
+
+from repro.hpo import GridSearch, PyCOMPSsRunner, fast_mock_objective, paper_search_space
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.simcluster import mare_nostrum4
+
+
+def run_on_nodes(n_nodes: int):
+    """The identical application, only the node count changes (paper §6.1)."""
+    cfg = RuntimeConfig(
+        cluster=mare_nostrum4(n_nodes), executor="simulated",
+        execute_bodies=True, default_dataset="cifar10",
+        # Paper: "we request an extra node for the worker".  Reserving all
+        # but one core keeps 48-core tasks off the worker node entirely.
+        reserved_cores={"mn4-0001": 47} if n_nodes == 28 else 0,
+    )
+    runtime = COMPSsRuntime(cfg).start()
+    try:
+        runner = PyCOMPSsRunner(
+            GridSearch(paper_search_space()),
+            objective=fast_mock_objective,
+            constraint=ResourceConstraint(cpu_units=48),
+            study_name=f"fig6-{n_nodes}n",
+        )
+        study = runner.run()
+        analysis = runtime.analysis()
+        all_nodes = [n.name for n in runtime.cluster]
+        return {
+            "minutes": study.total_duration_s / 60.0,
+            "nodes_used": len(analysis.nodes_used()),
+            "idle_nodes": analysis.idle_nodes(all_nodes),
+            "peak": analysis.max_concurrency(),
+            "utilisation": analysis.utilization(
+                total_cores=48 * (n_nodes - (1 if n_nodes == 28 else 0))
+            ),
+        }
+    finally:
+        runtime.stop(wait=False)
+
+
+def test_fig6_multinode(benchmark):
+    def run_both():
+        return run_on_nodes(28), run_on_nodes(14)
+
+    big, small = benchmark(run_both)
+    banner("Fig. 6 — 27 CIFAR tasks on 28 nodes (a) vs 14 nodes (b)")
+    print("paper:    (a) all 27 parallel, 1 idle worker node; "
+          "(b) ~same total time, better utilisation")
+    print(
+        f"measured: 28 nodes -> {big['minutes']:.0f} min, "
+        f"{big['nodes_used']} nodes busy, idle={big['idle_nodes']}, "
+        f"util {big['utilisation']:.0%}"
+    )
+    print(
+        f"          14 nodes -> {small['minutes']:.0f} min, "
+        f"{small['nodes_used']} nodes busy, util {small['utilisation']:.0%}"
+    )
+    ratio = small["minutes"] / big["minutes"]
+    print(f"          time ratio 14n/28n = {ratio:.2f} (paper: 'almost the same')")
+
+    # (a): every task on its own node, worker node idle.
+    assert big["peak"] == 27
+    assert big["nodes_used"] == 27
+    assert big["idle_nodes"] == ["mn4-0001"]
+    # (b): half the nodes, makespan within ~1.6× (long tasks dominate).
+    assert small["nodes_used"] == 14
+    assert ratio < 1.6
+    # Better utilisation with fewer nodes.
+    assert small["utilisation"] > big["utilisation"]

@@ -1,0 +1,87 @@
+"""Ablation — ML framework throughput (the HPC-Python guide idioms).
+
+DESIGN.md calls out the vectorised (im2col → GEMM) convolution as a
+design choice; this bench quantifies it against a naive per-window
+Python-loop reference on identical weights, and records the end-to-end
+training throughput of the two model-zoo architectures.  The training
+tasks inside every HPO figure inherit this speed.
+"""
+
+import numpy as np
+import pytest
+from conftest import banner
+
+from repro.ml import Conv2D, create_model
+from repro.ml.datasets import load_cifar_like, load_mnist_like
+
+
+def naive_conv_forward(x, w, b):
+    """Reference convolution: explicit loops over every output position."""
+    n, h, wd, c = x.shape
+    kh, kw, _, f = w.shape
+    oh, ow = h - kh + 1, wd - kw + 1
+    out = np.zeros((n, oh, ow, f))
+    for img in range(n):
+        for i in range(oh):
+            for j in range(ow):
+                patch = x[img, i : i + kh, j : j + kw, :]
+                out[img, i, j] = (
+                    (patch[..., None] * w).sum(axis=(0, 1, 2)) + b
+                )
+    return out
+
+
+def test_im2col_matches_and_beats_naive(benchmark):
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(16, 12, 12, 3))
+    layer = Conv2D(8, kernel_size=3, padding="valid")
+    layer.build(x.shape[1:], rng)
+    w, b = layer.params["W"], layer.params["b"]
+
+    fast = benchmark(lambda: layer.forward(x))
+    import time
+
+    t0 = time.perf_counter()
+    slow = naive_conv_forward(x, w, b)
+    naive_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    layer.forward(x)
+    fast_s = time.perf_counter() - t0
+
+    banner("Ablation — im2col convolution vs naive loops")
+    print(
+        f"naive loops: {naive_s * 1e3:7.1f} ms   "
+        f"im2col+GEMM: {fast_s * 1e3:7.1f} ms   "
+        f"speedup ×{naive_s / max(fast_s, 1e-9):.0f}"
+    )
+    np.testing.assert_allclose(fast, slow, atol=1e-10)
+    assert fast_s < naive_s  # vectorisation must win
+
+
+def test_training_throughput(benchmark):
+    (x, y), _ = load_mnist_like(n_train=512, n_test=10)
+    mlp = create_model({"optimizer": "Adam"}, input_shape=x.shape[1:])
+
+    def one_epoch():
+        mlp.fit(x, y, epochs=1, batch_size=64, shuffle=False)
+        return x.shape[0]
+
+    benchmark(one_epoch)
+    (xc, yc), _ = load_cifar_like(n_train=256, n_test=10)
+    cnn = create_model({"optimizer": "Adam"}, input_shape=xc.shape[1:])
+    import time
+
+    t0 = time.perf_counter()
+    cnn.fit(xc, yc, epochs=1, batch_size=64, shuffle=False)
+    cnn_sps = xc.shape[0] / (time.perf_counter() - t0)
+    t0 = time.perf_counter()
+    mlp.fit(x, y, epochs=1, batch_size=64, shuffle=False)
+    mlp_sps = x.shape[0] / (time.perf_counter() - t0)
+
+    banner("Ablation — training throughput of the numpy framework")
+    print(f"MLP (10×10×1):  {mlp_sps:9.0f} samples/s")
+    print(f"CNN (12×12×3):  {cnn_sps:9.0f} samples/s")
+    # Floors far below real numpy speed, but catching pathological
+    # regressions (e.g. an accidental per-sample Python loop).
+    assert mlp_sps > 2_000
+    assert cnn_sps > 300

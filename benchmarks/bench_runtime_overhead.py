@@ -1,0 +1,58 @@
+"""Ablation — runtime overhead (paper §1: "little or no overhead").
+
+Measures (a) task submission + dependency-detection throughput, (b) the
+overhead of running trivially small tasks through the full runtime vs
+calling them inline, and (c) the cost of tracing (the paper: tracing
+"creates a performance overhead … easily turned off by a simple flag").
+"""
+
+import time
+
+from conftest import banner
+
+from repro.pycompss_api import COMPSs, compss_wait_on, task
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster import local_machine
+
+N_TASKS = 200
+
+
+@task(returns=int)
+def tiny(x):
+    return x + 1
+
+
+def run_batch(tracing: bool) -> float:
+    cfg = RuntimeConfig(cluster=local_machine(4), tracing=tracing)
+    start = time.perf_counter()
+    with COMPSs(cfg):
+        futs = [tiny(i) for i in range(N_TASKS)]
+        out = compss_wait_on(futs)
+    assert out == [i + 1 for i in range(N_TASKS)]
+    return time.perf_counter() - start
+
+
+def test_submission_throughput(benchmark):
+    elapsed = benchmark(run_batch, True)
+    per_task_ms = elapsed / N_TASKS * 1e3
+    banner("Ablation — runtime overhead")
+    print(
+        f"{N_TASKS} trivial tasks end-to-end: {elapsed * 1e3:.0f} ms "
+        f"({per_task_ms:.2f} ms/task incl. scheduling, dispatch, futures)"
+    )
+    # Overhead must stay far below the seconds-to-minutes scale of real
+    # training tasks — paper's "little or no overhead in performance".
+    assert per_task_ms < 50.0
+
+
+def test_tracing_off_is_not_slower(benchmark):
+    timed_on = min(run_batch(True) for _ in range(3))
+    timed_off = min(benchmark.pedantic(
+        lambda: [run_batch(False) for _ in range(3)], rounds=1, iterations=1
+    ))
+    print(
+        f"tracing on:  {timed_on * 1e3:.0f} ms; "
+        f"tracing off: {timed_off * 1e3:.0f} ms"
+    )
+    # Tracing is cheap; off mode must never be substantially slower.
+    assert timed_off < timed_on * 1.5 + 0.05

@@ -1,0 +1,34 @@
+"""Shared benchmark fixtures and helpers.
+
+Every ``bench_figN_*.py`` file regenerates one figure of the paper's
+evaluation: it runs the corresponding experiment (on the simulated
+cluster at paper scale, or with real training at reduced scale), prints
+the paper-vs-measured comparison, and asserts the qualitative *shape*
+the paper reports.  ``pytest benchmarks/ --benchmark-only -s`` shows the
+rendered figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.runtime import current_runtime, set_current
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_runtime():
+    yield
+    runtime = current_runtime()
+    if runtime is not None:
+        try:
+            runtime.executor.shutdown()
+        finally:
+            set_current(None)
+
+
+def banner(title: str) -> None:
+    """Print a section header for benchmark output."""
+    print()
+    print("=" * 74)
+    print(title)
+    print("=" * 74)

@@ -1,0 +1,98 @@
+"""Algorithm comparison on the simulated GPU cluster (paper §6.2 + §7).
+
+The paper notes random search "would be a better alternative" to the
+exhaustive grid, and announces a library of "all key algorithms in HPO"
+as future work.  This example runs that library: grid search, random
+search, GP-Bayesian optimisation, TPE and (μ+λ) evolutionary search all
+optimise the same extended search space on the simulated CTE POWER9 node (1 × V100 + 8 host cores
+per task, so 4 trials run concurrently), and the total virtual time +
+best accuracy of each algorithm are compared.
+
+Run:  python examples/gpu_random_search.py
+"""
+
+from repro.hpo import PyCOMPSsRunner, get_algorithm, parse_search_space
+from repro.hpo.objective import train_experiment
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster import cte_power9
+from repro.util.ascii_plot import table
+from repro.util.timing import format_duration
+
+SPACE = {
+    "optimizer": ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [2, 5, 10],
+    "batch_size": [32, 64, 128],
+    "learning_rate": {"type": "real", "low": 1e-3, "high": 3e-2, "log": True},
+    "dataset": "cifar10",
+    "n_train": 500,
+    "n_test": 150,
+}
+
+BUDGET = 12  # trials for the non-exhaustive algorithms
+
+
+def run(algorithm_name: str):
+    space = parse_search_space(SPACE)
+    if algorithm_name == "grid":
+        # Exhaustive grid needs a finite space: pin the learning rate.
+        finite = dict(SPACE)
+        finite["learning_rate"] = [1e-3, 1e-2]
+        space = parse_search_space(finite)
+        algorithm = get_algorithm("grid", space)
+    elif algorithm_name == "evolutionary":
+        algorithm = get_algorithm(
+            algorithm_name, space, n_trials=BUDGET, seed=7,
+            population=3, children=3, mutation_std=0.35,
+        )
+    else:
+        algorithm = get_algorithm(
+            algorithm_name, space, n_trials=BUDGET, seed=7
+        )
+    config = RuntimeConfig(
+        cluster=cte_power9(1), executor="simulated",
+        execute_bodies=True, default_dataset="cifar10",
+    )
+    runner = PyCOMPSsRunner(
+        algorithm,
+        objective=train_experiment,
+        constraint=ResourceConstraint(cpu_units=8, gpu_units=1),
+        runtime_config=config,
+        batch_size=4,  # match the 4-GPU parallelism for adaptive methods
+        study_name=f"gpu-{algorithm_name}",
+    )
+    return runner.run()
+
+
+def main():
+    rows = []
+    for name in ("grid", "random", "bayesian", "tpe", "evolutionary"):
+        study = run(name)
+        best = study.best_trial()
+        rows.append(
+            [
+                name,
+                len(study.completed()),
+                best.val_accuracy,
+                format_duration(study.total_duration_s),
+                best.describe_config()[:46],
+            ]
+        )
+        print(f"{name}: done ({len(study.completed())} trials)")
+    print()
+    print(
+        table(
+            ["algorithm", "trials", "best val_acc", "virtual time", "best config"],
+            rows,
+            title="HPO algorithms on the simulated 4×V100 node (paper §7's library)",
+        )
+    )
+    print(
+        "\nnote how the sampling algorithms reach comparable accuracy with "
+        "a fraction of the grid's trials — the paper's §2.1 argument for "
+        "random search."
+    )
+
+
+if __name__ == "__main__":
+    main()

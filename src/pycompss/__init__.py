@@ -1,0 +1,12 @@
+"""PyCOMPSs import-compatibility layer.
+
+Lets the paper's Listing 2 run verbatim against this reproduction::
+
+    from pycompss.api.task import task
+    from pycompss.api.api import compss_wait_on
+    from pycompss.api.constraint import constraint
+
+Everything forwards to :mod:`repro.pycompss_api`.  If you install the
+real PyCOMPSs in the same environment, remove this shim (it would shadow
+the genuine package).
+"""

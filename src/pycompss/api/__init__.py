@@ -1,0 +1,1 @@
+"""``pycompss.api`` — forwards to :mod:`repro.pycompss_api`."""

@@ -1,0 +1,19 @@
+"""``pycompss.api.api`` compatibility module."""
+
+from repro.pycompss_api.api import (
+    compss_barrier,
+    compss_delete_object,
+    compss_open,
+    compss_start,
+    compss_stop,
+    compss_wait_on,
+)
+
+__all__ = [
+    "compss_barrier",
+    "compss_delete_object",
+    "compss_open",
+    "compss_start",
+    "compss_stop",
+    "compss_wait_on",
+]

@@ -1,0 +1,5 @@
+"""``pycompss.api.constraint`` compatibility module."""
+
+from repro.pycompss_api.constraint import constraint
+
+__all__ = ["constraint"]

@@ -1,0 +1,5 @@
+"""``pycompss.api.implement`` (and binary/mpi/ompss/multinode) compatibility."""
+
+from repro.pycompss_api.implement import binary, implement, mpi, multinode, ompss
+
+__all__ = ["implement", "binary", "mpi", "ompss", "multinode"]

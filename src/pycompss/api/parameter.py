@@ -1,0 +1,13 @@
+"""``pycompss.api.parameter`` compatibility module."""
+
+from repro.pycompss_api.parameter import (
+    FILE_IN,
+    FILE_INOUT,
+    FILE_OUT,
+    IN,
+    INOUT,
+    OUT,
+    Direction,
+)
+
+__all__ = ["IN", "OUT", "INOUT", "FILE_IN", "FILE_OUT", "FILE_INOUT", "Direction"]

@@ -1,0 +1,5 @@
+"""``pycompss.api.task`` compatibility module."""
+
+from repro.pycompss_api.task import task
+
+__all__ = ["task"]

@@ -1,0 +1,5 @@
+"""``pycompss.api.task_group`` compatibility module."""
+
+from repro.pycompss_api.task_group import TaskGroup, compss_barrier_group
+
+__all__ = ["TaskGroup", "compss_barrier_group"]

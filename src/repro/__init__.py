@@ -1,0 +1,23 @@
+"""Reproduction of *Accelerating Hyperparameter Optimisation with PyCOMPSs*
+(Kahira et al., ICPP 2019 workshops).
+
+Subpackages
+-----------
+* :mod:`repro.pycompss_api` — the PyCOMPSs-compatible user API
+  (``@task``, ``@constraint``, ``compss_wait_on`` …).
+* :mod:`repro.runtime` — the COMPSs-equivalent runtime: dependency graph,
+  schedulers, real and simulated executors, fault tolerance, tracing.
+* :mod:`repro.simcluster` — discrete-event cluster simulator with
+  MareNostrum 4 / MinoTauro / POWER9 presets and a calibrated cost model.
+* :mod:`repro.ml` — a pure-numpy deep-learning framework (the TensorFlow
+  stand-in) with synthetic MNIST-like / CIFAR-like datasets.
+* :mod:`repro.hpo` — the paper's contribution: distributed hyperparameter
+  optimisation (grid/random/Bayesian/TPE/Hyperband) over the runtime,
+  plus sequential and process-pool baselines.
+
+Quickstart
+----------
+>>> from repro.hpo import SearchSpace, GridSearch, PyCOMPSsRunner  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"

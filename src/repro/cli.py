@@ -1,0 +1,226 @@
+"""Command-line launcher — the ``runcompss`` equivalent.
+
+The paper launches the HPO application with::
+
+    runcompss application.py json_file
+
+Here the application is built in (the §4 HPO scheme), so the launcher
+takes the JSON config plus the runtime knobs that ``runcompss`` / the job
+script would provide: cluster, node count, scheduler, tracing/graph
+flags, algorithm, per-task resources and early stopping::
+
+    python -m repro.cli run config.json --cluster mn4 --nodes 2 \
+        --executor simulated --cores-per-task 1 --reserved-cores 24 \
+        --algorithm grid --target-accuracy 0.95 \
+        --out-dir results/
+
+Artifacts written to ``--out-dir``: ``study.json``, ``study.csv``,
+``history.csv``, ``graph.dot`` (Fig. 3), ``trace.prv`` (Paraver-style)
+and ``report.txt`` (tables + ASCII figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.hpo import (
+    PyCOMPSsRunner,
+    TargetAccuracyStopper,
+    accuracy_curves,
+    export_history_csv,
+    get_algorithm,
+    load_search_space,
+)
+from repro.hpo.objective import fast_mock_objective, train_experiment
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.runtime.stats import render_stats
+from repro.runtime.tracing import export_prv
+from repro.simcluster import (
+    cte_power9,
+    local_machine,
+    mare_nostrum4,
+    minotauro,
+)
+from repro.util.logging_utils import set_verbosity
+from repro.util.timing import format_duration
+
+CLUSTERS = {
+    "local": lambda n: local_machine(cpu_cores=4 * max(1, n)),
+    "mn4": mare_nostrum4,
+    "minotauro": minotauro,
+    "power9": cte_power9,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument schema (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Distributed HPO over the PyCOMPSs-like runtime "
+        "(reproduction of Kahira et al., ICPP 2019).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run an HPO study from a JSON config")
+    run.add_argument("config", type=Path, help="Listing-1 style JSON file")
+    run.add_argument("--cluster", choices=sorted(CLUSTERS), default="local")
+    run.add_argument("--nodes", type=int, default=1, help="number of nodes")
+    run.add_argument(
+        "--executor", choices=["local", "simulated"], default="local"
+    )
+    run.add_argument(
+        "--scheduler", choices=["fifo", "priority", "locality", "lpt"],
+        default="fifo",
+    )
+    run.add_argument(
+        "--algorithm",
+        choices=["grid", "random", "bayesian", "tpe", "hyperband",
+                 "successive_halving", "evolutionary"],
+        default="grid",
+    )
+    run.add_argument("--n-trials", type=int, default=20,
+                     help="budget for non-exhaustive algorithms")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--cores-per-task", type=int, default=1)
+    run.add_argument("--gpus-per-task", type=int, default=0)
+    run.add_argument("--reserved-cores", type=int, default=0,
+                     help="cores kept for the COMPSs worker on node 1")
+    run.add_argument("--target-accuracy", type=float, default=None,
+                     help="stop the whole study once reached (paper §6.1)")
+    run.add_argument("--mock-objective", action="store_true",
+                     help="skip real training; use the deterministic mock")
+    run.add_argument("--no-tracing", action="store_true",
+                     help="disable tracing (the paper's traces-off flag)")
+    run.add_argument("--no-graph", action="store_true",
+                     help="disable graph label recording")
+    run.add_argument("--out-dir", type=Path, default=None,
+                     help="directory for study/trace/graph artifacts")
+    run.add_argument("--verbose", action="store_true")
+
+    inspect = sub.add_parser(
+        "describe-cluster", help="print a cluster preset's hardware"
+    )
+    inspect.add_argument("--cluster", choices=sorted(CLUSTERS), default="mn4")
+    inspect.add_argument("--nodes", type=int, default=1)
+
+    report = sub.add_parser(
+        "report", help="render a full report from a saved study.json"
+    )
+    report.add_argument("study", type=Path, help="study.json checkpoint")
+    report.add_argument("--out", type=Path, default=None,
+                        help="also write the report to this file")
+    return parser
+
+
+def _make_runtime_config(args) -> RuntimeConfig:
+    cluster = CLUSTERS[args.cluster](args.nodes)
+    return RuntimeConfig(
+        cluster=cluster,
+        executor=args.executor,
+        scheduler=args.scheduler,
+        tracing=not args.no_tracing,
+        graph=not args.no_graph,
+        reserved_cores=args.reserved_cores,
+        execute_bodies=True,
+    )
+
+
+def cmd_run(args) -> int:
+    set_verbosity(args.verbose)
+    space = load_search_space(args.config)
+    algorithm_kwargs = {}
+    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary"):
+        algorithm_kwargs = {"n_trials": args.n_trials, "seed": args.seed}
+    elif args.algorithm in ("hyperband", "successive_halving"):
+        algorithm_kwargs = {"seed": args.seed}
+    algorithm = get_algorithm(args.algorithm, space, **algorithm_kwargs)
+
+    stoppers = []
+    if args.target_accuracy is not None:
+        stoppers.append(TargetAccuracyStopper(args.target_accuracy))
+
+    objective = fast_mock_objective if args.mock_objective else train_experiment
+    runtime = COMPSsRuntime(_make_runtime_config(args)).start()
+    try:
+        runner = PyCOMPSsRunner(
+            algorithm,
+            objective=objective,
+            constraint=ResourceConstraint(
+                cpu_units=args.cores_per_task, gpu_units=args.gpus_per_task
+            ),
+            stoppers=stoppers,
+            study_name=args.config.stem,
+        )
+        study = runner.run()
+        report_lines = [
+            f"cluster: {runtime.cluster.name}  scheduler: {args.scheduler}  "
+            f"algorithm: {algorithm.name}",
+            f"total: {format_duration(study.total_duration_s)}"
+            + (" (virtual)" if args.executor == "simulated" else ""),
+            "",
+            study.table(limit=15),
+            "",
+            accuracy_curves(study, max_series=8),
+            "",
+            runtime.analysis().summary(),
+            "",
+            render_stats(runtime.tracer),
+        ]
+        if study.metadata.get("stopped_early"):
+            report_lines.insert(2, f"stopped early: {study.metadata['stop_reason']}")
+        report = "\n".join(report_lines)
+        print(report)
+
+        if args.out_dir is not None:
+            out = args.out_dir
+            out.mkdir(parents=True, exist_ok=True)
+            study.save_json(out / "study.json")
+            study.save_csv(out / "study.csv")
+            export_history_csv(study, out / "history.csv")
+            if not args.no_graph:
+                runtime.export_graph(out / "graph.dot")
+            if not args.no_tracing:
+                export_prv(runtime.tracer, out / "trace.prv")
+            (out / "report.txt").write_text(report + "\n", encoding="utf-8")
+            print(f"\nartifacts written to {out}/")
+        return 0
+    finally:
+        runtime.stop(wait=False)
+
+
+def cmd_describe_cluster(args) -> int:
+    print(CLUSTERS[args.cluster](args.nodes).describe())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.hpo import load_study
+    from repro.hpo.report import render_report, save_report
+
+    study = load_study(args.study)
+    print(render_report(study))
+    if args.out is not None:
+        save_report(study, args.out)
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "describe-cluster":
+        return cmd_describe_cluster(args)
+    if args.command == "report":
+        return cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

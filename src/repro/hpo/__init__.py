@@ -1,0 +1,126 @@
+"""Hyperparameter optimisation over the PyCOMPSs-like runtime.
+
+This is the paper's contribution: search spaces from Listing-1 JSON
+files, search algorithms (grid and random from the paper; Bayesian, TPE
+and Hyperband from its future-work list), the task-based runner
+(:class:`~repro.hpo.runner.PyCOMPSsRunner`), study-level early stopping,
+visualisation, and the sequential / process-pool baselines.
+"""
+
+from repro.hpo.space import (
+    SearchSpace,
+    Categorical,
+    Integer,
+    Real,
+    Constant,
+    Hyperparameter,
+)
+from repro.hpo.config_file import (
+    load_search_space,
+    parse_search_space,
+    write_config_file,
+    paper_search_space,
+    PAPER_LISTING1,
+)
+from repro.hpo.trial import Study, Trial, TrialResult, TrialStatus
+from repro.hpo.algorithms import (
+    SearchAlgorithm,
+    GridSearch,
+    RandomSearch,
+    BayesianOptimization,
+    TPESearch,
+    HyperbandSearch,
+    SuccessiveHalving,
+    EvolutionarySearch,
+    get_algorithm,
+)
+from repro.hpo.report import (
+    hyperparameter_effects,
+    render_effects,
+    render_report,
+    save_report,
+)
+from repro.hpo.persistence import (
+    load_study,
+    merge_studies,
+    resume_algorithm,
+)
+from repro.hpo.early_stopping import (
+    StudyStopper,
+    TargetAccuracyStopper,
+    MaxTrialsStopper,
+    PlateauStopper,
+)
+from repro.hpo.objective import train_experiment, fast_mock_objective
+from repro.hpo.runner import (
+    ProgressPrinter,
+    PyCOMPSsRunner,
+    StudyCallback,
+    combine_plots,
+    summarise_result,
+)
+from repro.hpo.baselines import (
+    SequentialRunner,
+    ProcessPoolRunner,
+    simulate_pool_makespan,
+)
+from repro.hpo.visualization import (
+    accuracy_curves,
+    config_heatmap,
+    final_accuracy_bars,
+    export_history_csv,
+    time_vs_cores_chart,
+)
+
+__all__ = [
+    "SearchSpace",
+    "Categorical",
+    "Integer",
+    "Real",
+    "Constant",
+    "Hyperparameter",
+    "load_search_space",
+    "parse_search_space",
+    "write_config_file",
+    "paper_search_space",
+    "PAPER_LISTING1",
+    "Study",
+    "Trial",
+    "TrialResult",
+    "TrialStatus",
+    "SearchAlgorithm",
+    "GridSearch",
+    "RandomSearch",
+    "BayesianOptimization",
+    "TPESearch",
+    "HyperbandSearch",
+    "SuccessiveHalving",
+    "EvolutionarySearch",
+    "get_algorithm",
+    "hyperparameter_effects",
+    "render_effects",
+    "render_report",
+    "save_report",
+    "load_study",
+    "merge_studies",
+    "resume_algorithm",
+    "StudyStopper",
+    "TargetAccuracyStopper",
+    "MaxTrialsStopper",
+    "PlateauStopper",
+    "train_experiment",
+    "fast_mock_objective",
+    "PyCOMPSsRunner",
+    "StudyCallback",
+    "ProgressPrinter",
+    "summarise_result",
+    "combine_plots",
+    "SequentialRunner",
+    "ProcessPoolRunner",
+    "simulate_pool_makespan",
+    "accuracy_curves",
+    "config_heatmap",
+    "final_accuracy_bars",
+    "export_history_csv",
+    "time_vs_cores_chart",
+]

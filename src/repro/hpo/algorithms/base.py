@@ -1,0 +1,67 @@
+"""Search-algorithm interface: a batched ask/tell protocol.
+
+The runner repeatedly calls :meth:`SearchAlgorithm.ask` for up to ``n``
+configs, launches them as parallel tasks, and feeds finished trials back
+via :meth:`~SearchAlgorithm.tell`.  One-shot algorithms (grid, random)
+hand out their whole schedule; model-based ones (BO, TPE) adapt between
+batches; multi-fidelity ones (Hyperband) gate later rungs on earlier
+results.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional
+
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Study, Trial
+
+
+class SearchAlgorithm(abc.ABC):
+    """Abstract HPO algorithm over a :class:`SearchSpace`."""
+
+    def __init__(self, space: SearchSpace):
+        self.space = space
+        self.observed: List[Trial] = []
+
+    @abc.abstractmethod
+    def ask(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Return up to ``n`` configs to evaluate next.
+
+        An empty list means the algorithm has nothing to suggest *right
+        now*; combined with :attr:`is_exhausted` the runner decides
+        whether to stop or to wait for outstanding ``tell``s.
+        """
+
+    def tell(self, trial: Trial) -> None:
+        """Report a finished trial (default: record it)."""
+        self.observed.append(trial)
+
+    @property
+    @abc.abstractmethod
+    def is_exhausted(self) -> bool:
+        """True when the algorithm will never suggest another config."""
+
+    @property
+    def name(self) -> str:
+        """Short algorithm name for reports."""
+        return type(self).__name__
+
+    def warm_start(self, study: "Study") -> int:
+        """Feed a previous study's completed trials into the algorithm.
+
+        Model-based algorithms (BO/TPE) use the observations immediately;
+        returns the number of trials ingested.
+        """
+        count = 0
+        for trial in study.completed():
+            self.tell(trial)
+            count += 1
+        return count
+
+    def best_observed(self) -> Optional[Trial]:
+        """Best completed trial seen so far (None if none)."""
+        done = [t for t in self.observed if t.result is not None]
+        if not done:
+            return None
+        return max(done, key=lambda t: t.val_accuracy)

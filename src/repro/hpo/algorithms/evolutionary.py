@@ -1,0 +1,101 @@
+"""(μ+λ) evolutionary search.
+
+A simple population-based algorithm for the §7 "all key algorithms"
+library: keep the μ best configurations seen, produce λ children by
+per-dimension Gaussian mutation (in the unit-cube embedding) and uniform
+crossover, evaluate, repeat.  Handles mixed categorical/numeric spaces
+through the same embedding the BO/TPE implementations use, and maps
+cleanly onto batched parallel evaluation (λ = cluster parallelism).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.hpo.algorithms.base import SearchAlgorithm
+from repro.hpo.space import SearchSpace
+from repro.util.seeding import rng_from
+from repro.util.validation import check_in_range, check_positive
+
+
+class EvolutionarySearch(SearchAlgorithm):
+    """(μ+λ) evolution strategy maximising validation accuracy.
+
+    Parameters
+    ----------
+    n_trials:
+        Total evaluation budget (initial population included).
+    population:
+        μ — parents kept each generation.
+    children:
+        λ — offspring per generation (also a good ``batch_size``).
+    mutation_std:
+        Gaussian mutation σ in unit-cube coordinates.
+    crossover_prob:
+        Probability a child mixes two parents (vs mutating one).
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        n_trials: int = 30,
+        population: int = 4,
+        children: int = 4,
+        mutation_std: float = 0.15,
+        crossover_prob: float = 0.5,
+        seed: int = 0,
+    ):
+        super().__init__(space)
+        check_positive("n_trials", n_trials)
+        check_positive("population", population)
+        check_positive("children", children)
+        check_positive("mutation_std", mutation_std)
+        check_in_range("crossover_prob", crossover_prob, 0.0, 1.0)
+        self.n_trials = int(n_trials)
+        self.population = int(population)
+        self.children = int(children)
+        self.mutation_std = float(mutation_std)
+        self.crossover_prob = float(crossover_prob)
+        self._rng = rng_from(seed, "evolutionary")
+        self._suggested = 0
+
+    # ------------------------------------------------------------------
+    def _parents(self) -> List[np.ndarray]:
+        done = [
+            t for t in self.observed
+            if t.result is not None and np.isfinite(t.val_accuracy)
+        ]
+        done.sort(key=lambda t: -t.val_accuracy)
+        return [
+            self.space.to_unit_vector(t.config)
+            for t in done[: self.population]
+        ]
+
+    def _child(self, parents: List[np.ndarray]) -> Dict[str, Any]:
+        i = int(self._rng.integers(0, len(parents)))
+        genome = parents[i].copy()
+        if len(parents) > 1 and self._rng.random() < self.crossover_prob:
+            j = int(self._rng.integers(0, len(parents)))
+            mask = self._rng.random(len(genome)) < 0.5
+            genome[mask] = parents[j][mask]
+        genome += self._rng.normal(0.0, self.mutation_std, size=len(genome))
+        return self.space.from_unit_vector(np.clip(genome, 0.0, 1.0))
+
+    def ask(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        remaining = self.n_trials - self._suggested
+        n = min(self.children, remaining) if n is None else min(n, remaining)
+        batch: List[Dict[str, Any]] = []
+        parents = self._parents()
+        for _ in range(max(0, n)):
+            if self._suggested < self.population or not parents:
+                batch.append(self.space.sample(self._rng))
+            else:
+                batch.append(self._child(parents))
+            self._suggested += 1
+        return batch
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._suggested >= self.n_trials

@@ -1,0 +1,130 @@
+"""Hyperband / successive halving (Li et al., 2018).
+
+A multi-fidelity algorithm: many configs get a small epoch budget; the
+top ``1/eta`` fraction of each rung is promoted with ``eta×`` more
+epochs.  The resource knob is the config's ``num_epochs`` key — exactly
+the hyperparameter the paper's Fig. 5 shows dominating task duration, so
+halving it is also what makes early stopping pay off at the study level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hpo.algorithms.base import SearchAlgorithm
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial
+from repro.util.seeding import rng_from
+from repro.util.validation import check_positive
+
+
+class HyperbandSearch(SearchAlgorithm):
+    """Hyperband over the ``num_epochs`` resource.
+
+    Parameters
+    ----------
+    max_epochs:
+        Maximum per-trial resource (R).
+    eta:
+        Halving factor (η).
+    epochs_key:
+        Config key carrying the resource (default ``"num_epochs"``).
+    seed:
+        Determinism seed for the random config draws.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        max_epochs: int = 81,
+        eta: int = 3,
+        epochs_key: str = "num_epochs",
+        seed: int = 0,
+    ):
+        super().__init__(space)
+        check_positive("max_epochs", max_epochs)
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        self.max_epochs = int(max_epochs)
+        self.eta = int(eta)
+        self.epochs_key = epochs_key
+        self._rng = rng_from(seed, "hyperband")
+        # Brackets: s_max .. 0, each a list of rungs (n_configs, epochs).
+        self.s_max = int(math.floor(math.log(self.max_epochs, self.eta)))
+        self._brackets = self._plan_brackets()
+        self._bracket_idx = 0
+        self._rung_idx = 0
+        self._rung_outstanding = 0
+        self._rung_results: List[Tuple[float, Dict[str, Any]]] = []
+        self._rung_queue: List[Dict[str, Any]] = []
+        self._prepare_rung(initial=True)
+
+    # ------------------------------------------------------------------
+    def _plan_brackets(self) -> List[List[Tuple[int, int]]]:
+        brackets = []
+        for s in range(self.s_max, -1, -1):
+            n = int(math.ceil((self.s_max + 1) / (s + 1) * self.eta**s))
+            r = self.max_epochs / self.eta**s
+            rungs = []
+            for i in range(s + 1):
+                n_i = int(math.floor(n / self.eta**i))
+                r_i = max(1, int(round(r * self.eta**i)))
+                if n_i >= 1:
+                    rungs.append((n_i, r_i))
+            brackets.append(rungs)
+        return brackets
+
+    @property
+    def total_trials(self) -> int:
+        """Total trial launches across all brackets and rungs."""
+        return sum(n for bracket in self._brackets for (n, _) in bracket)
+
+    def _prepare_rung(self, initial: bool = False) -> None:
+        """Fill the queue for the current rung."""
+        if self._bracket_idx >= len(self._brackets):
+            return
+        bracket = self._brackets[self._bracket_idx]
+        n, epochs = bracket[self._rung_idx]
+        if self._rung_idx == 0:
+            configs = [self.space.sample(self._rng) for _ in range(n)]
+        else:
+            # Promote the top n of the previous rung.
+            self._rung_results.sort(key=lambda pair: -pair[0])
+            configs = [dict(c) for _, c in self._rung_results[:n]]
+        for c in configs:
+            c[self.epochs_key] = epochs
+        self._rung_queue = configs
+        self._rung_outstanding = len(configs)
+        self._rung_results = []
+
+    def _advance(self) -> None:
+        """Move to the next rung/bracket once the current rung is told."""
+        bracket = self._brackets[self._bracket_idx]
+        if self._rung_idx + 1 < len(bracket):
+            self._rung_idx += 1
+        else:
+            self._bracket_idx += 1
+            self._rung_idx = 0
+        if self._bracket_idx < len(self._brackets):
+            self._prepare_rung()
+
+    # ------------------------------------------------------------------
+    def ask(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        n = len(self._rung_queue) if n is None else min(n, len(self._rung_queue))
+        batch, self._rung_queue = self._rung_queue[:n], self._rung_queue[n:]
+        return [dict(c) for c in batch]
+
+    def tell(self, trial: Trial) -> None:
+        super().tell(trial)
+        acc = trial.val_accuracy
+        self._rung_results.append(
+            (acc if acc == acc else -float("inf"), dict(trial.config))
+        )
+        self._rung_outstanding -= 1
+        if self._rung_outstanding == 0 and not self._rung_queue:
+            self._advance()
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._bracket_idx >= len(self._brackets) and not self._rung_queue

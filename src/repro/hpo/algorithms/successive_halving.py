@@ -1,0 +1,113 @@
+"""Successive halving (Jamieson & Talwalkar, 2016) — Hyperband's inner loop.
+
+A single bracket: start ``n_configs`` random configurations at
+``min_epochs`` and repeatedly keep the top ``1/eta`` fraction with
+``eta×`` the budget, until ``max_epochs``.  Simpler than full Hyperband
+and often what practitioners actually run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hpo.algorithms.base import SearchAlgorithm
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial
+from repro.util.seeding import rng_from
+from repro.util.validation import check_positive
+
+
+class SuccessiveHalving(SearchAlgorithm):
+    """One halving bracket over the ``num_epochs`` resource.
+
+    Parameters
+    ----------
+    n_configs:
+        Configurations in the first rung.
+    min_epochs / max_epochs:
+        Resource range; rung budgets go min, min·η, … capped at max.
+    eta:
+        Keep the top ``1/eta`` per rung.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        n_configs: int = 27,
+        min_epochs: int = 1,
+        max_epochs: int = 81,
+        eta: int = 3,
+        epochs_key: str = "num_epochs",
+        seed: int = 0,
+    ):
+        super().__init__(space)
+        check_positive("n_configs", n_configs)
+        check_positive("min_epochs", min_epochs)
+        if max_epochs < min_epochs:
+            raise ValueError(
+                f"max_epochs ({max_epochs}) < min_epochs ({min_epochs})"
+            )
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        self.eta = int(eta)
+        self.epochs_key = epochs_key
+        self._rng = rng_from(seed, "successive-halving")
+        #: (n_configs, epochs) per rung.
+        self.rungs: List[Tuple[int, int]] = []
+        n, r = int(n_configs), int(min_epochs)
+        while True:
+            self.rungs.append((n, min(r, int(max_epochs))))
+            if n // self.eta < 1 or r >= max_epochs:
+                break
+            n //= self.eta
+            r *= self.eta
+        self._rung_idx = 0
+        self._queue: List[Dict[str, Any]] = []
+        self._outstanding = 0
+        self._results: List[Tuple[float, Dict[str, Any]]] = []
+        self._fill_first_rung()
+
+    # ------------------------------------------------------------------
+    def _fill_first_rung(self) -> None:
+        n, epochs = self.rungs[0]
+        self._queue = [self.space.sample(self._rng) for _ in range(n)]
+        for c in self._queue:
+            c[self.epochs_key] = epochs
+        self._outstanding = n
+
+    def _promote(self) -> None:
+        self._rung_idx += 1
+        if self._rung_idx >= len(self.rungs):
+            return
+        n, epochs = self.rungs[self._rung_idx]
+        self._results.sort(key=lambda pair: -pair[0])
+        self._queue = [dict(c) for _, c in self._results[:n]]
+        for c in self._queue:
+            c[self.epochs_key] = epochs
+        self._outstanding = len(self._queue)
+        self._results = []
+
+    @property
+    def total_trials(self) -> int:
+        """Total trial launches across all rungs."""
+        return sum(n for n, _ in self.rungs)
+
+    # ------------------------------------------------------------------
+    def ask(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        n = len(self._queue) if n is None else min(n, len(self._queue))
+        batch, self._queue = self._queue[:n], self._queue[n:]
+        return [dict(c) for c in batch]
+
+    def tell(self, trial: Trial) -> None:
+        super().tell(trial)
+        acc = trial.val_accuracy
+        self._results.append(
+            (acc if acc == acc else -float("inf"), dict(trial.config))
+        )
+        self._outstanding -= 1
+        if self._outstanding == 0 and not self._queue:
+            self._promote()
+
+    @property
+    def is_exhausted(self) -> bool:
+        return self._rung_idx >= len(self.rungs) and not self._queue

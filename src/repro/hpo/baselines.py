@@ -1,0 +1,209 @@
+"""Baseline HPO runners — the tool landscape of the paper's §2.2.
+
+* :class:`SequentialRunner` — "traditionally, one would just launch one
+  training after the other" (§4): a plain Python loop, the no-PyCOMPSs
+  baseline.
+* :class:`ProcessPoolRunner` — the scikit-learn-style ``n_jobs`` class of
+  tools: single-node parallelism via a process pool, no multi-node
+  support (§2.2's criticism of scikit-learn).
+
+Both speak the same Study protocol as the PyCOMPSs runner and accept an
+optional ``duration_model`` so benchmarks can compare *modelled* times at
+supercomputer scale: the sequential baseline's virtual time is the sum of
+task durations; the pool baseline's is a greedy n-worker makespan.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+from repro.hpo.algorithms import SearchAlgorithm, get_algorithm
+from repro.hpo.early_stopping import StudyStopper
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Study, TrialResult, TrialStatus
+from repro.hpo.objective import train_experiment
+from repro.util.timing import Stopwatch
+from repro.util.validation import check_positive
+
+Objective = Callable[[Mapping[str, Any]], Mapping[str, Any]]
+DurationModel = Callable[[Mapping[str, Any]], float]
+
+
+def simulate_pool_makespan(durations: Sequence[float], n_jobs: int) -> float:
+    """Greedy earliest-available-worker makespan for a task list.
+
+    Models how a process pool executes ``durations`` in submission order
+    on ``n_jobs`` workers.
+    """
+    check_positive("n_jobs", n_jobs)
+    workers = [0.0] * int(n_jobs)
+    for d in durations:
+        if d < 0:
+            raise ValueError(f"negative duration {d}")
+        i = min(range(len(workers)), key=workers.__getitem__)
+        workers[i] += d
+    return max(workers) if durations else 0.0
+
+
+class _BaselineBase:
+    """Shared ask/tell driving loop for the baselines."""
+
+    def __init__(
+        self,
+        algorithm: Union[str, SearchAlgorithm],
+        space: Optional[SearchSpace] = None,
+        objective: Objective = train_experiment,
+        stoppers: Optional[Sequence[StudyStopper]] = None,
+        duration_model: Optional[DurationModel] = None,
+        study_name: str = "baseline-study",
+        algorithm_kwargs: Optional[Dict[str, Any]] = None,
+    ):
+        self.algorithm = get_algorithm(
+            algorithm, space, **(algorithm_kwargs or {})
+        ) if isinstance(algorithm, str) else algorithm
+        self.objective = objective
+        self.stoppers = list(stoppers or [])
+        self.duration_model = duration_model
+        self.study_name = study_name
+        self.stop_reason: Optional[str] = None
+
+    def _apply_result(self, study: Study, trial, payload, duration: float) -> bool:
+        """Fill the trial and evaluate stoppers; returns True to stop."""
+        result = TrialResult.from_mapping(payload)
+        result.duration_s = duration
+        trial.result = result
+        trial.status = TrialStatus.COMPLETED
+        self.algorithm.tell(trial)
+        for stopper in self.stoppers:
+            if stopper.should_stop(study, trial):
+                self.stop_reason = stopper.reason()
+                return True
+        return False
+
+
+class SequentialRunner(_BaselineBase):
+    """One training after the other in the driver process."""
+
+    def run(self) -> Study:
+        """Execute the study sequentially; returns it."""
+        study = Study(self.study_name)
+        study.metadata["algorithm"] = self.algorithm.name
+        study.metadata["runner"] = "sequential"
+        stopwatch = Stopwatch().start()
+        virtual = 0.0
+        stopped = False
+        while not stopped:
+            batch = self.algorithm.ask(1)
+            if not batch:
+                if self.algorithm.is_exhausted:
+                    break
+                break
+            config = batch[0]
+            trial = study.new_trial(config)
+            trial.status = TrialStatus.RUNNING
+            sw = Stopwatch().start()
+            try:
+                payload = self.objective(config)
+            except Exception as exc:  # noqa: BLE001 - trial failure is data
+                trial.status = TrialStatus.FAILED
+                trial.error = repr(exc)
+                self.algorithm.tell(trial)
+                continue
+            duration = (
+                self.duration_model(config)
+                if self.duration_model is not None
+                else sw.stop().elapsed
+            )
+            virtual += duration
+            stopped = self._apply_result(study, trial, payload, duration)
+        study.total_duration_s = (
+            virtual if self.duration_model is not None else stopwatch.elapsed
+        )
+        study.metadata["stopped_early"] = stopped
+        if self.stop_reason:
+            study.metadata["stop_reason"] = self.stop_reason
+        return study
+
+
+class ProcessPoolRunner(_BaselineBase):
+    """Single-node pool parallelism (the ``n_jobs`` tools of §2.2).
+
+    Parameters
+    ----------
+    n_jobs:
+        Pool width.  With a ``duration_model`` the study's total duration
+        is the modelled pool makespan instead of wall time.
+    use_processes:
+        Use real OS processes (objective must be picklable); otherwise a
+        simple in-driver loop is used for the evaluation while keeping
+        the modelled-parallel timing (useful in sandboxed test runs).
+    """
+
+    def __init__(self, *args, n_jobs: int = 4, use_processes: bool = True, **kwargs):
+        super().__init__(*args, **kwargs)
+        check_positive("n_jobs", n_jobs)
+        self.n_jobs = int(n_jobs)
+        self.use_processes = use_processes
+
+    def run(self) -> Study:
+        """Execute the study on the pool; returns it."""
+        study = Study(self.study_name)
+        study.metadata["algorithm"] = self.algorithm.name
+        study.metadata["runner"] = f"pool-{self.n_jobs}"
+        stopwatch = Stopwatch().start()
+        durations: List[float] = []
+        stopped = False
+        while not stopped:
+            batch = self.algorithm.ask(self.n_jobs)
+            if not batch:
+                if self.algorithm.is_exhausted:
+                    break
+                break
+            trials = [study.new_trial(c) for c in batch]
+            for t in trials:
+                t.status = TrialStatus.RUNNING
+            payloads = self._evaluate_batch(batch)
+            for trial, config, payload in zip(trials, batch, payloads):
+                if isinstance(payload, Exception):
+                    trial.status = TrialStatus.FAILED
+                    trial.error = repr(payload)
+                    self.algorithm.tell(trial)
+                    continue
+                duration = (
+                    self.duration_model(config)
+                    if self.duration_model is not None
+                    else float(payload.get("duration_s", 0.0))
+                )
+                durations.append(duration)
+                if self._apply_result(study, trial, payload, duration) and not stopped:
+                    stopped = True
+        if self.duration_model is not None:
+            study.total_duration_s = simulate_pool_makespan(durations, self.n_jobs)
+        else:
+            study.total_duration_s = stopwatch.elapsed
+        study.metadata["stopped_early"] = stopped
+        if self.stop_reason:
+            study.metadata["stop_reason"] = self.stop_reason
+        return study
+
+    def _evaluate_batch(self, configs: List[Mapping[str, Any]]) -> List[Any]:
+        if self.use_processes:
+            with multiprocessing.Pool(processes=self.n_jobs) as pool:
+                results = []
+                async_results = [
+                    pool.apply_async(self.objective, (c,)) for c in configs
+                ]
+                for ar in async_results:
+                    try:
+                        results.append(ar.get())
+                    except Exception as exc:  # noqa: BLE001 - collected as data
+                        results.append(exc)
+                return results
+        out: List[Any] = []
+        for c in configs:
+            try:
+                out.append(self.objective(c))
+            except Exception as exc:  # noqa: BLE001 - collected as data
+                out.append(exc)
+        return out

@@ -1,0 +1,95 @@
+"""JSON config-file handling (the paper's Listing 1).
+
+"A JSON file containing all the hyperparameters and their values is
+passed to this application at start" (§4).  :func:`load_search_space`
+reads such a file into a :class:`~repro.hpo.space.SearchSpace`;
+:func:`write_config_file` is the inverse (used by examples/tests).
+
+Extended syntax beyond plain value lists (backwards compatible): a value
+may be a dict describing a numeric range, e.g.::
+
+    {"learning_rate": {"type": "real", "low": 1e-4, "high": 1e-1,
+                       "log": true},
+     "num_epochs":    {"type": "int", "low": 10, "high": 100},
+     "optimizer":     ["Adam", "SGD", "RMSprop"]}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Union
+
+from repro.hpo.space import Categorical, Constant, Hyperparameter, Integer, Real, SearchSpace
+
+#: The exact search space of the paper's Listing 1.
+PAPER_LISTING1: Dict[str, list] = {
+    "optimizer": ["Adam", "SGD", "RMSprop"],
+    "num_epochs": [20, 50, 100],
+    "batch_size": [32, 64, 128],
+}
+
+
+def _param_from_spec(name: str, spec: Any) -> Hyperparameter:
+    if isinstance(spec, Mapping):
+        kind = str(spec.get("type", "")).lower()
+        if kind in ("real", "float"):
+            return Real(
+                name, float(spec["low"]), float(spec["high"]),
+                log=bool(spec.get("log", False)),
+            )
+        if kind in ("int", "integer"):
+            return Integer(
+                name, int(spec["low"]), int(spec["high"]),
+                log=bool(spec.get("log", False)),
+            )
+        if kind in ("categorical", "choice"):
+            return Categorical(name, list(spec["choices"]))
+        if kind in ("constant", "fixed"):
+            return Constant(name, spec["value"])
+        raise ValueError(
+            f"hyperparameter {name!r}: unknown spec type {spec.get('type')!r}"
+        )
+    if isinstance(spec, (list, tuple)):
+        return Categorical(name, list(spec))
+    return Constant(name, spec)
+
+
+def parse_search_space(spec: Mapping[str, Any]) -> SearchSpace:
+    """Parse an in-memory Listing-1-style mapping into a SearchSpace."""
+    return SearchSpace([_param_from_spec(k, v) for k, v in spec.items()])
+
+
+def load_search_space(path: Union[str, Path]) -> SearchSpace:
+    """Load a JSON config file into a SearchSpace.
+
+    Raises ``ValueError`` on malformed files with the offending content
+    in the message.
+    """
+    path = Path(path)
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"config file {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, Mapping):
+        raise ValueError(
+            f"config file {path} must contain a JSON object, got "
+            f"{type(raw).__name__}"
+        )
+    if not raw:
+        raise ValueError(f"config file {path} defines no hyperparameters")
+    return parse_search_space(raw)
+
+
+def write_config_file(
+    spec: Mapping[str, Any], path: Union[str, Path]
+) -> Path:
+    """Write a Listing-1-style mapping as a JSON config file."""
+    path = Path(path)
+    path.write_text(json.dumps(dict(spec), indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def paper_search_space() -> SearchSpace:
+    """The paper's exact 3×3×3 search space (27 configs)."""
+    return parse_search_space(PAPER_LISTING1)

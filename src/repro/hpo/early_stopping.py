@@ -1,0 +1,93 @@
+"""Study-level early stopping (paper §6.1).
+
+"For such task, early stopping is of paramount significance as it makes
+no sense to continue with other tasks after one has achieved the desired
+accuracy."  A :class:`StudyStopper` is consulted after every finished
+trial; when it fires, the runner stops waiting for / launching further
+trials and marks them pruned.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.hpo.trial import Study, Trial
+from repro.util.validation import check_in_range, check_positive
+
+
+class StudyStopper(abc.ABC):
+    """Decides whether the whole HPO study should stop early."""
+
+    @abc.abstractmethod
+    def should_stop(self, study: Study, last_trial: Trial) -> bool:
+        """Called after every completed trial."""
+
+    def reason(self) -> str:
+        """Human-readable explanation once fired."""
+        return type(self).__name__
+
+
+class TargetAccuracyStopper(StudyStopper):
+    """Stop once any trial reaches ``target`` validation accuracy."""
+
+    def __init__(self, target: float = 0.9):
+        check_in_range("target", target, 0.0, 1.0)
+        self.target = float(target)
+        self.triggered_by: Optional[Trial] = None
+
+    def should_stop(self, study: Study, last_trial: Trial) -> bool:
+        if last_trial.result and last_trial.val_accuracy >= self.target:
+            self.triggered_by = last_trial
+            return True
+        return False
+
+    def reason(self) -> str:
+        if self.triggered_by is None:
+            return f"target accuracy {self.target} (not yet reached)"
+        return (
+            f"trial {self.triggered_by.trial_id} reached "
+            f"{self.triggered_by.val_accuracy:.3f} >= target {self.target}"
+        )
+
+
+class MaxTrialsStopper(StudyStopper):
+    """Stop after ``max_trials`` completed trials."""
+
+    def __init__(self, max_trials: int):
+        check_positive("max_trials", max_trials)
+        self.max_trials = int(max_trials)
+
+    def should_stop(self, study: Study, last_trial: Trial) -> bool:
+        return len(study.completed()) >= self.max_trials
+
+    def reason(self) -> str:
+        return f"reached {self.max_trials} completed trials"
+
+
+class PlateauStopper(StudyStopper):
+    """Stop when the best accuracy hasn't improved for ``patience`` trials."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-4):
+        check_positive("patience", patience)
+        self.patience = int(patience)
+        self.min_delta = abs(float(min_delta))
+        self._best = -float("inf")
+        self._stale = 0
+
+    def should_stop(self, study: Study, last_trial: Trial) -> bool:
+        if last_trial.result is None:
+            return False
+        acc = last_trial.val_accuracy
+        if acc > self._best + self.min_delta:
+            self._best = acc
+            self._stale = 0
+        else:
+            self._stale += 1
+        return self._stale >= self.patience
+
+    def reason(self) -> str:
+        return (
+            f"no improvement > {self.min_delta} for {self.patience} trials "
+            f"(best {self._best:.3f})"
+        )

@@ -1,0 +1,91 @@
+"""Study persistence and resume.
+
+The paper motivates fault tolerance with multi-day HPO jobs (§1, §3).
+Task-level retries cover transient failures; this module covers the
+*job* level: a study checkpoint (the ``study.json`` written by
+:meth:`~repro.hpo.trial.Study.save_json`) can be reloaded and an
+interrupted run **resumed** — completed configurations are skipped for
+exhaustive algorithms and re-told to adaptive ones (warm start).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Union
+
+from repro.hpo.algorithms import SearchAlgorithm
+from repro.hpo.algorithms.grid import GridSearch
+from repro.hpo.trial import Study, TrialResult, TrialStatus
+
+
+def load_study(path: Union[str, Path]) -> Study:
+    """Reload a study saved with :meth:`Study.save_json`."""
+    path = Path(path)
+    data = json.loads(path.read_text(encoding="utf-8"))
+    study = Study(data.get("name", path.stem))
+    study.total_duration_s = float(data.get("total_duration_s", 0.0))
+    study.metadata = dict(data.get("metadata", {}))
+    for item in data.get("trials", []):
+        trial = study.new_trial(item["config"])
+        trial.status = TrialStatus(item.get("status", "pending"))
+        trial.error = item.get("error")
+        result = item.get("result")
+        if result is not None:
+            trial.result = TrialResult(
+                val_accuracy=result["val_accuracy"],
+                val_loss=result.get("val_loss", float("nan")),
+                train_accuracy=result.get("train_accuracy", float("nan")),
+                train_loss=result.get("train_loss", float("nan")),
+                history=result.get("history", {}),
+                epochs_run=int(result.get("epochs_run", 0)),
+                duration_s=float(result.get("duration_s", 0.0)),
+                node=result.get("node"),
+            )
+    return study
+
+
+def config_key(config: Mapping[str, Any]) -> tuple:
+    """Hashable identity of a configuration (order-insensitive)."""
+    return tuple(sorted((k, repr(v)) for k, v in config.items()))
+
+
+def resume_algorithm(
+    algorithm: SearchAlgorithm, previous: Study
+) -> SearchAlgorithm:
+    """Prepare ``algorithm`` to continue after ``previous``.
+
+    * Exhaustive :class:`GridSearch`: completed configs are removed from
+      the pending schedule (they would be wasted re-evaluations).
+    * Every algorithm: completed trials are fed back via
+      :meth:`~repro.hpo.algorithms.base.SearchAlgorithm.warm_start`, so
+      model-based methods benefit immediately.
+
+    Returns the (mutated) algorithm for chaining.
+    """
+    algorithm.warm_start(previous)
+    if isinstance(algorithm, GridSearch):
+        done = {config_key(t.config) for t in previous.completed()}
+        algorithm._pending = [
+            c for c in algorithm._pending if config_key(c) not in done
+        ]
+    return algorithm
+
+
+def merge_studies(base: Study, continuation: Study, name: str = "") -> Study:
+    """Combine a resumed run with its predecessor into one study.
+
+    Trials are renumbered sequentially; durations add up (the total time
+    the search consumed across both sessions).
+    """
+    merged = Study(name or f"{base.name}+resumed")
+    for source in (base, continuation):
+        for trial in source.trials:
+            clone = merged.new_trial(trial.config)
+            clone.status = trial.status
+            clone.result = trial.result
+            clone.error = trial.error
+    merged.total_duration_s = base.total_duration_s + continuation.total_duration_s
+    merged.metadata = {**base.metadata, **continuation.metadata}
+    merged.metadata["resumed"] = True
+    return merged

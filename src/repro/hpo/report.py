@@ -1,0 +1,106 @@
+"""Study reports — the paper's "visualisation dashboards" requirement (§1).
+
+Generates a single self-contained text/markdown report of an HPO study:
+headline result, trial table, accuracy curves, per-hyperparameter effect
+summary (marginal mean accuracy per value — which knob mattered), and the
+early-stopping / fault metadata.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.hpo.trial import Study
+from repro.hpo.visualization import accuracy_curves, config_heatmap, final_accuracy_bars
+from repro.util.ascii_plot import table
+from repro.util.timing import format_duration
+
+
+def hyperparameter_effects(study: Study) -> Dict[str, Dict[str, float]]:
+    """Marginal mean validation accuracy per hyperparameter value.
+
+    The grid-search analogue of an importance analysis: for each config
+    key, the mean accuracy over all completed trials sharing each value.
+    Non-swept keys (single value) are omitted.
+    """
+    by_key: Dict[str, Dict[str, List[float]]] = defaultdict(lambda: defaultdict(list))
+    for trial in study.completed():
+        for key, value in trial.config.items():
+            by_key[key][repr(value)].append(trial.val_accuracy)
+    return {
+        key: {v: float(np.mean(accs)) for v, accs in values.items()}
+        for key, values in by_key.items()
+        if len(values) > 1
+    }
+
+
+def render_effects(study: Study) -> str:
+    """Text table of :func:`hyperparameter_effects`."""
+    effects = hyperparameter_effects(study)
+    if not effects:
+        return "(no swept hyperparameters with completed trials)"
+    rows = []
+    for key, values in effects.items():
+        ranked = sorted(values.items(), key=lambda kv: -kv[1])
+        for value, acc in ranked:
+            rows.append([key, value, acc])
+    return table(
+        ["hyperparameter", "value", "mean val_acc"],
+        rows,
+        title="marginal effect of each hyperparameter value",
+    )
+
+
+def render_report(study: Study, max_curves: int = 8) -> str:
+    """Full text report of a study."""
+    lines = [
+        f"# HPO study report: {study.name}",
+        "",
+        f"trials: {len(study.completed())}/{len(study.trials)} completed, "
+        f"total {format_duration(study.total_duration_s)}",
+    ]
+    for key, value in study.metadata.items():
+        if key == "plot":
+            continue
+        lines.append(f"- {key}: {value}")
+    if study.completed():
+        best = study.best_trial()
+        lines += [
+            "",
+            f"## Best trial: #{best.trial_id} "
+            f"(val_accuracy {best.val_accuracy:.4f})",
+            f"config: {best.config}",
+            "",
+            "## Trials",
+            study.table(limit=20),
+            "",
+            "## Accuracy curves",
+            accuracy_curves(study, max_series=max_curves),
+            "",
+            "## Final accuracies",
+            final_accuracy_bars(study),
+            "",
+            "## Hyperparameter effects",
+            render_effects(study),
+        ]
+        swept = [k for k in hyperparameter_effects(study)]
+        if len(swept) >= 2:
+            lines += [
+                "",
+                "## Interaction heatmap",
+                config_heatmap(study, swept[0], swept[1]),
+            ]
+    else:
+        lines += ["", "(no completed trials)"]
+    return "\n".join(lines)
+
+
+def save_report(study: Study, path: Union[str, Path]) -> Path:
+    """Write :func:`render_report` to ``path``."""
+    path = Path(path)
+    path.write_text(render_report(study) + "\n", encoding="utf-8")
+    return path

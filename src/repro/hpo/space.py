@@ -1,0 +1,308 @@
+"""Hyperparameter search spaces.
+
+The paper drives HPO from a JSON file listing each hyperparameter's
+values (Listing 1)::
+
+    {"optimizer": ["Adam", "SGD", "RMSprop"],
+     "num_epochs": [20, 50, 100],
+     "batch_size": [32, 64, 128]}
+
+That maps to a :class:`SearchSpace` of :class:`Categorical` parameters.
+For the future-work algorithms (random/Bayesian/TPE) the space also
+supports numeric ranges (:class:`Integer`, :class:`Real`, optionally
+log-scaled), which is how those algorithms "search over any search space
+by simply calling a function" (paper §7).
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.util.seeding import rng_from
+
+class Hyperparameter(abc.ABC):
+    """One dimension of the search space."""
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("hyperparameter name must be non-empty")
+        self.name = name
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> Any:
+        """Draw one value."""
+
+    @abc.abstractmethod
+    def contains(self, value: Any) -> bool:
+        """Whether ``value`` is a legal value of this parameter."""
+
+    @property
+    def grid_values(self) -> Optional[List[Any]]:
+        """Finite value list for grid search, or None if continuous."""
+        return None
+
+    # Numeric embedding for model-based algorithms (BO/TPE) -------------
+    @abc.abstractmethod
+    def to_unit(self, value: Any) -> float:
+        """Map a value into [0, 1] (categorical: index / (n-1))."""
+
+    @abc.abstractmethod
+    def from_unit(self, u: float) -> Any:
+        """Inverse of :meth:`to_unit` (clipped to the legal range)."""
+
+
+class Categorical(Hyperparameter):
+    """A finite, ordered set of choices."""
+
+    def __init__(self, name: str, choices: Sequence[Any]):
+        super().__init__(name)
+        choices = list(choices)
+        if not choices:
+            raise ValueError(f"{name}: choices must be non-empty")
+        if len(set(map(repr, choices))) != len(choices):
+            raise ValueError(f"{name}: duplicate choices {choices!r}")
+        self.choices = choices
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+    @property
+    def grid_values(self) -> List[Any]:
+        return list(self.choices)
+
+    def to_unit(self, value: Any) -> float:
+        idx = self.choices.index(value)
+        if len(self.choices) == 1:
+            return 0.0
+        return idx / (len(self.choices) - 1)
+
+    def from_unit(self, u: float) -> Any:
+        idx = int(round(float(np.clip(u, 0.0, 1.0)) * (len(self.choices) - 1)))
+        return self.choices[idx]
+
+    def __repr__(self) -> str:
+        return f"Categorical({self.name!r}, {self.choices!r})"
+
+
+class Integer(Hyperparameter):
+    """An integer range [low, high] (inclusive), optionally log-scaled."""
+
+    def __init__(self, name: str, low: int, high: int, log: bool = False):
+        super().__init__(name)
+        if low > high:
+            raise ValueError(f"{name}: low ({low}) > high ({high})")
+        if log and low <= 0:
+            raise ValueError(f"{name}: log scale requires low > 0")
+        self.low, self.high, self.log = int(low), int(high), bool(log)
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.from_unit(float(rng.random()))
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, np.integer)) and self.low <= value <= self.high
+
+    def to_unit(self, value: Any) -> float:
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return float(
+                (np.log(value) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = float(np.clip(u, 0.0, 1.0))
+        if self.log:
+            raw = np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(np.clip(round(raw), self.low, self.high))
+
+    def __repr__(self) -> str:
+        return f"Integer({self.name!r}, {self.low}, {self.high}, log={self.log})"
+
+
+class Real(Hyperparameter):
+    """A float range [low, high], optionally log-scaled."""
+
+    def __init__(self, name: str, low: float, high: float, log: bool = False):
+        super().__init__(name)
+        if low >= high:
+            raise ValueError(f"{name}: low ({low}) >= high ({high})")
+        if log and low <= 0:
+            raise ValueError(f"{name}: log scale requires low > 0")
+        self.low, self.high, self.log = float(low), float(high), bool(log)
+
+    def sample(self, rng: np.random.Generator) -> float:
+        return self.from_unit(float(rng.random()))
+
+    def contains(self, value: Any) -> bool:
+        return isinstance(value, (int, float, np.floating)) and (
+            self.low <= float(value) <= self.high
+        )
+
+    def to_unit(self, value: Any) -> float:
+        if self.log:
+            return float(
+                (np.log(value) - np.log(self.low))
+                / (np.log(self.high) - np.log(self.low))
+            )
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = float(np.clip(u, 0.0, 1.0))
+        if self.log:
+            value = float(
+                np.exp(np.log(self.low) + u * (np.log(self.high) - np.log(self.low)))
+            )
+        else:
+            value = self.low + u * (self.high - self.low)
+        # exp/log roundtrips can overshoot the bounds by 1 ulp; clamp.
+        return float(min(max(value, self.low), self.high))
+
+    def __repr__(self) -> str:
+        return f"Real({self.name!r}, {self.low}, {self.high}, log={self.log})"
+
+
+class Constant(Hyperparameter):
+    """A fixed value carried through every config (e.g. dataset name)."""
+
+    def __init__(self, name: str, value: Any):
+        super().__init__(name)
+        self.value = value
+
+    def sample(self, rng: np.random.Generator) -> Any:
+        return self.value
+
+    def contains(self, value: Any) -> bool:
+        return value == self.value
+
+    @property
+    def grid_values(self) -> List[Any]:
+        return [self.value]
+
+    def to_unit(self, value: Any) -> float:
+        return 0.0
+
+    def from_unit(self, u: float) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Constant({self.name!r}, {self.value!r})"
+
+
+class SearchSpace:
+    """An ordered collection of hyperparameters.
+
+    Construct directly from parameters or from a Listing-1-style dict via
+    :meth:`from_dict`.
+    """
+
+    def __init__(self, params: Sequence[Hyperparameter]):
+        names = [p.name for p in params]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate hyperparameter names: {names}")
+        self.params: List[Hyperparameter] = list(params)
+
+    @classmethod
+    def from_dict(cls, spec: Mapping[str, Any]) -> "SearchSpace":
+        """Build a space from the paper's JSON-config structure.
+
+        Lists become :class:`Categorical`; scalars become
+        :class:`Constant`; existing :class:`Hyperparameter` objects pass
+        through.
+        """
+        params: List[Hyperparameter] = []
+        for name, value in spec.items():
+            if isinstance(value, Hyperparameter):
+                params.append(value)
+            elif isinstance(value, (list, tuple)):
+                params.append(Categorical(name, list(value)))
+            else:
+                params.append(Constant(name, value))
+        return cls(params)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.params)
+
+    def __iter__(self) -> Iterator[Hyperparameter]:
+        return iter(self.params)
+
+    @property
+    def names(self) -> List[str]:
+        return [p.name for p in self.params]
+
+    def param(self, name: str) -> Hyperparameter:
+        for p in self.params:
+            if p.name == name:
+                return p
+        raise KeyError(f"no hyperparameter named {name!r}")
+
+    @property
+    def is_finite(self) -> bool:
+        """Whether an exhaustive grid exists (all params discrete)."""
+        return all(p.grid_values is not None for p in self.params)
+
+    @property
+    def grid_size(self) -> int:
+        """Cardinality of the full grid (raises on continuous spaces)."""
+        if not self.is_finite:
+            raise ValueError("space has continuous parameters; no finite grid")
+        size = 1
+        for p in self.params:
+            size *= len(p.grid_values)  # type: ignore[arg-type]
+        return size
+
+    def grid(self) -> Iterator[Dict[str, Any]]:
+        """Iterate all configs in deterministic (itertools.product) order.
+
+        This is the exhaustive grid of the paper: "27 different
+        experiments are created" from 3×3×3 (Fig. 5).
+        """
+        if not self.is_finite:
+            raise ValueError("space has continuous parameters; no finite grid")
+        value_lists = [p.grid_values for p in self.params]
+        for combo in itertools.product(*value_lists):  # type: ignore[arg-type]
+            yield dict(zip(self.names, combo))
+
+    def sample(self, rng_or_seed=0) -> Dict[str, Any]:
+        """Draw one random config (random search / BO init)."""
+        rng = rng_from(rng_or_seed) if not isinstance(
+            rng_or_seed, np.random.Generator
+        ) else rng_or_seed
+        return {p.name: p.sample(rng) for p in self.params}
+
+    def validate(self, config: Mapping[str, Any]) -> None:
+        """Raise ValueError unless ``config`` assigns a legal value to
+        every hyperparameter (extra keys are allowed and ignored)."""
+        for p in self.params:
+            if p.name not in config:
+                raise ValueError(f"config missing hyperparameter {p.name!r}")
+            if not p.contains(config[p.name]):
+                raise ValueError(
+                    f"config value {config[p.name]!r} is not legal for {p!r}"
+                )
+
+    # Numeric embedding for model-based algorithms ----------------------
+    def to_unit_vector(self, config: Mapping[str, Any]) -> np.ndarray:
+        """Embed a config in the unit hypercube (one axis per param)."""
+        return np.array([p.to_unit(config[p.name]) for p in self.params])
+
+    def from_unit_vector(self, u: np.ndarray) -> Dict[str, Any]:
+        """Decode a unit-hypercube point into a config."""
+        if len(u) != len(self.params):
+            raise ValueError(f"expected {len(self.params)} dims, got {len(u)}")
+        return {p.name: p.from_unit(float(v)) for p, v in zip(self.params, u)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(p) for p in self.params)
+        return f"SearchSpace([{inner}])"

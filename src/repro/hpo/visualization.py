@@ -1,0 +1,157 @@
+"""Study visualisation — the Figs. 7/8 dashboards as ASCII + CSV.
+
+"When all the tasks are done, we plot the results [on] the same figure
+for easier comparison" (§6.2).  matplotlib is unavailable offline, so
+:func:`accuracy_curves` renders the per-config validation-accuracy-vs-
+epoch curves as one ASCII chart, and :func:`export_history_csv` writes
+the raw series for external plotting.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+from repro.hpo.trial import Study
+from repro.util.ascii_plot import bar_chart, line_chart
+
+
+def accuracy_curves(
+    study: Study,
+    metric: str = "val_accuracy",
+    max_series: int = 12,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """ASCII chart of ``metric`` vs epoch for each trial (Figs. 7/8).
+
+    With more than ``max_series`` trials, the best ones are shown and the
+    rest summarised in the caption.
+    """
+    series: Dict[str, List[Tuple[float, float]]] = {}
+    skipped = 0
+    trials = sorted(
+        study.completed(), key=lambda t: -t.val_accuracy
+    )
+    for trial in trials:
+        history = trial.result.history if trial.result else {}
+        values = history.get(metric)
+        if not values:
+            skipped += 1
+            continue
+        if len(series) >= max_series:
+            skipped += 1
+            continue
+        epochs = history.get("epochs", list(range(len(values))))
+        # Prefix with the trial id so identical configs stay distinct series.
+        series[f"#{trial.trial_id} {trial.describe_config()}"] = list(
+            zip([float(e) for e in epochs], [float(v) for v in values])
+        )
+    chart = line_chart(
+        series,
+        width=width,
+        height=height,
+        title=f"{study.name}: {metric} vs epoch ({len(series)} configs shown)",
+        x_label="epoch",
+        y_label=metric,
+    )
+    if skipped:
+        chart += f"\n  ({skipped} additional trials not shown)"
+    return chart
+
+
+def final_accuracy_bars(study: Study, width: int = 50) -> str:
+    """Bar chart of each trial's final validation accuracy."""
+    values = {
+        t.describe_config(): t.val_accuracy
+        for t in sorted(study.completed(), key=lambda t: -t.val_accuracy)
+    }
+    return bar_chart(values, width=width, title=f"{study.name}: final val_accuracy")
+
+
+def export_history_csv(study: Study, path: Union[str, Path]) -> Path:
+    """Write long-form per-epoch history: trial, config, epoch, metrics."""
+    path = Path(path)
+    lines = ["trial_id,config,epoch,metric,value"]
+    for trial in study.trials:
+        if trial.result is None:
+            continue
+        config = trial.describe_config().replace(",", ";")
+        history = trial.result.history
+        epochs = history.get("epochs", [])
+        for metric, values in history.items():
+            if metric == "epochs":
+                continue
+            for epoch, value in zip(epochs, values):
+                lines.append(
+                    f"{trial.trial_id},{config},{epoch},{metric},{value:.6f}"
+                )
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return path
+
+
+def config_heatmap(
+    study: Study,
+    x_key: str,
+    y_key: str,
+    cell_width: int = 7,
+) -> str:
+    """Text heatmap of mean validation accuracy over two config axes.
+
+    The drill-down companion to the Fig. 7/8 curves: e.g.
+    ``config_heatmap(study, "num_epochs", "optimizer")`` shows which
+    optimiser×epochs cells of the Listing-1 grid pay off.
+    """
+    cells: Dict[tuple, List[float]] = {}
+    x_values: List = []
+    y_values: List = []
+    for trial in study.completed():
+        if x_key not in trial.config or y_key not in trial.config:
+            continue
+        x, y = trial.config[x_key], trial.config[y_key]
+        if x not in x_values:
+            x_values.append(x)
+        if y not in y_values:
+            y_values.append(y)
+        cells.setdefault((x, y), []).append(trial.val_accuracy)
+    if not cells:
+        return f"(no completed trials with both {x_key!r} and {y_key!r})"
+    label_w = max(len(str(y)) for y in y_values)
+    header = " " * (label_w + 1) + "".join(
+        f"{str(x):>{cell_width}}" for x in x_values
+    )
+    lines = [f"mean val_accuracy by {y_key} (rows) × {x_key} (cols)", header]
+    for y in y_values:
+        row = [f"{str(y):>{label_w}} "]
+        for x in x_values:
+            values = cells.get((x, y))
+            row.append(
+                f"{sum(values) / len(values):>{cell_width}.3f}"
+                if values
+                else " " * (cell_width - 1) + "-"
+            )
+        lines.append("".join(row))
+    return "\n".join(lines)
+
+
+def time_vs_cores_chart(
+    series: Mapping[str, Sequence[Tuple[int, float]]],
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """ASCII rendering of the Fig. 9 experiment: HPO time vs cores/task.
+
+    ``series`` maps a configuration name (e.g. ``"1 node"``, ``"2 nodes"``,
+    ``"GPU node"``) to ``(cores_per_task, total_minutes)`` points.
+    """
+    as_float = {
+        name: [(float(c), float(t)) for c, t in pts] for name, pts in series.items()
+    }
+    return line_chart(
+        as_float,
+        width=width,
+        height=height,
+        title="HPO time vs cores per task (Fig. 9)",
+        x_label="cores per task",
+        y_label="time (min)",
+    )

@@ -1,0 +1,91 @@
+"""A minimal, vectorised deep-learning framework (the TensorFlow stand-in).
+
+The paper trains small Keras/TensorFlow models inside each PyCOMPSs task.
+TensorFlow is unavailable offline, so this subpackage provides the pieces
+those experiments need, with a deliberately Keras-like surface:
+
+* layers — :class:`~repro.ml.layers.Dense`, :class:`~repro.ml.layers.Conv2D`,
+  :class:`~repro.ml.layers.MaxPool2D`, :class:`~repro.ml.layers.Flatten`,
+  :class:`~repro.ml.layers.Dropout`, :class:`~repro.ml.layers.ReLU`, …
+* optimisers — SGD, Adam, RMSprop (the paper's Listing 1 search space);
+* :class:`~repro.ml.model.Sequential` with ``fit``/``evaluate``/``predict``
+  and per-epoch history;
+* callbacks including early stopping;
+* deterministic synthetic datasets with MNIST-like and CIFAR-10-like
+  difficulty profiles (:mod:`repro.ml.datasets`).
+
+Everything is pure numpy and fully vectorised over the batch dimension
+(no per-sample Python loops), following the HPC-Python guide idioms.
+"""
+
+from repro.ml.model import Sequential, History
+from repro.ml.losses import CategoricalCrossentropy, MeanSquaredError, get_loss
+from repro.ml.metrics import accuracy, top_k_accuracy
+from repro.ml.callbacks import (
+    Callback,
+    EarlyStopping,
+    TargetMetricStopping,
+    LambdaCallback,
+)
+from repro.ml.optimizers import SGD, Adam, RMSprop, get_optimizer
+from repro.ml.layers import (
+    Layer,
+    Dense,
+    Conv2D,
+    MaxPool2D,
+    AveragePool2D,
+    GlobalAveragePool2D,
+    Flatten,
+    Dropout,
+    BatchNorm,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    Softmax,
+)
+from repro.ml.schedules import (
+    LearningRateScheduler,
+    StepDecay,
+    ExponentialDecay,
+    CosineDecay,
+)
+from repro.ml.serialization import save_weights, load_weights
+from repro.ml.models_zoo import create_model
+
+__all__ = [
+    "Sequential",
+    "History",
+    "CategoricalCrossentropy",
+    "MeanSquaredError",
+    "get_loss",
+    "accuracy",
+    "top_k_accuracy",
+    "Callback",
+    "EarlyStopping",
+    "TargetMetricStopping",
+    "LambdaCallback",
+    "SGD",
+    "Adam",
+    "RMSprop",
+    "get_optimizer",
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AveragePool2D",
+    "GlobalAveragePool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "LearningRateScheduler",
+    "StepDecay",
+    "ExponentialDecay",
+    "CosineDecay",
+    "save_weights",
+    "load_weights",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+    "create_model",
+]

@@ -1,0 +1,102 @@
+"""Dataset utilities: one-hot encoding, splitting and batch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.util.seeding import rng_from
+from repro.util.validation import check_in_range, check_positive
+
+
+def one_hot(labels: np.ndarray, n_classes: int) -> np.ndarray:
+    """Encode integer labels as one-hot rows.
+
+    >>> one_hot(np.array([0, 2]), 3).tolist()
+    [[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]]
+    """
+    labels = np.asarray(labels)
+    check_positive("n_classes", n_classes)
+    if labels.ndim != 1:
+        raise ValueError(f"labels must be 1-D, got shape {labels.shape}")
+    if labels.size and (labels.min() < 0 or labels.max() >= n_classes):
+        raise ValueError(
+            f"labels must be in [0, {n_classes}), got range "
+            f"[{labels.min()}, {labels.max()}]"
+        )
+    out = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out
+
+
+def train_val_split(
+    x: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.2,
+    seed: Optional[int] = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split into (x_train, y_train, x_val, y_val).
+
+    The split is deterministic for a given seed; pass ``seed=None`` to use
+    OS entropy.
+    """
+    check_in_range("val_fraction", val_fraction, 0.0, 1.0, inclusive=False)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+    n = x.shape[0]
+    n_val = max(1, int(round(n * val_fraction)))
+    if n_val >= n:
+        raise ValueError(f"val_fraction={val_fraction} leaves no training data")
+    perm = rng_from(seed, "train-val-split").permutation(n)
+    val_idx, train_idx = perm[:n_val], perm[n_val:]
+    return x[train_idx], y[train_idx], x[val_idx], y[val_idx]
+
+
+def iterate_batches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    shuffle: bool = True,
+    rng: Optional[np.random.Generator] = None,
+    drop_last: bool = False,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Yield ``(x_batch, y_batch)`` minibatches.
+
+    Indexing with a permutation array copies each batch once — unavoidable
+    for shuffling — but no additional copies are made.
+    """
+    check_positive("batch_size", batch_size)
+    n = x.shape[0]
+    if n != y.shape[0]:
+        raise ValueError(f"x has {n} rows but y has {y.shape[0]}")
+    if shuffle:
+        rng = rng or np.random.default_rng()
+        order = rng.permutation(n)
+    else:
+        order = None
+    for start in range(0, n, batch_size):
+        stop = start + batch_size
+        if drop_last and stop > n:
+            return
+        if order is None:
+            yield x[start:stop], y[start:stop]
+        else:
+            idx = order[start:stop]
+            yield x[idx], y[idx]
+
+
+def standardize(
+    x: np.ndarray, mean: Optional[np.ndarray] = None, std: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Feature-wise standardisation; returns ``(z, mean, std)``.
+
+    Pass the training-set mean/std when transforming validation or test
+    data to avoid leakage.
+    """
+    if mean is None:
+        mean = x.mean(axis=0)
+    if std is None:
+        std = x.std(axis=0)
+    std_safe = np.where(std < 1e-12, 1.0, std)
+    return (x - mean) / std_safe, mean, std

@@ -1,0 +1,60 @@
+"""Per-process dataset cache.
+
+An HPO grid loads the *same* dataset once per trial; on a PFS cluster
+COMPSs reuses the staged copy (paper §4), and within one worker process
+the equivalent optimisation is memoising the generated arrays.  Cached
+arrays are returned **read-only** (``writeable=False``) so a task that
+mutates its input fails loudly instead of corrupting sibling trials.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+_CACHE: Dict[tuple, tuple] = {}
+_MAX_ENTRIES = 32
+
+
+def _freeze(arrays):
+    """Recursively mark ndarrays in a nested tuple structure read-only."""
+    if isinstance(arrays, np.ndarray):
+        arrays.setflags(write=False)
+        return arrays
+    if isinstance(arrays, tuple):
+        return tuple(_freeze(a) for a in arrays)
+    return arrays
+
+
+def cached_dataset(loader: Callable, **kwargs):
+    """Load via ``loader(**kwargs)`` with process-level memoisation.
+
+    ``kwargs`` must be hashable (they are for all dataset loaders).  The
+    cache holds at most ``_MAX_ENTRIES`` datasets (FIFO eviction).
+
+    >>> from repro.ml.datasets import load_mnist_like
+    >>> a = cached_dataset(load_mnist_like, n_train=64, n_test=16)
+    >>> b = cached_dataset(load_mnist_like, n_train=64, n_test=16)
+    >>> a[0][0] is b[0][0]
+    True
+    """
+    key = (getattr(loader, "__module__", ""), getattr(loader, "__name__", ""),
+           tuple(sorted(kwargs.items())))
+    if key not in _CACHE:
+        if len(_CACHE) >= _MAX_ENTRIES:
+            _CACHE.pop(next(iter(_CACHE)))
+        _CACHE[key] = _freeze(loader(**kwargs))
+    return _CACHE[key]
+
+
+def clear_dataset_cache() -> int:
+    """Empty the cache; returns the number of evicted datasets."""
+    n = len(_CACHE)
+    _CACHE.clear()
+    return n
+
+
+def cache_size() -> int:
+    """Number of datasets currently cached."""
+    return len(_CACHE)

@@ -1,0 +1,50 @@
+"""MNIST-like dataset: easy, fast-converging 10-class image problem."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ml.data import one_hot
+from repro.ml.datasets.synthetic import make_image_classification
+from repro.util.seeding import derive_seed
+from repro.util.validation import check_positive
+
+#: Default image shape.  The real MNIST is 28×28×1; we default to a reduced
+#: 10×10×1 so full HPO grids run in CI time, but the shape is a parameter.
+DEFAULT_SHAPE: Tuple[int, int, int] = (10, 10, 1)
+
+N_CLASSES = 10
+
+
+def load_mnist_like(
+    n_train: int = 2000,
+    n_test: int = 500,
+    image_shape: Tuple[int, int, int] = DEFAULT_SHAPE,
+    seed: int = 0,
+    one_hot_labels: bool = True,
+) -> Tuple[Tuple[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Return ``((x_train, y_train), (x_test, y_test))``, Keras-style.
+
+    Train and test are drawn from the same prototypes (same ``seed``
+    stream) but with independent noise, so generalisation is meaningful.
+    Low noise (0.5) means most hyperparameter configurations reach > 90 %
+    validation accuracy within a few epochs — the Fig. 7 regime.
+    """
+    check_positive("n_train", n_train)
+    check_positive("n_test", n_test)
+    x, y = make_image_classification(
+        n_train + n_test,
+        image_shape=image_shape,
+        n_classes=N_CLASSES,
+        noise=0.5,
+        class_overlap=0.0,
+        seed=derive_seed(seed, "mnist-like"),
+    )
+    x_train, x_test = x[:n_train], x[n_train:]
+    y_train, y_test = y[:n_train], y[n_train:]
+    if one_hot_labels:
+        y_train = one_hot(y_train, N_CLASSES)
+        y_test = one_hot(y_test, N_CLASSES)
+    return (x_train, y_train), (x_test, y_test)

@@ -1,0 +1,100 @@
+"""Synthetic image-classification generator.
+
+Samples are noisy views of smooth per-class prototype images.  Difficulty
+is controlled by the noise-to-signal ratio and by how much prototypes
+overlap: low values give an MNIST-like, quickly-separable problem; high
+values give a CIFAR-like, slowly-converging one.  Prototypes are smooth
+(low-frequency) so convolutional models have real spatial structure to
+exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.seeding import rng_from
+from repro.util.validation import check_in_range, check_positive
+
+
+def _smooth_prototypes(
+    n_classes: int, shape: Tuple[int, int, int], rng: np.random.Generator
+) -> np.ndarray:
+    """Generate smooth class prototype images of ``shape`` (h, w, c).
+
+    Smoothness comes from synthesising each prototype as a sum of a few
+    random low-frequency 2-D cosine modes — cheap, fully vectorised, and
+    structured enough for convolutions to pick up.
+    """
+    h, w, c = shape
+    n_modes = 6
+    ys = np.linspace(0.0, 1.0, h)[:, None]
+    xs = np.linspace(0.0, 1.0, w)[None, :]
+    protos = np.zeros((n_classes, h, w, c), dtype=np.float64)
+    for k in range(n_classes):
+        for ch in range(c):
+            freq_y = rng.integers(1, 4, size=n_modes)
+            freq_x = rng.integers(1, 4, size=n_modes)
+            phase_y = rng.uniform(0, 2 * np.pi, size=n_modes)
+            phase_x = rng.uniform(0, 2 * np.pi, size=n_modes)
+            amp = rng.normal(0.0, 1.0, size=n_modes)
+            img = np.zeros((h, w))
+            for m in range(n_modes):
+                img += amp[m] * np.cos(
+                    2 * np.pi * freq_y[m] * ys + phase_y[m]
+                ) * np.cos(2 * np.pi * freq_x[m] * xs + phase_x[m])
+            protos[k, :, :, ch] = img
+    # Normalise each prototype to unit RMS so difficulty is noise-controlled.
+    rms = np.sqrt((protos**2).mean(axis=(1, 2, 3), keepdims=True))
+    return protos / np.maximum(rms, 1e-12)
+
+
+def make_image_classification(
+    n_samples: int,
+    image_shape: Tuple[int, int, int] = (8, 8, 1),
+    n_classes: int = 10,
+    noise: float = 0.5,
+    class_overlap: float = 0.0,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Generate ``(images, labels)``.
+
+    Parameters
+    ----------
+    n_samples:
+        Number of images.
+    image_shape:
+        ``(height, width, channels)``.
+    n_classes:
+        Number of balanced classes.
+    noise:
+        Std of additive Gaussian noise relative to unit-RMS prototypes.
+        ~0.5 is "easy" (MNIST-like); ~1.5 is "hard" (CIFAR-like).
+    class_overlap:
+        Fraction in [0, 1) of each prototype blended from a shared
+        background image — raises Bayes error, further hardening the task.
+    seed:
+        Determinism seed.
+
+    Returns
+    -------
+    (x, y):
+        ``x`` is float64 in ``(n, h, w, c)``; ``y`` are int labels.
+    """
+    check_positive("n_samples", n_samples)
+    check_positive("n_classes", n_classes)
+    check_in_range("noise", noise, 0.0, 10.0)
+    check_in_range("class_overlap", class_overlap, 0.0, 1.0, inclusive=True)
+    if class_overlap == 1.0:
+        raise ValueError("class_overlap must be < 1 (classes would be identical)")
+    if len(image_shape) != 3:
+        raise ValueError(f"image_shape must be (h, w, c), got {image_shape}")
+    rng = rng_from(seed, "synthetic-images")
+    protos = _smooth_prototypes(n_classes, tuple(image_shape), rng)
+    if class_overlap > 0.0:
+        shared = _smooth_prototypes(1, tuple(image_shape), rng)[0]
+        protos = (1.0 - class_overlap) * protos + class_overlap * shared
+    labels = rng.integers(0, n_classes, size=n_samples)
+    x = protos[labels] + rng.normal(0.0, noise, size=(n_samples, *image_shape))
+    return x, labels

@@ -1,0 +1,64 @@
+"""Weight initialisers.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so layer
+construction is deterministic given a seed (bit-reproducible HPO trials).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+Initializer = Callable[[Tuple[int, ...], np.random.Generator], np.ndarray]
+
+
+def _fans(shape: Sequence[int]) -> Tuple[int, int]:
+    """Compute (fan_in, fan_out) for dense and conv kernels.
+
+    Dense kernels are ``(in, out)``; conv kernels are
+    ``(kh, kw, in_ch, out_ch)`` where the receptive field multiplies both
+    fans (Keras convention).
+    """
+    if len(shape) == 2:
+        return int(shape[0]), int(shape[1])
+    if len(shape) == 4:
+        receptive = int(shape[0]) * int(shape[1])
+        return receptive * int(shape[2]), receptive * int(shape[3])
+    n = int(np.prod(shape))
+    return n, n
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(−l, l) with l = sqrt(6 / (fan_in+fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape).astype(np.float64)
+
+
+def he_normal(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, sqrt(2 / fan_in)) — the ReLU-friendly initialiser."""
+    fan_in, _ = _fans(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(np.float64)
+
+
+def zeros(shape: Tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """All-zero initialiser (biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+_INITIALIZERS = {
+    "glorot_uniform": glorot_uniform,
+    "he_normal": he_normal,
+    "zeros": zeros,
+}
+
+
+def get_initializer(name: str) -> Initializer:
+    """Look an initialiser up by name (``ValueError`` on unknown names)."""
+    try:
+        return _INITIALIZERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown initializer {name!r}; known: {sorted(_INITIALIZERS)}"
+        ) from None

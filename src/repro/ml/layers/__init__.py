@@ -1,0 +1,28 @@
+"""Neural-network layers (numpy, batch-vectorised)."""
+
+from repro.ml.layers.base import Layer, ParamLayer
+from repro.ml.layers.dense import Dense
+from repro.ml.layers.conv import Conv2D
+from repro.ml.layers.pool import MaxPool2D
+from repro.ml.layers.flatten import Flatten
+from repro.ml.layers.dropout import Dropout
+from repro.ml.layers.batchnorm import BatchNorm
+from repro.ml.layers.avgpool import AveragePool2D, GlobalAveragePool2D
+from repro.ml.layers.activations import ReLU, Sigmoid, Tanh, Softmax
+
+__all__ = [
+    "Layer",
+    "ParamLayer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AveragePool2D",
+    "GlobalAveragePool2D",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Softmax",
+]

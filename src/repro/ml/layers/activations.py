@@ -1,0 +1,113 @@
+"""Activation layers (stateless, shape-preserving)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.layers.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit: ``max(x, 0)``."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.maximum(x, 0.0)
+        if training:
+            self._mask = x > 0.0
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid, computed stably for large |x|."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Stable piecewise form: avoids exp overflow for very negative x.
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        if training:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        grad_in = grad_out * self._y * (1.0 - self._y)
+        self._y = None
+        return grad_in
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = np.tanh(x)
+        if training:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        grad_in = grad_out * (1.0 - self._y**2)
+        self._y = None
+        return grad_in
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Note: when paired with :class:`~repro.ml.losses.CategoricalCrossentropy`
+    the loss fuses the two gradients; the standalone backward here computes
+    the full Jacobian-vector product for use with other losses.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        y = softmax(x)
+        if training:
+            self._y = y
+        return y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        y = self._y
+        # JVP of softmax: y * (g - sum(g*y)) — vectorised over the batch.
+        dot = (grad_out * y).sum(axis=-1, keepdims=True)
+        grad_in = y * (grad_out - dot)
+        self._y = None
+        return grad_in

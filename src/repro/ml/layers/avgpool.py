@@ -1,0 +1,113 @@
+"""Average pooling (+ global variant)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.layers.base import Layer
+
+
+def _pair(v) -> Tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    a, b = v
+    return (int(a), int(b))
+
+
+class AveragePool2D(Layer):
+    """Mean over pooling windows, channels-last.
+
+    Like :class:`~repro.ml.layers.pool.MaxPool2D` but the gradient
+    spreads uniformly over each window — fully vectorised via strided
+    views.
+    """
+
+    def __init__(self, pool_size=2, strides=None, name: Optional[str] = None):
+        super().__init__(name)
+        self.pool_size = _pair(pool_size)
+        self.strides = _pair(strides) if strides is not None else self.pool_size
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"AveragePool2D expects (h, w, c) inputs, got {input_shape}"
+            )
+        h, w, c = (int(d) for d in input_shape)
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh = (h - ph) // sh + 1
+        ow = (w - pw) // sw + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(f"pool {self.pool_size} does not fit {input_shape}")
+        self.input_shape = (h, w, c)
+        self.output_shape = (oh, ow, c)
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        n = x.shape[0]
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh, ow, c = self.output_shape  # type: ignore[misc]
+        sn, sh_, sw_, sc = x.strides
+        windows = np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, oh, ow, ph, pw, c),
+            strides=(sn, sh_ * sh, sw_ * sw, sh_, sw_, sc),
+            writeable=False,
+        )
+        if training:
+            self._x_shape = x.shape
+        return windows.mean(axis=(3, 4))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._x_shape is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh, ow, _ = self.output_shape  # type: ignore[misc]
+        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        share = grad_out / (ph * pw)
+        for i in range(ph):
+            for j in range(pw):
+                grad_in[:, i : i + oh * sh : sh, j : j + ow * sw : sw, :] += share
+        self._x_shape = None
+        return grad_in
+
+
+class GlobalAveragePool2D(Layer):
+    """Mean over all spatial positions: ``(n, h, w, c) → (n, c)``."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"GlobalAveragePool2D expects (h, w, c), got {input_shape}"
+            )
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (int(input_shape[2]),)
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if training:
+            self._x_shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._x_shape is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        n, h, w, c = self._x_shape
+        grad_in = np.broadcast_to(
+            grad_out[:, None, None, :] / (h * w), self._x_shape
+        ).copy()
+        self._x_shape = None
+        return grad_in

@@ -1,0 +1,48 @@
+"""Inverted dropout."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.ml.layers.base import Layer
+
+
+class Dropout(Layer):
+    """Randomly zero a fraction ``rate`` of activations during training.
+
+    Uses *inverted* dropout (scale by ``1/(1-rate)`` at train time) so
+    inference is a no-op.  The mask RNG is supplied at build time to keep
+    trials deterministic.
+    """
+
+    def __init__(self, rate: float, name: Optional[str] = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._mask: Optional[np.ndarray] = None
+        self._rng: Optional[np.random.Generator] = None
+
+    def build(self, input_shape, rng: np.random.Generator) -> None:
+        super().build(input_shape, rng)
+        self._rng = rng
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if not training or self.rate == 0.0:
+            return x
+        assert self._rng is not None
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self.rate == 0.0:
+            return grad_out
+        if self._mask is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        grad_in = grad_out * self._mask
+        self._mask = None
+        return grad_in

@@ -1,0 +1,39 @@
+"""Flatten layer: collapse all non-batch axes."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Reshape ``(batch, *dims)`` → ``(batch, prod(dims))``.
+
+    Uses ``reshape`` which returns a view when the input is contiguous —
+    no copy on the hot path.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._in_shape: Optional[Tuple[int, ...]] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        self.input_shape = tuple(input_shape)
+        self.output_shape = (int(np.prod(input_shape)),)
+        self.built = True
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if training:
+            self._in_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        grad_in = grad_out.reshape(self._in_shape)
+        self._in_shape = None
+        return grad_in

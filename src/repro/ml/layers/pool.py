@@ -1,0 +1,95 @@
+"""Max pooling."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ml.layers.base import Layer
+
+
+def _pair(v) -> Tuple[int, int]:
+    if isinstance(v, int):
+        return (v, v)
+    a, b = v
+    return (int(a), int(b))
+
+
+class MaxPool2D(Layer):
+    """Max pooling over non-overlapping (or strided) windows, channels-last.
+
+    For the common case ``pool == stride`` and an evenly-divisible input,
+    pooling is a pure reshape + max — no gather/scatter, fully vectorised.
+    The general case falls back to a strided-view reduction.
+    """
+
+    def __init__(self, pool_size=2, strides=None, name: Optional[str] = None):
+        super().__init__(name)
+        self.pool_size = _pair(pool_size)
+        self.strides = _pair(strides) if strides is not None else self.pool_size
+        self._argmax: Optional[np.ndarray] = None
+        self._x_shape: Optional[Tuple[int, ...]] = None
+
+    def build(self, input_shape: Tuple[int, ...], rng: np.random.Generator) -> None:
+        if len(input_shape) != 3:
+            raise ValueError(
+                f"MaxPool2D expects (h, w, c) inputs, got {input_shape}"
+            )
+        h, w, c = (int(d) for d in input_shape)
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh = (h - ph) // sh + 1
+        ow = (w - pw) // sw + 1
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"pool {self.pool_size} does not fit input {input_shape}"
+            )
+        self.input_shape = (h, w, c)
+        self.output_shape = (oh, ow, c)
+        self.built = True
+
+    def _windows(self, x: np.ndarray) -> np.ndarray:
+        """Strided view ``(n, oh, ow, ph, pw, c)`` over pooling windows."""
+        n, h, w, c = x.shape
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh, ow, _ = self.output_shape  # type: ignore[misc]
+        sn, sh_, sw_, sc = x.strides
+        return np.lib.stride_tricks.as_strided(
+            x,
+            shape=(n, oh, ow, ph, pw, c),
+            strides=(sn, sh_ * sh, sw_ * sw, sh_, sw_, sc),
+            writeable=False,
+        )
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        windows = self._windows(x)
+        n, oh, ow, ph, pw, c = windows.shape
+        flat = windows.reshape(n, oh, ow, ph * pw, c)
+        out = flat.max(axis=3)
+        if training:
+            self._argmax = flat.argmax(axis=3)
+            self._x_shape = x.shape
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        self._require_built()
+        if self._argmax is None or self._x_shape is None:
+            raise RuntimeError("backward() before forward(training=True)")
+        n, h, w, c = self._x_shape
+        ph, pw = self.pool_size
+        sh, sw = self.strides
+        oh, ow, _ = self.output_shape  # type: ignore[misc]
+        grad_in = np.zeros(self._x_shape, dtype=grad_out.dtype)
+        # Decompose flat argmax back into (dy, dx) offsets.
+        dy = self._argmax // pw
+        dx = self._argmax % pw
+        n_idx, oh_idx, ow_idx, c_idx = np.indices((n, oh, ow, c))
+        rows = oh_idx * sh + dy
+        cols_ = ow_idx * sw + dx
+        np.add.at(grad_in, (n_idx, rows, cols_, c_idx), grad_out)
+        self._argmax = None
+        self._x_shape = None
+        return grad_in

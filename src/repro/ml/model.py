@@ -1,0 +1,288 @@
+"""The :class:`Sequential` model — a Keras-flavoured train/eval loop.
+
+The model wires layers, a loss and an optimiser together and records a
+per-epoch :class:`History` — exactly what the paper's ``experiment`` task
+returns ("the result … can be a performance measure such as validation
+loss or accuracy and training history", §4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ml.callbacks import Callback
+from repro.ml.data import iterate_batches
+from repro.ml.layers.base import Layer, flat_param_list
+from repro.ml.layers.activations import softmax
+from repro.ml.losses import Loss, get_loss
+from repro.ml.metrics import accuracy
+from repro.ml.optimizers import Optimizer, get_optimizer
+from repro.util.seeding import rng_from
+from repro.util.validation import check_positive
+
+
+class History:
+    """Per-epoch training history (mirrors ``keras.callbacks.History``).
+
+    Attributes
+    ----------
+    epochs:
+        List of completed epoch indices (0-based).
+    metrics:
+        Mapping from metric name (``loss``, ``accuracy``, ``val_loss``,
+        ``val_accuracy``) to one value per completed epoch.
+    """
+
+    def __init__(self) -> None:
+        self.epochs: List[int] = []
+        self.metrics: Dict[str, List[float]] = {}
+
+    def append(self, epoch: int, logs: Dict[str, float]) -> None:
+        """Record one epoch's metrics."""
+        self.epochs.append(epoch)
+        for key, value in logs.items():
+            self.metrics.setdefault(key, []).append(float(value))
+
+    def best(self, metric: str, mode: str = "max") -> Tuple[int, float]:
+        """Return ``(epoch, value)`` of the best recorded value of ``metric``."""
+        values = self.metrics.get(metric)
+        if not values:
+            raise KeyError(f"no values recorded for metric {metric!r}")
+        arr = np.asarray(values)
+        idx = int(arr.argmax() if mode == "max" else arr.argmin())
+        return self.epochs[idx], float(arr[idx])
+
+    def final(self, metric: str) -> float:
+        """Last recorded value of ``metric``."""
+        values = self.metrics.get(metric)
+        if not values:
+            raise KeyError(f"no values recorded for metric {metric!r}")
+        return values[-1]
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        """Plain-dict view (JSON-serialisable)."""
+        return {"epochs": list(self.epochs), **{k: list(v) for k, v in self.metrics.items()}}
+
+    def __len__(self) -> int:
+        return len(self.epochs)
+
+
+class Sequential:
+    """A linear stack of layers.
+
+    Parameters
+    ----------
+    layers:
+        Layers in order; may also be added later with :meth:`add`.
+    seed:
+        Seed for weight init and shuffling (deterministic trials).
+
+    Example
+    -------
+    >>> from repro.ml import Dense, ReLU
+    >>> m = Sequential([Dense(16), ReLU(), Dense(3)], seed=0)
+    >>> _ = m.compile(optimizer="sgd", loss="categorical_crossentropy")
+    """
+
+    def __init__(self, layers: Optional[Sequence[Layer]] = None, seed: int = 0):
+        self.layers: List[Layer] = list(layers or [])
+        self.seed = int(seed)
+        self.optimizer: Optional[Optimizer] = None
+        self.loss: Optional[Loss] = None
+        self.built = False
+        self.stop_training = False
+        self._from_logits = True
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer (before :meth:`build`); returns self."""
+        if self.built:
+            raise RuntimeError("cannot add layers after the model is built")
+        self.layers.append(layer)
+        return self
+
+    def build(self, input_shape: Tuple[int, ...]) -> None:
+        """Build all layers for ``input_shape`` (without the batch axis)."""
+        if not self.layers:
+            raise RuntimeError("model has no layers")
+        rng = rng_from(self.seed, "model-init")
+        shape = tuple(int(d) for d in input_shape)
+        for layer in self.layers:
+            layer.build(shape, rng)
+            assert layer.output_shape is not None
+            shape = layer.output_shape
+        self.built = True
+
+    def compile(
+        self,
+        optimizer: Union[str, Optimizer] = "sgd",
+        loss: Union[str, Loss] = "categorical_crossentropy",
+        learning_rate: Optional[float] = None,
+    ) -> "Sequential":
+        """Attach an optimiser and a loss; returns self.
+
+        ``learning_rate`` is a convenience forwarded to the optimiser
+        factory when ``optimizer`` is a name.
+        """
+        kwargs = {}
+        if learning_rate is not None and isinstance(optimizer, str):
+            kwargs["learning_rate"] = learning_rate
+        self.optimizer = get_optimizer(optimizer, **kwargs)
+        self.loss = get_loss(loss)
+        self._from_logits = getattr(self.loss, "from_logits", False)
+        return self
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run all layers; returns raw model output (logits)."""
+        if not self.built:
+            self.build(x.shape[1:])
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def predict(self, x: np.ndarray, batch_size: int = 256) -> np.ndarray:
+        """Class probabilities for ``x`` (softmax applied if loss is logits-based)."""
+        check_positive("batch_size", batch_size)
+        outs = []
+        for start in range(0, x.shape[0], batch_size):
+            out = self.forward(x[start : start + batch_size], training=False)
+            outs.append(softmax(out) if self._from_logits else out)
+        return np.concatenate(outs, axis=0)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> Dict[str, float]:
+        """Return ``{"loss": …, "accuracy": …}`` over ``(x, y)``."""
+        if self.loss is None:
+            raise RuntimeError("call compile() before evaluate()")
+        check_positive("batch_size", batch_size)
+        n = x.shape[0]
+        if n == 0:
+            raise ValueError("cannot evaluate on zero samples")
+        total_loss = 0.0
+        correct = 0.0
+        for start in range(0, n, batch_size):
+            xb, yb = x[start : start + batch_size], y[start : start + batch_size]
+            out = self.forward(xb, training=False)
+            total_loss += self.loss.value(yb, out) * xb.shape[0]
+            correct += accuracy(yb, out) * xb.shape[0]
+        return {"loss": total_loss / n, "accuracy": correct / n}
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_on_batch(self, x: np.ndarray, y: np.ndarray) -> Dict[str, float]:
+        """One forward/backward/update step; returns batch loss & accuracy."""
+        if self.optimizer is None or self.loss is None:
+            raise RuntimeError("call compile() before training")
+        out = self.forward(x, training=True)
+        loss_value = self.loss.value(y, out)
+        grad = self.loss.gradient(y, out)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        self.optimizer.apply_gradients(flat_param_list(self.layers))
+        return {"loss": loss_value, "accuracy": accuracy(y, out)}
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 1,
+        batch_size: int = 32,
+        validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        callbacks: Optional[Sequence[Callback]] = None,
+        shuffle: bool = True,
+        verbose: bool = False,
+    ) -> History:
+        """Train for ``epochs`` epochs; returns the :class:`History`.
+
+        Honors ``self.stop_training`` set by callbacks (early stopping).
+        """
+        check_positive("epochs", epochs)
+        check_positive("batch_size", batch_size)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        if not self.built:
+            self.build(x.shape[1:])
+        callbacks = list(callbacks or [])
+        for cb in callbacks:
+            cb.set_model(self)
+        history = History()
+        self.stop_training = False
+        shuffle_rng = rng_from(self.seed, "fit-shuffle")
+        for cb in callbacks:
+            cb.on_train_begin()
+        for epoch in range(epochs):
+            for cb in callbacks:
+                cb.on_epoch_begin(epoch)
+            epoch_loss = 0.0
+            epoch_correct = 0.0
+            n_seen = 0
+            for xb, yb in iterate_batches(
+                x, y, batch_size, shuffle=shuffle, rng=shuffle_rng
+            ):
+                logs = self.train_on_batch(xb, yb)
+                epoch_loss += logs["loss"] * xb.shape[0]
+                epoch_correct += logs["accuracy"] * xb.shape[0]
+                n_seen += xb.shape[0]
+            logs = {
+                "loss": epoch_loss / n_seen,
+                "accuracy": epoch_correct / n_seen,
+            }
+            if validation_data is not None:
+                val = self.evaluate(*validation_data, batch_size=batch_size)
+                logs["val_loss"] = val["loss"]
+                logs["val_accuracy"] = val["accuracy"]
+            history.append(epoch, logs)
+            if verbose:
+                rendered = " ".join(f"{k}={v:.4f}" for k, v in logs.items())
+                print(f"epoch {epoch + 1}/{epochs}: {rendered}")
+            for cb in callbacks:
+                cb.on_epoch_end(epoch, logs)
+            if self.stop_training:
+                break
+        for cb in callbacks:
+            cb.on_train_end()
+        return history
+
+    # ------------------------------------------------------------------
+    # Weights
+    # ------------------------------------------------------------------
+    def get_weights(self) -> List[Dict[str, np.ndarray]]:
+        """Copy of all layer parameters (list aligned with ``self.layers``)."""
+        return [{k: v.copy() for k, v in layer.params.items()} for layer in self.layers]
+
+    def set_weights(self, weights: List[Dict[str, np.ndarray]]) -> None:
+        """Load parameters produced by :meth:`get_weights`."""
+        if len(weights) != len(self.layers):
+            raise ValueError(
+                f"expected {len(self.layers)} weight dicts, got {len(weights)}"
+            )
+        for layer, w in zip(self.layers, weights):
+            for key, value in w.items():
+                if key not in layer.params:
+                    raise KeyError(f"layer {layer.name!r} has no param {key!r}")
+                layer.params[key][...] = value
+
+    @property
+    def n_params(self) -> int:
+        """Total learnable parameter count."""
+        return sum(layer.n_params for layer in self.layers)
+
+    def summary(self) -> str:
+        """Keras-style text summary of the architecture."""
+        lines = [f"{'layer':<24}{'output shape':<20}{'params':>10}"]
+        lines.append("-" * 54)
+        for layer in self.layers:
+            shape = str(layer.output_shape) if layer.built else "?"
+            lines.append(f"{layer.name:<24}{shape:<20}{layer.n_params:>10}")
+        lines.append("-" * 54)
+        lines.append(f"total params: {self.n_params}")
+        return "\n".join(lines)

@@ -1,0 +1,37 @@
+"""Optimisers — the paper's Listing 1 search space: SGD, Adam, RMSprop."""
+
+from typing import Union
+
+from repro.ml.optimizers.base import Optimizer
+from repro.ml.optimizers.sgd import SGD
+from repro.ml.optimizers.adam import Adam
+from repro.ml.optimizers.rmsprop import RMSprop
+
+_OPTIMIZERS = {
+    "sgd": SGD,
+    "adam": Adam,
+    "rmsprop": RMSprop,
+}
+
+
+def get_optimizer(optimizer: Union[str, Optimizer], **kwargs) -> Optimizer:
+    """Resolve an optimiser by (case-insensitive) name or pass through.
+
+    >>> get_optimizer("Adam", learning_rate=1e-3)  # doctest: +ELLIPSIS
+    Adam(...)
+    """
+    if isinstance(optimizer, Optimizer):
+        if kwargs:
+            raise ValueError("cannot pass kwargs with an Optimizer instance")
+        return optimizer
+    key = str(optimizer).lower()
+    try:
+        cls = _OPTIMIZERS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown optimizer {optimizer!r}; known: {sorted(_OPTIMIZERS)}"
+        ) from None
+    return cls(**kwargs)
+
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSprop", "get_optimizer"]

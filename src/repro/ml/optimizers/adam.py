@@ -1,0 +1,60 @@
+"""Adam optimiser (Kingma & Ba, 2015)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ml.optimizers.base import Optimizer
+from repro.util.validation import check_in_range, check_positive
+
+
+class Adam(Optimizer):
+    """Adaptive moment estimation with bias correction.
+
+    ``m ← β1·m + (1−β1)·g``, ``v ← β2·v + (1−β2)·g²``,
+    ``p ← p − lr · m̂ / (√v̂ + ε)``.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta_1: float = 0.9,
+        beta_2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        check_in_range("beta_1", beta_1, 0.0, 1.0, inclusive=False)
+        check_in_range("beta_2", beta_2, 0.0, 1.0, inclusive=False)
+        check_positive("epsilon", epsilon)
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        m = state.get("m")
+        if m is None:
+            m = state["m"] = np.zeros_like(param)
+            state["v"] = np.zeros_like(param)
+        v = state["v"]
+        b1, b2 = self.beta_1, self.beta_2
+        m *= b1
+        m += (1.0 - b1) * grad
+        v *= b2
+        v += (1.0 - b2) * (grad * grad)
+        t = self.iterations
+        m_hat = m / (1.0 - b1**t)
+        v_hat = v / (1.0 - b2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    @property
+    def config(self) -> Dict[str, float]:
+        return {
+            "learning_rate": self.learning_rate,
+            "beta_1": self.beta_1,
+            "beta_2": self.beta_2,
+            "epsilon": self.epsilon,
+        }

@@ -1,0 +1,60 @@
+"""Optimiser base class.
+
+Optimisers receive ``(name, param, grad)`` triples each step and update the
+parameter arrays **in place** (no reallocation on the hot path — the
+in-place-operations idiom from the HPC guide).  Per-parameter state (moment
+estimates etc.) is keyed by the qualified parameter name.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+class Optimizer(abc.ABC):
+    """Abstract gradient-descent optimiser."""
+
+    def __init__(self, learning_rate: float = 0.01):
+        check_positive("learning_rate", learning_rate)
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+        self._state: Dict[str, Dict[str, np.ndarray]] = {}
+
+    def apply_gradients(
+        self, params_and_grads: Iterable[Tuple[str, np.ndarray, np.ndarray]]
+    ) -> None:
+        """Apply one update step to all parameters (in place)."""
+        self.iterations += 1
+        for name, param, grad in params_and_grads:
+            if param.shape != grad.shape:
+                raise ValueError(
+                    f"grad shape {grad.shape} != param shape {param.shape} "
+                    f"for {name!r}"
+                )
+            state = self._state.setdefault(name, {})
+            self._update(param, grad, state)
+
+    @abc.abstractmethod
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        """Update one parameter array in place."""
+
+    def reset(self) -> None:
+        """Drop all accumulated state (moments, step count)."""
+        self.iterations = 0
+        self._state.clear()
+
+    @property
+    def config(self) -> Dict[str, float]:
+        """Hyperparameters of this optimiser (for logging/serialisation)."""
+        return {"learning_rate": self.learning_rate}
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.config.items())
+        return f"{type(self).__name__}({args})"

@@ -1,0 +1,44 @@
+"""RMSprop optimiser (Tieleman & Hinton, 2012)."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ml.optimizers.base import Optimizer
+from repro.util.validation import check_in_range, check_positive
+
+
+class RMSprop(Optimizer):
+    """``s ← ρ·s + (1−ρ)·g²;  p ← p − lr · g / (√s + ε)``."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        rho: float = 0.9,
+        epsilon: float = 1e-8,
+    ):
+        super().__init__(learning_rate)
+        check_in_range("rho", rho, 0.0, 1.0, inclusive=False)
+        check_positive("epsilon", epsilon)
+        self.rho = float(rho)
+        self.epsilon = float(epsilon)
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        s = state.get("s")
+        if s is None:
+            s = state["s"] = np.zeros_like(param)
+        s *= self.rho
+        s += (1.0 - self.rho) * (grad * grad)
+        param -= self.learning_rate * grad / (np.sqrt(s) + self.epsilon)
+
+    @property
+    def config(self) -> Dict[str, float]:
+        return {
+            "learning_rate": self.learning_rate,
+            "rho": self.rho,
+            "epsilon": self.epsilon,
+        }

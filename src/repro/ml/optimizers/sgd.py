@@ -1,0 +1,64 @@
+"""Stochastic gradient descent with optional momentum."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.ml.optimizers.base import Optimizer
+from repro.util.validation import check_in_range
+
+
+class SGD(Optimizer):
+    """``v ← μ·v − lr·g;  p ← p + v`` (plain ``p ← p − lr·g`` when μ=0).
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    momentum:
+        Classical momentum coefficient μ ∈ [0, 1).
+    nesterov:
+        Use Nesterov's lookahead variant.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        nesterov: bool = False,
+    ):
+        super().__init__(learning_rate)
+        check_in_range("momentum", momentum, 0.0, 1.0)
+        if momentum == 1.0:
+            raise ValueError("momentum must be < 1.0")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov requires momentum > 0")
+        self.momentum = float(momentum)
+        self.nesterov = nesterov
+
+    def _update(
+        self, param: np.ndarray, grad: np.ndarray, state: Dict[str, np.ndarray]
+    ) -> None:
+        lr = self.learning_rate
+        if self.momentum == 0.0:
+            param -= lr * grad
+            return
+        v = state.get("velocity")
+        if v is None:
+            v = state["velocity"] = np.zeros_like(param)
+        v *= self.momentum
+        v -= lr * grad
+        if self.nesterov:
+            param += self.momentum * v - lr * grad
+        else:
+            param += v
+
+    @property
+    def config(self) -> Dict[str, float]:
+        return {
+            "learning_rate": self.learning_rate,
+            "momentum": self.momentum,
+            "nesterov": float(self.nesterov),
+        }

@@ -1,0 +1,127 @@
+"""The small synchronisation/lifecycle API (paper §3: "a small API for
+synchronization").
+
+* :func:`compss_start` / :func:`compss_stop` — what ``runcompss`` does
+  around the application.
+* :func:`compss_wait_on` — resolve futures (identity when no runtime).
+* :func:`compss_barrier` — wait for all outstanding tasks.
+* :func:`compss_delete_object` — drop runtime tracking of an object.
+* :class:`COMPSs` — context-manager sugar over start/stop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.runtime import COMPSsRuntime
+
+
+def compss_start(config: "Optional[RuntimeConfig]" = None, **kwargs) -> "COMPSsRuntime":
+    """Start a runtime and make ``@task`` calls asynchronous.
+
+    ``kwargs`` are forwarded to :class:`RuntimeConfig` when ``config`` is
+    not given, e.g. ``compss_start(cluster=mare_nostrum4(2))``.
+    """
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.runtime import COMPSsRuntime
+
+    if config is None:
+        config = RuntimeConfig(**kwargs)
+    elif kwargs:
+        raise ValueError("pass either a RuntimeConfig or kwargs, not both")
+    return COMPSsRuntime(config).start()
+
+
+def compss_stop(wait: bool = True) -> None:
+    """Stop the active runtime (no-op when none is active)."""
+    from repro.runtime.runtime import current_runtime
+
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.stop(wait=wait)
+
+
+def compss_wait_on(obj: Any, *more: Any) -> Any:
+    """Resolve future(s) to values, blocking until producers finish.
+
+    Accepts scalars, futures, and arbitrarily nested lists/tuples/dicts
+    (the paper waits on a list of experiment results).  Without an active
+    runtime this is the identity function.  With several positional
+    arguments, a list of resolved values is returned.
+    """
+    from repro.runtime.runtime import current_runtime
+
+    runtime = current_runtime()
+    objs = (obj, *more)
+    if runtime is None:
+        return list(objs) if more else obj
+    if more:
+        return [runtime.wait_on(o) for o in objs]
+    return runtime.wait_on(obj)
+
+
+def compss_barrier() -> None:
+    """Block until every submitted task completed (no-op without runtime)."""
+    from repro.runtime.runtime import current_runtime
+
+    runtime = current_runtime()
+    if runtime is not None:
+        runtime.barrier()
+
+
+def compss_open(path: str, mode: str = "r"):
+    """Open a file produced by tasks, synchronising with its last writer.
+
+    The COMPSs pattern for FILE_OUT results: the main program waits until
+    the most recent task writing ``path`` has finished, then returns the
+    ordinary ``open(path, mode)`` handle.  Without a runtime (or for
+    files no task wrote) it is a plain ``open``.
+    """
+    from repro.runtime.runtime import current_runtime
+
+    runtime = current_runtime()
+    if runtime is not None:
+        writer = runtime.access.last_writer_of_path(path)
+        if writer is not None:
+            runtime.executor.wait_for([writer])
+    return open(path, mode)
+
+
+def compss_delete_object(obj: Any) -> bool:
+    """Stop tracking ``obj`` in the data registry; True if it was tracked."""
+    from repro.runtime.runtime import current_runtime
+
+    runtime = current_runtime()
+    if runtime is None:
+        return False
+    return runtime.access.delete_object(obj)
+
+
+class COMPSs:
+    """Context manager: ``with COMPSs(cluster=...) as rt: ...``.
+
+    Starts a runtime on entry, waits and stops on exit (does not wait if
+    the body raised).
+    """
+
+    def __init__(self, config: "Optional[RuntimeConfig]" = None, **kwargs):
+        from repro.runtime.config import RuntimeConfig
+
+        if config is None:
+            config = RuntimeConfig(**kwargs)
+        elif kwargs:
+            raise ValueError("pass either a RuntimeConfig or kwargs, not both")
+        self.config = config
+        self.runtime: "Optional[COMPSsRuntime]" = None
+
+    def __enter__(self) -> "COMPSsRuntime":
+        from repro.runtime.runtime import COMPSsRuntime
+
+        self.runtime = COMPSsRuntime(self.config).start()
+        return self.runtime
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.runtime is not None:
+            self.runtime.stop(wait=exc_type is None)

@@ -1,0 +1,126 @@
+"""The ``@constraint`` decorator (paper §3, Listing 2).
+
+Declares the resources one instance of a task needs.  Both COMPSs
+spellings are supported::
+
+    @constraint(processors=[{"ProcessorType": "CPU", "ComputingUnits": 24},
+                            {"ProcessorType": "GPU", "ComputingUnits": 1}])
+    @task(returns=int)
+    def experiment(config): ...
+
+    @constraint(computing_units=4, memory_size=8)
+    @task(returns=int)
+    def cheap(config): ...
+
+``@constraint`` must be placed *above* ``@task``; it annotates the task
+definition created by ``@task``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class ResourceConstraint:
+    """Resources required by one task instance.
+
+    Attributes
+    ----------
+    cpu_units:
+        CPU computing units (cores).  At least 1 — even GPU tasks need a
+        host core.
+    gpu_units:
+        GPU computing units.
+    memory_gb:
+        Host memory; 0 means "don't care".
+    node_labels:
+        Labels the hosting node must match (e.g. ``{"arch": "power9"}``).
+    nodes:
+        For ``@multinode`` tasks: number of whole nodes the task spans.
+    """
+
+    cpu_units: int = 1
+    gpu_units: int = 0
+    memory_gb: float = 0.0
+    node_labels: Mapping[str, str] = field(default_factory=dict)
+    nodes: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("cpu_units", self.cpu_units)
+        check_non_negative("gpu_units", self.gpu_units)
+        check_non_negative("memory_gb", self.memory_gb)
+        check_positive("nodes", self.nodes)
+
+    def describe(self) -> str:
+        """Compact rendering, e.g. ``"2CPU+1GPU"``."""
+        parts = [f"{self.cpu_units}CPU"]
+        if self.gpu_units:
+            parts.append(f"{self.gpu_units}GPU")
+        if self.memory_gb:
+            parts.append(f"{self.memory_gb:g}GB")
+        if self.nodes > 1:
+            parts.append(f"{self.nodes}nodes")
+        return "+".join(parts)
+
+
+def parse_processors(processors: Iterable[Mapping[str, object]]) -> ResourceConstraint:
+    """Parse the COMPSs ``processors=[{...}]`` constraint form."""
+    cpu = 0
+    gpu = 0
+    for proc in processors:
+        ptype = str(proc.get("ProcessorType", "CPU")).upper()
+        units = int(proc.get("ComputingUnits", 1))
+        check_positive("ComputingUnits", units)
+        if ptype == "CPU":
+            cpu += units
+        elif ptype == "GPU":
+            gpu += units
+        else:
+            raise ValueError(f"unknown ProcessorType {ptype!r} (use CPU or GPU)")
+    return ResourceConstraint(cpu_units=max(cpu, 1), gpu_units=gpu)
+
+
+def constraint(
+    processors: Optional[Iterable[Mapping[str, object]]] = None,
+    computing_units: Optional[int] = None,
+    gpu_units: Optional[int] = None,
+    memory_size: Optional[float] = None,
+    node_labels: Optional[Dict[str, str]] = None,
+):
+    """Attach a :class:`ResourceConstraint` to a ``@task`` definition.
+
+    See module docstring for the two accepted spellings; they may be
+    combined (``memory_size`` with ``processors``).
+    """
+    if processors is not None:
+        base = parse_processors(processors)
+        cpu = base.cpu_units if computing_units is None else int(computing_units)
+        gpu = base.gpu_units if gpu_units is None else int(gpu_units)
+    else:
+        cpu = int(computing_units) if computing_units is not None else 1
+        gpu = int(gpu_units) if gpu_units is not None else 0
+    rc = ResourceConstraint(
+        cpu_units=cpu,
+        gpu_units=gpu,
+        memory_gb=float(memory_size) if memory_size is not None else 0.0,
+        node_labels=dict(node_labels or {}),
+    )
+
+    def decorator(task_wrapper):
+        from dataclasses import replace
+
+        definition = getattr(task_wrapper, "definition", None)
+        if definition is None:
+            raise TypeError(
+                "@constraint must be applied above @task "
+                "(the decorated object is not a task)"
+            )
+        # Preserve a node count set by an earlier @multinode decorator.
+        definition.constraint = replace(rc, nodes=definition.constraint.nodes)
+        return task_wrapper
+
+    return decorator

@@ -1,0 +1,125 @@
+"""Alternative-implementation and execution-kind decorators (paper §3).
+
+* ``@implement(source=experiment)`` — register the decorated task as an
+  alternative implementation of ``experiment``; the scheduler picks
+  whichever implementation fits the node it chooses ("this decorator
+  allows the runtime to choose the most appropriate task considering the
+  resources").
+* ``@binary(binary="cmd")`` / ``@mpi(runner="mpirun", processes=N)`` /
+  ``@ompss(...)`` — declare the task body as an external program.  In
+  this reproduction the decorated Python function *is* the program
+  stand-in (there is no real binary to exec offline), but the kind and
+  its details are carried through scheduling, tracing and the cost model.
+* ``@multinode(computing_nodes=N)`` — the task spans N whole allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.util.validation import check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.task_definition import TaskDefinition
+
+
+def _definition_of(obj) -> "TaskDefinition":
+    definition = getattr(obj, "definition", None)
+    if definition is None:
+        raise TypeError(
+            "decorator must be applied above @task "
+            "(the decorated object is not a task)"
+        )
+    return definition
+
+
+def implement(source):
+    """Register the decorated task as an alternative of ``source``.
+
+    ``source`` is the already-decorated primary task.  Both keep their own
+    ``@constraint``; the scheduler tries the primary first, then
+    alternatives.
+    """
+    primary = _definition_of(source)
+
+    def decorator(task_wrapper):
+        alt = _definition_of(task_wrapper)
+        if alt.n_returns != primary.n_returns:
+            raise ValueError(
+                f"implementation {alt.name!r} returns {alt.n_returns} values "
+                f"but {primary.name!r} returns {primary.n_returns}"
+            )
+        primary.implementations.append(alt)
+        return task_wrapper
+
+    return decorator
+
+
+def binary(binary: str, working_dir: Optional[str] = None):
+    """Declare the task as an external binary invocation."""
+    if not binary:
+        raise ValueError("binary name must be non-empty")
+
+    def decorator(task_wrapper):
+        definition = _definition_of(task_wrapper)
+        from repro.runtime.task_definition import TaskKind
+
+        definition.kind = TaskKind.BINARY
+        definition.kind_details.update(
+            {"binary": binary, "working_dir": working_dir}
+        )
+        return task_wrapper
+
+    return decorator
+
+
+def mpi(runner: str = "mpirun", processes: int = 1, binary: Optional[str] = None):
+    """Declare the task as an MPI program of ``processes`` ranks."""
+    check_positive("processes", processes)
+
+    def decorator(task_wrapper):
+        definition = _definition_of(task_wrapper)
+        from repro.runtime.task_definition import TaskKind
+
+        definition.kind = TaskKind.MPI
+        definition.kind_details.update(
+            {"runner": runner, "processes": int(processes), "binary": binary}
+        )
+        # An MPI task needs one computing unit per rank.
+        definition.constraint = replace(
+            definition.constraint,
+            cpu_units=max(definition.constraint.cpu_units, int(processes)),
+        )
+        return task_wrapper
+
+    return decorator
+
+
+def ompss(binary: Optional[str] = None):
+    """Declare the task as an OmpSs program."""
+
+    def decorator(task_wrapper):
+        definition = _definition_of(task_wrapper)
+        from repro.runtime.task_definition import TaskKind
+
+        definition.kind = TaskKind.OMPSS
+        definition.kind_details.update({"binary": binary})
+        return task_wrapper
+
+    return decorator
+
+
+def multinode(computing_nodes: int = 2):
+    """Declare the task as spanning ``computing_nodes`` node allocations."""
+    check_positive("computing_nodes", computing_nodes)
+
+    def decorator(task_wrapper):
+        definition = _definition_of(task_wrapper)
+        definition.kind_details["computing_nodes"] = int(computing_nodes)
+        definition.constraint = replace(
+            definition.constraint, nodes=int(computing_nodes)
+        )
+        return task_wrapper
+
+    return decorator

@@ -1,0 +1,78 @@
+"""Parameter directionality markers (COMPSs ``parameter`` module).
+
+Directions drive dependency detection (paper §3: "the task parameters and
+its direction are taken into account to determine the dependencies among
+tasks"):
+
+* ``IN`` — read-only (default): read-after-write dependency on the last
+  writer of the datum.
+* ``INOUT`` — read + write: also bumps the datum's version (the ``d1v2``
+  labels of Fig. 3).
+* ``OUT`` — write-only: creates a new version without a read dependency.
+* ``FILE_*`` — same directions for file-path parameters.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Direction(enum.Enum):
+    """Data-access direction of a task parameter."""
+
+    IN = "IN"
+    OUT = "OUT"
+    INOUT = "INOUT"
+
+    @property
+    def reads(self) -> bool:
+        """Whether the task reads the previous value."""
+        return self in (Direction.IN, Direction.INOUT)
+
+    @property
+    def writes(self) -> bool:
+        """Whether the task produces a new version."""
+        return self in (Direction.OUT, Direction.INOUT)
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """Direction + content-kind of one task parameter."""
+
+    direction: Direction
+    is_file: bool = False
+
+    def __repr__(self) -> str:
+        kind = "FILE_" if self.is_file else ""
+        return f"{kind}{self.direction.value}"
+
+
+IN = ParameterSpec(Direction.IN)
+OUT = ParameterSpec(Direction.OUT)
+INOUT = ParameterSpec(Direction.INOUT)
+FILE_IN = ParameterSpec(Direction.IN, is_file=True)
+FILE_OUT = ParameterSpec(Direction.OUT, is_file=True)
+FILE_INOUT = ParameterSpec(Direction.INOUT, is_file=True)
+
+
+def normalize_param(spec) -> ParameterSpec:
+    """Coerce user input (spec object, Direction, or string) to a spec.
+
+    >>> normalize_param("INOUT").direction.value
+    'INOUT'
+    """
+    if isinstance(spec, ParameterSpec):
+        return spec
+    if isinstance(spec, Direction):
+        return ParameterSpec(spec)
+    if isinstance(spec, str):
+        name = spec.upper()
+        is_file = name.startswith("FILE_")
+        if is_file:
+            name = name[len("FILE_"):]
+        try:
+            return ParameterSpec(Direction[name], is_file=is_file)
+        except KeyError:
+            raise ValueError(f"unknown parameter direction {spec!r}") from None
+    raise TypeError(f"cannot interpret {spec!r} as a parameter direction")

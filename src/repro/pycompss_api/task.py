@@ -1,0 +1,94 @@
+"""The ``@task`` decorator (paper §3).
+
+Marks a function as a unit of parallel work.  With an active runtime the
+call submits asynchronously and returns future(s); with no runtime the
+function runs inline — the paper's sequential-fallback property that lets
+the same script run with or without PyCOMPSs.
+
+Supported decorator arguments mirror COMPSs:
+
+* ``returns`` — a type (one return), an int N (N returns), or a
+  tuple/list of types; 0/None means the task returns nothing.
+* ``priority=True`` — scheduler hint (paper: "tries to schedule that task
+  as soon as possible").
+* per-parameter directions as keywords, e.g. ``@task(data=INOUT)``.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any
+
+
+def _count_returns(returns: Any) -> int:
+    """Number of return futures implied by a ``returns`` spec.
+
+    >>> _count_returns(int), _count_returns(2), _count_returns((int, str))
+    (1, 2, 2)
+    >>> _count_returns(None), _count_returns(0)
+    (0, 0)
+    """
+    if returns is None:
+        return 0
+    if isinstance(returns, bool):
+        raise TypeError("returns=bool is ambiguous; use a type or a count")
+    if isinstance(returns, int):
+        if returns < 0:
+            raise ValueError(f"returns must be >= 0, got {returns}")
+        return returns
+    if isinstance(returns, (tuple, list)):
+        return len(returns)
+    return 1  # a single type (int, list, object, ...) or type name string
+
+
+def task(
+    returns: Any = None,
+    priority: bool = False,
+    output_size_mb: float = 0.0,
+    **param_directions: Any,
+):
+    """Decorate a function as a COMPSs task.
+
+    Example (the paper's Listing 2)::
+
+        @constraint(processors=[{"ProcessorType": "CPU", "ComputingUnits": 1}])
+        @task(returns=int)
+        def experiment(config):
+            model = create_model(config)
+            history = model.fit(...)
+            return val_acc
+    """
+
+    def decorator(func):
+        # Imported lazily: repro.runtime.task_definition itself imports
+        # from this package, so a module-level import would be circular.
+        from repro.runtime.task_definition import TaskDefinition
+
+        if output_size_mb < 0:
+            raise ValueError(f"output_size_mb must be >= 0, got {output_size_mb}")
+        definition = TaskDefinition(
+            func=func,
+            name=func.__name__,
+            returns=returns,
+            n_returns=_count_returns(returns),
+            priority=bool(priority),
+            output_size_mb=float(output_size_mb),
+        )
+        definition.add_param_specs(param_directions)
+
+        @functools.wraps(func)
+        def wrapper(*args, **kwargs):
+            from repro.runtime.runtime import current_runtime
+
+            runtime = current_runtime()
+            if runtime is None:
+                # Sequential fallback: "the program executes sequentially
+                # as it would and all PyCOMPSs directions are ignored".
+                return func(*args, **kwargs)
+            return runtime.submit(definition, args, kwargs)
+
+        wrapper.definition = definition
+        wrapper.__wrapped__ = func
+        return wrapper
+
+    return decorator

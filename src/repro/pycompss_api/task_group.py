@@ -1,0 +1,98 @@
+"""Task groups — selective synchronisation (COMPSs ``TaskGroup``).
+
+Group the tasks submitted inside a ``with`` block and wait for just that
+group, instead of a global ``compss_barrier``.  Useful in HPO when
+batches of trials are launched in stages (e.g. Hyperband rungs) and a
+stage boundary must not wait for unrelated background tasks::
+
+    with TaskGroup("rung-0"):
+        futures = [experiment(c) for c in rung0]
+    compss_barrier_group("rung-0")
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.task_definition import TaskInvocation
+
+_active_lock = threading.RLock()
+_active_groups: List["TaskGroup"] = []
+_registry: Dict[str, "TaskGroup"] = {}
+
+
+class TaskGroup:
+    """Collects the task invocations submitted inside its ``with`` block.
+
+    Groups may nest; a task submitted inside nested groups belongs to all
+    of them.  Group names are registered for later
+    :func:`compss_barrier_group` calls; re-entering a name reuses (and
+    extends) the existing group.
+    """
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("task group name must be non-empty")
+        self.name = name
+        self.tasks: List["TaskInvocation"] = []
+
+    def __enter__(self) -> "TaskGroup":
+        with _active_lock:
+            existing = _registry.get(self.name)
+            if existing is not None and existing is not self:
+                # Reuse: further tasks extend the same logical group.
+                group = existing
+            else:
+                _registry[self.name] = self
+                group = self
+            _active_groups.append(group)
+            return group
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        with _active_lock:
+            _active_groups.remove(_registry.get(self.name, self))
+
+    def add(self, task: "TaskInvocation") -> None:
+        self.tasks.append(task)
+
+    def __len__(self) -> int:
+        return len(self.tasks)
+
+
+def record_submission(task: "TaskInvocation") -> None:
+    """Attach ``task`` to every currently-open group (runtime hook)."""
+    with _active_lock:
+        for group in _active_groups:
+            group.add(task)
+
+
+def get_group(name: str) -> Optional[TaskGroup]:
+    """Look a group up by name (None if never opened)."""
+    with _active_lock:
+        return _registry.get(name)
+
+
+def compss_barrier_group(name: str) -> None:
+    """Wait for every task submitted under group ``name``.
+
+    Raises ``KeyError`` for unknown group names (a typo would otherwise
+    silently not wait).  No-op without an active runtime.
+    """
+    from repro.runtime.runtime import current_runtime
+
+    group = get_group(name)
+    if group is None:
+        raise KeyError(f"no task group named {name!r}")
+    runtime = current_runtime()
+    if runtime is None or not group.tasks:
+        return
+    runtime.executor.wait_for(list(group.tasks))
+
+
+def reset_groups() -> None:
+    """Forget all groups (test isolation / runtime shutdown)."""
+    with _active_lock:
+        _active_groups.clear()
+        _registry.clear()

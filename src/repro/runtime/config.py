@@ -1,0 +1,73 @@
+"""Runtime configuration.
+
+One :class:`RuntimeConfig` captures everything ``runcompss`` takes on the
+command line in real COMPSs — which cluster to run on, scheduler choice,
+tracing/graph flags (paper §5: "both tracing and graph generation create
+a performance overhead … easily turned off by a simple flag"), fault
+policy, and the simulation knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from repro.runtime.fault import RetryPolicy
+from repro.simcluster.costmodel import MNIST_LIKE, DatasetProfile, TrainingCostModel
+from repro.simcluster.failures import FailureInjector
+from repro.simcluster.machines import ClusterSpec, local_machine
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration for :class:`~repro.runtime.runtime.COMPSsRuntime`.
+
+    Attributes
+    ----------
+    cluster:
+        Cluster to run on.  Defaults to a small local node.
+    scheduler:
+        ``"fifo"`` / ``"priority"`` / ``"locality"`` or a Scheduler object.
+    executor:
+        ``"local"`` (real threads/processes) or ``"simulated"`` (virtual
+        time over the cluster model), or an Executor object.
+    backend:
+        Local executor body backend: ``"threads"`` or ``"processes"``.
+    max_parallel:
+        Cap on concurrent bodies for the local executor.
+    tracing:
+        Record Extrae-style traces (Figs. 4–6).
+    graph:
+        Record dependency-edge labels for DOT export (Fig. 3).
+    reserved_cores:
+        Cores reserved for the COMPSs master/worker processes: an int
+        (applied to the first node, like the paper's "the worker takes
+        half of the cores") or a node-name → cores mapping.
+    retry_policy:
+        Fault-tolerance budgets.
+    failure_injector:
+        Optional failure injection (tests/ablations).
+    cost_model:
+        Duration model for the simulated executor.
+    execute_bodies:
+        Simulated executor: also run real task bodies for results.
+    duration_fn:
+        Simulated executor: override durations entirely.
+    default_dataset:
+        Dataset profile assumed when a task config names none.
+    """
+
+    cluster: ClusterSpec = field(default_factory=lambda: local_machine(4))
+    scheduler: Union[str, object] = "fifo"
+    executor: Union[str, object] = "local"
+    backend: str = "threads"
+    max_parallel: Optional[int] = None
+    tracing: bool = True
+    graph: bool = True
+    reserved_cores: Union[int, Mapping[str, int]] = 0
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    failure_injector: Optional[FailureInjector] = None
+    cost_model: TrainingCostModel = field(default_factory=TrainingCostModel)
+    execute_bodies: bool = False
+    duration_fn: Optional[object] = None
+    default_dataset: Union[DatasetProfile, str] = MNIST_LIKE

@@ -1,0 +1,7 @@
+"""Executors: real local execution and simulated-cluster execution."""
+
+from repro.runtime.executor.base import Executor
+from repro.runtime.executor.local import LocalExecutor
+from repro.runtime.executor.simulated import SimulatedExecutor
+
+__all__ = ["Executor", "LocalExecutor", "SimulatedExecutor"]

@@ -1,0 +1,113 @@
+"""Executor interface and shared helpers.
+
+An executor owns *when and where task bodies run*; the runtime owns the
+graph and data bookkeeping.  Both executors share the same scheduler and
+resource pool, so scheduling behaviour (FIFO waves, constraint matching,
+fault handling) is identical between real and simulated execution — only
+the clock differs.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.runtime.future import Future, is_future
+from repro.runtime.task_definition import TaskInvocation
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.runtime import COMPSsRuntime
+
+
+class Executor(abc.ABC):
+    """Abstract execution engine."""
+
+    def __init__(self) -> None:
+        self.runtime: Optional["COMPSsRuntime"] = None
+
+    def bind(self, runtime: "COMPSsRuntime") -> None:
+        """Attach to a runtime (graph, pool, scheduler, tracer, policy)."""
+        self.runtime = runtime
+
+    @abc.abstractmethod
+    def notify_submitted(self, task: TaskInvocation) -> None:
+        """A task entered the graph; the executor may start it eagerly."""
+
+    @abc.abstractmethod
+    def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
+        """Block (in real or virtual time) until ``tasks`` are all done.
+
+        Raises :class:`repro.runtime.fault.TaskFailedError` if any of them
+        exhausted its retry budget.
+        """
+
+    @abc.abstractmethod
+    def shutdown(self) -> None:
+        """Release threads/queues; the executor is unusable afterwards."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def resolve_arguments(
+        task: TaskInvocation,
+    ) -> Tuple[Tuple[Any, ...], Dict[str, Any]]:
+        """Replace future arguments with their resolved values.
+
+        Dependencies guarantee producers completed before this is called.
+        """
+
+        def contains_future(v: Any) -> bool:
+            if is_future(v):
+                return True
+            if isinstance(v, (list, tuple, set)):
+                return any(contains_future(i) for i in v)
+            if isinstance(v, dict):
+                return any(contains_future(i) for i in v.values())
+            return False
+
+        def resolve(v: Any) -> Any:
+            if is_future(v):
+                return v.result()
+            # Rebuild containers only when they actually hold futures —
+            # otherwise the original object must be passed through so
+            # INOUT mutations land on the caller's object.
+            if not contains_future(v):
+                return v
+            if isinstance(v, list):
+                return [resolve(i) for i in v]
+            if isinstance(v, tuple):
+                return tuple(resolve(i) for i in v)
+            if isinstance(v, set):
+                return {resolve(i) for i in v}
+            if isinstance(v, dict):
+                return {k: resolve(i) for k, i in v.items()}
+            return v
+
+        args = tuple(resolve(a) for a in task.args)
+        kwargs = {k: resolve(v) for k, v in task.kwargs.items()}
+        return args, kwargs
+
+    @staticmethod
+    def fan_out_result(task: TaskInvocation, futures: List[Future], result: Any) -> None:
+        """Distribute a task's return value into its future slots."""
+        n = len(futures)
+        if n == 0:
+            return
+        if n == 1:
+            futures[0].set_result(result)
+            return
+        try:
+            values = list(result)
+        except TypeError:
+            raise TypeError(
+                f"task {task.label} declared {n} returns but produced a "
+                f"non-iterable {type(result).__name__}"
+            ) from None
+        if len(values) != n:
+            raise ValueError(
+                f"task {task.label} declared {n} returns but produced "
+                f"{len(values)} values"
+            )
+        for fut, value in zip(futures, values):
+            fut.set_result(value)

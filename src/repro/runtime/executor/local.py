@@ -1,0 +1,223 @@
+"""Real local execution on threads (optionally process-backed bodies).
+
+Tasks run eagerly as resources free up, exactly like the COMPSs worker:
+the dispatch loop re-runs on every submission and completion, so "the
+next task is assigned a computational unit as soon as one is available"
+(paper §6.1).
+
+Thread backend: task bodies run in a thread pool; numpy releases the GIL
+inside BLAS so training tasks overlap genuinely.  Process backend: bodies
+are shipped to a :class:`concurrent.futures.ProcessPoolExecutor` (they
+must be picklable, i.e. module-level functions with picklable args).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional, Sequence
+
+from repro.runtime.executor.base import Executor
+from repro.runtime.fault import FaultAction, TaskFailedError
+from repro.runtime.resources import Allocation
+from repro.runtime.scheduler.base import Assignment, release_assignment
+from repro.runtime.task_definition import TaskInvocation, TaskState
+from repro.runtime.tracing.extrae import TaskRecord
+from repro.util.logging_utils import get_logger
+from repro.util.validation import check_one_of, check_positive
+
+_log = get_logger("runtime.executor.local")
+
+
+class LocalExecutor(Executor):
+    """Threaded executor over the runtime's resource pool.
+
+    Parameters
+    ----------
+    backend:
+        ``"threads"`` (default) or ``"processes"`` for the task bodies.
+    max_parallel:
+        Cap on simultaneously-running bodies (defaults to the pool's
+        task-usable CPU count, min 1).
+    """
+
+    def __init__(self, backend: str = "threads", max_parallel: Optional[int] = None):
+        super().__init__()
+        check_one_of("backend", backend, ["threads", "processes"])
+        self.backend = backend
+        self.max_parallel = max_parallel
+        self._lock = threading.RLock()
+        self._done_cond = threading.Condition(self._lock)
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._procs: Optional[ProcessPoolExecutor] = None
+        self._epoch = time.perf_counter()
+        self._shutdown = False
+
+    # ------------------------------------------------------------------
+    def bind(self, runtime) -> None:
+        super().bind(runtime)
+        # Share the runtime's lock so graph mutations from submit() (main
+        # thread) and dispatch/completion (worker threads) are serialised.
+        self._lock = runtime.lock
+        self._done_cond = threading.Condition(self._lock)
+        n = self.max_parallel or max(1, runtime.pool.total_task_cpus)
+        check_positive("max_parallel", n)
+        self._threads = ThreadPoolExecutor(
+            max_workers=n, thread_name_prefix="repro-worker"
+        )
+        if self.backend == "processes":
+            self._procs = ProcessPoolExecutor(max_workers=n)
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._epoch
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def notify_submitted(self, task: TaskInvocation) -> None:
+        self._dispatch()
+
+    def _dispatch(self) -> None:
+        """Schedule every placeable ready task (thread-safe)."""
+        assert self.runtime is not None and self._threads is not None
+        with self._lock:
+            if self._shutdown:
+                return
+            ready = self.runtime.graph.pop_ready()
+            if not ready:
+                return
+            assignments, waiting = self.runtime.scheduler.assign(
+                ready, self.runtime.pool
+            )
+            self.runtime.graph.requeue(waiting)
+            for assignment in assignments:
+                assignment.task.state = TaskState.RUNNING
+                self._threads.submit(self._run_attempt, assignment)
+
+    # ------------------------------------------------------------------
+    # Attempt execution
+    # ------------------------------------------------------------------
+    def _run_attempt(self, assignment: Assignment) -> None:
+        assert self.runtime is not None
+        task = assignment.task
+        alloc = assignment.allocation
+        start = self._now()
+        task.node = alloc.node
+        self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
+        try:
+            result = self._execute_body(task, assignment, alloc)
+        except BaseException as exc:  # noqa: BLE001 - any body error goes to fault handling
+            self._on_failure(assignment, exc, start)
+            return
+        self._on_success(assignment, result, start)
+
+    def _execute_body(
+        self, task: TaskInvocation, assignment: Assignment, alloc: Allocation
+    ):
+        assert self.runtime is not None
+        injector = self.runtime.failure_injector
+        if injector is not None and injector.should_fail(task.label, task.attempts):
+            raise RuntimeError(
+                f"injected failure for {task.label} attempt {task.attempts}"
+            )
+        args, kwargs = self.resolve_arguments(task)
+        func = assignment.implementation.func
+        if self._procs is not None:
+            return self._procs.submit(func, *args, **kwargs).result()
+        return func(*args, **kwargs)
+
+    def _on_success(self, assignment: Assignment, result, start: float) -> None:
+        assert self.runtime is not None
+        task = assignment.task
+        end = self._now()
+        self._record(task, assignment, start, end, success=True)
+        release_assignment(self.runtime.pool, assignment)
+        with self._lock:
+            task.result = result
+            task.start_time, task.end_time = start, end
+            self.runtime.complete_task(task, result)
+            self._done_cond.notify_all()
+        self._dispatch()
+
+    def _on_failure(
+        self, assignment: Assignment, exc: BaseException, start: float
+    ) -> None:
+        assert self.runtime is not None
+        task = assignment.task
+        end = self._now()
+        task.attempts += 1
+        self._record(task, assignment, start, end, success=False)
+        action = self.runtime.retry_policy.decide(task)
+        _log.info("task %s failed (attempt %d): %s -> %s",
+                  task.label, task.attempts, exc, action.value)
+        if action == FaultAction.RETRY_SAME_NODE:
+            # Keep the allocation; rerun in place (paper: "tries to start
+            # the same task in the same node").
+            retry_start = self._now()
+            try:
+                result = self._execute_body(task, assignment, assignment.allocation)
+            except BaseException as exc2:  # noqa: BLE001
+                self._on_failure(assignment, exc2, retry_start)
+                return
+            self._on_success(assignment, result, retry_start)
+            return
+        release_assignment(self.runtime.pool, assignment)
+        if action == FaultAction.RESUBMIT_OTHER_NODE:
+            with self._lock:
+                task.failed_nodes.append(assignment.allocation.node)
+                task.state = TaskState.READY
+                self.runtime.graph.requeue([task])
+            self._dispatch()
+            return
+        # GIVE_UP
+        with self._lock:
+            task.state = TaskState.FAILED
+            task.error = exc
+            self._done_cond.notify_all()
+
+    def _record(
+        self,
+        task: TaskInvocation,
+        assignment: Assignment,
+        start: float,
+        end: float,
+        success: bool,
+    ) -> None:
+        assert self.runtime is not None
+        for alloc in assignment.all_allocations:
+            self.runtime.tracer.record_task(
+                TaskRecord(
+                    task_label=task.label,
+                    task_name=task.definition.name,
+                    node=alloc.node,
+                    cpu_ids=alloc.cpu_ids,
+                    gpu_ids=alloc.gpu_ids,
+                    start=start,
+                    end=end,
+                    success=success,
+                    attempt=task.attempts,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
+        with self._done_cond:
+            while True:
+                failed = [t for t in tasks if t.state == TaskState.FAILED]
+                if failed:
+                    t = failed[0]
+                    raise TaskFailedError(t, t.error or RuntimeError("unknown"))
+                if all(t.state == TaskState.DONE for t in tasks):
+                    return
+                self._done_cond.wait(timeout=0.5)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._shutdown = True
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+        if self._procs is not None:
+            self._procs.shutdown(wait=True)

@@ -1,0 +1,371 @@
+"""Simulated-cluster execution in virtual time.
+
+This executor reproduces the paper's supercomputer-scale experiments on a
+laptop: the same scheduler and resource pool place tasks on simulated
+MareNostrum 4 / POWER9 nodes, a discrete-event engine advances a virtual
+clock, and task durations come from the calibrated cost model (or a
+user-supplied duration function).
+
+``execute_bodies=True`` additionally runs the real task bodies (instantly
+in virtual time) so that HPO results are genuine trained-model metrics
+while the *timing* reflects the modelled cluster — the combination used
+by the Fig. 7/8 benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+
+from repro.runtime.executor.base import Executor
+from repro.runtime.fault import FaultAction, TaskFailedError
+from repro.runtime.scheduler.base import Assignment, release_assignment
+from repro.runtime.task_definition import TaskInvocation, TaskState
+from repro.runtime.tracing.extrae import TaskRecord
+from repro.simcluster.costmodel import TrainingCostModel, MNIST_LIKE
+from repro.simcluster.events import DiscreteEventSimulator, EventHandle
+from repro.simcluster.node import NodeSpec
+from repro.util.logging_utils import get_logger
+
+_log = get_logger("runtime.executor.simulated")
+
+#: duration_fn(task, node_spec, allocation) -> seconds of virtual time.
+DurationFn = Callable[[TaskInvocation, NodeSpec, Any], float]
+
+
+class NodeFailureError(RuntimeError):
+    """A task attempt died because its node failed."""
+
+
+class SimulatedExecutor(Executor):
+    """Virtual-time executor over a simulated cluster.
+
+    Parameters
+    ----------
+    duration_fn:
+        Optional override for task durations.  Default: the runtime's
+        cost model applied to the task's config argument (the first
+        positional argument that is a mapping).
+    execute_bodies:
+        Run real task bodies for results (costs real CPU, zero virtual
+        time beyond the modelled duration).
+    default_dataset:
+        Dataset profile assumed when a config does not carry one.
+    """
+
+    def __init__(
+        self,
+        duration_fn: Optional[DurationFn] = None,
+        execute_bodies: bool = False,
+        default_dataset=MNIST_LIKE,
+    ):
+        super().__init__()
+        self.sim = DiscreteEventSimulator()
+        self.duration_fn = duration_fn
+        self.execute_bodies = execute_bodies
+        self.default_dataset = default_dataset
+        self._running: Dict[int, EventHandle] = {}
+        self._assignments: Dict[int, Assignment] = {}
+        self._start_times: Dict[int, float] = {}
+        self._failures_scheduled = False
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.sim.now
+
+    def _cost_model(self) -> TrainingCostModel:
+        assert self.runtime is not None
+        return self.runtime.cost_model
+
+    def _duration(self, task: TaskInvocation, spec: NodeSpec, alloc) -> float:
+        if self.duration_fn is not None:
+            return float(self.duration_fn(task, spec, alloc))
+        config = self._find_config(task)
+        return self._cost_model().duration_for_config(
+            config,
+            spec,
+            cpu_units=alloc.cpu_units,
+            gpu_units=alloc.gpu_units,
+            default_dataset=self.default_dataset,
+        )
+
+    @staticmethod
+    def _find_config(task: TaskInvocation) -> Mapping[str, Any]:
+        for value in (*task.args, *task.kwargs.values()):
+            if isinstance(value, Mapping):
+                return value
+        return {}
+
+    def _staging_time(self, task: TaskInvocation, node: str) -> float:
+        """Input staging cost from the cluster storage model (paper §4)."""
+        assert self.runtime is not None
+        config = self._find_config(task)
+        dataset = config.get("dataset", None)
+        model = self._cost_model()
+        if dataset is None:
+            profile = (
+                self.default_dataset
+                if not isinstance(self.default_dataset, str)
+                else model._resolve_dataset(self.default_dataset)
+            )
+        else:
+            try:
+                profile = model._resolve_dataset(dataset)
+            except KeyError:
+                return 0.0
+        return self.runtime.cluster.storage.staging_time(profile.size_mb, node)
+
+    def _dependency_transfer_time(self, task: TaskInvocation, node: str) -> float:
+        """Inter-task data movement: producers on other nodes ship results.
+
+        COMPSs transfers task outputs to consumers on different nodes
+        (paper §3); the charged size is each producer's
+        ``output_size_mb`` hint (0 = free, the default).
+        """
+        assert self.runtime is not None
+        total = 0.0
+        network = self.runtime.cluster.network
+        for producer in self.runtime.graph.predecessors(task):
+            size = float(producer.definition.output_size_mb)
+            if size > 0.0 and producer.node and producer.node != node:
+                total += network.transfer_time(size, producer.node, node)
+        return total
+
+    # ------------------------------------------------------------------
+    # Node failures
+    # ------------------------------------------------------------------
+    def _ensure_node_failures_scheduled(self) -> None:
+        if self._failures_scheduled:
+            return
+        self._failures_scheduled = True
+        assert self.runtime is not None
+        injector = self.runtime.failure_injector
+        if injector is None:
+            return
+        for nf in injector.node_failures:
+            self.sim.schedule_at(
+                nf.time, lambda nf=nf: self._fail_node(nf.node), f"fail-{nf.node}"
+            )
+            if nf.recovery_time is not None:
+                self.sim.schedule_at(
+                    nf.recovery_time,
+                    lambda nf=nf: self._recover_node(nf.node),
+                    f"recover-{nf.node}",
+                )
+
+    def _fail_node(self, node: str) -> None:
+        assert self.runtime is not None
+        _log.info("t=%.1f node %s failed", self.now, node)
+        self.runtime.pool.fail_node(node)
+        victims = [
+            tid
+            for tid, a in self._assignments.items()
+            if any(al.node == node for al in a.all_allocations)
+            and tid in self._running
+        ]
+        for tid in victims:
+            self._running.pop(tid).cancel()
+            assignment = self._assignments.pop(tid)
+            start = self._start_times.pop(tid)
+            task = assignment.task
+            task.attempts += 1
+            self._record(task, assignment, start, self.now, success=False)
+            # The failed node's slots are NOT released (the worker is reset
+            # on recovery), but a multinode task's allocations on healthy
+            # nodes must go back to the pool.
+            for alloc in assignment.all_allocations:
+                if alloc.node != node:
+                    self.runtime.pool.release(alloc)
+            self._after_failure(
+                assignment, NodeFailureError(f"node {node} failed"), force_other=True
+            )
+
+    def _recover_node(self, node: str) -> None:
+        assert self.runtime is not None
+        _log.info("t=%.1f node %s recovered", self.now, node)
+        self.runtime.pool.recover_node(node)
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def notify_submitted(self, task: TaskInvocation) -> None:
+        # Lazy: the event loop runs inside wait_for (virtual time).
+        pass
+
+    def _dispatch(self) -> None:
+        assert self.runtime is not None
+        ready = self.runtime.graph.pop_ready()
+        if not ready:
+            return
+        assignments, waiting = self.runtime.scheduler.assign(
+            ready, self.runtime.pool
+        )
+        self.runtime.graph.requeue(waiting)
+        for assignment in assignments:
+            self._start(assignment)
+
+    def _start(self, assignment: Assignment) -> None:
+        assert self.runtime is not None
+        task = assignment.task
+        alloc = assignment.allocation
+        node_spec = self.runtime.cluster.node(alloc.node)
+        task.state = TaskState.RUNNING
+        task.node = alloc.node
+        staging = self._staging_time(task, alloc.node)
+        staging += self._dependency_transfer_time(task, alloc.node)
+        duration = self._duration(task, node_spec, alloc)
+        start = self.now
+        self._assignments[task.task_id] = assignment
+        self._start_times[task.task_id] = start
+        self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
+        handle = self.sim.schedule(
+            staging + duration,
+            lambda: self._complete(task.task_id),
+            label=f"complete-{task.label}",
+        )
+        self._running[task.task_id] = handle
+
+    # ------------------------------------------------------------------
+    # Completion / failure
+    # ------------------------------------------------------------------
+    def _complete(self, task_id: int) -> None:
+        assert self.runtime is not None
+        self._running.pop(task_id, None)
+        assignment = self._assignments.pop(task_id)
+        start = self._start_times.pop(task_id)
+        task = assignment.task
+        injector = self.runtime.failure_injector
+        if injector is not None and injector.should_fail(task.label, task.attempts):
+            task.attempts += 1
+            self._record(task, assignment, start, self.now, success=False)
+            release_assignment(self.runtime.pool, assignment)
+            self._after_failure(
+                assignment,
+                RuntimeError(f"injected failure for {task.label}"),
+                force_other=False,
+                released=True,
+            )
+            return
+        result: Any = None
+        if self.execute_bodies:
+            args, kwargs = self.resolve_arguments(task)
+            try:
+                result = assignment.implementation.func(*args, **kwargs)
+            except BaseException as exc:  # noqa: BLE001 - route into fault handling
+                task.attempts += 1
+                self._record(task, assignment, start, self.now, success=False)
+                release_assignment(self.runtime.pool, assignment)
+                self._after_failure(assignment, exc, force_other=False, released=True)
+                return
+        self._record(task, assignment, start, self.now, success=True)
+        release_assignment(self.runtime.pool, assignment)
+        task.result = result
+        task.start_time, task.end_time = start, self.now
+        self.runtime.complete_task(task, result)
+        self._dispatch()
+
+    def _after_failure(
+        self,
+        assignment: Assignment,
+        exc: BaseException,
+        force_other: bool,
+        released: bool = False,
+    ) -> None:
+        """Apply the retry policy after a failed attempt.
+
+        ``force_other`` skips the same-node retry (the node is gone).
+        ``released`` records whether the allocation was already returned.
+        """
+        assert self.runtime is not None
+        task = assignment.task
+        action = self.runtime.retry_policy.decide(task)
+        if action == FaultAction.RETRY_SAME_NODE and force_other:
+            action = FaultAction.RESUBMIT_OTHER_NODE
+        _log.info(
+            "t=%.1f task %s failed (attempt %d): %s -> %s",
+            self.now, task.label, task.attempts, exc, action.value,
+        )
+        if action == FaultAction.RETRY_SAME_NODE:
+            if released:
+                # Reacquire the same node's resources for the retry.
+                alloc = self.runtime.pool.try_allocate(
+                    assignment.implementation.constraint,
+                    preferred=[assignment.allocation.node],
+                )
+                if alloc is None or alloc.node != assignment.allocation.node:
+                    if alloc is not None:
+                        self.runtime.pool.release(alloc)
+                    self._requeue_for_other(task, assignment)
+                    return
+                assignment = Assignment(task, alloc, assignment.implementation)
+            self._start(assignment)
+            return
+        if not released and action != FaultAction.RETRY_SAME_NODE:
+            # Node-failure path never releases; nothing to do (worker reset
+            # on recovery).  Other paths released before calling us.
+            pass
+        if action == FaultAction.RESUBMIT_OTHER_NODE:
+            self._requeue_for_other(task, assignment)
+            return
+        task.state = TaskState.FAILED
+        task.error = exc
+
+    def _requeue_for_other(self, task: TaskInvocation, assignment: Assignment) -> None:
+        assert self.runtime is not None
+        task.failed_nodes.append(assignment.allocation.node)
+        task.state = TaskState.READY
+        self.runtime.graph.requeue([task])
+        self._dispatch()
+
+    def _record(
+        self, task: TaskInvocation, assignment: Assignment, start, end, success
+    ) -> None:
+        assert self.runtime is not None
+        for alloc in assignment.all_allocations:
+            self.runtime.tracer.record_task(
+                TaskRecord(
+                    task_label=task.label,
+                    task_name=task.definition.name,
+                    node=alloc.node,
+                    cpu_ids=alloc.cpu_ids,
+                    gpu_ids=alloc.gpu_ids,
+                    start=start,
+                    end=end,
+                    success=success,
+                    attempt=task.attempts,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Synchronisation (virtual time)
+    # ------------------------------------------------------------------
+    def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
+        self._ensure_node_failures_scheduled()
+        self._dispatch()
+
+        def unfinished() -> bool:
+            return any(
+                t.state not in (TaskState.DONE, TaskState.FAILED) for t in tasks
+            )
+
+        while unfinished():
+            if not self.sim.step():
+                break
+        failed = [t for t in tasks if t.state == TaskState.FAILED]
+        if failed:
+            t = failed[0]
+            raise TaskFailedError(t, t.error or RuntimeError("unknown"))
+        if unfinished():
+            stuck = [t.label for t in tasks if t.state != TaskState.DONE]
+            raise RuntimeError(
+                f"simulation stalled with tasks unfinished: {stuck[:5]} "
+                f"(+{max(0, len(stuck) - 5)} more); "
+                "likely an unsatisfiable constraint or all nodes down"
+            )
+
+    def shutdown(self) -> None:
+        self._running.clear()
+        self._assignments.clear()
+        self._start_times.clear()

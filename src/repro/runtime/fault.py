@@ -1,0 +1,75 @@
+"""Fault-tolerance policy (paper §3/§4).
+
+"If a task fails for whatever reason (such as node failure), the runtime
+tries to start the same task in the same node, if it fails again, it's
+restarted in another node. … The failure of a task does not affect the
+other tasks unless there are some dependencies."
+
+:class:`RetryPolicy` encodes that two-stage behaviour with configurable
+budgets; the executors consult :meth:`decide` after every failed attempt.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.runtime.task_definition import TaskInvocation
+from repro.util.validation import check_non_negative
+
+
+class FaultAction(str, enum.Enum):
+    """What to do after a failed attempt."""
+
+    RETRY_SAME_NODE = "retry_same_node"
+    RESUBMIT_OTHER_NODE = "resubmit_other_node"
+    GIVE_UP = "give_up"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Two-stage retry: same node first, then other nodes.
+
+    Attributes
+    ----------
+    same_node_retries:
+        Extra attempts on the original node after the first failure.
+    resubmissions:
+        Additional attempts on *different* nodes after same-node retries
+        are exhausted.
+    """
+
+    same_node_retries: int = 1
+    resubmissions: int = 1
+
+    def __post_init__(self) -> None:
+        check_non_negative("same_node_retries", self.same_node_retries)
+        check_non_negative("resubmissions", self.resubmissions)
+
+    @property
+    def max_attempts(self) -> int:
+        """Total attempts allowed (first try + retries + resubmissions)."""
+        return 1 + self.same_node_retries + self.resubmissions
+
+    def decide(self, task: TaskInvocation) -> FaultAction:
+        """Choose the next action given ``task.attempts`` failures so far."""
+        failures = task.attempts
+        if failures <= 0:
+            raise ValueError("decide() called with no recorded failure")
+        if failures <= self.same_node_retries:
+            return FaultAction.RETRY_SAME_NODE
+        if failures < self.max_attempts:
+            return FaultAction.RESUBMIT_OTHER_NODE
+        return FaultAction.GIVE_UP
+
+
+class TaskFailedError(RuntimeError):
+    """Raised to the user when a task exhausts its retry budget."""
+
+    def __init__(self, task: TaskInvocation, cause: BaseException):
+        super().__init__(
+            f"task {task.label} failed after {task.attempts} attempts "
+            f"(nodes tried: {task.failed_nodes or ['?']}): {cause!r}"
+        )
+        self.task = task
+        self.cause = cause

@@ -1,0 +1,54 @@
+"""Futures returned by task calls.
+
+A :class:`Future` is an opaque placeholder for a task result; passing one
+to another task creates a dependency edge, and ``compss_wait_on`` resolves
+it to the actual value (paper §4).  Multi-return tasks yield one future
+per return slot.
+"""
+
+from __future__ import annotations
+
+from typing import Any, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.task_definition import TaskInvocation
+
+_UNSET = object()
+
+
+class Future:
+    """Placeholder for the (``index``-th) result of a task invocation."""
+
+    __slots__ = ("invocation", "index", "_value")
+
+    def __init__(self, invocation: "TaskInvocation", index: int = 0):
+        self.invocation = invocation
+        self.index = index
+        self._value: Any = _UNSET
+
+    @property
+    def done(self) -> bool:
+        """Whether the producing task has completed successfully."""
+        return self._value is not _UNSET
+
+    def set_result(self, value: Any) -> None:
+        """Fill the future (called by the runtime on task completion)."""
+        self._value = value
+
+    def result(self) -> Any:
+        """The resolved value; raises if the task has not completed."""
+        if self._value is _UNSET:
+            raise RuntimeError(
+                f"future of {self.invocation.label} accessed before completion; "
+                "use compss_wait_on()"
+            )
+        return self._value
+
+    def __repr__(self) -> str:
+        state = "done" if self.done else "pending"
+        return f"<Future {self.invocation.label}[{self.index}] {state}>"
+
+
+def is_future(obj: Any) -> bool:
+    """True if ``obj`` is a runtime future."""
+    return isinstance(obj, Future)

@@ -1,0 +1,151 @@
+"""The dynamic task dependency graph (paper §4, Fig. 3).
+
+A thin layer over :mod:`networkx`: nodes are
+:class:`~repro.runtime.task_definition.TaskInvocation` ids, edges carry
+the data-version labels produced by the access processor.  The graph
+maintains the ready set (tasks whose predecessors have all completed)
+consumed by the scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+import networkx as nx
+
+from repro.runtime.task_definition import TaskInvocation, TaskState
+
+
+class TaskGraph:
+    """Dependency DAG with ready-set maintenance."""
+
+    def __init__(self) -> None:
+        self._g = nx.DiGraph()
+        self._tasks: Dict[int, TaskInvocation] = {}
+        self._pending_preds: Dict[int, int] = {}
+        self._ready: List[int] = []  # FIFO by submission order
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_task(
+        self,
+        task: TaskInvocation,
+        dependencies: Iterable[TaskInvocation],
+        edge_labels: Optional[Dict[int, str]] = None,
+    ) -> None:
+        """Insert ``task`` depending on ``dependencies`` (may be empty)."""
+        if task.task_id in self._tasks:
+            raise ValueError(f"task {task.label} already in graph")
+        self._tasks[task.task_id] = task
+        self._g.add_node(task.task_id)
+        pending = 0
+        for dep in dependencies:
+            if dep.task_id not in self._tasks:
+                raise ValueError(
+                    f"dependency {dep.label} of {task.label} not in graph"
+                )
+            label = (edge_labels or {}).get(dep.task_id, "")
+            self._g.add_edge(dep.task_id, task.task_id, label=label)
+            if dep.state not in (TaskState.DONE,):
+                pending += 1
+        self._pending_preds[task.task_id] = pending
+        if pending == 0:
+            task.state = TaskState.READY
+            self._ready.append(task.task_id)
+        # A cycle is impossible by construction (dependencies precede the
+        # task), but guard against misuse via self-edges.
+        if self._g.has_edge(task.task_id, task.task_id):
+            raise ValueError(f"task {task.label} depends on itself")
+
+    # ------------------------------------------------------------------
+    # Execution-time updates
+    # ------------------------------------------------------------------
+    def pop_ready(self, limit: Optional[int] = None) -> List[TaskInvocation]:
+        """Remove and return up to ``limit`` ready tasks (FIFO)."""
+        n = len(self._ready) if limit is None else min(limit, len(self._ready))
+        out = [self._tasks[tid] for tid in self._ready[:n]]
+        del self._ready[:n]
+        return out
+
+    def peek_ready(self) -> List[TaskInvocation]:
+        """Ready tasks without removing them."""
+        return [self._tasks[tid] for tid in self._ready]
+
+    def requeue(self, tasks: Iterable[TaskInvocation]) -> None:
+        """Put unschedulable ready tasks back (front, preserving order)."""
+        ids = [t.task_id for t in tasks]
+        self._ready[:0] = ids
+
+    def mark_done(self, task: TaskInvocation) -> List[TaskInvocation]:
+        """Mark completion; returns newly-ready successor tasks."""
+        task.state = TaskState.DONE
+        newly_ready: List[TaskInvocation] = []
+        for succ_id in self._g.successors(task.task_id):
+            self._pending_preds[succ_id] -= 1
+            if self._pending_preds[succ_id] == 0:
+                succ = self._tasks[succ_id]
+                if succ.state == TaskState.SUBMITTED:
+                    succ.state = TaskState.READY
+                    self._ready.append(succ_id)
+                    newly_ready.append(succ)
+        return newly_ready
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        return len(self._tasks)
+
+    def tasks(self) -> List[TaskInvocation]:
+        """All tasks in submission order."""
+        return [self._tasks[tid] for tid in sorted(self._tasks)]
+
+    def task(self, task_id: int) -> TaskInvocation:
+        return self._tasks[task_id]
+
+    def unfinished(self) -> List[TaskInvocation]:
+        """Tasks not yet DONE."""
+        return [t for t in self._tasks.values() if t.state != TaskState.DONE]
+
+    def predecessors(self, task: TaskInvocation) -> List[TaskInvocation]:
+        return [self._tasks[tid] for tid in self._g.predecessors(task.task_id)]
+
+    def successors(self, task: TaskInvocation) -> List[TaskInvocation]:
+        return [self._tasks[tid] for tid in self._g.successors(task.task_id)]
+
+    def edge_label(self, src: TaskInvocation, dst: TaskInvocation) -> str:
+        return self._g.edges[src.task_id, dst.task_id].get("label", "")
+
+    def edges(self):
+        """Iterate ``(src_task, dst_task, label)`` triples."""
+        for u, v, data in self._g.edges(data=True):
+            yield self._tasks[u], self._tasks[v], data.get("label", "")
+
+    @property
+    def nx_graph(self) -> nx.DiGraph:
+        """The underlying networkx graph (read-only use)."""
+        return self._g
+
+    def critical_path_length(self, duration_of=None) -> float:
+        """Longest path weight through the DAG.
+
+        ``duration_of(task) -> float`` defaults to measured durations
+        (``end_time - start_time``), or 1.0 when unknown — giving depth.
+        """
+
+        def dur(tid: int) -> float:
+            t = self._tasks[tid]
+            if duration_of is not None:
+                return float(duration_of(t))
+            if t.start_time is not None and t.end_time is not None:
+                return t.end_time - t.start_time
+            return 1.0
+
+        best: Dict[int, float] = {}
+        for tid in nx.topological_sort(self._g):
+            preds = list(self._g.predecessors(tid))
+            base = max((best[p] for p in preds), default=0.0)
+            best[tid] = base + dur(tid)
+        return max(best.values(), default=0.0)

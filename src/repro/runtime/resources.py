@@ -1,0 +1,251 @@
+"""Resource accounting: workers, slots, allocations, and the pool.
+
+COMPSs enforces CPU/GPU affinity (paper §3, *Resource Management*): a task
+constrained to one core gets exactly one core.  We model that with
+explicit slot indices — an :class:`Allocation` names the concrete core and
+GPU ids a task holds, which is also what makes per-core traces (Figs. 4–6)
+possible.
+
+The paper's deployments reserve cores for the COMPSs master/worker
+processes ("the worker takes half of the cores in a node", §5); the pool
+supports a per-node ``reserved_cores`` map for that.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.simcluster.machines import ClusterSpec
+from repro.simcluster.node import NodeSpec
+from repro.util.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Concrete resources held by one running task."""
+
+    node: str
+    cpu_ids: Tuple[int, ...]
+    gpu_ids: Tuple[int, ...] = ()
+    memory_gb: float = 0.0
+
+    @property
+    def cpu_units(self) -> int:
+        return len(self.cpu_ids)
+
+    @property
+    def gpu_units(self) -> int:
+        return len(self.gpu_ids)
+
+    def describe(self) -> str:
+        gpu = f" gpus={list(self.gpu_ids)}" if self.gpu_ids else ""
+        return f"{self.node} cores={list(self.cpu_ids)}{gpu}"
+
+
+class Worker:
+    """Slot accounting for one node."""
+
+    def __init__(self, spec: NodeSpec, reserved_cores: int = 0):
+        check_non_negative("reserved_cores", reserved_cores)
+        if reserved_cores >= spec.cpu_cores:
+            raise ValueError(
+                f"cannot reserve {reserved_cores} of {spec.cpu_cores} cores "
+                f"on {spec.name}"
+            )
+        self.spec = spec
+        self.reserved_cores = reserved_cores
+        #: Core ids available for tasks: the runtime processes occupy the
+        #: first ``reserved_cores`` ids.
+        self._free_cpus = list(range(reserved_cores, spec.cpu_cores))
+        self._free_gpus = list(range(spec.gpus))
+        self._free_memory = spec.memory_gb
+        self.available = True
+
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def free_cpu_units(self) -> int:
+        return len(self._free_cpus)
+
+    @property
+    def free_gpu_units(self) -> int:
+        return len(self._free_gpus)
+
+    @property
+    def task_capacity_cpus(self) -> int:
+        """CPU units usable by tasks (total minus reserved)."""
+        return self.spec.cpu_cores - self.reserved_cores
+
+    def matches_labels(self, labels: Mapping[str, str]) -> bool:
+        return all(self.spec.labels.get(k) == v for k, v in labels.items())
+
+    def can_host(self, rc: ResourceConstraint) -> bool:
+        """Whether this worker can run the task *right now*."""
+        return (
+            self.available
+            and rc.cpu_units <= self.free_cpu_units
+            and rc.gpu_units <= self.free_gpu_units
+            and rc.memory_gb <= self._free_memory
+            and self.matches_labels(rc.node_labels)
+        )
+
+    def could_ever_host(self, rc: ResourceConstraint) -> bool:
+        """Whether the constraint fits this worker when fully idle."""
+        return (
+            rc.cpu_units <= self.task_capacity_cpus
+            and rc.gpu_units <= self.spec.gpus
+            and rc.memory_gb <= self.spec.memory_gb
+            and self.matches_labels(rc.node_labels)
+        )
+
+    def allocate(self, rc: ResourceConstraint) -> Allocation:
+        """Take concrete slots; raises RuntimeError if they don't fit."""
+        if not self.can_host(rc):
+            raise RuntimeError(
+                f"worker {self.name} cannot host {rc.describe()} now "
+                f"(free: {self.free_cpu_units}CPU/{self.free_gpu_units}GPU)"
+            )
+        cpus = tuple(self._free_cpus[: rc.cpu_units])
+        del self._free_cpus[: rc.cpu_units]
+        gpus = tuple(self._free_gpus[: rc.gpu_units])
+        del self._free_gpus[: rc.gpu_units]
+        self._free_memory -= rc.memory_gb
+        return Allocation(self.name, cpus, gpus, rc.memory_gb)
+
+    def release(self, alloc: Allocation) -> None:
+        """Return an allocation's slots to the free lists."""
+        if alloc.node != self.name:
+            raise ValueError(f"allocation is for {alloc.node}, not {self.name}")
+        self._free_cpus.extend(alloc.cpu_ids)
+        self._free_cpus.sort()
+        self._free_gpus.extend(alloc.gpu_ids)
+        self._free_gpus.sort()
+        self._free_memory += alloc.memory_gb
+
+    def fail(self) -> None:
+        """Mark the node down (running allocations are handled by caller)."""
+        self.available = False
+
+    def recover(self) -> None:
+        """Bring the node back with all slots free."""
+        self.available = True
+        self._free_cpus = list(range(self.reserved_cores, self.spec.cpu_cores))
+        self._free_gpus = list(range(self.spec.gpus))
+        self._free_memory = self.spec.memory_gb
+
+
+class ResourcePool:
+    """All workers of a cluster, with thread-safe allocation.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster description.
+    reserved_cores:
+        Either an int applied to the *first* node only (the COMPSs
+        master/worker node) or a mapping node-name → reserved cores.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        reserved_cores: "int | Mapping[str, int]" = 0,
+    ):
+        self.cluster = cluster
+        self._lock = threading.Lock()
+        self.workers: Dict[str, Worker] = {}
+        for i, spec in enumerate(cluster.nodes):
+            if isinstance(reserved_cores, Mapping):
+                reserve = int(reserved_cores.get(spec.name, 0))
+            else:
+                reserve = int(reserved_cores) if i == 0 else 0
+            self.workers[spec.name] = Worker(spec, reserve)
+
+    # ------------------------------------------------------------------
+    def worker(self, name: str) -> Worker:
+        return self.workers[name]
+
+    def available_workers(self) -> List[Worker]:
+        return [w for w in self.workers.values() if w.available]
+
+    def try_allocate(
+        self, rc: ResourceConstraint, preferred: Optional[Iterable[str]] = None
+    ) -> Optional[Allocation]:
+        """First-fit allocation, optionally trying ``preferred`` nodes first."""
+        with self._lock:
+            order: List[Worker] = []
+            seen = set()
+            for name in preferred or ():
+                w = self.workers.get(name)
+                if w is not None and name not in seen:
+                    order.append(w)
+                    seen.add(name)
+            order.extend(w for n, w in self.workers.items() if n not in seen)
+            for w in order:
+                if w.can_host(rc):
+                    return w.allocate(rc)
+        return None
+
+    def release(self, alloc: Allocation) -> None:
+        with self._lock:
+            self.workers[alloc.node].release(alloc)
+
+    def anyone_could_ever_host(self, rc: ResourceConstraint) -> bool:
+        """Whether any (available) worker could run this constraint when idle."""
+        return any(
+            w.could_ever_host(rc) for w in self.workers.values() if w.available
+        )
+
+    def add_worker(self, spec: NodeSpec, reserved_cores: int = 0) -> Worker:
+        """Grow the pool with a new node (cloud elasticity, paper §3).
+
+        The node is also appended to the cluster description so traces
+        and analyses see it.  Raises on duplicate names.
+        """
+        with self._lock:
+            if spec.name in self.workers:
+                raise ValueError(f"node {spec.name!r} already in the pool")
+            worker = Worker(spec, reserved_cores)
+            self.workers[spec.name] = worker
+            self.cluster.nodes.append(spec)
+            return worker
+
+    def remove_worker(self, name: str) -> None:
+        """Shrink the pool: the node stops accepting tasks.
+
+        Running tasks are unaffected (their allocations stay valid until
+        released); only *new* placements skip the node.
+        """
+        with self._lock:
+            self.workers[name].fail()
+
+    def fail_node(self, name: str) -> None:
+        with self._lock:
+            self.workers[name].fail()
+
+    def recover_node(self, name: str) -> None:
+        with self._lock:
+            self.workers[name].recover()
+
+    @property
+    def total_task_cpus(self) -> int:
+        """Task-usable CPU units across available workers."""
+        return sum(
+            w.task_capacity_cpus for w in self.workers.values() if w.available
+        )
+
+    def describe(self) -> str:
+        lines = [f"pool over {self.cluster.name}:"]
+        for w in self.workers.values():
+            state = "up" if w.available else "DOWN"
+            lines.append(
+                f"  {w.name} [{state}] free {w.free_cpu_units}/"
+                f"{w.task_capacity_cpus} cores, {w.free_gpu_units} GPUs"
+            )
+        return "\n".join(lines)

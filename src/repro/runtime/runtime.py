@@ -1,0 +1,337 @@
+"""The COMPSs-equivalent runtime: ties graph, scheduler, executor together.
+
+One :class:`COMPSsRuntime` instance corresponds to one ``runcompss``
+session.  ``@task`` wrappers submit invocations here; the runtime detects
+dependencies via the access processor, inserts the task into the graph,
+and hands execution to the configured executor.  ``wait_on`` / ``barrier``
+provide the synchronisation API of the paper's Listing 2.
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.runtime.access_processor import AccessProcessor
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.dot import export_dot, render_dot
+from repro.runtime.executor.base import Executor
+from repro.runtime.executor.local import LocalExecutor
+from repro.runtime.executor.simulated import SimulatedExecutor
+from repro.runtime.future import Future, is_future
+from repro.runtime.graph import TaskGraph
+from repro.runtime.scheduler import Scheduler, get_scheduler
+from repro.runtime.scheduler.locality import LocalityScheduler
+from repro.runtime.task_definition import (
+    TaskDefinition,
+    TaskInvocation,
+    reset_invocation_counter,
+)
+from repro.runtime.tracing.analysis import TraceAnalysis
+from repro.runtime.tracing.extrae import TraceRecorder
+from repro.util.logging_utils import get_logger
+
+_log = get_logger("runtime")
+
+_current: Optional["COMPSsRuntime"] = None
+_current_lock = threading.Lock()
+
+
+def current_runtime() -> Optional["COMPSsRuntime"]:
+    """The active runtime, or None (sequential fallback mode)."""
+    return _current
+
+
+def set_current(runtime: Optional["COMPSsRuntime"]) -> None:
+    """Install/clear the active runtime (used by compss_start/stop)."""
+    global _current
+    with _current_lock:
+        if runtime is not None and _current is not None:
+            raise RuntimeError(
+                "a COMPSs runtime is already active; call compss_stop() first"
+            )
+        _current = runtime
+
+
+class COMPSsRuntime:
+    """One runtime session over a (real or simulated) cluster."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None):
+        from repro.runtime.resources import ResourcePool  # local import: cycle-free
+
+        self.config = config or RuntimeConfig()
+        self.cluster = self.config.cluster
+        self.lock = threading.RLock()
+        self.graph = TaskGraph()
+        self.access = AccessProcessor()
+        self.tracer = TraceRecorder(enabled=self.config.tracing)
+        self.pool = ResourcePool(self.cluster, self.config.reserved_cores)
+        self.retry_policy = self.config.retry_policy
+        self.failure_injector = self.config.failure_injector
+        self.cost_model = self.config.cost_model
+        self.scheduler: Scheduler = (
+            get_scheduler(self.config.scheduler)
+            if isinstance(self.config.scheduler, str)
+            else self.config.scheduler
+        )
+        self.executor: Executor = self._make_executor()
+        self._futures: Dict[int, List[Future]] = {}
+        self.sync_points: List[Tuple[int, List[int]]] = []
+        self._started = False
+
+    def _make_executor(self) -> Executor:
+        ex = self.config.executor
+        if isinstance(ex, Executor):
+            return ex
+        if ex == "local":
+            return LocalExecutor(
+                backend=self.config.backend, max_parallel=self.config.max_parallel
+            )
+        if ex == "simulated":
+            return SimulatedExecutor(
+                duration_fn=self.config.duration_fn,
+                execute_bodies=self.config.execute_bodies,
+                default_dataset=self.config.default_dataset,
+            )
+        raise ValueError(f"unknown executor {ex!r}; use 'local' or 'simulated'")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "COMPSsRuntime":
+        """Activate this runtime (make @task calls asynchronous)."""
+        if self._started:
+            raise RuntimeError("runtime already started")
+        reset_invocation_counter()
+        self.executor.bind(self)
+        set_current(self)
+        self._started = True
+        _log.info("runtime started on %s", self.cluster.name)
+        return self
+
+    def stop(self, wait: bool = True) -> None:
+        """Deactivate; optionally waits for all outstanding tasks first."""
+        if not self._started:
+            return
+        try:
+            if wait:
+                try:
+                    self.barrier()
+                except Exception as exc:  # noqa: BLE001 - cleanup must not re-raise
+                    # A failed task surfaces where the user waits on it;
+                    # re-raising from cleanup would mask/duplicate it.
+                    _log.warning("outstanding task failed during stop(): %s", exc)
+        finally:
+            self.executor.shutdown()
+            set_current(None)
+            self._started = False
+            _log.info("runtime stopped")
+
+    def __enter__(self) -> "COMPSsRuntime":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't block on a barrier if the body raised.
+        self.stop(wait=exc_type is None)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        definition: TaskDefinition,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ) -> Union[Future, Tuple[Future, ...], None]:
+        """Create an invocation, detect dependencies, enqueue it.
+
+        Returns the task's future(s): one :class:`Future`, a tuple for
+        multi-return tasks, or None for ``returns=0`` tasks.
+        """
+        if not self._started:
+            raise RuntimeError("runtime not started")
+        invocation = TaskInvocation(definition=definition, args=args, kwargs=kwargs)
+        deps: Dict[int, TaskInvocation] = {}
+        edge_labels: Dict[int, str] = {}
+        with self.lock:
+            for name, value, spec in self._iter_param_accesses(
+                definition, args, kwargs
+            ):
+                access_deps, labels = self.access.process_access(
+                    invocation, value, spec
+                )
+                label = labels[0] if labels else ""
+                for dep in access_deps:
+                    deps[dep.task_id] = dep
+                    if self.config.graph and label:
+                        edge_labels[dep.task_id] = label
+            futures = [Future(invocation, i) for i in range(definition.n_returns)]
+            for fut in futures:
+                self.access.register_output_future(fut)
+            self._futures[invocation.task_id] = futures
+            if isinstance(self.scheduler, LocalityScheduler):
+                self.scheduler.register_dependencies(invocation, list(deps.values()))
+            self.graph.add_task(invocation, list(deps.values()), edge_labels)
+        # Attach to any open TaskGroup (selective barriers).
+        from repro.pycompss_api.task_group import record_submission
+
+        record_submission(invocation)
+        self.executor.notify_submitted(invocation)
+        if not futures:
+            return None
+        return futures[0] if len(futures) == 1 else tuple(futures)
+
+    @staticmethod
+    def _iter_param_accesses(
+        definition: TaskDefinition,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ):
+        """Yield (param_name, value, spec) for every argument.
+
+        Variadic ``*args`` parameters yield one access per element.
+        """
+        try:
+            sig = inspect.signature(definition.func)
+            bound = sig.bind(*args, **kwargs)
+        except TypeError:
+            # Signature mismatch surfaces when the body runs; fall back to
+            # positional names so dependency detection still works.
+            for i, value in enumerate(args):
+                yield f"arg{i}", value, definition.spec_for(f"arg{i}")
+            for key, value in kwargs.items():
+                yield key, value, definition.spec_for(key)
+            return
+        for name, value in bound.arguments.items():
+            param = sig.parameters[name]
+            spec = definition.spec_for(name)
+            if param.kind == inspect.Parameter.VAR_POSITIONAL:
+                for item in value:
+                    yield from COMPSsRuntime._expand_value(name, item, spec)
+            elif param.kind == inspect.Parameter.VAR_KEYWORD:
+                for key, item in value.items():
+                    yield from COMPSsRuntime._expand_value(
+                        key, item, definition.spec_for(key)
+                    )
+            else:
+                yield from COMPSsRuntime._expand_value(name, value, spec)
+
+    @staticmethod
+    def _expand_value(name: str, value: Any, spec):
+        """Yield the value plus any futures nested in containers.
+
+        A task receiving a list of futures (e.g. the paper's final
+        ``plot(results)`` task) must depend on every producer.
+        """
+        yield name, value, spec
+        if isinstance(value, (list, tuple, set)):
+            items = value
+        elif isinstance(value, dict):
+            items = value.values()
+        else:
+            return
+        from repro.pycompss_api.parameter import IN
+
+        nested: List[Future] = []
+        for item in items:
+            COMPSsRuntime._collect_futures(item, nested)
+        for fut in nested:
+            yield name, fut, IN
+
+    # ------------------------------------------------------------------
+    # Completion (called by executors)
+    # ------------------------------------------------------------------
+    def complete_task(self, task: TaskInvocation, result: Any) -> None:
+        """Fan the result into futures and unlock successors."""
+        futures = self._futures.get(task.task_id, [])
+        Executor.fan_out_result(task, futures, result)
+        self.graph.mark_done(task)
+
+    # ------------------------------------------------------------------
+    # Synchronisation
+    # ------------------------------------------------------------------
+    def wait_on(self, obj: Any) -> Any:
+        """Resolve futures inside ``obj`` (scalar, list, tuple, dict, nested).
+
+        Blocks (in real or virtual time) until the producing tasks are
+        done, then returns ``obj`` with futures replaced by values.
+        """
+        futures: List[Future] = []
+        self._collect_futures(obj, futures)
+        tasks = sorted({f.invocation for f in futures}, key=lambda t: t.task_id)
+        if tasks:
+            self.executor.wait_for(tasks)
+            self.sync_points.append(
+                (len(self.sync_points) + 1, [t.task_id for t in tasks])
+            )
+        return self._substitute(obj)
+
+    def barrier(self) -> None:
+        """Wait for every submitted task to complete."""
+        unfinished = self.graph.unfinished()
+        if unfinished:
+            self.executor.wait_for(unfinished)
+
+    @classmethod
+    def _collect_futures(cls, obj: Any, out: List[Future]) -> None:
+        if is_future(obj):
+            out.append(obj)
+        elif isinstance(obj, (list, tuple, set)):
+            for item in obj:
+                cls._collect_futures(item, out)
+        elif isinstance(obj, dict):
+            for item in obj.values():
+                cls._collect_futures(item, out)
+
+    @classmethod
+    def _substitute(cls, obj: Any) -> Any:
+        if is_future(obj):
+            return obj.result()
+        if isinstance(obj, list):
+            return [cls._substitute(i) for i in obj]
+        if isinstance(obj, tuple):
+            return tuple(cls._substitute(i) for i in obj)
+        if isinstance(obj, set):
+            return {cls._substitute(i) for i in obj}
+        if isinstance(obj, dict):
+            return {k: cls._substitute(v) for k, v in obj.items()}
+        return obj
+
+    # ------------------------------------------------------------------
+    # Elasticity (paper §3: "grids, clusters, clouds")
+    # ------------------------------------------------------------------
+    def add_node(self, spec) -> None:
+        """Grow the cluster mid-run; waiting tasks dispatch onto it."""
+        self.pool.add_worker(spec)
+        _log.info("node %s added to the pool", spec.name)
+        # Kick the executor so queued work can use the new capacity.
+        if hasattr(self.executor, "_dispatch"):
+            self.executor._dispatch()
+
+    def remove_node(self, name: str) -> None:
+        """Stop placing new tasks on ``name`` (running ones finish)."""
+        self.pool.remove_worker(name)
+        _log.info("node %s drained from the pool", name)
+
+    # ------------------------------------------------------------------
+    # Introspection / artefacts
+    # ------------------------------------------------------------------
+    def analysis(self) -> TraceAnalysis:
+        """Trace analysis over everything recorded so far."""
+        return TraceAnalysis(self.tracer)
+
+    def render_graph(self) -> str:
+        """DOT text of the current task graph (Fig. 3)."""
+        return render_dot(self.graph, self.sync_points)
+
+    def export_graph(self, path) -> None:
+        """Write the DOT graph to ``path``."""
+        export_dot(self.graph, path, self.sync_points)
+
+    @property
+    def virtual_time(self) -> Optional[float]:
+        """Current virtual time for simulated runs (None for local)."""
+        if isinstance(self.executor, SimulatedExecutor):
+            return self.executor.now
+        return None

@@ -1,0 +1,175 @@
+"""Scheduler interface.
+
+A scheduler is a pure policy: given the ready tasks (in submission order)
+and the resource pool, produce assignments.  Tasks it cannot place remain
+queued; the paper's §4 behaviour — "if no further resources are available,
+tasks wait for the resources … the next task is assigned a computational
+unit as soon as one is available" — falls out of re-running the scheduler
+on every task completion.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.runtime.resources import Allocation, ResourcePool
+from repro.runtime.task_definition import TaskDefinition, TaskInvocation
+
+
+@dataclass
+class Assignment:
+    """A task placed on concrete resources, with the chosen implementation.
+
+    ``extra_allocations`` holds the additional per-node allocations of a
+    ``@multinode`` task (empty for ordinary tasks).
+    """
+
+    task: TaskInvocation
+    allocation: Allocation
+    implementation: TaskDefinition
+    extra_allocations: List[Allocation] = field(default_factory=list)
+
+    @property
+    def all_allocations(self) -> List[Allocation]:
+        """Primary plus extra allocations."""
+        return [self.allocation, *self.extra_allocations]
+
+
+def release_assignment(pool: ResourcePool, assignment: Assignment) -> None:
+    """Release every allocation an assignment holds."""
+    for alloc in assignment.all_allocations:
+        pool.release(alloc)
+
+
+class Scheduler(abc.ABC):
+    """Abstract scheduling policy."""
+
+    @abc.abstractmethod
+    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
+        """Order the ready queue (policy-specific)."""
+
+    def preferred_nodes(self, task: TaskInvocation) -> List[str]:
+        """Nodes to try first for ``task`` (default: none)."""
+        return []
+
+    def assign(
+        self, ready: Sequence[TaskInvocation], pool: ResourcePool
+    ) -> Tuple[List[Assignment], List[TaskInvocation]]:
+        """Place as many ready tasks as possible.
+
+        Returns ``(assignments, still_waiting)``.  ``still_waiting``
+        preserves the *original submission order* so FIFO fairness is kept
+        across scheduling rounds.
+
+        Tasks whose constraint excludes every failed node they've been
+        resubmitted from are placed anywhere else; a task no live node
+        could ever host raises ``RuntimeError`` (unsatisfiable constraint)
+        rather than waiting forever.
+        """
+        assignments: List[Assignment] = []
+        waiting: List[TaskInvocation] = []
+        for task in self.order(list(ready)):
+            placed = self._try_place(task, pool)
+            if placed is None:
+                waiting.append(task)
+            else:
+                assignments.append(placed)
+        # Restore submission order among the waiting tasks.
+        waiting.sort(key=lambda t: t.task_id)
+        return assignments, waiting
+
+    def _try_place(
+        self, task: TaskInvocation, pool: ResourcePool
+    ) -> Optional[Assignment]:
+        """Try each candidate implementation until one fits a node."""
+        preferred = [
+            n for n in self.preferred_nodes(task) if n not in task.failed_nodes
+        ]
+        candidates = task.definition.all_candidates()
+        any_possible = False
+        for impl in candidates:
+            rc = impl.constraint
+            if pool.anyone_could_ever_host(rc):
+                any_possible = True
+            if rc.nodes > 1:
+                allocs = self._allocate_multinode(pool, rc, task.failed_nodes)
+                if allocs is not None:
+                    return Assignment(task, allocs[0], impl, allocs[1:])
+                continue
+            alloc = self._allocate_avoiding(pool, rc, preferred, task.failed_nodes)
+            if alloc is not None:
+                return Assignment(task, alloc, impl)
+        if not any_possible:
+            names = ", ".join(i.constraint.describe() for i in candidates)
+            raise RuntimeError(
+                f"task {task.label} is unsatisfiable: no live node can host "
+                f"any implementation ({names})"
+            )
+        return None
+
+    @staticmethod
+    def _allocate_multinode(
+        pool: ResourcePool, rc, avoid: List[str]
+    ) -> Optional[List[Allocation]]:
+        """Allocate ``rc.cpu_units``/``rc.gpu_units`` on ``rc.nodes`` distinct nodes.
+
+        All-or-nothing: partial allocations are rolled back.  Failed nodes
+        are avoided when enough alternatives exist.
+        """
+        from repro.pycompss_api.constraint import ResourceConstraint
+
+        per_node = ResourceConstraint(
+            cpu_units=rc.cpu_units,
+            gpu_units=rc.gpu_units,
+            memory_gb=rc.memory_gb,
+            node_labels=rc.node_labels,
+        )
+        allocs: List[Allocation] = []
+        candidates = [
+            w for w in pool.available_workers() if w.name not in avoid
+        ] + [w for w in pool.available_workers() if w.name in avoid]
+        for worker in candidates:
+            if len(allocs) == rc.nodes:
+                break
+            if worker.name in {a.node for a in allocs}:
+                continue
+            alloc = pool.try_allocate(per_node, preferred=[worker.name])
+            if alloc is None:
+                break
+            if alloc.node != worker.name or alloc.node in {a.node for a in allocs}:
+                pool.release(alloc)
+                continue
+            allocs.append(alloc)
+        if len(allocs) == rc.nodes:
+            return allocs
+        for a in allocs:
+            pool.release(a)
+        return None
+
+    @staticmethod
+    def _allocate_avoiding(
+        pool: ResourcePool,
+        rc,
+        preferred: List[str],
+        avoid: List[str],
+    ) -> Optional[Allocation]:
+        """Allocate, preferring ``preferred`` and avoiding ``avoid`` nodes.
+
+        Fault-tolerance rule (paper §4): after a same-node retry fails the
+        task is restarted *in another node* — hence ``avoid``.  If only
+        avoided nodes remain, they are used as a last resort.
+        """
+        if avoid:
+            order = [w.name for w in pool.available_workers() if w.name not in avoid]
+            pref = [p for p in preferred if p not in avoid] + order
+            alloc = pool.try_allocate(rc, preferred=pref)
+            if alloc is not None and alloc.node in avoid:
+                pool.release(alloc)
+                alloc = None
+            if alloc is not None:
+                return alloc
+            # Last resort: allow previously-failed nodes.
+            return pool.try_allocate(rc, preferred=preferred)
+        return pool.try_allocate(rc, preferred=preferred)

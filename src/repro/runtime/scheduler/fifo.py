@@ -1,0 +1,20 @@
+"""FIFO scheduler: strict submission order, first-fit placement.
+
+This is the behaviour visible in the paper's traces: 24 tasks start
+immediately on the 24 free cores and the remaining 3 start "as soon as a
+new resource is available" (Fig. 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.runtime.scheduler.base import Scheduler
+from repro.runtime.task_definition import TaskInvocation
+
+
+class FIFOScheduler(Scheduler):
+    """Submission-order scheduling."""
+
+    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
+        return sorted(ready, key=lambda t: t.task_id)

@@ -1,0 +1,23 @@
+"""Priority scheduler.
+
+``@task(priority=True)`` asks the runtime "to schedule that task as soon
+as possible" (paper §3).  Priority tasks jump the queue; ties break by
+submission order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.runtime.scheduler.base import Scheduler
+from repro.runtime.task_definition import TaskInvocation
+
+
+class PriorityScheduler(Scheduler):
+    """Priority-first, then submission order."""
+
+    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
+        return sorted(
+            ready,
+            key=lambda t: (not t.definition.priority, t.task_id),
+        )

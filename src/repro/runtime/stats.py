@@ -1,0 +1,98 @@
+"""Per-task-name execution statistics from a recorded trace.
+
+The quantitative companion to the Gantt view: for each task name, how
+many attempts ran, how long they took, how often they failed, which
+nodes hosted them.  Used by the CLI report and the overhead ablation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.runtime.tracing.extrae import TraceRecorder
+from repro.util.ascii_plot import table
+
+
+@dataclass
+class TaskStats:
+    """Aggregates for one task name."""
+
+    name: str
+    attempts: int = 0
+    failures: int = 0
+    durations: List[float] = field(default_factory=list)
+    nodes: Dict[str, int] = field(default_factory=dict)
+    total_core_seconds: float = 0.0
+
+    @property
+    def successes(self) -> int:
+        return self.attempts - self.failures
+
+    @property
+    def mean_duration(self) -> float:
+        return float(np.mean(self.durations)) if self.durations else 0.0
+
+    @property
+    def min_duration(self) -> float:
+        return float(min(self.durations)) if self.durations else 0.0
+
+    @property
+    def max_duration(self) -> float:
+        return float(max(self.durations)) if self.durations else 0.0
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.attempts if self.attempts else 0.0
+
+
+def compute_stats(recorder: TraceRecorder) -> Dict[str, TaskStats]:
+    """Aggregate a trace into per-task-name statistics."""
+    stats: Dict[str, TaskStats] = {}
+    # A multinode attempt produces one record per allocation; count the
+    # attempt once (keyed by task_label + start) but sum core-seconds over
+    # all of its records.
+    seen_attempts = set()
+    for record in recorder.records:
+        entry = stats.setdefault(record.task_name, TaskStats(record.task_name))
+        key = (record.task_label, record.start, record.attempt)
+        if key not in seen_attempts:
+            seen_attempts.add(key)
+            entry.attempts += 1
+            if not record.success:
+                entry.failures += 1
+            else:
+                entry.durations.append(record.duration)
+        entry.nodes[record.node] = entry.nodes.get(record.node, 0) + 1
+        entry.total_core_seconds += record.duration * (
+            len(record.cpu_ids) + len(record.gpu_ids)
+        )
+    return stats
+
+
+def render_stats(recorder: TraceRecorder) -> str:
+    """Text table of :func:`compute_stats`."""
+    stats = compute_stats(recorder)
+    if not stats:
+        return "(no task records)"
+    rows = [
+        [
+            s.name,
+            s.attempts,
+            s.failures,
+            s.mean_duration,
+            s.min_duration,
+            s.max_duration,
+            len(s.nodes),
+            s.total_core_seconds,
+        ]
+        for s in sorted(stats.values(), key=lambda s: s.name)
+    ]
+    return table(
+        ["task", "attempts", "failed", "mean s", "min s", "max s",
+         "nodes", "core-seconds"],
+        rows,
+        title="per-task execution statistics",
+    )

@@ -1,0 +1,119 @@
+"""Task metadata: the static definition and per-call invocations."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.pycompss_api.parameter import ParameterSpec, normalize_param
+
+
+class TaskKind(str, enum.Enum):
+    """How the task body executes (paper §3's decorator family)."""
+
+    PYTHON = "python"
+    BINARY = "binary"
+    MPI = "mpi"
+    OMPSS = "ompss"
+
+
+class TaskState(str, enum.Enum):
+    """Lifecycle of a task invocation."""
+
+    SUBMITTED = "submitted"
+    READY = "ready"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class TaskDefinition:
+    """Static description created by ``@task`` (one per decorated function).
+
+    Mutable fields (``constraint``, ``implementations``…) are filled in by
+    the stacking decorators (``@constraint``, ``@implement``, …).
+    """
+
+    func: Callable
+    name: str
+    returns: Optional[object] = None
+    n_returns: int = 1
+    param_specs: Dict[str, ParameterSpec] = field(default_factory=dict)
+    priority: bool = False
+    constraint: ResourceConstraint = field(default_factory=ResourceConstraint)
+    kind: TaskKind = TaskKind.PYTHON
+    kind_details: Dict[str, Any] = field(default_factory=dict)
+    #: Alternative implementations registered with ``@implement``; the
+    #: scheduler picks whichever fits the chosen node.
+    implementations: List["TaskDefinition"] = field(default_factory=list)
+    #: Simulator hint: size (MB) of this task's result object.  The
+    #: simulated executor charges a network transfer when a consumer runs
+    #: on a different node than the producer (paper §3: the runtime is
+    #: "transferring the data when needed").
+    output_size_mb: float = 0.0
+
+    def spec_for(self, param_name: str) -> ParameterSpec:
+        """Direction spec for ``param_name`` (default: IN)."""
+        from repro.pycompss_api.parameter import IN
+
+        return self.param_specs.get(param_name, IN)
+
+    def add_param_specs(self, specs: Dict[str, object]) -> None:
+        """Normalise and record user-supplied direction hints."""
+        for key, value in specs.items():
+            self.param_specs[key] = normalize_param(value)
+
+    def all_candidates(self) -> List["TaskDefinition"]:
+        """This definition plus any ``@implement`` alternatives."""
+        return [self, *self.implementations]
+
+
+_invocation_ids = itertools.count(1)
+
+
+def reset_invocation_counter() -> None:
+    """Restart task numbering (test isolation; graphs start at task 1)."""
+    global _invocation_ids
+    _invocation_ids = itertools.count(1)
+
+
+@dataclass
+class TaskInvocation:
+    """One call of a task function — a node in the dependency graph."""
+
+    definition: TaskDefinition
+    args: Tuple[Any, ...]
+    kwargs: Dict[str, Any]
+    task_id: int = field(default_factory=lambda: next(_invocation_ids))
+    state: TaskState = TaskState.SUBMITTED
+    #: Data versions read / written (filled by the access processor).
+    reads: List[str] = field(default_factory=list)
+    writes: List[str] = field(default_factory=list)
+    #: Execution bookkeeping.
+    attempts: int = 0
+    failed_nodes: List[str] = field(default_factory=list)
+    result: Any = None
+    error: Optional[BaseException] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    node: Optional[str] = None
+
+    @property
+    def label(self) -> str:
+        """Stable human-readable id, e.g. ``experiment-7``."""
+        return f"{self.definition.name}-{self.task_id}"
+
+    @property
+    def chosen_constraint(self) -> ResourceConstraint:
+        """Constraint of the (possibly `@implement`-selected) definition."""
+        return self.definition.constraint
+
+    def __hash__(self) -> int:
+        return hash(self.task_id)
+
+    def __repr__(self) -> str:
+        return f"<TaskInvocation {self.label} {self.state.value}>"

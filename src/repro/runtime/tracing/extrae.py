@@ -1,0 +1,98 @@
+"""Trace recording (the Extrae stand-in).
+
+The recorder is deliberately dumb — executors push
+:class:`TaskRecord` intervals and point :class:`TraceEvent` flags into
+lists — so that recording overhead is negligible and both the real and
+the simulated executor share it.  Tracing is optional (the paper: "both
+tracing and graph generation create a performance overhead … easily
+turned off by a simple flag").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One task attempt's occupation of concrete resources."""
+
+    task_label: str
+    task_name: str
+    node: str
+    cpu_ids: Tuple[int, ...]
+    gpu_ids: Tuple[int, ...]
+    start: float
+    end: float
+    success: bool = True
+    attempt: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(
+                f"record for {self.task_label} ends before it starts "
+                f"({self.end} < {self.start})"
+            )
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A point event (the paper's 'event flags'), e.g. a task start."""
+
+    time: float
+    kind: str
+    task_label: str
+    node: str
+
+
+class TraceRecorder:
+    """Collects task records and point events.
+
+    Parameters
+    ----------
+    enabled:
+        When False every record call is a no-op (the paper's traces-off
+        mode used for the timing runs of Fig. 9).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.records: List[TaskRecord] = []
+        self.events: List[TraceEvent] = []
+
+    def record_task(self, record: TaskRecord) -> None:
+        """Store one completed (or failed) task attempt interval."""
+        if self.enabled:
+            self.records.append(record)
+
+    def record_event(
+        self, time: float, kind: str, task_label: str, node: str
+    ) -> None:
+        """Store one point event."""
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, task_label, node))
+
+    def clear(self) -> None:
+        """Drop everything recorded so far."""
+        self.records.clear()
+        self.events.clear()
+
+    @property
+    def makespan(self) -> float:
+        """Latest end minus earliest start over all records (0 if empty)."""
+        if not self.records:
+            return 0.0
+        start = min(r.start for r in self.records)
+        end = max(r.end for r in self.records)
+        return end - start
+
+    def records_for_node(self, node: str) -> List[TaskRecord]:
+        return [r for r in self.records if r.node == node]
+
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.kind == kind]

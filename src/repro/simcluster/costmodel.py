@@ -1,0 +1,283 @@
+"""Calibrated duration model for training tasks.
+
+The simulated executor charges each ``experiment`` task a duration from
+this model instead of (or in addition to) actually running it.  The model
+is first-order but captures every effect the paper's evaluation relies on:
+
+* **epochs** scale time linearly (Fig. 5: "tasks take different times …
+  due to the different number of epochs");
+* **batch size** changes the number of optimiser steps and hence the
+  per-step framework overhead (smaller batches → slower epochs);
+* **optimiser** adds a small multiplicative factor (Adam > RMSprop > SGD);
+* **multi-core speed-up** follows Amdahl's law with a serial fraction, so
+  Fig. 9's diminishing returns appear naturally;
+* **GPU path** is a two-stage pipeline: CPU preprocessing feeds the GPU;
+  with one core the GPU starves (Fig. 9: "a powerful GPU with just a
+  single core is irrelevant as it will be idle most of the time").
+
+Calibration anchors from the paper's text:
+
+* one MNIST task on one MareNostrum 4 core ≈ 29 min (Fig. 4);
+* the 27-task MNIST grid on 24 usable cores ≈ 207 min (Fig. 5);
+* the single-node time-vs-cores curve has its minimum at 4 cores/task
+  (Fig. 9) — this emerges from the interaction of Amdahl speed-up and
+  wave scheduling, not from a hard-coded constant;
+* the whole CIFAR HPO on the 4 × V100 node drops below one hour at high
+  core counts, yet is slower than the CPU node at one core per task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.simcluster.node import NodeSpec
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Workload description of a dataset as seen by the cost model.
+
+    Attributes
+    ----------
+    name:
+        Dataset label (matched against the task's ``dataset`` hyperparam).
+    n_train_samples:
+        Samples visited per epoch.
+    size_mb:
+        On-disk size, used by the storage/network models for staging.
+    work_gflop_per_sample:
+        Forward+backward GFLOP per sample for the reference model.
+    preprocess_gflop_per_sample:
+        CPU-side input-pipeline GFLOP per sample (decode/augment); on the
+        GPU path this runs on the host cores.
+    """
+
+    name: str
+    n_train_samples: int
+    size_mb: float
+    work_gflop_per_sample: float
+    preprocess_gflop_per_sample: float
+
+    def __post_init__(self) -> None:
+        check_positive("n_train_samples", self.n_train_samples)
+        check_positive("size_mb", self.size_mb)
+        check_positive("work_gflop_per_sample", self.work_gflop_per_sample)
+        check_non_negative(
+            "preprocess_gflop_per_sample", self.preprocess_gflop_per_sample
+        )
+
+
+#: MNIST-scale workload: 60 k small greyscale images, light MLP/CNN.
+MNIST_LIKE = DatasetProfile(
+    name="mnist",
+    n_train_samples=60_000,
+    size_mb=52.0,
+    work_gflop_per_sample=0.0074,
+    preprocess_gflop_per_sample=0.0008,
+)
+
+#: CIFAR-10-scale workload: 50 k RGB images, small conv net — ~7× the
+#: per-sample work of the MNIST model.
+CIFAR10_LIKE = DatasetProfile(
+    name="cifar10",
+    n_train_samples=50_000,
+    size_mb=170.0,
+    work_gflop_per_sample=0.060,
+    preprocess_gflop_per_sample=0.006,
+)
+
+#: Relative cost of one optimiser step (update math + extra state reads).
+DEFAULT_OPTIMIZER_FACTORS: Dict[str, float] = {
+    "SGD": 1.00,
+    "RMSprop": 1.08,
+    "Adam": 1.15,
+}
+
+
+def amdahl_speedup(cores: int, serial_fraction: float) -> float:
+    """Amdahl's-law speed-up of ``cores`` with the given serial fraction.
+
+    >>> round(amdahl_speedup(1, 0.08), 3)
+    1.0
+    >>> amdahl_speedup(48, 0.0)
+    48.0
+    """
+    check_positive("cores", cores)
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ValueError(f"serial_fraction must be in [0, 1], got {serial_fraction}")
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / cores)
+
+
+@dataclass
+class TrainingCostModel:
+    """Turns (hyperparameters, dataset, resources) into a task duration.
+
+    All knobs are public dataclass fields so the ablation benchmarks can
+    sweep them (e.g. ``serial_fraction``) and show how the Fig. 9 curve
+    shape depends on them.
+
+    Attributes
+    ----------
+    serial_fraction:
+        Amdahl serial fraction of the training compute.
+    step_overhead_s:
+        Fixed framework cost per optimiser step (graph dispatch, Python
+        glue); does not parallelise.
+    startup_s:
+        Per-task one-off cost: worker spawn, framework import, model build.
+    gpu_efficiency:
+        Fraction of GPU peak the training kernels sustain.
+    gpu_pipeline_overhead_s:
+        Per-epoch host↔device synchronisation cost on the GPU path.
+    optimizer_factors:
+        Multiplicative per-optimiser cost factors.
+    datasets:
+        Known dataset profiles by name.
+    """
+
+    serial_fraction: float = 0.02
+    step_overhead_s: float = 0.014
+    startup_s: float = 25.0
+    gpu_efficiency: float = 0.06
+    gpu_pipeline_overhead_s: float = 0.5
+    optimizer_factors: Mapping[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_OPTIMIZER_FACTORS)
+    )
+    datasets: Mapping[str, DatasetProfile] = field(
+        default_factory=lambda: {p.name: p for p in (MNIST_LIKE, CIFAR10_LIKE)}
+    )
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.serial_fraction <= 1.0:
+            raise ValueError(
+                f"serial_fraction must be in [0, 1], got {self.serial_fraction}"
+            )
+        check_non_negative("step_overhead_s", self.step_overhead_s)
+        check_non_negative("startup_s", self.startup_s)
+        check_positive("gpu_efficiency", self.gpu_efficiency)
+
+    # ------------------------------------------------------------------
+    # Per-epoch components
+    # ------------------------------------------------------------------
+    def cpu_epoch_seconds(
+        self,
+        dataset: DatasetProfile,
+        node: NodeSpec,
+        cpu_units: int,
+        batch_size: int,
+        optimizer: str = "SGD",
+    ) -> float:
+        """Seconds for one epoch on ``cpu_units`` cores of ``node``."""
+        check_positive("cpu_units", cpu_units)
+        check_positive("batch_size", batch_size)
+        compute_gflop = dataset.n_train_samples * (
+            dataset.work_gflop_per_sample + dataset.preprocess_gflop_per_sample
+        )
+        speedup = amdahl_speedup(cpu_units, self.serial_fraction)
+        compute_s = compute_gflop / (node.core_gflops * speedup)
+        steps = -(-dataset.n_train_samples // batch_size)  # ceil division
+        overhead_s = steps * self.step_overhead_s
+        return (compute_s + overhead_s) * self._optimizer_factor(optimizer)
+
+    def gpu_epoch_seconds(
+        self,
+        dataset: DatasetProfile,
+        node: NodeSpec,
+        cpu_units: int,
+        batch_size: int,
+        optimizer: str = "SGD",
+    ) -> float:
+        """Seconds for one epoch with the GPU path (host cores preprocess).
+
+        The epoch is a producer/consumer pipeline: throughput is set by
+        the slower of CPU preprocessing and GPU compute.
+        """
+        check_positive("cpu_units", cpu_units)
+        check_positive("batch_size", batch_size)
+        if node.gpus == 0:
+            raise ValueError(f"node {node.name!r} has no GPUs")
+        gpu_gflop = dataset.n_train_samples * dataset.work_gflop_per_sample
+        gpu_s = gpu_gflop / (node.gpu_gflops * self.gpu_efficiency)
+        pre_gflop = dataset.n_train_samples * dataset.preprocess_gflop_per_sample
+        pre_s = pre_gflop / (node.core_gflops * cpu_units)
+        bottleneck = max(gpu_s, pre_s)
+        return (
+            bottleneck * self._optimizer_factor(optimizer)
+            + self.gpu_pipeline_overhead_s
+        )
+
+    # ------------------------------------------------------------------
+    # Whole-task duration
+    # ------------------------------------------------------------------
+    def task_duration(
+        self,
+        dataset: "DatasetProfile | str",
+        node: NodeSpec,
+        cpu_units: int,
+        gpu_units: int,
+        epochs: int,
+        batch_size: int,
+        optimizer: str = "SGD",
+    ) -> float:
+        """Total seconds for one training task (startup + epochs).
+
+        ``dataset`` may be a profile or the name of a registered profile.
+        """
+        profile = self._resolve_dataset(dataset)
+        check_positive("epochs", epochs)
+        check_non_negative("gpu_units", gpu_units)
+        if gpu_units > 0:
+            epoch_s = self.gpu_epoch_seconds(
+                profile, node, cpu_units, batch_size, optimizer
+            )
+        else:
+            epoch_s = self.cpu_epoch_seconds(
+                profile, node, cpu_units, batch_size, optimizer
+            )
+        return self.startup_s + epochs * epoch_s
+
+    def duration_for_config(
+        self,
+        config: Mapping[str, object],
+        node: NodeSpec,
+        cpu_units: int,
+        gpu_units: int,
+        default_dataset: "DatasetProfile | str" = MNIST_LIKE,
+    ) -> float:
+        """Duration for an HPO-style config dict.
+
+        Recognised keys (all optional): ``dataset``, ``num_epochs`` (or
+        ``epochs``), ``batch_size``, ``optimizer`` — exactly the
+        hyperparameters of the paper's Listing 1.
+        """
+        dataset = config.get("dataset", default_dataset)
+        epochs = int(config.get("num_epochs", config.get("epochs", 20)))
+        batch_size = int(config.get("batch_size", 32))
+        optimizer = str(config.get("optimizer", "SGD"))
+        return self.task_duration(
+            dataset, node, cpu_units, gpu_units, epochs, batch_size, optimizer
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _optimizer_factor(self, optimizer: str) -> float:
+        return float(self.optimizer_factors.get(optimizer, 1.0))
+
+    def _resolve_dataset(self, dataset: "DatasetProfile | str") -> DatasetProfile:
+        if isinstance(dataset, DatasetProfile):
+            return dataset
+        try:
+            return self.datasets[str(dataset)]
+        except KeyError:
+            raise KeyError(
+                f"unknown dataset {dataset!r}; known: {sorted(self.datasets)}"
+            ) from None
+
+    def register_dataset(self, profile: DatasetProfile) -> None:
+        """Add (or replace) a dataset profile by name."""
+        if not isinstance(self.datasets, dict):
+            self.datasets = dict(self.datasets)
+        self.datasets[profile.name] = profile

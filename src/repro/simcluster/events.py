@@ -1,0 +1,146 @@
+"""Minimal discrete-event simulation engine.
+
+The engine keeps a virtual clock and a priority queue of timestamped
+callbacks.  Ties are broken by insertion order so simulations are fully
+deterministic.  The simulated executor
+(:mod:`repro.runtime.executor.simulated`) schedules task completions,
+data transfers and failures as events here.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.util.validation import check_non_negative
+
+Action = Callable[[], Any]
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation.
+
+    Cancellation is lazy: the entry stays in the heap but is skipped when
+    popped (standard heapq idiom — removal from the middle of a heap is
+    O(n), skipping is O(log n) amortised).
+    """
+
+    __slots__ = ("time", "seq", "action", "cancelled", "label")
+
+    def __init__(self, time: float, seq: int, action: Action, label: str = ""):
+        self.time = time
+        self.seq = seq
+        self.action: Optional[Action] = action
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when its time comes."""
+        self.cancelled = True
+        self.action = None  # drop the reference so closures can be collected
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:.3f}, {self.label or 'event'}, {state})"
+
+
+class DiscreteEventSimulator:
+    """A virtual clock plus a future-event list.
+
+    Example
+    -------
+    >>> sim = DiscreteEventSimulator()
+    >>> fired = []
+    >>> _ = sim.schedule(5.0, lambda: fired.append(sim.now))
+    >>> _ = sim.schedule(1.0, lambda: fired.append(sim.now))
+    >>> sim.run()
+    >>> fired
+    [1.0, 5.0]
+    >>> sim.now
+    5.0
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, EventHandle]] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for _, _, h in self._heap if not h.cancelled)
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, delay: float, action: Action, label: str = "") -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` seconds from now."""
+        check_non_negative("delay", delay)
+        return self.schedule_at(self._now + delay, action, label)
+
+    def schedule_at(self, time: float, action: Action, label: str = "") -> EventHandle:
+        """Schedule ``action`` at absolute virtual ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: t={time} < now={self._now}"
+            )
+        handle = EventHandle(time, next(self._seq), action, label)
+        heapq.heappush(self._heap, (time, handle.seq, handle))
+        return handle
+
+    def step(self) -> bool:
+        """Fire the next pending event.  Returns False when queue is empty."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled or handle.action is None:
+                continue
+            self._now = time
+            action, handle.action = handle.action, None
+            action()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run events in timestamp order.
+
+        Parameters
+        ----------
+        until:
+            If given, stop once the next event is strictly later than
+            ``until`` (the clock is advanced to ``until``).
+        max_events:
+            Safety valve — raise :class:`RuntimeError` if more than this
+            many events fire (guards against self-rescheduling loops).
+        """
+        fired = 0
+        while self._heap:
+            next_time = self._heap[0][0]
+            if until is not None and next_time > until:
+                self._now = max(self._now, until)
+                return
+            if not self.step():
+                break
+            fired += 1
+            if max_events is not None and fired > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded max_events={max_events}; "
+                    "likely a self-rescheduling event loop"
+                )
+        if until is not None:
+            self._now = max(self._now, until)
+
+    def advance_to(self, time: float) -> None:
+        """Advance the clock without firing events (time must not regress)."""
+        if time < self._now:
+            raise ValueError(f"cannot move clock backwards: {time} < {self._now}")
+        self._now = time

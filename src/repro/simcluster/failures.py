@@ -1,0 +1,141 @@
+"""Failure injection for fault-tolerance experiments.
+
+The paper (§3/§4) describes COMPSs' two-level fault tolerance: a failed
+task is first retried on the same node; if it fails again it is resubmitted
+to a different node; other tasks are unaffected.  To exercise that code we
+need controllable failures: a deterministic :class:`FailurePlan` (fail
+attempt *k* of task *t*, or kill node *n* at time *T*) and a stochastic
+:class:`FailureInjector` (per-attempt failure probability from a seeded
+RNG).  Both are consumed by the executors in
+:mod:`repro.runtime.executor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.util.seeding import rng_from
+from repro.util.validation import check_in_range, check_non_negative
+
+
+@dataclass(frozen=True)
+class NodeFailure:
+    """A node that becomes unavailable at ``time`` (virtual seconds).
+
+    With ``recovery_time`` set, the node rejoins the pool at that time.
+    """
+
+    node: str
+    time: float
+    recovery_time: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+        if self.recovery_time is not None and self.recovery_time <= self.time:
+            raise ValueError(
+                f"recovery_time ({self.recovery_time}) must be after "
+                f"failure time ({self.time})"
+            )
+
+
+@dataclass
+class FailurePlan:
+    """A deterministic script of failures.
+
+    Attributes
+    ----------
+    task_failures:
+        Set of ``(task_label, attempt_index)`` pairs that must fail
+        (attempts are numbered from 0).  E.g. ``{("experiment-3", 0)}``
+        makes task ``experiment-3`` fail on its first try and succeed on
+        the retry.
+    node_failures:
+        Scripted node outages for the simulated executor.
+    """
+
+    task_failures: Set[Tuple[str, int]] = field(default_factory=set)
+    node_failures: List[NodeFailure] = field(default_factory=list)
+
+    def fail_task(self, task_label: str, *attempts: int) -> "FailurePlan":
+        """Schedule ``task_label`` to fail on the given attempt numbers."""
+        for a in attempts:
+            check_non_negative("attempt", a)
+            self.task_failures.add((task_label, a))
+        return self
+
+    def fail_node(
+        self, node: str, time: float, recovery_time: Optional[float] = None
+    ) -> "FailurePlan":
+        """Schedule node ``node`` to fail at virtual ``time``."""
+        self.node_failures.append(NodeFailure(node, time, recovery_time))
+        return self
+
+    def should_fail(self, task_label: str, attempt: int) -> bool:
+        """Whether this attempt of this task is scripted to fail."""
+        return (task_label, attempt) in self.task_failures
+
+
+class FailureInjector:
+    """Combines a deterministic plan with optional random task failures.
+
+    Parameters
+    ----------
+    plan:
+        Scripted failures (always honoured).
+    task_failure_prob:
+        Additional i.i.d. probability that any attempt fails.
+    seed:
+        Seed for the random component; identical seeds reproduce the
+        exact same failure pattern (attempts are counted, not timed, so
+        reproduction is independent of execution order jitter).
+    """
+
+    def __init__(
+        self,
+        plan: Optional[FailurePlan] = None,
+        task_failure_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        check_in_range("task_failure_prob", task_failure_prob, 0.0, 1.0)
+        self.plan = plan or FailurePlan()
+        self.task_failure_prob = task_failure_prob
+        self._seed = seed
+        self._draws: Dict[Tuple[str, int], bool] = {}
+        self._rng: np.random.Generator = rng_from(seed, "failure-injector")
+        self.injected_failures: List[Tuple[str, int]] = []
+
+    def should_fail(self, task_label: str, attempt: int) -> bool:
+        """Decide (deterministically per (task, attempt)) whether to fail.
+
+        The random draw for a given ``(task_label, attempt)`` is cached so
+        asking twice gives the same answer.
+        """
+        check_non_negative("attempt", attempt)
+        if self.plan.should_fail(task_label, attempt):
+            self._record(task_label, attempt)
+            return True
+        if self.task_failure_prob <= 0.0:
+            return False
+        key = (task_label, attempt)
+        if key not in self._draws:
+            self._draws[key] = bool(self._rng.random() < self.task_failure_prob)
+        if self._draws[key]:
+            self._record(task_label, attempt)
+        return self._draws[key]
+
+    def _record(self, task_label: str, attempt: int) -> None:
+        self.injected_failures.append((task_label, attempt))
+
+    @property
+    def node_failures(self) -> List[NodeFailure]:
+        """Scripted node outages (from the plan)."""
+        return list(self.plan.node_failures)
+
+    def reset(self) -> None:
+        """Forget cached draws and history; reseed the RNG."""
+        self._draws.clear()
+        self.injected_failures.clear()
+        self._rng = rng_from(self._seed, "failure-injector")

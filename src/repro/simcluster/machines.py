@@ -1,0 +1,170 @@
+"""Cluster presets matching the machines in the paper's §5.
+
+* **MareNostrum 4** — 2 × Intel Xeon Platinum 8160, 24 cores each → 48
+  cores/node, 96 GB, no GPUs.
+* **MinoTauro** — 2 × NVIDIA K80 cards and 2 × Xeon E5-2630 v3 8-core
+  (16 cores/node).  A K80 card holds two GK210 dies; the paper schedules
+  per-card, so we expose 2 GPU computing units.
+* **CTE POWER9** — 2 × POWER9 8335-GTH (20 cores, 4 threads/core → 160
+  hardware threads) and 4 × V100-16GB.
+
+Throughput constants are rough public figures; absolute accuracy is not
+needed because the cost model is calibrated end-to-end against the task
+durations the paper reports (see :mod:`repro.simcluster.costmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.simcluster.network import NetworkModel
+from repro.simcluster.node import NodeSpec
+from repro.simcluster.storage import SharedParallelFilesystem, StorageModel
+from repro.util.validation import check_positive
+
+
+@dataclass
+class ClusterSpec:
+    """A set of nodes plus interconnect and storage models."""
+
+    name: str
+    nodes: List[NodeSpec]
+    network: NetworkModel = field(default_factory=NetworkModel)
+    storage: StorageModel = field(default_factory=SharedParallelFilesystem)
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError("a cluster needs at least one node")
+        names = [n.name for n in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate node names in cluster: {names}")
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cpu_cores(self) -> int:
+        """Sum of CPU computing units across nodes."""
+        return sum(n.cpu_cores for n in self.nodes)
+
+    @property
+    def total_gpus(self) -> int:
+        """Sum of GPU computing units across nodes."""
+        return sum(n.gpus for n in self.nodes)
+
+    def node(self, name: str) -> NodeSpec:
+        """Look a node up by name (KeyError if absent)."""
+        for n in self.nodes:
+            if n.name == name:
+                return n
+        raise KeyError(f"no node named {name!r} in cluster {self.name!r}")
+
+    def describe(self) -> str:
+        """Multi-line human-readable cluster summary."""
+        lines = [
+            f"cluster {self.name}: {len(self.nodes)} nodes, "
+            f"{self.total_cpu_cores} cores, {self.total_gpus} GPUs "
+            f"({self.storage.describe()})"
+        ]
+        lines.extend("  " + n.describe() for n in self.nodes)
+        return "\n".join(lines)
+
+
+def _make_nodes(
+    prefix: str,
+    n_nodes: int,
+    cpu_cores: int,
+    gpus: int,
+    memory_gb: float,
+    core_gflops: float,
+    gpu_gflops: float,
+    gpu_memory_gb: float,
+    labels: Optional[dict] = None,
+) -> List[NodeSpec]:
+    check_positive("n_nodes", n_nodes)
+    return [
+        NodeSpec(
+            name=f"{prefix}-{i:04d}",
+            cpu_cores=cpu_cores,
+            gpus=gpus,
+            memory_gb=memory_gb,
+            core_gflops=core_gflops,
+            gpu_gflops=gpu_gflops,
+            gpu_memory_gb=gpu_memory_gb,
+            labels=dict(labels or {}),
+        )
+        for i in range(1, n_nodes + 1)
+    ]
+
+
+def mare_nostrum4(n_nodes: int = 1) -> ClusterSpec:
+    """MareNostrum 4 general-purpose partition: 48-core Skylake nodes."""
+    return ClusterSpec(
+        name=f"MareNostrum4-{n_nodes}n",
+        nodes=_make_nodes(
+            "mn4", n_nodes, cpu_cores=48, gpus=0, memory_gb=96.0,
+            core_gflops=8.0, gpu_gflops=0.0, gpu_memory_gb=0.0,
+            labels={"arch": "skylake"},
+        ),
+    )
+
+
+def minotauro(n_nodes: int = 1) -> ClusterSpec:
+    """MinoTauro K80 partition: 16 Haswell cores + 2 K80 cards per node."""
+    return ClusterSpec(
+        name=f"MinoTauro-{n_nodes}n",
+        nodes=_make_nodes(
+            "mt", n_nodes, cpu_cores=16, gpus=2, memory_gb=128.0,
+            core_gflops=6.0, gpu_gflops=2900.0, gpu_memory_gb=24.0,
+            labels={"arch": "haswell", "gpu": "k80"},
+        ),
+    )
+
+
+def cte_power9(n_nodes: int = 1) -> ClusterSpec:
+    """CTE POWER9: 160 hardware threads + 4 × V100-16GB per node."""
+    return ClusterSpec(
+        name=f"CTE-POWER9-{n_nodes}n",
+        nodes=_make_nodes(
+            "p9", n_nodes, cpu_cores=160, gpus=4, memory_gb=512.0,
+            core_gflops=4.0, gpu_gflops=7800.0, gpu_memory_gb=16.0,
+            labels={"arch": "power9", "gpu": "v100"},
+        ),
+    )
+
+
+def local_machine(cpu_cores: int = 4, gpus: int = 0, name: str = "local") -> ClusterSpec:
+    """A single small node, used by tests and the local executor."""
+    check_positive("cpu_cores", cpu_cores)
+    node = NodeSpec(
+        name=name,
+        cpu_cores=cpu_cores,
+        gpus=gpus,
+        memory_gb=16.0,
+        core_gflops=8.0,
+        gpu_gflops=5000.0 if gpus else 0.0,
+        gpu_memory_gb=8.0 if gpus else 0.0,
+    )
+    return ClusterSpec(name=f"local-{cpu_cores}c", nodes=[node])
+
+
+def heterogeneous(
+    cpu_nodes: int = 2, gpu_nodes: int = 1, name: str = "hetero"
+) -> ClusterSpec:
+    """A mixed CPU+GPU cluster (used by `@implement` / constraint tests)."""
+    nodes: List[NodeSpec] = []
+    nodes.extend(
+        _make_nodes("cpu", cpu_nodes, 48, 0, 96.0, 8.0, 0.0, 0.0,
+                    labels={"arch": "skylake"})
+        if cpu_nodes else []
+    )
+    nodes.extend(
+        _make_nodes("gpu", gpu_nodes, 160, 4, 512.0, 4.0, 7800.0, 16.0,
+                    labels={"arch": "power9", "gpu": "v100"})
+        if gpu_nodes else []
+    )
+    return ClusterSpec(name=name, nodes=nodes)

@@ -1,0 +1,58 @@
+"""Interconnect model.
+
+COMPSs transfers task input/output objects between nodes when no shared
+parallel filesystem is available (paper §4).  We model a transfer as
+``latency + size / bandwidth``, which is the standard LogP-style
+first-order model and sufficient for the paper's figures (data movement
+is negligible next to multi-minute training tasks, but the model lets us
+quantify exactly *how* negligible — and matters in ablations with large
+synthetic datasets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Point-to-point interconnect with uniform latency/bandwidth.
+
+    Attributes
+    ----------
+    latency_s:
+        One-way message latency in seconds.
+    bandwidth_mbps:
+        Sustained bandwidth in megabytes per second.
+    """
+
+    latency_s: float = 2e-6
+    bandwidth_mbps: float = 12000.0  # ~100 Gbit/s Omni-Path, as on MN4
+
+    def __post_init__(self) -> None:
+        check_non_negative("latency_s", self.latency_s)
+        check_positive("bandwidth_mbps", self.bandwidth_mbps)
+
+    def transfer_time(self, size_mb: float, src: str, dst: str) -> float:
+        """Seconds to move ``size_mb`` from node ``src`` to node ``dst``.
+
+        Intra-node "transfers" are free (same memory space).
+        """
+        check_non_negative("size_mb", size_mb)
+        if src == dst:
+            return 0.0
+        return self.latency_s + size_mb / self.bandwidth_mbps
+
+    def broadcast_time(self, size_mb: float, n_destinations: int) -> float:
+        """Seconds to fan ``size_mb`` out to ``n_destinations`` nodes.
+
+        Modelled as a binomial tree: ``ceil(log2(n+1))`` sequential rounds.
+        """
+        check_non_negative("size_mb", size_mb)
+        check_non_negative("n_destinations", n_destinations)
+        if n_destinations == 0:
+            return 0.0
+        rounds = max(1, (n_destinations).bit_length())
+        return rounds * (self.latency_s + size_mb / self.bandwidth_mbps)

@@ -1,0 +1,92 @@
+"""Hardware description of a cluster node.
+
+A :class:`NodeSpec` is a pure description (no mutable state); slot
+accounting during scheduling lives in :mod:`repro.runtime.resources`.
+Specs carry enough detail for the cost model: per-core throughput,
+per-GPU throughput, and host/device memory sizes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+class ProcessorKind(str, enum.Enum):
+    """Processor types a `@constraint` can request (paper §3, Listing 2)."""
+
+    CPU = "CPU"
+    GPU = "GPU"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Immutable description of one cluster node.
+
+    Attributes
+    ----------
+    name:
+        Unique node name, e.g. ``"mn4-0003"``.
+    cpu_cores:
+        Number of schedulable CPU computing units (hardware threads for
+        SMT machines such as POWER9, physical cores otherwise — this
+        matches how COMPSs counts ComputingUnits).
+    gpus:
+        Number of GPU computing units.
+    memory_gb:
+        Host memory available to tasks.
+    core_gflops:
+        Sustained throughput of one CPU computing unit, used by the cost
+        model to turn work (GFLOP) into seconds.
+    gpu_gflops:
+        Sustained throughput of one GPU.
+    gpu_memory_gb:
+        Device memory per GPU.
+    labels:
+        Free-form key/value tags (e.g. ``{"arch": "power9"}``) that
+        constraints may match on.
+    """
+
+    name: str
+    cpu_cores: int
+    gpus: int = 0
+    memory_gb: float = 96.0
+    core_gflops: float = 8.0
+    gpu_gflops: float = 0.0
+    gpu_memory_gb: float = 0.0
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+        check_positive("cpu_cores", self.cpu_cores)
+        check_non_negative("gpus", self.gpus)
+        check_positive("memory_gb", self.memory_gb)
+        check_positive("core_gflops", self.core_gflops)
+        if self.gpus > 0:
+            check_positive("gpu_gflops", self.gpu_gflops)
+            check_positive("gpu_memory_gb", self.gpu_memory_gb)
+
+    @property
+    def total_gflops(self) -> float:
+        """Aggregate peak throughput of the node (CPU + GPU)."""
+        return self.cpu_cores * self.core_gflops + self.gpus * self.gpu_gflops
+
+    def can_ever_satisfy(self, cpu_units: int, gpu_units: int, memory_gb: float) -> bool:
+        """Whether a request could fit this node even when idle."""
+        return (
+            cpu_units <= self.cpu_cores
+            and gpu_units <= self.gpus
+            and memory_gb <= self.memory_gb
+        )
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        gpu = f", {self.gpus} GPU ({self.gpu_gflops:g} GF/GPU)" if self.gpus else ""
+        return (
+            f"{self.name}: {self.cpu_cores} cores ({self.core_gflops:g} GF/core)"
+            f"{gpu}, {self.memory_gb:g} GB"
+        )

@@ -1,0 +1,30 @@
+"""Shared utilities for the reproduction package.
+
+This subpackage holds small, dependency-free helpers used across the
+runtime, simulator, ML framework and HPO layers: deterministic seeding,
+wall-clock timing, ASCII plotting (the stand-in for the paper's matplotlib
+dashboards), logging configuration, and argument validation.
+"""
+
+from repro.util.seeding import SeedSequenceFactory, derive_seed, rng_from
+from repro.util.timing import Stopwatch, format_duration
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+    check_one_of,
+)
+
+__all__ = [
+    "SeedSequenceFactory",
+    "derive_seed",
+    "rng_from",
+    "Stopwatch",
+    "format_duration",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+    "check_one_of",
+]

@@ -1,0 +1,173 @@
+"""ASCII plotting — the stand-in for the paper's matplotlib figures.
+
+The paper plots accuracy-vs-epoch curves (Figs. 7–8) and time-vs-cores
+series (Fig. 9) with matplotlib, which is not available offline.  These
+renderers emit the same information as monospace text so benchmark output
+and example scripts remain self-contained and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.util.validation import check_positive
+
+# Characters used to distinguish series in a multi-series chart.
+SERIES_MARKERS = "ox+*#@%&$~^"
+
+
+def _scale(value: float, lo: float, hi: float, size: int) -> int:
+    """Map ``value`` in [lo, hi] to a cell index in [0, size-1]."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(size - 1, max(0, int(round(frac * (size - 1)))))
+
+
+def line_chart(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render one or more ``(x, y)`` series as an ASCII scatter/line chart.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to a sequence of ``(x, y)`` points.
+    width, height:
+        Plot-area size in character cells.
+    title, x_label, y_label:
+        Annotations printed around the plot.
+
+    Returns
+    -------
+    str
+        A multi-line string; safe to ``print``.
+    """
+    check_positive("width", width)
+    check_positive("height", height)
+    points = [(x, y) for pts in series.values() for (x, y) in pts]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = SERIES_MARKERS[idx % len(SERIES_MARKERS)]
+        prev_cell: Optional[Tuple[int, int]] = None
+        for x, y in sorted(pts):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            if prev_cell is not None:
+                # Draw a crude connecting segment so trends read as lines.
+                pc, pr = prev_cell
+                steps = max(abs(col - pc), abs(row - pr))
+                for s in range(1, steps):
+                    ic = pc + round((col - pc) * s / steps)
+                    ir = pr + round((row - pr) * s / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[row][col] = marker
+            prev_cell = (col, row)
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_hi:>10.4g} +" + "-" * width + "+")
+    for r, row_cells in enumerate(grid):
+        label = f"{y_lo + (y_hi - y_lo) * (height - 1 - r) / max(1, height - 1):>10.4g}" if r in (
+            height // 2,
+        ) else " " * 10
+        lines.append(f"{label} |" + "".join(row_cells) + "|")
+    lines.append(f"{y_lo:>10.4g} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"{x_lo:<12.6g}{x_label:^{max(0, width - 24)}}{x_hi:>12.6g}")
+    legend = "   ".join(
+        f"{SERIES_MARKERS[i % len(SERIES_MARKERS)]} {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"  legend: {legend}  (y: {y_label})")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+) -> str:
+    """Render a horizontal bar chart of label → value.
+
+    >>> print(bar_chart({"a": 2.0, "b": 4.0}, width=4))  # doctest: +SKIP
+    """
+    check_positive("width", width)
+    if not values:
+        return f"{title}\n(no data)"
+    vmax = max(values.values())
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    for name, val in values.items():
+        n = _scale(val, 0.0, vmax, width) + (1 if val > 0 else 0)
+        n = min(n, width)
+        lines.append(f"{name:<{label_w}} | {'#' * n:<{width}} {val:.4g}{unit}")
+    return "\n".join(lines)
+
+
+def table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with 4 significant digits; everything else via
+    ``str``.
+    """
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = [title] if title else []
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in str_rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def histogram(
+    data: Sequence[float], bins: int = 10, width: int = 40, title: str = ""
+) -> str:
+    """Render a histogram of ``data`` with ``bins`` equal-width buckets."""
+    check_positive("bins", bins)
+    if not data:
+        return f"{title}\n(no data)"
+    lo, hi = min(data), max(data)
+    if hi == lo:
+        hi = lo + 1.0
+    counts = [0] * bins
+    for v in data:
+        counts[_scale(v, lo, hi, bins)] += 1
+    labels = {
+        f"[{lo + (hi - lo) * i / bins:.3g}, {lo + (hi - lo) * (i + 1) / bins:.3g})": c
+        for i, c in enumerate(counts)
+    }
+    return bar_chart({k: float(v) for k, v in labels.items()}, width=width, title=title)

@@ -1,0 +1,51 @@
+"""Logging configuration shared by the runtime and HPO layers.
+
+The COMPSs runtime logs scheduling decisions, data transfers and fault
+recovery; we mirror that with standard :mod:`logging` loggers under the
+``"repro"`` namespace so users can dial verbosity per subsystem
+(``repro.runtime``, ``repro.simcluster``, ``repro.hpo``).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Optional
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("runtime.scheduler")`` → logger ``repro.runtime.scheduler``.
+    """
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure(level: int = logging.WARNING, stream=None) -> logging.Logger:
+    """Configure the root ``repro`` logger with a plain formatter.
+
+    Safe to call repeatedly; the handler is installed once.  Returns the
+    root ``repro`` logger.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(level)
+    if not any(getattr(h, "_repro_handler", False) for h in root.handlers):
+        handler = logging.StreamHandler(stream)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        root.addHandler(handler)
+    return root
+
+
+def set_verbosity(verbose: bool, debug: bool = False) -> None:
+    """Convenience switch used by example scripts (``--verbose/--debug``)."""
+    level: Optional[int] = None
+    if debug:
+        level = logging.DEBUG
+    elif verbose:
+        level = logging.INFO
+    if level is not None:
+        configure(level)

@@ -1,0 +1,80 @@
+"""Wall-clock timing helpers used by executors, benchmarks and examples."""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+
+class Stopwatch:
+    """A restartable monotonic stopwatch.
+
+    Example
+    -------
+    >>> sw = Stopwatch().start()
+    >>> _ = sum(range(1000))
+    >>> sw.stop().elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        """Start (or resume) the stopwatch and return ``self``."""
+        if self._start is None:
+            self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> "Stopwatch":
+        """Stop the stopwatch, accumulating elapsed time; returns ``self``."""
+        if self._start is not None:
+            self._elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self
+
+    def reset(self) -> "Stopwatch":
+        """Zero the accumulated time and stop; returns ``self``."""
+        self._start = None
+        self._elapsed = 0.0
+        return self
+
+    @property
+    def running(self) -> bool:
+        """Whether the stopwatch is currently running."""
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Accumulated elapsed seconds (includes the live segment if running)."""
+        live = (time.perf_counter() - self._start) if self._start is not None else 0.0
+        return self._elapsed + live
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def format_duration(seconds: float) -> str:
+    """Render ``seconds`` as a compact human-readable duration.
+
+    >>> format_duration(29 * 60)
+    '29m 0s'
+    >>> format_duration(3.25)
+    '3.25s'
+    >>> format_duration(2 * 3600 + 90)
+    '2h 1m 30s'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds}")
+    if seconds < 60:
+        return f"{seconds:.2f}s"
+    total = int(round(seconds))
+    hours, rem = divmod(total, 3600)
+    minutes, secs = divmod(rem, 60)
+    if hours:
+        return f"{hours}h {minutes}m {secs}s"
+    return f"{minutes}m {secs}s"

@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+Every test must leave the process with no active runtime; the autouse
+fixture enforces that so a failing test cannot poison its neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime.runtime import current_runtime, set_current
+from repro.simcluster.machines import local_machine
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_runtime():
+    """Fail-safe: clear any runtime a test forgot (or failed) to stop."""
+    yield
+    runtime = current_runtime()
+    if runtime is not None:
+        try:
+            runtime.executor.shutdown()
+        finally:
+            set_current(None)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def tiny_cluster():
+    """A 4-core local cluster spec."""
+    return local_machine(4)
+
+
+@pytest.fixture
+def tiny_dataset():
+    """A very small easy classification dataset: (x_train, y_train, x_val, y_val)."""
+    from repro.ml.data import one_hot
+    from repro.ml.datasets import make_image_classification
+
+    x, y = make_image_classification(
+        260, image_shape=(6, 6, 1), n_classes=4, noise=0.4, seed=7
+    )
+    y1 = one_hot(y, 4)
+    return x[:200], y1[:200], x[200:], y1[200:]

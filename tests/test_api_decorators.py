@@ -1,0 +1,222 @@
+"""Tests for @task, @constraint, @implement & co (no runtime running)."""
+
+import pytest
+
+from repro.pycompss_api import (
+    INOUT,
+    binary,
+    constraint,
+    implement,
+    mpi,
+    multinode,
+    ompss,
+    task,
+)
+from repro.pycompss_api.constraint import ResourceConstraint, parse_processors
+from repro.pycompss_api.parameter import IN, OUT, Direction, normalize_param
+from repro.pycompss_api.task import _count_returns
+from repro.runtime.task_definition import TaskKind
+
+
+class TestSequentialFallback:
+    def test_task_runs_inline_without_runtime(self):
+        @task(returns=int)
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42  # paper §3: sequential fallback
+
+    def test_constraint_ignored_without_runtime(self):
+        @constraint(computing_units=48)
+        @task(returns=int)
+        def f(x):
+            return x + 1
+
+        assert f(1) == 2
+
+    def test_wrapped_preserves_metadata(self):
+        @task(returns=int)
+        def documented(x):
+            """Docstring."""
+            return x
+
+        assert documented.__name__ == "documented"
+        assert documented.__doc__ == "Docstring."
+        assert documented.__wrapped__(3) == 3
+
+
+class TestReturnsCounting:
+    @pytest.mark.parametrize(
+        "spec,n",
+        [
+            (int, 1), (list, 1), (object, 1), ("int", 1),
+            (2, 2), (0, 0), (None, 0), ((int, str), 2), ([int, int, int], 3),
+        ],
+    )
+    def test_counts(self, spec, n):
+        assert _count_returns(spec) == n
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            _count_returns(True)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _count_returns(-1)
+
+
+class TestParameterDirections:
+    def test_direction_properties(self):
+        assert Direction.IN.reads and not Direction.IN.writes
+        assert Direction.OUT.writes and not Direction.OUT.reads
+        assert Direction.INOUT.reads and Direction.INOUT.writes
+
+    @pytest.mark.parametrize("spec", ["INOUT", Direction.INOUT, INOUT])
+    def test_normalize_forms(self, spec):
+        assert normalize_param(spec).direction == Direction.INOUT
+
+    def test_normalize_file(self):
+        p = normalize_param("FILE_OUT")
+        assert p.is_file and p.direction == Direction.OUT
+
+    def test_normalize_invalid(self):
+        with pytest.raises(ValueError):
+            normalize_param("SIDEWAYS")
+        with pytest.raises(TypeError):
+            normalize_param(3.5)
+
+    def test_task_records_directions(self):
+        @task(returns=int, data=INOUT)
+        def f(data):
+            return 0
+
+        assert f.definition.spec_for("data").direction == Direction.INOUT
+        assert f.definition.spec_for("other") is IN
+
+
+class TestConstraint:
+    def test_paper_listing2_form(self):
+        @constraint(
+            processors=[
+                {"ProcessorType": "CPU", "ComputingUnits": 1},
+                {"ProcessorType": "GPU", "ComputingUnits": 1},
+            ]
+        )
+        @task(returns=int)
+        def experiment(config):
+            return 0
+
+        rc = experiment.definition.constraint
+        assert rc.cpu_units == 1 and rc.gpu_units == 1
+
+    def test_keyword_form(self):
+        @constraint(computing_units=4, memory_size=8.0)
+        @task(returns=int)
+        def f(x):
+            return 0
+
+        rc = f.definition.constraint
+        assert rc.cpu_units == 4 and rc.memory_gb == 8.0
+
+    def test_parse_processors_accumulates(self):
+        rc = parse_processors(
+            [
+                {"ProcessorType": "CPU", "ComputingUnits": 2},
+                {"ProcessorType": "CPU", "ComputingUnits": 2},
+                {"ProcessorType": "GPU", "ComputingUnits": 1},
+            ]
+        )
+        assert rc.cpu_units == 4 and rc.gpu_units == 1
+
+    def test_unknown_processor_type(self):
+        with pytest.raises(ValueError, match="ProcessorType"):
+            parse_processors([{"ProcessorType": "TPU"}])
+
+    def test_on_non_task_rejected(self):
+        with pytest.raises(TypeError, match="above @task"):
+            constraint(computing_units=1)(lambda x: x)
+
+    def test_describe(self):
+        assert ResourceConstraint(2, 1, 4.0).describe() == "2CPU+1GPU+4GB"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceConstraint(cpu_units=0)
+        with pytest.raises(ValueError):
+            ResourceConstraint(gpu_units=-1)
+
+
+class TestImplementFamily:
+    def test_implement_registers_alternative(self):
+        @constraint(computing_units=48)
+        @task(returns=int)
+        def primary(x):
+            return x
+
+        @implement(source=primary)
+        @constraint(computing_units=1)
+        @task(returns=int)
+        def alternative(x):
+            return x
+
+        assert primary.definition.implementations == [alternative.definition]
+        assert len(primary.definition.all_candidates()) == 2
+
+    def test_implement_return_mismatch(self):
+        @task(returns=2)
+        def two(x):
+            return x, x
+
+        with pytest.raises(ValueError, match="returns"):
+
+            @implement(source=two)
+            @task(returns=int)
+            def one(x):
+                return x
+
+    def test_binary(self):
+        @binary(binary="./train.sh")
+        @task(returns=int)
+        def f(x):
+            return 0
+
+        assert f.definition.kind == TaskKind.BINARY
+        assert f.definition.kind_details["binary"] == "./train.sh"
+
+    def test_binary_empty_name(self):
+        with pytest.raises(ValueError):
+            binary(binary="")
+
+    def test_mpi_raises_cpu_units(self):
+        @mpi(runner="mpirun", processes=8)
+        @task(returns=int)
+        def f(x):
+            return 0
+
+        assert f.definition.kind == TaskKind.MPI
+        assert f.definition.constraint.cpu_units == 8
+
+    def test_ompss(self):
+        @ompss(binary="./omp.bin")
+        @task(returns=int)
+        def f(x):
+            return 0
+
+        assert f.definition.kind == TaskKind.OMPSS
+
+    def test_multinode_sets_nodes(self):
+        @constraint(computing_units=4)
+        @multinode(computing_nodes=3)
+        @task(returns=int)
+        def f(x):
+            return 0
+
+        rc = f.definition.constraint
+        assert rc.nodes == 3 and rc.cpu_units == 4
+
+    def test_priority_flag(self):
+        @task(returns=int, priority=True)
+        def f(x):
+            return 0
+
+        assert f.definition.priority

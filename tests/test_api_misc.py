@@ -1,0 +1,99 @@
+"""Tests for the remaining API surface: start/stop helpers, logging."""
+
+import logging
+
+import pytest
+
+from repro.pycompss_api import (
+    COMPSs,
+    compss_barrier,
+    compss_delete_object,
+    compss_start,
+    compss_stop,
+    compss_wait_on,
+    task,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import current_runtime
+from repro.simcluster.machines import local_machine
+from repro.util.logging_utils import configure, get_logger, set_verbosity
+
+
+@task(returns=int)
+def plus(x):
+    return x + 1
+
+
+class TestStartStop:
+    def test_compss_start_kwargs(self):
+        rt = compss_start(cluster=local_machine(2))
+        try:
+            assert current_runtime() is rt
+            assert compss_wait_on(plus(1)) == 2
+        finally:
+            compss_stop()
+        assert current_runtime() is None
+
+    def test_compss_start_with_config(self):
+        rt = compss_start(RuntimeConfig(cluster=local_machine(1)))
+        try:
+            assert rt.cluster.total_cpu_cores == 1
+        finally:
+            compss_stop()
+
+    def test_config_and_kwargs_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            compss_start(RuntimeConfig(), cluster=local_machine(1))
+        with pytest.raises(ValueError):
+            COMPSs(RuntimeConfig(), cluster=local_machine(1))
+
+    def test_compss_stop_idempotent(self):
+        compss_stop()  # no runtime active: no-op
+        assert current_runtime() is None
+
+    def test_barrier_without_runtime_is_noop(self):
+        compss_barrier()
+
+    def test_delete_object_without_runtime(self):
+        assert compss_delete_object([1, 2]) is False
+
+    def test_delete_object_with_runtime(self):
+        with COMPSs(cluster=local_machine(2)) as rt:
+            data = [1, 2]
+            plus_def_result = compss_wait_on(plus(1))
+            rt.access.process_access  # registry exists
+            # Track via a task using the object:
+
+            @task(returns=int)
+            def use(d):
+                return len(d)
+
+            compss_wait_on(use(data))
+            assert compss_delete_object(data) is True
+            assert compss_delete_object(data) is False
+
+    def test_context_manager_exception_does_not_hang(self):
+        with pytest.raises(RuntimeError, match="user error"):
+            with COMPSs(cluster=local_machine(2)):
+                plus(1)
+                raise RuntimeError("user error")
+        assert current_runtime() is None
+
+
+class TestLoggingUtils:
+    def test_get_logger_namespacing(self):
+        assert get_logger("runtime.scheduler").name == "repro.runtime.scheduler"
+        assert get_logger("repro.hpo").name == "repro.hpo"
+
+    def test_configure_installs_single_handler(self):
+        root = configure(logging.INFO)
+        n = len(root.handlers)
+        configure(logging.INFO)
+        assert len(root.handlers) == n
+
+    def test_set_verbosity_levels(self):
+        set_verbosity(verbose=True)
+        assert logging.getLogger("repro").level == logging.INFO
+        set_verbosity(verbose=False, debug=True)
+        assert logging.getLogger("repro").level == logging.DEBUG
+        logging.getLogger("repro").setLevel(logging.WARNING)

@@ -1,0 +1,133 @@
+"""Tests for the runcompss-style CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.hpo.config_file import write_config_file
+
+SMALL_CONFIG = {
+    "optimizer": ["Adam", "SGD"],
+    "num_epochs": [2, 4],
+    "batch_size": [32],
+}
+
+
+@pytest.fixture
+def config_path(tmp_path):
+    return write_config_file(SMALL_CONFIG, tmp_path / "config.json")
+
+
+class TestParser:
+    def test_run_defaults(self, config_path):
+        args = build_parser().parse_args(["run", str(config_path)])
+        assert args.cluster == "local"
+        assert args.algorithm == "grid"
+        assert args.executor == "local"
+
+    def test_all_schedulers_accepted(self, config_path):
+        for s in ("fifo", "priority", "locality", "lpt"):
+            args = build_parser().parse_args(
+                ["run", str(config_path), "--scheduler", s]
+            )
+            assert args.scheduler == s
+
+    def test_unknown_cluster_rejected(self, config_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", str(config_path), "--cluster", "summit"]
+            )
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRunCommand:
+    def test_simulated_grid_with_artifacts(self, config_path, tmp_path, capsys):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "run", str(config_path),
+                "--cluster", "mn4", "--nodes", "1",
+                "--executor", "simulated",
+                "--mock-objective",
+                "--reserved-cores", "24",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "4/4 trials completed" in printed
+        for artifact in (
+            "study.json", "study.csv", "history.csv",
+            "graph.dot", "trace.prv", "report.txt",
+        ):
+            assert (out_dir / artifact).exists(), artifact
+        study = json.loads((out_dir / "study.json").read_text())
+        assert len(study["trials"]) == 4
+
+    def test_no_tracing_skips_prv(self, config_path, tmp_path):
+        out_dir = tmp_path / "results"
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective", "--no-tracing", "--no-graph",
+                "--out-dir", str(out_dir),
+            ]
+        )
+        assert code == 0
+        assert not (out_dir / "trace.prv").exists()
+        assert not (out_dir / "graph.dot").exists()
+        assert (out_dir / "study.json").exists()
+
+    def test_random_algorithm_budget(self, config_path, tmp_path, capsys):
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective",
+                "--algorithm", "random", "--n-trials", "3",
+            ]
+        )
+        assert code == 0
+        assert "3/3 trials completed" in capsys.readouterr().out
+
+    def test_target_accuracy_stops(self, config_path, capsys):
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective",
+                "--target-accuracy", "0.5",
+            ]
+        )
+        assert code == 0
+        assert "stopped early" in capsys.readouterr().out
+
+    def test_real_training_local(self, tmp_path, capsys):
+        cfg = dict(SMALL_CONFIG, n_train=200, n_test=60)
+        path = write_config_file(cfg, tmp_path / "c.json")
+        code = main(["run", str(path), "--cluster", "local"])
+        assert code == 0
+        assert "trials completed" in capsys.readouterr().out
+
+    def test_lpt_scheduler_runs(self, config_path, capsys):
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective", "--scheduler", "lpt",
+            ]
+        )
+        assert code == 0
+
+
+class TestDescribeCluster:
+    def test_describe(self, capsys):
+        code = main(["describe-cluster", "--cluster", "power9", "--nodes", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 nodes" in out and "GPU" in out.upper()

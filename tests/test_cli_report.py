@@ -1,0 +1,39 @@
+"""Tests for the CLI report subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.hpo import GridSearch, PyCOMPSsRunner, fast_mock_objective, parse_search_space
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine
+
+
+@pytest.fixture
+def study_json(tmp_path):
+    space = parse_search_space(
+        {"optimizer": ["Adam", "SGD"], "num_epochs": [2, 4], "batch_size": [32]}
+    )
+    study = PyCOMPSsRunner(
+        GridSearch(space),
+        objective=fast_mock_objective,
+        runtime_config=RuntimeConfig(cluster=local_machine(2)),
+    ).run()
+    return study.save_json(tmp_path / "study.json")
+
+
+class TestReportCommand:
+    def test_prints_report(self, study_json, capsys):
+        assert main(["report", str(study_json)]) == 0
+        out = capsys.readouterr().out
+        assert "HPO study report" in out
+        assert "Best trial" in out
+        assert "Hyperparameter effects" in out
+
+    def test_writes_file(self, study_json, tmp_path):
+        out_file = tmp_path / "report.md"
+        assert main(["report", str(study_json), "--out", str(out_file)]) == 0
+        assert out_file.read_text().startswith("# HPO study report")
+
+    def test_missing_file_errors(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["report", str(tmp_path / "nope.json")])

@@ -1,0 +1,29 @@
+"""Keep the docstring examples honest: run doctests across the package."""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+# Modules whose doctests need a started runtime or heavy setup are listed
+# here and skipped; everything else must have passing doctests.
+_SKIP = {
+    "repro.cli",  # argparse docstrings show shell syntax, not doctests
+}
+
+
+def _iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name in _SKIP or info.name.endswith("__main__"):
+            continue
+        yield info.name
+
+
+@pytest.mark.parametrize("module_name", sorted(_iter_modules()))
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

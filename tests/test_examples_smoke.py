@@ -1,0 +1,46 @@
+"""Smoke tests: the fast example scripts must run end-to-end.
+
+The slow, figure-scale examples (gpu_random_search, mnist_grid_search
+with real training) are exercised by the benchmarks; here we pin the
+quick ones so a refactor cannot silently break the documented entry
+points.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    ("quickstart.py", ["best:"]),
+    ("cifar_multinode_simulation.py", ["Fig. 5", "14 vs 28 nodes"]),
+    ("fault_tolerance_demo.py", ["trials completed: 27/27"]),
+    ("heterogeneous_implementations.py", ["fastest:"]),
+    ("resume_interrupted_study.py", ["merged study: 27/27"]),
+    ("elastic_cloud_bursting.py", ["elastic run is"]),
+]
+
+
+@pytest.mark.parametrize("script,expected", FAST_EXAMPLES)
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    for marker in expected:
+        assert marker in result.stdout, (
+            f"{script}: expected {marker!r} in output;\n{result.stdout[-2000:]}"
+        )
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 8
+    for script in scripts:
+        text = script.read_text(encoding="utf-8")
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert "Run:" in text, f"{script.name} lacks a Run: line"

@@ -1,0 +1,86 @@
+"""Tests for StudyCallback / ProgressPrinter."""
+
+import io
+
+import pytest
+
+from repro.hpo import (
+    GridSearch,
+    ProgressPrinter,
+    PyCOMPSsRunner,
+    StudyCallback,
+    TargetAccuracyStopper,
+    fast_mock_objective,
+    parse_search_space,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine
+
+
+def space():
+    return parse_search_space(
+        {"optimizer": ["Adam", "SGD"], "num_epochs": [2], "batch_size": [32]}
+    )
+
+
+class Recorder(StudyCallback):
+    def __init__(self):
+        self.events = []
+
+    def on_study_begin(self, study):
+        self.events.append("begin")
+
+    def on_trial_start(self, study, trial):
+        self.events.append(f"start-{trial.trial_id}")
+
+    def on_trial_complete(self, study, trial):
+        self.events.append(f"done-{trial.trial_id}")
+
+    def on_study_end(self, study):
+        self.events.append("end")
+
+
+class TestCallbacks:
+    def run(self, **kwargs):
+        return PyCOMPSsRunner(
+            GridSearch(space()),
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(2)),
+            **kwargs,
+        ).run()
+
+    def test_event_sequence(self):
+        rec = Recorder()
+        self.run(callbacks=[rec])
+        assert rec.events[0] == "begin"
+        assert rec.events[-1] == "end"
+        assert rec.events.count("start-1") == 1
+        assert rec.events.count("done-1") == 1
+        starts = [e for e in rec.events if e.startswith("start")]
+        dones = [e for e in rec.events if e.startswith("done")]
+        assert len(starts) == len(dones) == 2
+
+    def test_start_precedes_complete(self):
+        rec = Recorder()
+        self.run(callbacks=[rec])
+        assert rec.events.index("start-1") < rec.events.index("done-1")
+
+    def test_callbacks_fire_on_early_stop(self):
+        rec = Recorder()
+        study = self.run(
+            callbacks=[rec], stoppers=[TargetAccuracyStopper(0.5)]
+        )
+        assert study.metadata["stopped_early"] is True
+        assert rec.events[-1] == "end"
+
+    def test_progress_printer_lines(self):
+        stream = io.StringIO()
+        self.run(callbacks=[ProgressPrinter(stream=stream)])
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        assert "val_acc=" in lines[0]
+        assert "Adam/e2/b32" in "\n".join(lines)
+
+    def test_base_callback_is_noop(self):
+        study = self.run(callbacks=[StudyCallback()])
+        assert len(study.completed()) == 2

@@ -1,0 +1,148 @@
+"""Tests for config-file handling and Trial/Study."""
+
+import json
+import math
+
+import pytest
+
+from repro.hpo.config_file import (
+    PAPER_LISTING1,
+    load_search_space,
+    paper_search_space,
+    parse_search_space,
+    write_config_file,
+)
+from repro.hpo.space import Categorical, Integer, Real
+from repro.hpo.trial import Study, Trial, TrialResult, TrialStatus
+
+
+class TestConfigFile:
+    def test_listing1_roundtrip(self, tmp_path):
+        path = write_config_file(PAPER_LISTING1, tmp_path / "config.json")
+        space = load_search_space(path)
+        assert space.grid_size == 27
+        assert space.names == ["optimizer", "num_epochs", "batch_size"]
+
+    def test_extended_numeric_syntax(self, tmp_path):
+        spec = {
+            "learning_rate": {"type": "real", "low": 1e-4, "high": 1e-1, "log": True},
+            "num_epochs": {"type": "int", "low": 10, "high": 100},
+            "optimizer": ["Adam", "SGD"],
+        }
+        path = write_config_file(spec, tmp_path / "c.json")
+        space = load_search_space(path)
+        assert isinstance(space.param("learning_rate"), Real)
+        assert isinstance(space.param("num_epochs"), Integer)
+        assert isinstance(space.param("optimizer"), Categorical)
+
+    def test_categorical_dict_syntax(self):
+        space = parse_search_space(
+            {"opt": {"type": "categorical", "choices": ["a", "b"]}}
+        )
+        assert space.param("opt").grid_values == ["a", "b"]
+
+    def test_constant_dict_syntax(self):
+        space = parse_search_space({"d": {"type": "constant", "value": "mnist"}})
+        assert space.param("d").grid_values == ["mnist"]
+
+    def test_unknown_type(self):
+        with pytest.raises(ValueError, match="unknown spec type"):
+            parse_search_space({"x": {"type": "wavelet"}})
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            load_search_space(path)
+
+    def test_non_object_json(self, tmp_path):
+        path = tmp_path / "arr.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_search_space(path)
+
+    def test_empty_object(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text("{}")
+        with pytest.raises(ValueError, match="no hyperparameters"):
+            load_search_space(path)
+
+    def test_paper_search_space_helper(self):
+        assert paper_search_space().grid_size == 27
+
+
+class TestTrialResult:
+    def test_from_mapping_minimal(self):
+        r = TrialResult.from_mapping({"val_accuracy": 0.9})
+        assert r.val_accuracy == 0.9
+        assert math.isnan(r.val_loss)
+
+    def test_from_mapping_full(self):
+        r = TrialResult.from_mapping(
+            {
+                "val_accuracy": 0.8, "val_loss": 0.5,
+                "history": {"val_accuracy": [0.5, 0.8]},
+                "epochs_run": 2, "custom": "x",
+            }
+        )
+        assert r.epochs_run == 2
+        assert r.extra == {"custom": "x"}
+
+    def test_missing_val_accuracy(self):
+        with pytest.raises(KeyError, match="val_accuracy"):
+            TrialResult.from_mapping({"val_loss": 0.5})
+
+
+class TestTrialStudy:
+    def make_study(self):
+        study = Study("s")
+        for i, acc in enumerate([0.5, 0.9, 0.7]):
+            trial = study.new_trial({"optimizer": "Adam", "num_epochs": 10 * (i + 1)})
+            trial.result = TrialResult(val_accuracy=acc, val_loss=1 - acc, epochs_run=5)
+            trial.status = TrialStatus.COMPLETED
+        return study
+
+    def test_trial_ids_sequential(self):
+        study = self.make_study()
+        assert [t.trial_id for t in study.trials] == [1, 2, 3]
+
+    def test_best_trial(self):
+        assert self.make_study().best_trial().val_accuracy == 0.9
+
+    def test_best_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Study().best_trial()
+
+    def test_val_accuracy_nan_when_unfinished(self):
+        t = Trial(1, {})
+        assert math.isnan(t.val_accuracy)
+
+    def test_describe_config_shorthand(self):
+        t = Trial(1, {"optimizer": "Adam", "num_epochs": 50, "batch_size": 64})
+        assert t.describe_config() == "Adam/e50/b64"
+
+    def test_table_sorted_best_first(self):
+        out = self.make_study().table()
+        lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert lines[0].startswith("2")  # trial 2 has the best accuracy
+
+    def test_json_roundtrip(self, tmp_path):
+        study = self.make_study()
+        study.total_duration_s = 42.0
+        path = study.save_json(tmp_path / "study.json")
+        data = json.loads(path.read_text())
+        assert data["total_duration_s"] == 42.0
+        assert len(data["trials"]) == 3
+        assert data["trials"][1]["result"]["val_accuracy"] == 0.9
+
+    def test_csv_export(self, tmp_path):
+        path = self.make_study().save_csv(tmp_path / "study.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("trial_id,status,optimizer,num_epochs")
+        assert len(lines) == 4
+
+    def test_completed_filters(self):
+        study = self.make_study()
+        study.new_trial({"optimizer": "SGD"})  # pending
+        assert len(study.completed()) == 3
+        assert len(study) == 4

@@ -1,0 +1,174 @@
+"""Tests for evolutionary search, the dataset cache and the batch-queue model."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import EvolutionarySearch, RandomSearch, get_algorithm
+from repro.hpo.space import Real, SearchSpace
+from repro.hpo.trial import Trial, TrialResult, TrialStatus
+from repro.ml.datasets import (
+    cache_size,
+    cached_dataset,
+    clear_dataset_cache,
+    load_mnist_like,
+)
+from repro.simcluster.batchqueue import (
+    BatchJob,
+    QueueWaitModel,
+    hpo_as_job_campaign,
+    hpo_as_single_reservation,
+    simulate_job_campaign,
+)
+
+
+def tell(algo, config, acc):
+    t = Trial(len(algo.observed) + 1, dict(config))
+    t.result = TrialResult(val_accuracy=acc)
+    t.status = TrialStatus.COMPLETED
+    algo.tell(t)
+
+
+def peak(config):
+    return float(np.exp(-8 * ((config["x"] - 0.7) ** 2 + (config["y"] - 0.3) ** 2)))
+
+
+def space2d():
+    return SearchSpace([Real("x", 0.0, 1.0), Real("y", 0.0, 1.0)])
+
+
+class TestEvolutionarySearch:
+    def test_budget_respected(self):
+        algo = EvolutionarySearch(space2d(), n_trials=10, seed=0)
+        total = 0
+        while not algo.is_exhausted:
+            batch = algo.ask()
+            total += len(batch)
+            for c in batch:
+                tell(algo, c, peak(c))
+        assert total == 10
+
+    def test_children_cluster_near_parents(self):
+        algo = EvolutionarySearch(
+            space2d(), n_trials=40, population=3, children=5,
+            mutation_std=0.05, seed=1,
+        )
+        while not algo.is_exhausted:
+            for c in algo.ask():
+                tell(algo, c, peak(c))
+        late = [t.config for t in algo.observed[-10:]]
+        assert abs(np.mean([c["x"] for c in late]) - 0.7) < 0.25
+
+    def test_improves_over_generations(self):
+        algo = EvolutionarySearch(space2d(), n_trials=36, children=6, seed=2)
+        while not algo.is_exhausted:
+            for c in algo.ask():
+                tell(algo, c, peak(c))
+        first_gen = [t.val_accuracy for t in algo.observed[:6]]
+        last_gen = [t.val_accuracy for t in algo.observed[-6:]]
+        assert max(last_gen) >= max(first_gen)
+
+    def test_valid_configs_on_mixed_space(self):
+        from repro.hpo import paper_search_space
+
+        space = paper_search_space()
+        algo = EvolutionarySearch(space, n_trials=12, seed=0)
+        while not algo.is_exhausted:
+            for c in algo.ask():
+                space.validate(c)
+                tell(algo, c, 0.5)
+
+    def test_registry(self):
+        assert isinstance(
+            get_algorithm("evolutionary", space2d(), n_trials=4),
+            EvolutionarySearch,
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space2d(), n_trials=0)
+        with pytest.raises(ValueError):
+            EvolutionarySearch(space2d(), mutation_std=0.0)
+
+
+class TestDatasetCache:
+    def setup_method(self):
+        clear_dataset_cache()
+
+    def test_same_object_returned(self):
+        a = cached_dataset(load_mnist_like, n_train=64, n_test=16)
+        b = cached_dataset(load_mnist_like, n_train=64, n_test=16)
+        assert a[0][0] is b[0][0]
+        assert cache_size() == 1
+
+    def test_different_kwargs_different_entries(self):
+        cached_dataset(load_mnist_like, n_train=64, n_test=16)
+        cached_dataset(load_mnist_like, n_train=32, n_test=16)
+        assert cache_size() == 2
+
+    def test_arrays_read_only(self):
+        (x, y), _ = cached_dataset(load_mnist_like, n_train=64, n_test=16)
+        with pytest.raises(ValueError):
+            x[0, 0, 0, 0] = 99.0
+
+    def test_cached_matches_fresh(self):
+        (xc, _), _ = cached_dataset(load_mnist_like, n_train=64, n_test=16, seed=3)
+        (xf, _), _ = load_mnist_like(n_train=64, n_test=16, seed=3)
+        np.testing.assert_array_equal(xc, xf)
+
+    def test_clear(self):
+        cached_dataset(load_mnist_like, n_train=64, n_test=16)
+        assert clear_dataset_cache() == 1
+        assert cache_size() == 0
+
+    def test_training_works_on_readonly_arrays(self):
+        from repro.hpo.objective import train_experiment
+
+        clear_dataset_cache()
+        result = train_experiment(
+            {"optimizer": "SGD", "num_epochs": 1, "batch_size": 32,
+             "n_train": 100, "n_test": 30}
+        )
+        assert 0.0 <= result["val_accuracy"] <= 1.0
+        assert cache_size() == 1
+
+
+class TestBatchQueue:
+    def test_wait_grows_with_nodes_and_queue(self):
+        m = QueueWaitModel(base_wait_s=10, per_node_s=5, congestion_s=2)
+        assert m.wait_for(1, 0) == 15
+        assert m.wait_for(4, 0) == 30
+        assert m.wait_for(1, 10) == 35
+
+    def test_campaign_respects_concurrency_cap(self):
+        m = QueueWaitModel(base_wait_s=0, per_node_s=0, congestion_s=0)
+        jobs = [BatchJob(nodes=1, duration_s=10.0) for _ in range(4)]
+        makespan, schedule = simulate_job_campaign(jobs, m, max_concurrent_jobs=2)
+        assert makespan == pytest.approx(20.0)
+        running_at_5 = sum(1 for s, e in schedule if s <= 5 < e)
+        assert running_at_5 == 2
+
+    def test_congestion_serialises_submissions(self):
+        m = QueueWaitModel(base_wait_s=0, per_node_s=0, congestion_s=100)
+        jobs = [BatchJob(nodes=1, duration_s=1.0) for _ in range(3)]
+        makespan, schedule = simulate_job_campaign(jobs, m, max_concurrent_jobs=8)
+        assert [s for s, _ in schedule] == [0.0, 100.0, 200.0]
+        assert makespan == pytest.approx(201.0)
+
+    def test_single_reservation_pays_one_wait(self):
+        m = QueueWaitModel(base_wait_s=60, per_node_s=10, congestion_s=999)
+        assert hpo_as_single_reservation(1000.0, nodes=4, wait_model=m) == (
+            60 + 40 + 1000
+        )
+
+    def test_campaign_beats_nothing_for_single_job(self):
+        m = QueueWaitModel()
+        one = hpo_as_job_campaign([100.0], wait_model=m)
+        assert one == pytest.approx(m.wait_for(1, 0) + 100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BatchJob(nodes=0, duration_s=1.0)
+        with pytest.raises(ValueError):
+            QueueWaitModel(base_wait_s=-1)
+        with pytest.raises(ValueError):
+            simulate_job_campaign([], max_concurrent_jobs=0)

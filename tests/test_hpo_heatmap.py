@@ -1,0 +1,54 @@
+"""Tests for the config heatmap."""
+
+import pytest
+
+from repro.hpo import config_heatmap, render_report
+from repro.hpo.trial import Study, TrialResult, TrialStatus
+
+
+def grid_study():
+    study = Study("hm")
+    for opt, acc_base in (("Adam", 0.9), ("SGD", 0.7)):
+        for epochs, bonus in ((10, 0.0), (20, 0.05)):
+            t = study.new_trial({"optimizer": opt, "num_epochs": epochs})
+            t.result = TrialResult(val_accuracy=acc_base + bonus)
+            t.status = TrialStatus.COMPLETED
+    return study
+
+
+class TestConfigHeatmap:
+    def test_cell_values(self):
+        out = config_heatmap(grid_study(), "num_epochs", "optimizer")
+        assert "0.900" in out and "0.950" in out
+        assert "0.700" in out and "0.750" in out
+        assert "Adam" in out and "SGD" in out
+
+    def test_axis_order_follows_first_appearance(self):
+        out = config_heatmap(grid_study(), "num_epochs", "optimizer")
+        lines = out.splitlines()
+        assert lines[1].strip().startswith("10")
+        assert lines[2].strip().startswith("Adam")
+
+    def test_missing_cell_rendered_as_dash(self):
+        study = grid_study()
+        t = study.new_trial({"optimizer": "RMSprop", "num_epochs": 10})
+        t.result = TrialResult(val_accuracy=0.5)
+        t.status = TrialStatus.COMPLETED
+        out = config_heatmap(study, "num_epochs", "optimizer")
+        rms_row = next(l for l in out.splitlines() if "RMSprop" in l)
+        assert "-" in rms_row  # no RMSprop/e20 observation
+
+    def test_mean_over_duplicates(self):
+        study = Study()
+        for acc in (0.4, 0.6):
+            t = study.new_trial({"a": 1, "b": "x"})
+            t.result = TrialResult(val_accuracy=acc)
+            t.status = TrialStatus.COMPLETED
+        out = config_heatmap(study, "a", "b")
+        assert "0.500" in out
+
+    def test_empty(self):
+        assert "no completed trials" in config_heatmap(Study(), "a", "b")
+
+    def test_report_includes_heatmap_when_two_axes_swept(self):
+        assert "Interaction heatmap" in render_report(grid_study())

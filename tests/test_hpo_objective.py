@@ -1,0 +1,84 @@
+"""Tests for the training objectives."""
+
+import pytest
+
+from repro.hpo.objective import fast_mock_objective, train_experiment
+
+
+class TestTrainExperiment:
+    def test_returns_required_keys(self):
+        result = train_experiment(
+            {"optimizer": "Adam", "num_epochs": 2, "batch_size": 32,
+             "n_train": 200, "n_test": 60}
+        )
+        for key in ("val_accuracy", "val_loss", "history", "epochs_run",
+                    "duration_s"):
+            assert key in result
+        assert 0.0 <= result["val_accuracy"] <= 1.0
+        assert result["epochs_run"] == 2
+        assert len(result["history"]["val_accuracy"]) == 2
+
+    def test_mnist_learns(self):
+        result = train_experiment(
+            {"optimizer": "Adam", "num_epochs": 6, "batch_size": 32,
+             "n_train": 500, "n_test": 150}
+        )
+        assert result["val_accuracy"] > 0.85  # Fig. 7 regime
+
+    def test_cifar_harder(self):
+        mnist = train_experiment(
+            {"dataset": "mnist", "num_epochs": 3, "batch_size": 32,
+             "n_train": 300, "n_test": 100}
+        )
+        cifar = train_experiment(
+            {"dataset": "cifar10", "num_epochs": 3, "batch_size": 32,
+             "n_train": 300, "n_test": 100}
+        )
+        assert cifar["val_accuracy"] < mnist["val_accuracy"]  # Fig. 8 regime
+
+    def test_per_trial_target_accuracy_stops_early(self):
+        result = train_experiment(
+            {"optimizer": "Adam", "num_epochs": 50, "batch_size": 32,
+             "n_train": 400, "n_test": 100, "target_accuracy": 0.8}
+        )
+        assert result["epochs_run"] < 50
+        assert result["val_accuracy"] >= 0.8
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            train_experiment({"dataset": "svhn"})
+
+    def test_deterministic_given_seeds(self):
+        config = {"optimizer": "SGD", "num_epochs": 2, "batch_size": 32,
+                  "n_train": 200, "n_test": 50, "seed": 4, "data_seed": 4}
+        a = train_experiment(config)
+        b = train_experiment(config)
+        assert a["val_accuracy"] == b["val_accuracy"]
+
+
+class TestFastMockObjective:
+    def test_shape_of_result(self):
+        result = fast_mock_objective(
+            {"optimizer": "Adam", "num_epochs": 20, "batch_size": 32}
+        )
+        assert 0.0 <= result["val_accuracy"] <= 1.0
+        assert len(result["history"]["val_accuracy"]) == 20
+
+    def test_adam_beats_sgd(self):
+        adam = fast_mock_objective({"optimizer": "Adam", "num_epochs": 50})
+        sgd = fast_mock_objective({"optimizer": "SGD", "num_epochs": 50})
+        assert adam["val_accuracy"] > sgd["val_accuracy"]
+
+    def test_more_epochs_help(self):
+        short = fast_mock_objective({"optimizer": "SGD", "num_epochs": 20})
+        long = fast_mock_objective({"optimizer": "SGD", "num_epochs": 100})
+        assert long["val_accuracy"] > short["val_accuracy"]
+
+    def test_deterministic(self):
+        c = {"optimizer": "RMSprop", "num_epochs": 30, "batch_size": 64}
+        assert fast_mock_objective(c) == fast_mock_objective(c)
+
+    def test_history_monotone_increasing(self):
+        h = fast_mock_objective({"optimizer": "Adam", "num_epochs": 30})
+        accs = h["history"]["val_accuracy"]
+        assert all(b >= a - 1e-12 for a, b in zip(accs, accs[1:]))

@@ -1,0 +1,128 @@
+"""Tests for study persistence and resume."""
+
+import pytest
+
+from repro.hpo import (
+    GridSearch,
+    PyCOMPSsRunner,
+    RandomSearch,
+    fast_mock_objective,
+    load_study,
+    merge_studies,
+    parse_search_space,
+    resume_algorithm,
+)
+from repro.hpo.persistence import config_key
+from repro.hpo.trial import Study, TrialResult, TrialStatus
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine
+
+
+def small_space():
+    return parse_search_space(
+        {"optimizer": ["Adam", "SGD"], "num_epochs": [2, 4], "batch_size": [32]}
+    )
+
+
+def run_study(algorithm):
+    return PyCOMPSsRunner(
+        algorithm,
+        objective=fast_mock_objective,
+        runtime_config=RuntimeConfig(cluster=local_machine(2)),
+    ).run()
+
+
+class TestLoadStudy:
+    def test_roundtrip(self, tmp_path):
+        study = run_study(GridSearch(small_space()))
+        study.metadata["note"] = "x"
+        path = study.save_json(tmp_path / "study.json")
+        loaded = load_study(path)
+        assert loaded.name == study.name
+        assert len(loaded.trials) == 4
+        assert loaded.best_trial().val_accuracy == study.best_trial().val_accuracy
+        assert loaded.metadata["note"] == "x"
+        assert loaded.total_duration_s == study.total_duration_s
+
+    def test_loads_failed_and_pending(self, tmp_path):
+        study = Study("mixed")
+        ok = study.new_trial({"a": 1})
+        ok.result = TrialResult(val_accuracy=0.5)
+        ok.status = TrialStatus.COMPLETED
+        bad = study.new_trial({"a": 2})
+        bad.status = TrialStatus.FAILED
+        bad.error = "boom"
+        study.new_trial({"a": 3})  # pending
+        loaded = load_study(study.save_json(tmp_path / "s.json"))
+        statuses = [t.status for t in loaded.trials]
+        assert statuses == [
+            TrialStatus.COMPLETED, TrialStatus.FAILED, TrialStatus.PENDING
+        ]
+        assert loaded.trials[1].error == "boom"
+
+
+class TestConfigKey:
+    def test_order_insensitive(self):
+        assert config_key({"a": 1, "b": 2}) == config_key({"b": 2, "a": 1})
+
+    def test_value_sensitive(self):
+        assert config_key({"a": 1}) != config_key({"a": 2})
+
+
+class TestResume:
+    def test_grid_skips_completed(self, tmp_path):
+        # Simulate an interrupted run: only 2 of 4 grid configs done.
+        first = Study("partial")
+        configs = list(small_space().grid())
+        for config in configs[:2]:
+            t = first.new_trial(config)
+            t.result = TrialResult(val_accuracy=0.5)
+            t.status = TrialStatus.COMPLETED
+        loaded = load_study(first.save_json(tmp_path / "partial.json"))
+
+        algo = resume_algorithm(GridSearch(small_space()), loaded)
+        remaining = algo.ask()
+        assert len(remaining) == 2
+        done_keys = {config_key(c) for c in configs[:2]}
+        assert all(config_key(c) not in done_keys for c in remaining)
+
+    def test_resumed_run_completes_the_grid(self, tmp_path):
+        # Full flow: partial study → resume → merged covers all configs.
+        first = Study("partial")
+        configs = list(small_space().grid())
+        for config in configs[:3]:
+            t = first.new_trial(config)
+            t.result = TrialResult(val_accuracy=0.4)
+            t.status = TrialStatus.COMPLETED
+        first.total_duration_s = 100.0
+        loaded = load_study(first.save_json(tmp_path / "p.json"))
+
+        algo = resume_algorithm(GridSearch(small_space()), loaded)
+        continuation = run_study(algo)
+        assert len(continuation.completed()) == 1
+
+        merged = merge_studies(loaded, continuation)
+        keys = {config_key(t.config) for t in merged.completed()}
+        assert keys == {config_key(c) for c in configs}
+        assert merged.total_duration_s == pytest.approx(
+            100.0 + continuation.total_duration_s
+        )
+        assert merged.metadata["resumed"] is True
+
+    def test_adaptive_algorithm_warm_started(self, tmp_path):
+        prior = Study("prior")
+        t = prior.new_trial({"optimizer": "Adam", "num_epochs": 4, "batch_size": 32})
+        t.result = TrialResult(val_accuracy=0.9)
+        t.status = TrialStatus.COMPLETED
+        algo = RandomSearch(small_space(), n_trials=2, seed=0)
+        resume_algorithm(algo, prior)
+        assert algo.best_observed().val_accuracy == 0.9
+
+    def test_trial_ids_renumbered_in_merge(self):
+        a, b = Study("a"), Study("b")
+        for s in (a, b):
+            t = s.new_trial({"x": s.name})
+            t.result = TrialResult(val_accuracy=0.1)
+            t.status = TrialStatus.COMPLETED
+        merged = merge_studies(a, b)
+        assert [t.trial_id for t in merged.trials] == [1, 2]

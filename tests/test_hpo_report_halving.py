@@ -1,0 +1,176 @@
+"""Tests for study reports, successive halving, and warm starting."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import (
+    RandomSearch,
+    SuccessiveHalving,
+    get_algorithm,
+    hyperparameter_effects,
+    render_effects,
+    render_report,
+    save_report,
+)
+from repro.hpo.space import Real, SearchSpace
+from repro.hpo.trial import Study, Trial, TrialResult, TrialStatus
+
+
+def completed_study():
+    study = Study("report-test")
+    combos = [
+        ({"optimizer": "Adam", "num_epochs": 10}, 0.95),
+        ({"optimizer": "Adam", "num_epochs": 20}, 0.97),
+        ({"optimizer": "SGD", "num_epochs": 10}, 0.80),
+        ({"optimizer": "SGD", "num_epochs": 20}, 0.85),
+    ]
+    for config, acc in combos:
+        t = study.new_trial(config)
+        t.result = TrialResult(
+            val_accuracy=acc, val_loss=1 - acc,
+            history={"epochs": [0, 1], "val_accuracy": [acc / 2, acc]},
+            epochs_run=2,
+        )
+        t.status = TrialStatus.COMPLETED
+    study.total_duration_s = 123.0
+    study.metadata["algorithm"] = "GridSearch"
+    return study
+
+
+class TestEffects:
+    def test_marginal_means(self):
+        effects = hyperparameter_effects(completed_study())
+        assert effects["optimizer"]["'Adam'"] == pytest.approx(0.96)
+        assert effects["optimizer"]["'SGD'"] == pytest.approx(0.825)
+        assert effects["num_epochs"]["20"] > effects["num_epochs"]["10"]
+
+    def test_constant_keys_omitted(self):
+        study = Study()
+        for acc in (0.5, 0.6):
+            t = study.new_trial({"dataset": "mnist", "epochs": int(acc * 10)})
+            t.result = TrialResult(val_accuracy=acc)
+            t.status = TrialStatus.COMPLETED
+        assert "dataset" not in hyperparameter_effects(study)
+
+    def test_render(self):
+        out = render_effects(completed_study())
+        assert "optimizer" in out and "Adam" in out
+
+    def test_render_empty(self):
+        assert "no swept" in render_effects(Study())
+
+
+class TestReport:
+    def test_full_report_sections(self):
+        out = render_report(completed_study())
+        for section in ("Best trial", "Trials", "Accuracy curves",
+                        "Hyperparameter effects"):
+            assert section in out
+        assert "0.97" in out
+
+    def test_empty_study_report(self):
+        out = render_report(Study("empty"))
+        assert "no completed trials" in out
+
+    def test_save(self, tmp_path):
+        path = save_report(completed_study(), tmp_path / "report.md")
+        assert path.read_text().startswith("# HPO study report")
+
+
+def tell(algo, config, acc):
+    t = Trial(len(algo.observed) + 1, dict(config))
+    t.result = TrialResult(val_accuracy=acc)
+    t.status = TrialStatus.COMPLETED
+    algo.tell(t)
+
+
+class TestSuccessiveHalving:
+    def space(self):
+        return SearchSpace([Real("x", 0.0, 1.0)])
+
+    def test_rung_structure(self):
+        algo = SuccessiveHalving(
+            self.space(), n_configs=9, min_epochs=1, max_epochs=9, eta=3
+        )
+        assert algo.rungs == [(9, 1), (3, 3), (1, 9)]
+        assert algo.total_trials == 13
+
+    def test_promotion_keeps_best(self):
+        algo = SuccessiveHalving(
+            self.space(), n_configs=9, min_epochs=1, max_epochs=9, eta=3, seed=0
+        )
+        first = algo.ask(100)
+        assert len(first) == 9
+        assert all(c["num_epochs"] == 1 for c in first)
+        for c in first:
+            tell(algo, c, acc=c["x"])  # accuracy = x
+        second = algo.ask(100)
+        assert len(second) == 3
+        assert all(c["num_epochs"] == 3 for c in second)
+        # Promoted configs are the 3 largest x of the first rung.
+        xs_first = sorted((c["x"] for c in first), reverse=True)[:3]
+        assert sorted((c["x"] for c in second), reverse=True) == pytest.approx(
+            xs_first
+        )
+
+    def test_runs_to_exhaustion(self):
+        algo = SuccessiveHalving(
+            self.space(), n_configs=4, min_epochs=1, max_epochs=4, eta=2, seed=1
+        )
+        n_seen = 0
+        while not algo.is_exhausted:
+            batch = algo.ask(10)
+            if not batch:
+                break
+            for c in batch:
+                tell(algo, c, acc=c["x"])
+                n_seen += 1
+        assert algo.is_exhausted
+        assert n_seen == algo.total_trials
+
+    def test_max_epochs_caps_budget(self):
+        algo = SuccessiveHalving(
+            self.space(), n_configs=27, min_epochs=5, max_epochs=20, eta=3
+        )
+        assert all(r <= 20 for _, r in algo.rungs)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            SuccessiveHalving(self.space(), n_configs=0)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(self.space(), min_epochs=10, max_epochs=5)
+        with pytest.raises(ValueError):
+            SuccessiveHalving(self.space(), eta=1)
+
+    def test_registry(self):
+        algo = get_algorithm("successive_halving", self.space(), n_configs=4)
+        assert isinstance(algo, SuccessiveHalving)
+
+
+class TestWarmStart:
+    def test_observations_transferred(self):
+        study = completed_study()
+        space = SearchSpace.from_dict(
+            {"optimizer": ["Adam", "SGD"], "num_epochs": [10, 20]}
+        )
+        algo = RandomSearch(space, n_trials=3, seed=0)
+        ingested = algo.warm_start(study)
+        assert ingested == 4
+        assert algo.best_observed().val_accuracy == 0.97
+
+    def test_bo_uses_warm_observations(self):
+        from repro.hpo import BayesianOptimization
+
+        space = SearchSpace([Real("x", 0.0, 1.0)])
+        prior = Study()
+        for x in np.linspace(0.1, 0.9, 5):
+            t = prior.new_trial({"x": float(x)})
+            t.result = TrialResult(val_accuracy=float(1 - abs(x - 0.7)))
+            t.status = TrialStatus.COMPLETED
+        algo = BayesianOptimization(space, n_trials=3, n_init=1, seed=0)
+        algo.warm_start(prior)
+        # Force past the random-init phase so the GP drives suggestions.
+        algo._suggested = algo.n_init
+        suggestions = algo.ask(3)
+        xs = [c["x"] for c in suggestions]
+        assert any(abs(x - 0.7) < 0.25 for x in xs)

@@ -1,0 +1,293 @@
+"""Tests for the PyCOMPSs runner, early stopping and the baselines."""
+
+import pytest
+
+from repro.hpo import (
+    GridSearch,
+    MaxTrialsStopper,
+    PlateauStopper,
+    ProcessPoolRunner,
+    PyCOMPSsRunner,
+    RandomSearch,
+    SequentialRunner,
+    TargetAccuracyStopper,
+    TrialStatus,
+    fast_mock_objective,
+    parse_search_space,
+    simulate_pool_makespan,
+)
+from repro.hpo.trial import Study, Trial, TrialResult
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine, mare_nostrum4
+
+
+def small_space(**extra):
+    spec = {
+        "optimizer": ["Adam", "SGD"],
+        "num_epochs": [2, 4],
+        "batch_size": [32],
+    }
+    spec.update(extra)
+    return parse_search_space(spec)
+
+
+def failing_objective(config):
+    if config["optimizer"] == "SGD":
+        raise RuntimeError("synthetic failure")
+    return fast_mock_objective(config)
+
+
+class TestPyCOMPSsRunner:
+    def test_grid_study_completes(self):
+        runner = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(2)),
+        )
+        study = runner.run()
+        assert len(study.completed()) == 4
+        assert study.best_trial().val_accuracy > 0.8
+        assert study.metadata["algorithm"] == "GridSearch"
+
+    def test_real_training_objective(self):
+        space = small_space(n_train=300, n_test=80)
+        runner = PyCOMPSsRunner(
+            GridSearch(space),
+            runtime_config=RuntimeConfig(cluster=local_machine(2)),
+        )
+        study = runner.run()
+        assert len(study.completed()) == 4
+        best = study.best_trial()
+        assert best.result.history["val_accuracy"]
+        assert best.result.node is not None
+
+    def test_simulated_runtime_gives_virtual_duration(self):
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(1), executor="simulated",
+            execute_bodies=True, reserved_cores=24,
+        )
+        runner = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            runtime_config=cfg,
+        )
+        study = runner.run()
+        # Virtual minutes, not the milliseconds the mock objective takes.
+        assert study.total_duration_s > 60.0
+
+    def test_uses_active_runtime_and_leaves_it_running(self):
+        from repro.pycompss_api import COMPSs
+
+        with COMPSs(cluster=local_machine(2)) as rt:
+            runner = PyCOMPSsRunner(
+                GridSearch(small_space()), objective=fast_mock_objective
+            )
+            study = runner.run()
+            assert len(study.completed()) == 4
+            from repro.runtime.runtime import current_runtime
+
+            assert current_runtime() is rt
+
+    def test_failed_trials_recorded_not_raised(self):
+        runner = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=failing_objective,
+            runtime_config=RuntimeConfig(
+                cluster=local_machine(2),
+                retry_policy=__import__(
+                    "repro.runtime.fault", fromlist=["RetryPolicy"]
+                ).RetryPolicy(0, 0),
+            ),
+        )
+        study = runner.run()
+        statuses = {t.status for t in study.trials}
+        assert TrialStatus.FAILED in statuses
+        assert TrialStatus.COMPLETED in statuses
+        failed = [t for t in study.trials if t.status == TrialStatus.FAILED]
+        assert all(t.error for t in failed)
+
+    def test_target_accuracy_stops_and_prunes(self):
+        runner = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(1)),
+            stoppers=[TargetAccuracyStopper(target=0.5)],
+        )
+        study = runner.run()
+        assert study.metadata["stopped_early"] is True
+        assert "target" in runner.stop_reason or "reached" in runner.stop_reason
+        assert any(t.status == TrialStatus.PRUNED for t in study.trials)
+
+    def test_visualize_builds_fig3_graph(self):
+        from repro.pycompss_api import COMPSs
+
+        with COMPSs(cluster=local_machine(2)) as rt:
+            runner = PyCOMPSsRunner(
+                GridSearch(small_space()),
+                objective=fast_mock_objective,
+                visualize=True,
+            )
+            study = runner.run()
+            names = {t.definition.name for t in rt.graph.tasks()}
+            assert names == {"experiment", "visualisation", "plot"}
+            assert "experiment 1:" in study.metadata["plot"]
+
+    def test_constraint_respected(self):
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(1), executor="simulated",
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        runner = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            constraint=ResourceConstraint(cpu_units=48),
+            runtime_config=cfg,
+        )
+        study = runner.run()
+        # 48-core tasks on one 48-core node serialise: 4 × 10 s.
+        assert study.total_duration_s == pytest.approx(40.0, abs=2.0)
+
+    def test_algorithm_by_name(self):
+        runner = PyCOMPSsRunner(
+            "random",
+            space=small_space(),
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(2)),
+            algorithm_kwargs={"n_trials": 3, "seed": 1},
+        )
+        assert len(runner.run().completed()) == 3
+
+
+class TestStoppers:
+    def make_trial(self, acc, trial_id=1):
+        t = Trial(trial_id, {})
+        t.result = TrialResult(val_accuracy=acc)
+        t.status = TrialStatus.COMPLETED
+        return t
+
+    def test_target_accuracy(self):
+        stopper = TargetAccuracyStopper(0.9)
+        study = Study()
+        assert not stopper.should_stop(study, self.make_trial(0.8))
+        assert stopper.should_stop(study, self.make_trial(0.95))
+        assert "reached" in stopper.reason()
+
+    def test_max_trials(self):
+        stopper = MaxTrialsStopper(2)
+        study = Study()
+        for acc in (0.1, 0.2):
+            t = study.new_trial({})
+            t.result = TrialResult(val_accuracy=acc)
+            t.status = TrialStatus.COMPLETED
+        assert stopper.should_stop(study, study.trials[-1])
+
+    def test_plateau(self):
+        stopper = PlateauStopper(patience=2)
+        study = Study()
+        assert not stopper.should_stop(study, self.make_trial(0.5))
+        assert not stopper.should_stop(study, self.make_trial(0.5))
+        assert stopper.should_stop(study, self.make_trial(0.5))
+
+    def test_plateau_resets_on_improvement(self):
+        stopper = PlateauStopper(patience=2)
+        study = Study()
+        stopper.should_stop(study, self.make_trial(0.5))
+        stopper.should_stop(study, self.make_trial(0.5))
+        assert not stopper.should_stop(study, self.make_trial(0.9))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TargetAccuracyStopper(1.5)
+        with pytest.raises(ValueError):
+            MaxTrialsStopper(0)
+        with pytest.raises(ValueError):
+            PlateauStopper(patience=0)
+
+
+class TestBaselines:
+    def test_sequential_runs_grid(self):
+        runner = SequentialRunner(
+            GridSearch(small_space()), objective=fast_mock_objective
+        )
+        study = runner.run()
+        assert len(study.completed()) == 4
+        assert study.metadata["runner"] == "sequential"
+
+    def test_sequential_virtual_duration_is_sum(self):
+        runner = SequentialRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            duration_model=lambda c: 100.0,
+        )
+        study = runner.run()
+        assert study.total_duration_s == pytest.approx(400.0)
+
+    def test_sequential_early_stopping(self):
+        runner = SequentialRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            stoppers=[TargetAccuracyStopper(0.5)],
+        )
+        study = runner.run()
+        assert len(study.completed()) < 4
+
+    def test_sequential_records_failures(self):
+        runner = SequentialRunner(
+            GridSearch(small_space()), objective=failing_objective
+        )
+        study = runner.run()
+        assert any(t.status == TrialStatus.FAILED for t in study.trials)
+        assert len(study.completed()) == 2
+
+    def test_pool_virtual_makespan(self):
+        runner = ProcessPoolRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            duration_model=lambda c: 100.0,
+            n_jobs=2,
+            use_processes=False,
+        )
+        study = runner.run()
+        assert study.total_duration_s == pytest.approx(200.0)
+
+    def test_pool_with_real_processes(self):
+        runner = ProcessPoolRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            n_jobs=2,
+        )
+        study = runner.run()
+        assert len(study.completed()) == 4
+
+    def test_simulate_pool_makespan(self):
+        assert simulate_pool_makespan([10, 10, 10, 10], 2) == 20
+        assert simulate_pool_makespan([30, 10, 10, 10], 2) == 30
+        assert simulate_pool_makespan([], 4) == 0.0
+        with pytest.raises(ValueError):
+            simulate_pool_makespan([1], 0)
+        with pytest.raises(ValueError):
+            simulate_pool_makespan([-1], 1)
+
+    def test_pycompss_beats_sequential_at_paper_scale(self):
+        """The paper's headline: distribution cuts HPO from 'weeks' scale."""
+        from repro.simcluster import MNIST_LIKE, TrainingCostModel
+
+        cm = TrainingCostModel()
+        node = mare_nostrum4(1).nodes[0]
+        dm = lambda c: cm.duration_for_config(c, node, 1, 0)
+        seq = SequentialRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            duration_model=dm,
+        ).run()
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(1), executor="simulated",
+            execute_bodies=True, reserved_cores=24,
+        )
+        par = PyCOMPSsRunner(
+            GridSearch(small_space()),
+            objective=fast_mock_objective,
+            runtime_config=cfg,
+        ).run()
+        assert par.total_duration_s < seq.total_duration_s / 2

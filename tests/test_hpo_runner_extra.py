@@ -1,0 +1,128 @@
+"""Additional runner-path tests: hyperband/halving end-to-end, visualize on
+the simulated executor, pool-runner stoppers, @binary task kind."""
+
+import pytest
+
+from repro.hpo import (
+    HyperbandSearch,
+    ProcessPoolRunner,
+    PyCOMPSsRunner,
+    SuccessiveHalving,
+    TargetAccuracyStopper,
+    fast_mock_objective,
+    parse_search_space,
+)
+from repro.hpo.trial import TrialStatus
+from repro.pycompss_api import COMPSs, binary, compss_wait_on, task
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine, mare_nostrum4
+
+
+def space():
+    return parse_search_space(
+        {"optimizer": ["Adam", "SGD"], "batch_size": [32, 64]}
+    )
+
+
+class TestMultiFidelityEndToEnd:
+    def test_hyperband_through_runner(self):
+        algo = HyperbandSearch(space(), max_epochs=9, eta=3, seed=0)
+        runner = PyCOMPSsRunner(
+            algo,
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(4)),
+            batch_size=4,
+        )
+        study = runner.run()
+        assert len(study.completed()) == algo.total_trials
+        epochs_seen = {t.config["num_epochs"] for t in study.completed()}
+        assert len(epochs_seen) > 1  # multiple rungs actually ran
+
+    def test_successive_halving_through_runner(self):
+        algo = SuccessiveHalving(
+            space(), n_configs=9, min_epochs=1, max_epochs=9, eta=3, seed=0
+        )
+        runner = PyCOMPSsRunner(
+            algo,
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(4)),
+            batch_size=4,
+        )
+        study = runner.run()
+        assert len(study.completed()) == algo.total_trials
+        # The final rung runs at the full budget.
+        assert max(t.config["num_epochs"] for t in study.completed()) == 9
+
+    def test_hyperband_promotes_better_configs(self):
+        # Adam scores higher in the mock; the last rung should be Adam.
+        algo = HyperbandSearch(space(), max_epochs=9, eta=3, seed=1)
+        runner = PyCOMPSsRunner(
+            algo,
+            objective=fast_mock_objective,
+            runtime_config=RuntimeConfig(cluster=local_machine(4)),
+            batch_size=8,
+        )
+        study = runner.run()
+        finals = [
+            t for t in study.completed() if t.config["num_epochs"] == 9
+        ]
+        assert finals
+        assert any(t.config["optimizer"] == "Adam" for t in finals)
+
+
+class TestVisualizeOnSimulated:
+    def test_fig3_pipeline_in_virtual_time(self):
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(1), executor="simulated",
+            execute_bodies=True, reserved_cores=24,
+        )
+        from repro.runtime.runtime import COMPSsRuntime
+
+        rt = COMPSsRuntime(cfg).start()
+        try:
+            runner = PyCOMPSsRunner(
+                "grid", space=space(),
+                objective=fast_mock_objective, visualize=True,
+            )
+            study = runner.run()
+            names = {t.definition.name for t in rt.graph.tasks()}
+            assert names == {"experiment", "visualisation", "plot"}
+            assert "experiment 1:" in study.metadata["plot"]
+        finally:
+            rt.stop(wait=False)
+
+
+class TestPoolRunnerStoppers:
+    def test_pool_stops_within_batch_boundary(self):
+        runner = ProcessPoolRunner(
+            "grid", space=space(),
+            objective=fast_mock_objective,
+            stoppers=[TargetAccuracyStopper(0.5)],
+            n_jobs=2, use_processes=False,
+        )
+        study = runner.run()
+        assert study.metadata["stopped_early"] is True
+        assert study.best_trial().val_accuracy >= 0.5
+
+
+class TestBinaryKindExecution:
+    def test_binary_task_runs_python_standin(self):
+        @binary(binary="./train.sh")
+        @task(returns=int)
+        def external(x):
+            return x * 3  # the offline stand-in for the binary
+
+        with COMPSs(cluster=local_machine(2)):
+            assert compss_wait_on(external(7)) == 21
+
+    def test_main_module_entrypoint(self):
+        import subprocess
+        import sys
+
+        out = subprocess.run(
+            [sys.executable, "-m", "repro", "describe-cluster",
+             "--cluster", "mn4"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert out.returncode == 0
+        assert "48 cores" in out.stdout

@@ -1,0 +1,173 @@
+"""Tests for search spaces."""
+
+import numpy as np
+import pytest
+
+from repro.hpo.space import (
+    Categorical,
+    Constant,
+    Integer,
+    Real,
+    SearchSpace,
+)
+
+
+class TestCategorical:
+    def test_grid_values(self):
+        p = Categorical("opt", ["A", "B"])
+        assert p.grid_values == ["A", "B"]
+
+    def test_sample_in_choices(self, rng):
+        p = Categorical("opt", ["A", "B", "C"])
+        assert all(p.sample(rng) in p.choices for _ in range(20))
+
+    def test_contains(self):
+        p = Categorical("opt", ["A"])
+        assert p.contains("A") and not p.contains("B")
+
+    def test_unit_roundtrip(self):
+        p = Categorical("opt", ["A", "B", "C"])
+        for v in p.choices:
+            assert p.from_unit(p.to_unit(v)) == v
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("x", [1, 1])
+
+
+class TestInteger:
+    def test_sample_range(self, rng):
+        p = Integer("n", 5, 10)
+        assert all(5 <= p.sample(rng) <= 10 for _ in range(50))
+
+    def test_unit_roundtrip_endpoints(self):
+        p = Integer("n", 5, 10)
+        assert p.from_unit(0.0) == 5 and p.from_unit(1.0) == 10
+
+    def test_log_scale(self, rng):
+        p = Integer("n", 1, 1000, log=True)
+        assert p.from_unit(0.5) == pytest.approx(np.sqrt(1000), rel=0.1)
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError):
+            Integer("n", 0, 10, log=True)
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            Integer("n", 10, 5)
+
+    def test_no_grid(self):
+        assert Integer("n", 0, 5).grid_values is None
+
+
+class TestReal:
+    def test_sample_range(self, rng):
+        p = Real("lr", 0.1, 0.9)
+        assert all(0.1 <= p.sample(rng) <= 0.9 for _ in range(50))
+
+    def test_log_midpoint_is_geometric(self):
+        p = Real("lr", 1e-4, 1e-2, log=True)
+        assert p.from_unit(0.5) == pytest.approx(1e-3, rel=1e-6)
+
+    def test_unit_roundtrip(self):
+        p = Real("lr", 0.5, 2.0)
+        assert p.to_unit(p.from_unit(0.3)) == pytest.approx(0.3)
+
+    def test_clip(self):
+        p = Real("lr", 0.0, 1.0)
+        assert p.from_unit(2.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Real("x", 1.0, 1.0)
+        with pytest.raises(ValueError):
+            Real("x", -1.0, 1.0, log=True)
+
+
+class TestConstant:
+    def test_behaviour(self, rng):
+        p = Constant("dataset", "mnist")
+        assert p.sample(rng) == "mnist"
+        assert p.grid_values == ["mnist"]
+        assert p.contains("mnist") and not p.contains("cifar")
+
+
+class TestSearchSpace:
+    def paper_space(self):
+        return SearchSpace.from_dict(
+            {
+                "optimizer": ["Adam", "SGD", "RMSprop"],
+                "num_epochs": [20, 50, 100],
+                "batch_size": [32, 64, 128],
+            }
+        )
+
+    def test_paper_grid_is_27(self):
+        space = self.paper_space()
+        assert space.grid_size == 27  # "27 different experiments" (Fig. 5)
+        assert len(list(space.grid())) == 27
+
+    def test_grid_order_deterministic(self):
+        a = list(self.paper_space().grid())
+        b = list(self.paper_space().grid())
+        assert a == b
+        assert a[0] == {"optimizer": "Adam", "num_epochs": 20, "batch_size": 32}
+        assert a[-1] == {
+            "optimizer": "RMSprop", "num_epochs": 100, "batch_size": 128
+        }
+
+    def test_from_dict_scalar_becomes_constant(self):
+        space = SearchSpace.from_dict({"dataset": "mnist", "epochs": [1, 2]})
+        assert isinstance(space.param("dataset"), Constant)
+
+    def test_sample_validates(self):
+        space = self.paper_space()
+        config = space.sample(3)
+        space.validate(config)
+
+    def test_sample_deterministic(self):
+        space = self.paper_space()
+        assert space.sample(3) == space.sample(3)
+
+    def test_validate_missing_key(self):
+        with pytest.raises(ValueError, match="missing"):
+            self.paper_space().validate({"optimizer": "Adam"})
+
+    def test_validate_illegal_value(self):
+        config = dict(next(iter(self.paper_space().grid())))
+        config["batch_size"] = 999
+        with pytest.raises(ValueError, match="not legal"):
+            self.paper_space().validate(config)
+
+    def test_continuous_space_has_no_grid(self):
+        space = SearchSpace([Real("lr", 0.0, 1.0)])
+        assert not space.is_finite
+        with pytest.raises(ValueError):
+            space.grid_size
+        with pytest.raises(ValueError):
+            list(space.grid())
+
+    def test_unit_vector_roundtrip(self):
+        space = self.paper_space()
+        config = space.sample(0)
+        u = space.to_unit_vector(config)
+        assert space.from_unit_vector(u) == config
+
+    def test_unit_vector_dims(self):
+        space = self.paper_space()
+        with pytest.raises(ValueError):
+            space.from_unit_vector(np.zeros(5))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace([Constant("a", 1), Constant("a", 2)])
+
+    def test_param_lookup(self):
+        space = self.paper_space()
+        assert space.param("optimizer").name == "optimizer"
+        with pytest.raises(KeyError):
+            space.param("nope")

@@ -1,0 +1,87 @@
+"""Tests for study visualisation and exports."""
+
+import pytest
+
+from repro.hpo.trial import Study, TrialResult, TrialStatus
+from repro.hpo.visualization import (
+    accuracy_curves,
+    export_history_csv,
+    final_accuracy_bars,
+    time_vs_cores_chart,
+)
+
+
+def study_with_histories(n=3):
+    study = Study("viz")
+    for i in range(n):
+        trial = study.new_trial(
+            {"optimizer": "Adam", "num_epochs": 4, "batch_size": 32}
+        )
+        accs = [0.2 + 0.2 * e + 0.05 * i for e in range(4)]
+        trial.result = TrialResult(
+            val_accuracy=accs[-1],
+            val_loss=0.5,
+            history={
+                "epochs": list(range(4)),
+                "val_accuracy": accs,
+                "val_loss": [1 - a for a in accs],
+            },
+            epochs_run=4,
+        )
+        trial.status = TrialStatus.COMPLETED
+    return study
+
+
+class TestAccuracyCurves:
+    def test_renders_series(self):
+        out = accuracy_curves(study_with_histories())
+        assert "val_accuracy vs epoch" in out
+        assert "Adam/e4/b32" in out
+
+    def test_max_series_caps_and_notes(self):
+        out = accuracy_curves(study_with_histories(6), max_series=2)
+        assert "2 configs shown" in out
+        assert "4 additional trials not shown" in out
+
+    def test_empty_study(self):
+        out = accuracy_curves(Study("empty"))
+        assert "no data" in out
+
+    def test_trials_without_history_skipped(self):
+        study = Study()
+        t = study.new_trial({})
+        t.result = TrialResult(val_accuracy=0.5)
+        t.status = TrialStatus.COMPLETED
+        out = accuracy_curves(study)
+        assert "1 additional trials not shown" in out
+
+
+class TestBars:
+    def test_bars_render(self):
+        out = final_accuracy_bars(study_with_histories())
+        assert "#" in out and "final val_accuracy" in out
+
+
+class TestHistoryCsv:
+    def test_long_form_rows(self, tmp_path):
+        path = export_history_csv(study_with_histories(2), tmp_path / "h.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0] == "trial_id,config,epoch,metric,value"
+        # 2 trials × 4 epochs × 2 metrics
+        assert len(lines) == 1 + 16
+
+    def test_handles_empty(self, tmp_path):
+        path = export_history_csv(Study(), tmp_path / "e.csv")
+        assert path.read_text().strip() == "trial_id,config,epoch,metric,value"
+
+
+class TestTimeVsCores:
+    def test_fig9_chart(self):
+        out = time_vs_cores_chart(
+            {
+                "1 node": [(1, 207), (2, 130), (4, 110), (8, 140)],
+                "2 nodes": [(1, 120), (2, 80), (4, 60), (8, 50)],
+            }
+        )
+        assert "Fig. 9" in out
+        assert "1 node" in out and "2 nodes" in out

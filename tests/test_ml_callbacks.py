@@ -1,0 +1,116 @@
+"""Tests for training callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dense, Flatten, ReLU, Sequential
+from repro.ml.callbacks import (
+    EarlyStopping,
+    LambdaCallback,
+    TargetMetricStopping,
+)
+
+
+def fit_with(callbacks, tiny_dataset, epochs=20, seed=0):
+    x, y, xv, yv = tiny_dataset
+    m = Sequential([Flatten(), Dense(16), ReLU(), Dense(4)], seed=seed)
+    m.compile("adam", "categorical_crossentropy")
+    history = m.fit(
+        x, y, epochs=epochs, batch_size=32,
+        validation_data=(xv, yv), callbacks=callbacks,
+    )
+    return m, history
+
+
+class TestEarlyStopping:
+    def test_stops_on_plateau(self, tiny_dataset):
+        # val_accuracy saturates at 1.0 on the easy dataset, so a patience
+        # of 2 must fire well before the epoch budget.
+        cb = EarlyStopping(monitor="val_accuracy", patience=2)
+        _, history = fit_with([cb], tiny_dataset, epochs=40)
+        assert len(history) < 40
+        assert cb.stopped_epoch is not None
+
+    def test_auto_mode_for_accuracy(self):
+        cb = EarlyStopping(monitor="val_accuracy")
+        assert cb.mode == "max"
+
+    def test_auto_mode_for_loss(self):
+        assert EarlyStopping(monitor="val_loss").mode == "min"
+
+    def test_patience_zero_stops_on_first_regression(self, tiny_dataset):
+        cb = EarlyStopping(monitor="val_loss", patience=0)
+        _, history = fit_with([cb], tiny_dataset, epochs=30)
+        assert len(history) <= 30
+
+    def test_missing_metric_raises(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        with pytest.raises(KeyError, match="val_loss"):
+            m.fit(x, y, epochs=2, callbacks=[EarlyStopping(monitor="val_loss")])
+
+    def test_restore_best_weights(self, tiny_dataset):
+        x, y, xv, yv = tiny_dataset
+        cb = EarlyStopping(
+            monitor="val_loss", patience=1, restore_best_weights=True
+        )
+        m, history = fit_with([cb], tiny_dataset, epochs=30)
+        val = m.evaluate(xv, yv)
+        best_recorded = min(history.metrics["val_loss"])
+        assert val["loss"] == pytest.approx(best_recorded, rel=0.02)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=-1)
+        with pytest.raises(ValueError):
+            EarlyStopping(mode="sideways")
+
+    def test_reusable_across_fits(self, tiny_dataset):
+        # on_train_begin must reset internal state so the callback can be
+        # reused for a fresh fit.
+        cb = EarlyStopping(monitor="val_accuracy", patience=2)
+        fit_with([cb], tiny_dataset, epochs=10)
+        cb.on_train_begin()
+        assert cb.best == -np.inf
+        assert cb.stopped_epoch is None
+
+
+class TestTargetMetricStopping:
+    def test_stops_at_target(self, tiny_dataset):
+        cb = TargetMetricStopping(monitor="val_accuracy", target=0.5)
+        _, history = fit_with([cb], tiny_dataset, epochs=50)
+        assert history.final("val_accuracy") >= 0.5
+        assert len(history) < 50
+
+    def test_never_fires_for_impossible_target(self, tiny_dataset):
+        cb = TargetMetricStopping(monitor="val_accuracy", target=1.1)
+        _, history = fit_with([cb], tiny_dataset, epochs=3)
+        assert cb.stopped_epoch is None
+        assert len(history) == 3
+
+    def test_missing_metric_is_noop(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        h = m.fit(x, y, epochs=2, callbacks=[TargetMetricStopping(target=0.1)])
+        assert len(h) == 2
+
+
+class TestLambdaCallback:
+    def test_all_hooks_fire(self, tiny_dataset):
+        events = []
+        cb = LambdaCallback(
+            on_train_begin=lambda logs: events.append("begin"),
+            on_epoch_begin=lambda e, logs: events.append(f"eb{e}"),
+            on_epoch_end=lambda e, logs: events.append(f"ee{e}"),
+            on_train_end=lambda logs: events.append("end"),
+        )
+        fit_with([cb], tiny_dataset, epochs=2)
+        assert events == ["begin", "eb0", "ee0", "eb1", "ee1", "end"]
+
+    def test_epoch_end_receives_logs(self, tiny_dataset):
+        seen = {}
+        cb = LambdaCallback(on_epoch_end=lambda e, logs: seen.update(logs))
+        fit_with([cb], tiny_dataset, epochs=1)
+        assert "loss" in seen and "val_accuracy" in seen

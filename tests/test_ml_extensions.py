@@ -1,0 +1,228 @@
+"""Tests for ML extensions: BatchNorm, average pooling, LR schedules,
+weight serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    AveragePool2D,
+    BatchNorm,
+    CosineDecay,
+    Dense,
+    ExponentialDecay,
+    Flatten,
+    GlobalAveragePool2D,
+    LearningRateScheduler,
+    ReLU,
+    Sequential,
+    StepDecay,
+    load_weights,
+    save_weights,
+)
+from tests.test_ml_layers import (
+    check_input_gradient,
+    check_param_gradient,
+    numerical_grad,
+)
+
+
+def check_training_mode_gradient(layer, x, rng, param_key=None, atol=1e-5):
+    """Gradient check against the *training-mode* forward pass.
+
+    BatchNorm's training output depends on batch statistics, so the
+    finite-difference loss must also run in training mode (the shared
+    checker uses inference mode, which reads running stats instead).
+    """
+    layer.build(x.shape[1:], rng)
+    out = layer.forward(x, training=True)
+    w = np.random.default_rng(0).normal(size=out.shape)
+    analytic_in = layer.backward(w)
+    analytic = analytic_in if param_key is None else layer.grads[param_key].copy()
+
+    def loss():
+        return float((layer.forward(x, training=True) * w).sum())
+
+    target = x if param_key is None else layer.params[param_key]
+    numeric = numerical_grad(loss, target)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestBatchNorm:
+    def test_normalises_training_batch(self, rng):
+        layer = BatchNorm()
+        x = rng.normal(5.0, 3.0, size=(200, 8))
+        layer.build((8,), rng)
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-3)
+
+    def test_image_input_normalises_per_channel(self, rng):
+        layer = BatchNorm()
+        x = rng.normal(2.0, 4.0, size=(32, 5, 5, 3))
+        layer.build((5, 5, 3), rng)
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=(0, 1, 2)), 0.0, atol=1e-7)
+
+    def test_running_stats_converge(self, rng):
+        layer = BatchNorm(momentum=0.5)
+        layer.build((4,), rng)
+        for _ in range(20):
+            layer.forward(rng.normal(3.0, 2.0, size=(64, 4)), training=True)
+        np.testing.assert_allclose(layer.running_mean, 3.0, atol=0.5)
+        np.testing.assert_allclose(layer.running_var, 4.0, rtol=0.5)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(momentum=0.0)  # running stats = last batch
+        layer.build((4,), rng)
+        batch = rng.normal(1.0, 2.0, size=(256, 4))
+        layer.forward(batch, training=True)
+        out = layer.forward(batch, training=False)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=0.05)
+
+    def test_input_gradient(self, rng):
+        check_training_mode_gradient(BatchNorm(), rng.normal(size=(6, 5)), rng)
+
+    def test_gamma_beta_gradients(self, rng):
+        check_training_mode_gradient(
+            BatchNorm(), rng.normal(size=(6, 5)), rng, param_key="gamma"
+        )
+        check_training_mode_gradient(
+            BatchNorm(), rng.normal(size=(6, 5)), rng, param_key="beta"
+        )
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            BatchNorm(momentum=1.5)
+        with pytest.raises(ValueError):
+            BatchNorm(epsilon=0.0)
+
+    def test_trains_in_model(self, tiny_dataset):
+        x, y, xv, yv = tiny_dataset
+        m = Sequential([Flatten(), Dense(16), BatchNorm(), ReLU(), Dense(4)], seed=0)
+        m.compile("adam", "categorical_crossentropy")
+        h = m.fit(x, y, epochs=5, validation_data=(xv, yv))
+        assert h.final("val_accuracy") > 0.7
+
+
+class TestAveragePool:
+    def test_mean_of_windows(self, rng):
+        layer = AveragePool2D(2)
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        layer.build((4, 4, 1), rng)
+        out = layer.forward(x)
+        np.testing.assert_allclose(out[0, :, :, 0], [[2.5, 4.5], [10.5, 12.5]])
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(AveragePool2D(2), rng.normal(size=(2, 4, 4, 2)), rng)
+
+    def test_gradient_spreads_uniformly(self, rng):
+        layer = AveragePool2D(2)
+        layer.build((2, 2, 1), rng)
+        layer.forward(np.ones((1, 2, 2, 1)), training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        np.testing.assert_allclose(grad, 0.25)
+
+    def test_global_pool_shape(self, rng):
+        layer = GlobalAveragePool2D()
+        layer.build((5, 5, 7), rng)
+        assert layer.output_shape == (7,)
+        out = layer.forward(np.ones((3, 5, 5, 7)), training=False)
+        np.testing.assert_allclose(out, 1.0)
+
+    def test_global_pool_gradient(self, rng):
+        check_input_gradient(
+            GlobalAveragePool2D(), rng.normal(size=(2, 3, 3, 2)), rng
+        )
+
+    def test_invalid_shapes(self, rng):
+        with pytest.raises(ValueError):
+            AveragePool2D(5).build((3, 3, 1), rng)
+        with pytest.raises(ValueError):
+            GlobalAveragePool2D().build((9,), rng)
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        s = StepDecay(step_size=10, factor=0.5)
+        assert s(0, 1.0) == 1.0
+        assert s(10, 1.0) == 0.5
+        assert s(25, 1.0) == 0.25
+
+    def test_exponential(self):
+        s = ExponentialDecay(rate=0.1)
+        assert s(0, 1.0) == pytest.approx(1.0)
+        assert s(10, 1.0) == pytest.approx(np.exp(-1.0))
+
+    def test_cosine_endpoints(self):
+        s = CosineDecay(total_epochs=10, min_lr=0.1)
+        assert s(0, 1.0) == pytest.approx(1.0)
+        assert s(10, 1.0) == pytest.approx(0.1)
+        assert s(15, 1.0) == pytest.approx(0.1)  # clamps past the horizon
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            StepDecay(step_size=0)
+        with pytest.raises(ValueError):
+            StepDecay(factor=1.0)
+        with pytest.raises(ValueError):
+            CosineDecay(total_epochs=0)
+
+    def test_scheduler_callback_applies_and_restores(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy", learning_rate=0.1)
+        cb = LearningRateScheduler(StepDecay(step_size=2, factor=0.5))
+        m.fit(x, y, epochs=4, callbacks=[cb])
+        assert cb.history == [0.1, 0.1, 0.05, 0.05]
+        assert m.optimizer.learning_rate == 0.1  # restored after training
+
+    def test_plain_function_schedule(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy", learning_rate=1.0)
+        cb = LearningRateScheduler(lambda epoch, base: base / (epoch + 1))
+        m.fit(x, y, epochs=3, callbacks=[cb])
+        assert cb.history == [1.0, 0.5, pytest.approx(1 / 3)]
+
+
+class TestSerialization:
+    def build_model(self, seed=0):
+        m = Sequential([Flatten(), Dense(8), ReLU(), Dense(4)], seed=seed)
+        m.compile("sgd", "categorical_crossentropy")
+        m.build((6, 6, 1))
+        return m
+
+    def test_roundtrip(self, tmp_path, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = self.build_model()
+        m.fit(x, y, epochs=1)
+        path = save_weights(m, tmp_path / "model.npz")
+        m2 = self.build_model(seed=99)  # different init
+        load_weights(m2, path)
+        np.testing.assert_allclose(m.predict(x[:5]), m2.predict(x[:5]))
+
+    def test_save_unbuilt_rejected(self, tmp_path):
+        m = Sequential([Dense(4)])
+        with pytest.raises(ValueError, match="unbuilt"):
+            save_weights(m, tmp_path / "w.npz")
+
+    def test_architecture_mismatch_detected(self, tmp_path):
+        m = self.build_model()
+        path = save_weights(m, tmp_path / "w.npz")
+        other = Sequential([Flatten(), Dense(16), ReLU(), Dense(4)], seed=0)
+        other.build((6, 6, 1))
+        with pytest.raises(ValueError, match="shape"):
+            load_weights(other, path)
+
+    def test_layer_count_mismatch(self, tmp_path):
+        m = self.build_model()
+        path = save_weights(m, tmp_path / "w.npz")
+        other = Sequential([Flatten(), Dense(4)], seed=0)
+        other.build((6, 6, 1))
+        with pytest.raises(ValueError, match="layers"):
+            load_weights(other, path)
+
+    def test_suffix_normalisation(self, tmp_path):
+        m = self.build_model()
+        save_weights(m, tmp_path / "model")  # np.savez appends .npz
+        load_weights(self.build_model(seed=5), tmp_path / "model")

@@ -1,0 +1,50 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.initializers import get_initializer, glorot_uniform, he_normal, zeros
+
+
+class TestGlorotUniform:
+    def test_shape(self, rng):
+        assert glorot_uniform((10, 20), rng).shape == (10, 20)
+
+    def test_bounds(self, rng):
+        w = glorot_uniform((100, 100), rng)
+        limit = np.sqrt(6.0 / 200)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_conv_fans(self, rng):
+        w = glorot_uniform((3, 3, 8, 16), rng)
+        limit = np.sqrt(6.0 / (9 * 8 + 9 * 16))
+        assert np.all(np.abs(w) <= limit)
+
+    def test_deterministic(self):
+        a = glorot_uniform((5, 5), np.random.default_rng(0))
+        b = glorot_uniform((5, 5), np.random.default_rng(0))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestHeNormal:
+    def test_std_close_to_he(self, rng):
+        w = he_normal((1000, 50), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 1000), rel=0.1)
+
+    def test_zero_mean(self, rng):
+        assert abs(he_normal((2000, 10), rng).mean()) < 0.01
+
+
+class TestZeros:
+    def test_all_zero(self, rng):
+        assert not zeros((4, 4), rng).any()
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", ["glorot_uniform", "he_normal", "zeros"])
+    def test_lookup(self, name, rng):
+        assert get_initializer(name)((2, 2), rng).shape == (2, 2)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown initializer"):
+            get_initializer("nope")

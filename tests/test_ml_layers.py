@@ -1,0 +1,294 @@
+"""Tests for all layers, including numerical gradient checks.
+
+The gradient checks compare analytic backward() output against central
+finite differences of the forward pass — the strongest correctness
+guarantee a hand-written backprop can have.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.layers import (
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    Tanh,
+)
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central finite-difference gradient of scalar f at x."""
+    grad = np.zeros_like(x)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = f()
+        flat[i] = orig - eps
+        lo = f()
+        flat[i] = orig
+        gflat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, rng, atol=1e-6):
+    """Verify dL/dx for L = sum(w * forward(x)) with random w."""
+    layer.build(x.shape[1:], rng)
+    out = layer.forward(x, training=True)
+    w = np.random.default_rng(0).normal(size=out.shape)
+    analytic = layer.backward(w)
+
+    def loss():
+        return float((layer.forward(x, training=False) * w).sum())
+
+    numeric = numerical_grad(loss, x)
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+def check_param_gradient(layer, x, param_key, rng, atol=1e-5):
+    """Verify dL/dparam for L = sum(w * forward(x))."""
+    layer.build(x.shape[1:], rng)
+    out = layer.forward(x, training=True)
+    w = np.random.default_rng(1).normal(size=out.shape)
+    layer.backward(w)
+    analytic = layer.grads[param_key].copy()
+
+    def loss():
+        return float((layer.forward(x, training=False) * w).sum())
+
+    numeric = numerical_grad(loss, layer.params[param_key])
+    np.testing.assert_allclose(analytic, numeric, atol=atol, rtol=1e-4)
+
+
+class TestDense:
+    def test_forward_matches_matmul(self, rng):
+        layer = Dense(3)
+        x = rng.normal(size=(4, 5))
+        layer.build((5,), rng)
+        expected = x @ layer.params["W"] + layer.params["b"]
+        np.testing.assert_allclose(layer.forward(x), expected)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(Dense(3), rng.normal(size=(4, 5)), rng)
+
+    def test_weight_gradient(self, rng):
+        check_param_gradient(Dense(3), rng.normal(size=(4, 5)), "W", rng)
+
+    def test_bias_gradient(self, rng):
+        check_param_gradient(Dense(3), rng.normal(size=(4, 5)), "b", rng)
+
+    def test_no_bias(self, rng):
+        layer = Dense(3, use_bias=False)
+        layer.build((5,), rng)
+        assert "b" not in layer.params
+
+    def test_rejects_image_input(self, rng):
+        with pytest.raises(ValueError, match="Flatten"):
+            Dense(3).build((4, 4, 1), rng)
+
+    def test_backward_without_forward(self, rng):
+        layer = Dense(3)
+        layer.build((5,), rng)
+        with pytest.raises(RuntimeError, match="backward"):
+            layer.backward(np.zeros((2, 3)))
+
+    def test_unbuilt_forward_raises(self):
+        with pytest.raises(RuntimeError, match="before build"):
+            Dense(3).forward(np.zeros((1, 5)))
+
+    def test_n_params(self, rng):
+        layer = Dense(3)
+        layer.build((5,), rng)
+        assert layer.n_params == 5 * 3 + 3
+
+    def test_invalid_units(self):
+        with pytest.raises(ValueError):
+            Dense(0)
+
+
+class TestActivations:
+    @pytest.mark.parametrize("cls", [ReLU, Sigmoid, Tanh, Softmax])
+    def test_input_gradient(self, cls, rng):
+        check_input_gradient(cls(), rng.normal(size=(3, 6)), rng)
+
+    def test_relu_clips(self):
+        out = ReLU().forward(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 2.0]])
+
+    def test_sigmoid_stable_extremes(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 0] == pytest.approx(0.0, abs=1e-12)
+        assert out[0, 1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_softmax_rows_sum_to_one(self, rng):
+        out = Softmax().forward(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(out.sum(axis=1), np.ones(5))
+
+    def test_softmax_stable_large_logits(self):
+        out = Softmax().forward(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(out, [[0.5, 0.5]])
+
+    def test_tanh_range(self, rng):
+        out = Tanh().forward(rng.normal(size=(4, 4)) * 10)
+        assert np.all(np.abs(out) <= 1.0)
+
+
+class TestFlatten:
+    def test_shape(self, rng):
+        layer = Flatten()
+        layer.build((3, 4, 2), rng)
+        assert layer.output_shape == (24,)
+        out = layer.forward(np.zeros((5, 3, 4, 2)), training=True)
+        assert out.shape == (5, 24)
+
+    def test_backward_restores_shape(self, rng):
+        layer = Flatten()
+        layer.build((3, 4, 2), rng)
+        layer.forward(np.zeros((5, 3, 4, 2)), training=True)
+        assert layer.backward(np.zeros((5, 24))).shape == (5, 3, 4, 2)
+
+    def test_roundtrip_values(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(2, 2, 2, 1))
+        layer.build(x.shape[1:], rng)
+        out = layer.forward(x, training=True)
+        np.testing.assert_array_equal(layer.backward(out), x)
+
+
+class TestDropout:
+    def test_inference_identity(self, rng):
+        layer = Dropout(0.5)
+        layer.build((10,), rng)
+        x = rng.normal(size=(4, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_training_zeroes_fraction(self, rng):
+        layer = Dropout(0.5)
+        layer.build((1000,), rng)
+        out = layer.forward(np.ones((4, 1000)), training=True)
+        frac_zero = float((out == 0).mean())
+        assert 0.4 < frac_zero < 0.6
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        layer = Dropout(0.3)
+        layer.build((5000,), rng)
+        out = layer.forward(np.ones((2, 5000)), training=True)
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5)
+        layer.build((100,), rng)
+        out = layer.forward(np.ones((1, 100)), training=True)
+        grad = layer.backward(np.ones((1, 100)))
+        np.testing.assert_array_equal((out == 0), (grad == 0))
+
+    def test_rate_zero_passthrough(self, rng):
+        layer = Dropout(0.0)
+        layer.build((10,), rng)
+        x = rng.normal(size=(2, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)
+
+
+class TestConv2D:
+    def test_output_shape_valid(self, rng):
+        layer = Conv2D(4, kernel_size=3, padding="valid")
+        layer.build((8, 8, 2), rng)
+        assert layer.output_shape == (6, 6, 4)
+
+    def test_output_shape_same(self, rng):
+        layer = Conv2D(4, kernel_size=3, padding="same")
+        layer.build((8, 8, 2), rng)
+        assert layer.output_shape == (8, 8, 4)
+
+    def test_strided_shape(self, rng):
+        layer = Conv2D(2, kernel_size=2, strides=2)
+        layer.build((8, 8, 1), rng)
+        assert layer.output_shape == (4, 4, 2)
+
+    def test_matches_naive_convolution(self, rng):
+        layer = Conv2D(2, kernel_size=2, padding="valid")
+        x = rng.normal(size=(1, 4, 4, 1))
+        layer.build((4, 4, 1), rng)
+        out = layer.forward(x)
+        w, b = layer.params["W"], layer.params["b"]
+        # Naive direct computation of one output position.
+        for i in range(3):
+            for j in range(3):
+                patch = x[0, i : i + 2, j : j + 2, :]
+                expected = (patch[..., None] * w).sum(axis=(0, 1, 2)) + b
+                np.testing.assert_allclose(out[0, i, j], expected)
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(
+            Conv2D(2, kernel_size=3), rng.normal(size=(2, 5, 5, 2)), rng, atol=1e-5
+        )
+
+    def test_kernel_gradient(self, rng):
+        check_param_gradient(
+            Conv2D(2, kernel_size=3), rng.normal(size=(2, 5, 5, 2)), "W", rng
+        )
+
+    def test_bias_gradient(self, rng):
+        check_param_gradient(
+            Conv2D(2, kernel_size=3), rng.normal(size=(2, 5, 5, 2)), "b", rng
+        )
+
+    def test_same_padding_gradient(self, rng):
+        check_input_gradient(
+            Conv2D(2, kernel_size=3, padding="same"),
+            rng.normal(size=(2, 4, 4, 1)),
+            rng,
+            atol=1e-5,
+        )
+
+    def test_kernel_too_large(self, rng):
+        with pytest.raises(ValueError):
+            Conv2D(2, kernel_size=9).build((4, 4, 1), rng)
+
+    def test_rejects_flat_input(self, rng):
+        with pytest.raises(ValueError, match=r"\(h, w, c\)"):
+            Conv2D(2).build((16,), rng)
+
+
+class TestMaxPool2D:
+    def test_output_shape(self, rng):
+        layer = MaxPool2D(2)
+        layer.build((8, 8, 3), rng)
+        assert layer.output_shape == (4, 4, 3)
+
+    def test_takes_window_max(self, rng):
+        layer = MaxPool2D(2)
+        x = np.arange(16.0).reshape(1, 4, 4, 1)
+        layer.build((4, 4, 1), rng)
+        out = layer.forward(x)
+        np.testing.assert_array_equal(out[0, :, :, 0], [[5, 7], [13, 15]])
+
+    def test_input_gradient(self, rng):
+        check_input_gradient(MaxPool2D(2), rng.normal(size=(2, 4, 4, 2)), rng)
+
+    def test_gradient_routed_to_argmax(self, rng):
+        layer = MaxPool2D(2)
+        x = np.zeros((1, 2, 2, 1))
+        x[0, 1, 1, 0] = 5.0
+        layer.build((2, 2, 1), rng)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        assert grad[0, 1, 1, 0] == 1.0
+        assert grad.sum() == 1.0
+
+    def test_pool_too_large(self, rng):
+        with pytest.raises(ValueError):
+            MaxPool2D(5).build((4, 4, 1), rng)

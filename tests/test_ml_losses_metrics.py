@@ -1,0 +1,144 @@
+"""Tests for losses and metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml.data import one_hot
+from repro.ml.losses import CategoricalCrossentropy, MeanSquaredError, get_loss
+from repro.ml.metrics import accuracy, top_k_accuracy
+
+
+class TestCategoricalCrossentropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([0, 1]), 2)
+        logits = np.array([[20.0, -20.0], [-20.0, 20.0]])
+        assert loss.value(y, logits) < 1e-6
+
+    def test_uniform_prediction_is_log_k(self):
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([0]), 4)
+        assert loss.value(y, np.zeros((1, 4))) == pytest.approx(np.log(4))
+
+    def test_gradient_is_probs_minus_targets(self):
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([1]), 3)
+        logits = np.array([[0.0, 0.0, 0.0]])
+        grad = loss.gradient(y, logits)
+        np.testing.assert_allclose(grad, [[1 / 3, 1 / 3 - 1, 1 / 3]])
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(0)
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([0, 2, 1]), 3)
+        logits = rng.normal(size=(3, 3))
+        analytic = loss.gradient(y, logits)
+        eps = 1e-6
+        numeric = np.zeros_like(logits)
+        for i in range(3):
+            for j in range(3):
+                logits[i, j] += eps
+                hi = loss.value(y, logits)
+                logits[i, j] -= 2 * eps
+                lo = loss.value(y, logits)
+                logits[i, j] += eps
+                numeric[i, j] = (hi - lo) / (2 * eps)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+    def test_stable_with_huge_logits(self):
+        loss = CategoricalCrossentropy(from_logits=True)
+        y = one_hot(np.array([0]), 2)
+        assert np.isfinite(loss.value(y, np.array([[1e4, -1e4]])))
+
+    def test_probability_mode(self):
+        loss = CategoricalCrossentropy(from_logits=False)
+        y = one_hot(np.array([0]), 2)
+        assert loss.value(y, np.array([[0.9, 0.1]])) == pytest.approx(-np.log(0.9))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            CategoricalCrossentropy().value(np.zeros((2, 3)), np.zeros((2, 4)))
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal(self):
+        mse = MeanSquaredError()
+        x = np.ones((3, 2))
+        assert mse.value(x, x) == 0.0
+
+    def test_value(self):
+        mse = MeanSquaredError()
+        assert mse.value(np.zeros((1, 2)), np.array([[1.0, 1.0]])) == 1.0
+
+    def test_gradient_matches_numeric(self):
+        mse = MeanSquaredError()
+        rng = np.random.default_rng(1)
+        y = rng.normal(size=(2, 3))
+        pred = rng.normal(size=(2, 3))
+        analytic = mse.gradient(y, pred)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(3):
+                pred[i, j] += eps
+                hi = mse.value(y, pred)
+                pred[i, j] -= 2 * eps
+                lo = mse.value(y, pred)
+                pred[i, j] += eps
+                assert analytic[i, j] == pytest.approx((hi - lo) / (2 * eps), abs=1e-6)
+
+
+class TestGetLoss:
+    def test_by_name(self):
+        assert isinstance(get_loss("mse"), MeanSquaredError)
+        assert isinstance(
+            get_loss("categorical_crossentropy"), CategoricalCrossentropy
+        )
+
+    def test_passthrough(self):
+        loss = MeanSquaredError()
+        assert get_loss(loss) is loss
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown loss"):
+            get_loss("hinge")
+
+
+class TestAccuracy:
+    def test_labels_vs_scores(self):
+        assert accuracy(np.array([0, 1]), np.array([[0.9, 0.1], [0.2, 0.8]])) == 1.0
+
+    def test_one_hot_targets(self):
+        y = one_hot(np.array([1, 0]), 2)
+        scores = np.array([[0.1, 0.9], [0.9, 0.1]])
+        assert accuracy(y, scores) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+
+class TestTopK:
+    def test_top1_equals_accuracy(self):
+        scores = np.array([[0.9, 0.1, 0.0], [0.1, 0.2, 0.7]])
+        y = np.array([0, 1])
+        assert top_k_accuracy(y, scores, k=1) == accuracy(y, scores)
+
+    def test_top2_more_permissive(self):
+        scores = np.array([[0.5, 0.4, 0.1]])
+        assert top_k_accuracy(np.array([1]), scores, k=1) == 0.0
+        assert top_k_accuracy(np.array([1]), scores, k=2) == 1.0
+
+    def test_k_clipped_to_classes(self):
+        scores = np.array([[0.5, 0.5]])
+        assert top_k_accuracy(np.array([0]), scores, k=10) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_accuracy(np.array([0]), np.array([[1.0, 0.0]]), k=0)

@@ -1,0 +1,208 @@
+"""Tests for the Sequential model and History."""
+
+import numpy as np
+import pytest
+
+from repro.ml import Dense, Flatten, ReLU, Sequential
+from repro.ml.model import History
+
+
+def make_model(seed=0):
+    model = Sequential([Dense(16), ReLU(), Dense(4)], seed=seed)
+    model.compile(optimizer="adam", loss="categorical_crossentropy")
+    return model
+
+
+class TestConstruction:
+    def test_add_chaining(self):
+        m = Sequential().add(Dense(4)).add(ReLU())
+        assert len(m.layers) == 2
+
+    def test_build_propagates_shapes(self):
+        m = Sequential([Flatten(), Dense(8), ReLU(), Dense(2)])
+        m.build((3, 3, 1))
+        assert m.layers[0].output_shape == (9,)
+        assert m.layers[-1].output_shape == (2,)
+
+    def test_add_after_build_rejected(self):
+        m = Sequential([Dense(4)])
+        m.build((3,))
+        with pytest.raises(RuntimeError):
+            m.add(ReLU())
+
+    def test_empty_model_rejected(self):
+        with pytest.raises(RuntimeError, match="no layers"):
+            Sequential().build((3,))
+
+    def test_deterministic_init(self):
+        a, b = Sequential([Dense(4)], seed=7), Sequential([Dense(4)], seed=7)
+        a.build((3,))
+        b.build((3,))
+        np.testing.assert_array_equal(a.layers[0].params["W"], b.layers[0].params["W"])
+
+    def test_different_seeds_differ(self):
+        a, b = Sequential([Dense(4)], seed=1), Sequential([Dense(4)], seed=2)
+        a.build((3,))
+        b.build((3,))
+        assert not np.array_equal(a.layers[0].params["W"], b.layers[0].params["W"])
+
+    def test_summary(self):
+        m = make_model()
+        m.build((5,))
+        out = m.summary()
+        assert "total params" in out and "dense" in out
+
+
+class TestTraining:
+    def test_learns_separable_problem(self, tiny_dataset):
+        x, y, xv, yv = tiny_dataset
+        m = Sequential([Flatten(), Dense(32), ReLU(), Dense(4)], seed=0)
+        m.compile("adam", "categorical_crossentropy")
+        history = m.fit(x, y, epochs=8, batch_size=32, validation_data=(xv, yv))
+        assert history.final("val_accuracy") > 0.8
+
+    def test_loss_decreases(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(16), ReLU(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy", learning_rate=0.05)
+        history = m.fit(x, y, epochs=6, batch_size=32)
+        losses = history.metrics["loss"]
+        assert losses[-1] < losses[0]
+
+    def test_history_keys_without_validation(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = make_model()
+        history = m.fit(x.reshape(x.shape[0], -1), y, epochs=2)
+        assert set(history.metrics) == {"loss", "accuracy"}
+
+    def test_history_keys_with_validation(self, tiny_dataset):
+        x, y, xv, yv = tiny_dataset
+        m = Sequential([Flatten(), Dense(8), ReLU(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        history = m.fit(x, y, epochs=1, validation_data=(xv, yv))
+        assert set(history.metrics) == {
+            "loss", "accuracy", "val_loss", "val_accuracy"
+        }
+
+    def test_reproducible_training(self, tiny_dataset):
+        x, y, xv, yv = tiny_dataset
+        runs = []
+        for _ in range(2):
+            m = Sequential([Flatten(), Dense(8), ReLU(), Dense(4)], seed=3)
+            m.compile("sgd", "categorical_crossentropy")
+            h = m.fit(x, y, epochs=2, validation_data=(xv, yv))
+            runs.append(h.final("val_loss"))
+        assert runs[0] == runs[1]
+
+    def test_fit_before_compile_raises(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        with pytest.raises(RuntimeError, match="compile"):
+            Sequential([Flatten(), Dense(4)]).fit(x, y, epochs=1)
+
+    def test_mismatched_xy(self):
+        m = make_model()
+        with pytest.raises(ValueError, match="rows"):
+            m.fit(np.zeros((4, 3)), np.zeros((5, 4)), epochs=1)
+
+    def test_stop_training_flag(self, tiny_dataset):
+        from repro.ml.callbacks import LambdaCallback
+
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+
+        def stop(epoch, logs):
+            if epoch == 1:
+                m.stop_training = True
+
+        h = m.fit(x, y, epochs=10, callbacks=[LambdaCallback(on_epoch_end=stop)])
+        assert len(h) == 2
+
+
+class TestEvaluatePredict:
+    def test_predict_probabilities(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        probs = m.predict(x[:10])
+        assert probs.shape == (10, 4)
+        np.testing.assert_allclose(probs.sum(axis=1), np.ones(10))
+
+    def test_evaluate_keys(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        out = m.evaluate(x, y)
+        assert set(out) == {"loss", "accuracy"}
+        assert 0.0 <= out["accuracy"] <= 1.0
+
+    def test_evaluate_empty_rejected(self):
+        m = make_model()
+        m.build((3,))
+        with pytest.raises(ValueError):
+            m.evaluate(np.zeros((0, 3)), np.zeros((0, 4)))
+
+    def test_batched_predict_matches_full(self, tiny_dataset):
+        x, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        np.testing.assert_allclose(
+            m.predict(x[:50], batch_size=7), m.predict(x[:50], batch_size=50)
+        )
+
+
+class TestWeights:
+    def test_roundtrip(self, tiny_dataset):
+        x, y, *_ = tiny_dataset
+        m = Sequential([Flatten(), Dense(8), ReLU(), Dense(4)], seed=0)
+        m.compile("sgd", "categorical_crossentropy")
+        m.fit(x, y, epochs=1)
+        saved = m.get_weights()
+        before = m.predict(x[:5])
+        m.fit(x, y, epochs=1)
+        m.set_weights(saved)
+        np.testing.assert_allclose(m.predict(x[:5]), before)
+
+    def test_set_weights_shape_validated(self):
+        m = Sequential([Dense(4)], seed=0)
+        m.build((3,))
+        bad = [{"W": np.zeros((2, 2))}]
+        with pytest.raises(ValueError):
+            m.set_weights(bad)
+
+    def test_wrong_layer_count(self):
+        m = Sequential([Dense(4)], seed=0)
+        m.build((3,))
+        with pytest.raises(ValueError, match="weight dicts"):
+            m.set_weights([])
+
+    def test_n_params(self):
+        m = Sequential([Dense(4)], seed=0)
+        m.build((3,))
+        assert m.n_params == 3 * 4 + 4
+
+
+class TestHistory:
+    def test_append_and_final(self):
+        h = History()
+        h.append(0, {"loss": 1.0})
+        h.append(1, {"loss": 0.5})
+        assert h.final("loss") == 0.5
+        assert len(h) == 2
+
+    def test_best(self):
+        h = History()
+        for e, v in enumerate([0.5, 0.9, 0.7]):
+            h.append(e, {"val_accuracy": v})
+        assert h.best("val_accuracy", "max") == (1, 0.9)
+        assert h.best("val_accuracy", "min") == (0, 0.5)
+
+    def test_missing_metric(self):
+        with pytest.raises(KeyError):
+            History().final("loss")
+
+    def test_as_dict(self):
+        h = History()
+        h.append(0, {"loss": 1.0})
+        d = h.as_dict()
+        assert d["epochs"] == [0] and d["loss"] == [1.0]

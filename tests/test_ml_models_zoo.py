@@ -1,0 +1,84 @@
+"""Tests for the create_model factory (paper Listing 2's create_model)."""
+
+import numpy as np
+import pytest
+
+from repro.ml import create_model
+from repro.ml.layers import Conv2D, Dense
+from repro.ml.optimizers import Adam, RMSprop, SGD
+
+
+class TestArchitectureSelection:
+    def test_auto_mlp_for_greyscale(self):
+        m = create_model({}, input_shape=(10, 10, 1))
+        assert not any(isinstance(l, Conv2D) for l in m.layers)
+
+    def test_auto_cnn_for_rgb(self):
+        m = create_model({}, input_shape=(12, 12, 3))
+        assert any(isinstance(l, Conv2D) for l in m.layers)
+
+    def test_explicit_architecture(self):
+        m = create_model({"architecture": "cnn"}, input_shape=(10, 10, 1))
+        assert any(isinstance(l, Conv2D) for l in m.layers)
+
+    def test_flat_input_mlp(self):
+        m = create_model({}, input_shape=(64,))
+        assert m.layers[-1].output_shape == (10,)
+
+    def test_cnn_requires_image(self):
+        with pytest.raises(ValueError, match="image"):
+            create_model({"architecture": "cnn"}, input_shape=(64,))
+
+    def test_unknown_architecture(self):
+        with pytest.raises(ValueError, match="unknown architecture"):
+            create_model({"architecture": "transformer"}, input_shape=(8,))
+
+    def test_bad_input_shape(self):
+        with pytest.raises(ValueError):
+            create_model({}, input_shape=(4, 4))
+
+
+class TestConfigKnobs:
+    @pytest.mark.parametrize(
+        "name,cls", [("SGD", SGD), ("Adam", Adam), ("RMSprop", RMSprop)]
+    )
+    def test_optimizer_from_config(self, name, cls):
+        m = create_model({"optimizer": name}, input_shape=(8,))
+        assert isinstance(m.optimizer, cls)
+
+    def test_learning_rate(self):
+        m = create_model(
+            {"optimizer": "Adam", "learning_rate": 0.42}, input_shape=(8,)
+        )
+        assert m.optimizer.learning_rate == 0.42
+
+    def test_hidden_units(self):
+        m = create_model({"hidden_units": 128}, input_shape=(8,))
+        dense = next(l for l in m.layers if isinstance(l, Dense))
+        assert dense.units == 128
+
+    def test_dropout_added(self):
+        from repro.ml.layers import Dropout
+
+        m = create_model({"dropout": 0.5}, input_shape=(8,))
+        assert any(isinstance(l, Dropout) for l in m.layers)
+
+    def test_seed_reproducible(self):
+        a = create_model({}, input_shape=(8,), seed=5)
+        b = create_model({}, input_shape=(8,), seed=5)
+        np.testing.assert_array_equal(
+            a.layers[1].params["W"], b.layers[1].params["W"]
+        )
+
+    def test_n_classes(self):
+        m = create_model({}, input_shape=(8,), n_classes=3)
+        assert m.layers[-1].output_shape == (3,)
+
+    def test_model_is_trainable(self):
+        m = create_model({"optimizer": "Adam"}, input_shape=(6,), n_classes=2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 6))
+        y = np.zeros((64, 2))
+        y[np.arange(64), (x[:, 0] > 0).astype(int)] = 1.0
+        h = m.fit(x, y, epochs=12, batch_size=16)
+        assert h.final("accuracy") > 0.8

@@ -1,0 +1,147 @@
+"""Tests for optimisers."""
+
+import numpy as np
+import pytest
+
+from repro.ml.optimizers import SGD, Adam, RMSprop, get_optimizer
+
+
+def quadratic_descent(optimizer, start=5.0, steps=200):
+    """Minimise f(p) = p² with the optimiser; return |final p|."""
+    p = np.array([float(start)])
+    for _ in range(steps):
+        grad = 2.0 * p
+        optimizer.apply_gradients([("p", p, grad)])
+    return abs(float(p[0]))
+
+
+class TestSGD:
+    def test_plain_update(self):
+        opt = SGD(learning_rate=0.1)
+        p = np.array([1.0])
+        opt.apply_gradients([("p", p, np.array([2.0]))])
+        assert p[0] == pytest.approx(0.8)
+
+    def test_converges_on_quadratic(self):
+        assert quadratic_descent(SGD(learning_rate=0.1)) < 1e-6
+
+    def test_momentum_accelerates(self):
+        slow = quadratic_descent(SGD(learning_rate=0.01), steps=50)
+        fast = quadratic_descent(SGD(learning_rate=0.01, momentum=0.9), steps=50)
+        assert fast < slow
+
+    def test_nesterov(self):
+        assert quadratic_descent(
+            SGD(learning_rate=0.01, momentum=0.9, nesterov=True)
+        ) < 1e-4
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=0.0, nesterov=True)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD(momentum=1.0)
+
+    def test_in_place_update(self):
+        opt = SGD(learning_rate=0.1)
+        p = np.array([1.0])
+        pid = id(p)
+        opt.apply_gradients([("p", p, np.array([1.0]))])
+        assert id(p) == pid
+
+
+class TestAdam:
+    def test_converges(self):
+        assert quadratic_descent(Adam(learning_rate=0.3), steps=400) < 1e-3
+
+    def test_first_step_magnitude_is_lr(self):
+        # Bias correction makes the very first step ≈ lr regardless of grad.
+        opt = Adam(learning_rate=0.1)
+        p = np.array([1.0])
+        opt.apply_gradients([("p", p, np.array([1e-3]))])
+        assert p[0] == pytest.approx(0.9, abs=1e-3)
+
+    def test_state_per_parameter(self):
+        opt = Adam()
+        a, b = np.array([1.0]), np.array([1.0])
+        opt.apply_gradients([("a", a, np.array([1.0])), ("b", b, np.array([-1.0]))])
+        assert a[0] < 1.0 < b[0]
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam(beta_1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta_2=0.0)
+
+    def test_reset(self):
+        opt = Adam()
+        p = np.array([1.0])
+        opt.apply_gradients([("p", p, np.array([1.0]))])
+        opt.reset()
+        assert opt.iterations == 0
+
+
+class TestRMSprop:
+    def test_converges(self):
+        # RMSprop's effective step stays ~lr near the optimum (the gradient
+        # normalisation cancels magnitude), so it parks within O(lr).
+        assert quadratic_descent(RMSprop(learning_rate=0.05), steps=400) < 0.1
+
+    def test_adaptive_scaling(self):
+        # Equal effective steps for very different gradient magnitudes.
+        opt = RMSprop(learning_rate=0.1)
+        big, small = np.array([1.0]), np.array([1.0])
+        opt.apply_gradients(
+            [("big", big, np.array([100.0])), ("small", small, np.array([0.01]))]
+        )
+        assert (1 - big[0]) == pytest.approx(1 - small[0], rel=0.01)
+
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            RMSprop(rho=1.0)
+
+
+class TestCommon:
+    def test_shape_mismatch_rejected(self):
+        opt = SGD()
+        with pytest.raises(ValueError, match="shape"):
+            opt.apply_gradients([("p", np.zeros(3), np.zeros(4))])
+
+    def test_negative_lr_rejected(self):
+        for cls in (SGD, Adam, RMSprop):
+            with pytest.raises(ValueError):
+                cls(learning_rate=-0.1)
+
+    def test_iterations_counted(self):
+        opt = SGD()
+        p = np.array([1.0])
+        for _ in range(3):
+            opt.apply_gradients([("p", p, np.array([0.1]))])
+        assert opt.iterations == 3
+
+    def test_repr_contains_config(self):
+        assert "learning_rate" in repr(Adam(learning_rate=0.5))
+
+
+class TestGetOptimizer:
+    @pytest.mark.parametrize(
+        "name,cls", [("sgd", SGD), ("Adam", Adam), ("RMSprop", RMSprop)]
+    )
+    def test_case_insensitive(self, name, cls):
+        assert isinstance(get_optimizer(name), cls)
+
+    def test_kwargs_forwarded(self):
+        assert get_optimizer("adam", learning_rate=0.5).learning_rate == 0.5
+
+    def test_passthrough(self):
+        opt = SGD()
+        assert get_optimizer(opt) is opt
+
+    def test_passthrough_with_kwargs_rejected(self):
+        with pytest.raises(ValueError):
+            get_optimizer(SGD(), learning_rate=0.1)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown optimizer"):
+            get_optimizer("lbfgs")

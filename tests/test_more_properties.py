@@ -1,0 +1,152 @@
+"""Additional property-based tests: trace analysis and queue model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.tracing.analysis import TraceAnalysis
+from repro.runtime.tracing.extrae import TaskRecord, TraceRecorder
+from repro.simcluster.batchqueue import BatchJob, QueueWaitModel, simulate_job_campaign
+
+
+@st.composite
+def trace_records(draw):
+    """Valid traces: per (node, core), task intervals never overlap —
+    the invariant every executor guarantees via slot allocation."""
+    n = draw(st.integers(1, 20))
+    cursor = {}  # (node, core) -> earliest free time
+    records = []
+    for i in range(n):
+        gap = draw(st.floats(0.0, 100.0, allow_nan=False))
+        length = draw(st.floats(0.001, 500.0, allow_nan=False))
+        core = draw(st.integers(0, 7))
+        node = f"n{draw(st.integers(1, 3))}"
+        start = cursor.get((node, core), 0.0) + gap
+        cursor[(node, core)] = start + length
+        records.append(
+            TaskRecord(
+                task_label=f"t-{i}", task_name="t", node=node,
+                cpu_ids=(core,), gpu_ids=(), start=start, end=start + length,
+            )
+        )
+    return records
+
+
+def analysis_of(records):
+    rec = TraceRecorder()
+    for r in records:
+        rec.record_task(r)
+    return TraceAnalysis(rec)
+
+
+@settings(max_examples=60)
+@given(trace_records())
+def test_utilization_bounded(records):
+    ana = analysis_of(records)
+    assert 0.0 <= ana.utilization() <= 1.0 + 1e-9
+
+
+@settings(max_examples=60)
+@given(trace_records())
+def test_makespan_bounds_every_record(records):
+    ana = analysis_of(records)
+    t0 = min(r.start for r in records)
+    for r in records:
+        assert r.end - t0 <= ana.makespan + 1e-9
+
+
+@settings(max_examples=60)
+@given(trace_records())
+def test_concurrency_profile_ends_at_zero(records):
+    ana = analysis_of(records)
+    profile = ana.concurrency_profile()
+    assert profile[-1][1] == 0
+    assert all(n >= 0 for _, n in profile)
+    assert ana.max_concurrency() <= len(records)
+
+
+@settings(max_examples=60)
+@given(trace_records(), st.integers(2, 40))
+def test_busy_timeline_bounded_by_distinct_cores(records, n_points):
+    ana = analysis_of(records)
+    distinct = len(ana.cores_used())
+    for _, busy in ana.busy_cores_timeline(n_points=n_points):
+        assert 0 <= busy <= distinct
+
+
+@settings(max_examples=60)
+@given(
+    st.lists(
+        st.tuples(st.integers(1, 8), st.floats(0.0, 1000.0, allow_nan=False)),
+        max_size=25,
+    ),
+    st.integers(1, 8),
+)
+def test_campaign_schedule_consistent(jobs_raw, cap):
+    jobs = [BatchJob(nodes=n, duration_s=d) for n, d in jobs_raw]
+    model = QueueWaitModel(base_wait_s=1.0, per_node_s=2.0, congestion_s=3.0)
+    makespan, schedule = simulate_job_campaign(jobs, model, cap)
+    assert len(schedule) == len(jobs)
+    for (start, end), job in zip(schedule, jobs):
+        assert end == pytest.approx(start + job.duration_s)
+        assert start >= model.base_wait_s - 1e-9
+    if jobs:
+        assert makespan == pytest.approx(max(end for _, end in schedule))
+        # Concurrency never exceeds the per-user cap.
+        events = sorted(
+            [(s, 1) for s, _ in schedule] + [(e, -1) for _, e in schedule]
+        )
+        running = peak = 0
+        for _, delta in events:
+            running += delta
+            peak = max(peak, running)
+        assert peak <= cap
+
+
+def test_simulated_executor_never_double_books_a_core():
+    """The invariant behind the analysis properties, checked on a real run:
+    no (node, core) ever hosts two overlapping task attempts."""
+    from repro.hpo import (
+        GridSearch,
+        PyCOMPSsRunner,
+        fast_mock_objective,
+        paper_search_space,
+    )
+    from repro.pycompss_api.constraint import ResourceConstraint
+    from repro.runtime.config import RuntimeConfig
+    from repro.runtime.runtime import COMPSsRuntime
+    from repro.simcluster.machines import mare_nostrum4
+
+    cfg = RuntimeConfig(
+        cluster=mare_nostrum4(1), executor="simulated",
+        execute_bodies=True, reserved_cores=24,
+    )
+    rt = COMPSsRuntime(cfg).start()
+    try:
+        PyCOMPSsRunner(
+            GridSearch(paper_search_space()),
+            objective=fast_mock_objective,
+            constraint=ResourceConstraint(cpu_units=2),
+        ).run()
+        per_core = {}
+        for r in rt.tracer.records:
+            for c in r.cpu_ids:
+                per_core.setdefault((r.node, c), []).append((r.start, r.end))
+        for intervals in per_core.values():
+            intervals.sort()
+            for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+                assert s2 >= e1 - 1e-9, f"core double-booked: {(s1, e1)} {(s2, e2)}"
+    finally:
+        rt.stop(wait=False)
+
+
+@settings(max_examples=40)
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=15))
+def test_more_queue_congestion_never_helps(durations):
+    cheap = QueueWaitModel(base_wait_s=0, per_node_s=0, congestion_s=1.0)
+    pricey = QueueWaitModel(base_wait_s=0, per_node_s=0, congestion_s=50.0)
+    jobs = [BatchJob(nodes=1, duration_s=d) for d in durations]
+    m1, _ = simulate_job_campaign(jobs, cheap, 4)
+    m2, _ = simulate_job_campaign(jobs, pricey, 4)
+    assert m2 >= m1 - 1e-9

@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpo.baselines import simulate_pool_makespan
+from repro.hpo.space import Categorical, Integer, Real, SearchSpace
+from repro.ml.data import one_hot
+from repro.ml.layers.activations import softmax
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.resources import Worker
+from repro.simcluster.costmodel import amdahl_speedup
+from repro.simcluster.events import DiscreteEventSimulator
+from repro.simcluster.node import NodeSpec
+from repro.util.seeding import derive_seed
+
+
+# ---------------------------------------------------------------------------
+# Seeding
+# ---------------------------------------------------------------------------
+@given(st.integers(0, 2**40), st.text(max_size=30))
+def test_derive_seed_in_range(parent, key):
+    s = derive_seed(parent, key)
+    assert 0 <= s < 2**63
+
+
+@given(st.integers(0, 2**40), st.text(max_size=20), st.text(max_size=20))
+def test_derive_seed_distinct_keys(parent, k1, k2):
+    if k1 != k2:
+        assert derive_seed(parent, k1) != derive_seed(parent, k2)
+
+
+# ---------------------------------------------------------------------------
+# numerics
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(
+        st.floats(-50, 50, allow_nan=False), min_size=2, max_size=8
+    )
+)
+def test_softmax_is_distribution(logits):
+    out = softmax(np.array([logits]))
+    assert np.all(out >= 0)
+    assert out.sum() == np.float64(1.0) or abs(out.sum() - 1.0) < 1e-9
+
+
+@given(st.integers(1, 4096), st.floats(0.0, 1.0, allow_nan=False))
+def test_amdahl_bounds(cores, frac):
+    s = amdahl_speedup(cores, frac)
+    assert 1.0 - 1e-9 <= s <= cores + 1e-9
+
+
+@given(st.lists(st.integers(0, 9), min_size=1, max_size=50))
+def test_one_hot_rows_sum_to_one(labels):
+    out = one_hot(np.array(labels), 10)
+    assert (out.sum(axis=1) == 1.0).all()
+    assert (out.argmax(axis=1) == np.array(labels)).all()
+
+
+# ---------------------------------------------------------------------------
+# Search space embedding
+# ---------------------------------------------------------------------------
+def mixed_space():
+    return SearchSpace(
+        [
+            Categorical("opt", ["A", "B", "C"]),
+            Integer("epochs", 1, 100),
+            Real("lr", 1e-4, 1e-1, log=True),
+        ]
+    )
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_space_sample_always_valid(seed):
+    space = mixed_space()
+    config = space.sample(seed)
+    space.validate(config)
+
+
+@given(st.integers(0, 2**32 - 1))
+def test_unit_roundtrip_preserves_config(seed):
+    space = mixed_space()
+    config = space.sample(seed)
+    decoded = space.from_unit_vector(space.to_unit_vector(config))
+    assert decoded["opt"] == config["opt"]
+    assert decoded["epochs"] == config["epochs"]
+    assert abs(np.log(decoded["lr"]) - np.log(config["lr"])) < 1e-9
+
+
+@given(
+    st.lists(
+        st.floats(0.0, 1.0, allow_nan=False), min_size=3, max_size=3
+    )
+)
+def test_from_unit_vector_always_valid(u):
+    space = mixed_space()
+    space.validate(space.from_unit_vector(np.array(u)))
+
+
+# ---------------------------------------------------------------------------
+# Pool makespan model
+# ---------------------------------------------------------------------------
+@given(
+    st.lists(st.floats(0.0, 1e4, allow_nan=False), max_size=40),
+    st.integers(1, 16),
+)
+def test_pool_makespan_bounds(durations, n_jobs):
+    m = simulate_pool_makespan(durations, n_jobs)
+    total = sum(durations)
+    longest = max(durations, default=0.0)
+    assert m >= longest - 1e-9
+    assert m >= total / n_jobs - 1e-6
+    assert m <= total + 1e-9
+
+
+@given(st.lists(st.floats(0.0, 100.0, allow_nan=False), max_size=20))
+def test_pool_makespan_monotone_in_workers(durations):
+    m2 = simulate_pool_makespan(durations, 2)
+    m4 = simulate_pool_makespan(durations, 4)
+    assert m4 <= m2 + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Worker slot accounting
+# ---------------------------------------------------------------------------
+@settings(max_examples=50)
+@given(st.lists(st.integers(1, 8), max_size=12), st.integers(8, 48))
+def test_worker_allocation_conserves_slots(requests, cores):
+    worker = Worker(NodeSpec(name="n", cpu_cores=cores))
+    allocations = []
+    used = 0
+    for req in requests:
+        rc = ResourceConstraint(cpu_units=req)
+        if worker.can_host(rc):
+            allocations.append(worker.allocate(rc))
+            used += req
+    assert worker.free_cpu_units == cores - used
+    all_ids = [c for a in allocations for c in a.cpu_ids]
+    assert len(all_ids) == len(set(all_ids))  # no double allocation
+    for a in allocations:
+        worker.release(a)
+    assert worker.free_cpu_units == cores
+
+
+# ---------------------------------------------------------------------------
+# Event engine ordering
+# ---------------------------------------------------------------------------
+@settings(max_examples=60)
+@given(st.lists(st.floats(0.0, 1e6, allow_nan=False), max_size=40))
+def test_simulator_fires_in_nondecreasing_time(delays):
+    sim = DiscreteEventSimulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)

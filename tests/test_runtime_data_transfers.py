@@ -1,0 +1,122 @@
+"""Tests for inter-task result transfers in the simulated executor."""
+
+import pytest
+
+from repro.pycompss_api import COMPSs, compss_wait_on, task
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.runtime.task_definition import TaskDefinition
+from repro.simcluster.machines import mare_nostrum4
+from repro.simcluster.network import NetworkModel
+
+
+def cluster_with_slow_network(n_nodes=2, mbps=1.0):
+    cluster = mare_nostrum4(n_nodes)
+    cluster.network = NetworkModel(latency_s=0.0, bandwidth_mbps=mbps)
+    return cluster
+
+
+def definitions(output_mb):
+    produce = TaskDefinition(
+        func=lambda i: i, name="produce", returns=int, n_returns=1,
+        constraint=ResourceConstraint(cpu_units=48),
+        output_size_mb=output_mb,
+    )
+    consume = TaskDefinition(
+        func=lambda f: f, name="consume", returns=int, n_returns=1,
+        constraint=ResourceConstraint(cpu_units=48),
+    )
+    return produce, consume
+
+
+class TestResultTransfers:
+    def run_chain(self, output_mb, force_other_node):
+        cfg = RuntimeConfig(
+            cluster=cluster_with_slow_network(2),
+            executor="simulated", execute_bodies=True,
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        rt = COMPSsRuntime(cfg).start()
+        try:
+            produce, consume = definitions(output_mb)
+            p = rt.submit(produce, (1,), {})
+            compss_wait_on(p)
+            if force_other_node:
+                # Occupy the producer's node so the consumer must move.
+                blocker = TaskDefinition(
+                    func=lambda: 0, name="blocker", returns=int, n_returns=1,
+                    constraint=ResourceConstraint(cpu_units=48),
+                )
+                rt.submit(blocker, (), {})
+            c = rt.submit(consume, (p,), {})
+            compss_wait_on(c)
+            records = {r.task_label: r for r in rt.tracer.records}
+            consume_rec = next(
+                r for label, r in records.items() if label.startswith("consume")
+            )
+            return rt.virtual_time, consume_rec
+        finally:
+            rt.stop(wait=False)
+
+    def test_same_node_transfer_free(self):
+        t, rec = self.run_chain(output_mb=40.0, force_other_node=False)
+        # 10 + 10 s of compute, no 40-s transfer.
+        assert t == pytest.approx(20.0, abs=1.0)
+
+    def test_cross_node_transfer_charged(self):
+        t, rec = self.run_chain(output_mb=40.0, force_other_node=True)
+        # Consumer moved to node 2: +40 s for the 40 MB at 1 MB/s.
+        assert t == pytest.approx(60.0, abs=1.0)
+
+    def test_zero_size_output_free_everywhere(self):
+        t, _ = self.run_chain(output_mb=0.0, force_other_node=True)
+        assert t == pytest.approx(20.0, abs=1.0)
+
+    def test_decorator_carries_output_size(self):
+        @task(returns=int, output_size_mb=12.5)
+        def heavy(x):
+            return x
+
+        assert heavy.definition.output_size_mb == 12.5
+
+    def test_negative_output_size_rejected(self):
+        with pytest.raises(ValueError):
+
+            @task(returns=int, output_size_mb=-1.0)
+            def bad(x):
+                return x
+
+    def test_locality_scheduler_avoids_transfers(self):
+        def run(scheduler):
+            cfg = RuntimeConfig(
+                cluster=cluster_with_slow_network(4),
+                executor="simulated", scheduler=scheduler,
+                duration_fn=lambda t, n, a: 30.0,
+            )
+            rt = COMPSsRuntime(cfg).start()
+            try:
+                produce = TaskDefinition(
+                    func=lambda i: i, name="produce", returns=int,
+                    n_returns=1, constraint=ResourceConstraint(cpu_units=12),
+                    output_size_mb=40.0,
+                )
+                consume = TaskDefinition(
+                    func=lambda f: f, name="consume", returns=int,
+                    n_returns=1, constraint=ResourceConstraint(cpu_units=12),
+                )
+                producers = [rt.submit(produce, (i,), {}) for i in range(8)]
+                compss_wait_on(producers)
+                # Reversed order defeats FIFO's accidental co-location.
+                consumers = [
+                    rt.submit(consume, (f,), {}) for f in reversed(producers)
+                ]
+                compss_wait_on(consumers)
+                return rt.virtual_time
+            finally:
+                rt.stop(wait=False)
+
+        fifo = run("fifo")
+        locality = run("locality")
+        assert locality < fifo  # co-location dodges the 40-s transfers
+        assert locality == pytest.approx(60.0, abs=2.0)

@@ -1,0 +1,99 @@
+"""Tests for cluster elasticity and per-node utilisation analysis."""
+
+import pytest
+
+from repro.pycompss_api import COMPSs, compss_wait_on
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.runtime.task_definition import TaskDefinition
+from repro.simcluster.machines import mare_nostrum4
+from repro.simcluster.node import NodeSpec
+
+
+def definition(cpu=48):
+    return TaskDefinition(
+        func=lambda c: c, name="experiment", returns=int, n_returns=1,
+        constraint=ResourceConstraint(cpu_units=cpu),
+    )
+
+
+def sim_runtime(n_nodes=1, duration=100.0):
+    return COMPSsRuntime(
+        RuntimeConfig(
+            cluster=mare_nostrum4(n_nodes), executor="simulated",
+            execute_bodies=True, duration_fn=lambda t, n, a: duration,
+        )
+    ).start()
+
+
+class TestElasticity:
+    def test_added_node_picks_up_waiting_tasks(self):
+        rt = sim_runtime(1)
+        try:
+            d = definition(cpu=48)
+            futs = [rt.submit(d, (i,), {}) for i in range(2)]
+            # One node → serialised (200 s)... unless we add a node.
+            rt.add_node(
+                NodeSpec(name="cloud-0001", cpu_cores=48, core_gflops=8.0)
+            )
+            compss_wait_on(futs)
+            assert rt.virtual_time == pytest.approx(100.0, abs=2.0)
+            nodes = {r.node for r in rt.tracer.records}
+            assert nodes == {"mn4-0001", "cloud-0001"}
+        finally:
+            rt.stop(wait=False)
+
+    def test_duplicate_node_rejected(self):
+        rt = sim_runtime(1)
+        try:
+            with pytest.raises(ValueError, match="already"):
+                rt.add_node(mare_nostrum4(1).nodes[0])
+        finally:
+            rt.stop(wait=False)
+
+    def test_removed_node_receives_no_new_tasks(self):
+        rt = sim_runtime(2)
+        try:
+            rt.remove_node("mn4-0002")
+            d = definition(cpu=48)
+            futs = [rt.submit(d, (i,), {}) for i in range(2)]
+            compss_wait_on(futs)
+            nodes = {r.node for r in rt.tracer.records}
+            assert nodes == {"mn4-0001"}
+            # Serialised on the surviving node.
+            assert rt.virtual_time == pytest.approx(200.0, abs=3.0)
+        finally:
+            rt.stop(wait=False)
+
+    def test_added_node_visible_in_cluster_description(self):
+        rt = sim_runtime(1)
+        try:
+            rt.add_node(NodeSpec(name="cloud-0001", cpu_cores=8))
+            assert rt.cluster.node("cloud-0001").cpu_cores == 8
+        finally:
+            rt.stop(wait=False)
+
+
+class TestPerNodeUtilization:
+    def test_idle_vs_busy_nodes(self):
+        rt = sim_runtime(2)
+        try:
+            d = definition(cpu=48)
+            futs = [rt.submit(d, (i,), {}) for i in range(3)]
+            compss_wait_on(futs)
+            util = rt.analysis().per_node_utilization(
+                {"mn4-0001": 48, "mn4-0002": 48}
+            )
+            # 3 tasks over 2 nodes: one node ran 2, the other 1.
+            assert set(util) == {"mn4-0001", "mn4-0002"}
+            values = sorted(util.values())
+            assert values[0] == pytest.approx(0.5, abs=0.05)
+            assert values[1] == pytest.approx(1.0, abs=0.05)
+        finally:
+            rt.stop(wait=False)
+
+    def test_empty_trace(self):
+        from repro.runtime.tracing import TraceAnalysis, TraceRecorder
+
+        assert TraceAnalysis(TraceRecorder()).per_node_utilization() == {}

@@ -1,0 +1,146 @@
+"""Tests for FILE-direction parameters and compss_open."""
+
+import pytest
+
+from repro.pycompss_api import (
+    COMPSs,
+    compss_barrier,
+    compss_open,
+    compss_wait_on,
+    task,
+)
+from repro.pycompss_api.parameter import FILE_IN, FILE_INOUT, FILE_OUT
+from repro.runtime.access_processor import AccessProcessor
+from repro.runtime.task_definition import (
+    TaskDefinition,
+    TaskInvocation,
+    reset_invocation_counter,
+)
+from repro.simcluster.machines import local_machine
+
+
+@pytest.fixture(autouse=True)
+def _fresh_ids():
+    reset_invocation_counter()
+
+
+def make_task(name="t"):
+    return TaskInvocation(
+        definition=TaskDefinition(func=lambda: None, name=name), args=(), kwargs={}
+    )
+
+
+class TestPathTracking:
+    def test_file_read_after_write(self):
+        ap = AccessProcessor()
+        writer, reader = make_task("w"), make_task("r")
+        ap.process_access(writer, "/data/out.csv", FILE_OUT)
+        deps, _ = ap.process_access(reader, "/data/out.csv", FILE_IN)
+        assert deps == {writer}
+
+    def test_distinct_paths_independent(self):
+        ap = AccessProcessor()
+        w = make_task("w")
+        ap.process_access(w, "/a.txt", FILE_OUT)
+        deps, _ = ap.process_access(make_task("r"), "/b.txt", FILE_IN)
+        assert deps == set()
+
+    def test_same_path_string_objects_share_datum(self):
+        # Two distinct str objects with equal value must be the same file.
+        ap = AccessProcessor()
+        w = make_task("w")
+        path_a = "/data/" + "x.bin"
+        path_b = "/data/x" + ".bin"
+        assert path_a is not path_b or path_a == path_b
+        ap.process_access(w, path_a, FILE_OUT)
+        deps, _ = ap.process_access(make_task("r"), path_b, FILE_IN)
+        assert deps == {w}
+
+    def test_file_inout_chain(self):
+        ap = AccessProcessor()
+        t1, t2, t3 = make_task("1"), make_task("2"), make_task("3")
+        ap.process_access(t1, "/log", FILE_INOUT)
+        d2, _ = ap.process_access(t2, "/log", FILE_INOUT)
+        d3, _ = ap.process_access(t3, "/log", FILE_INOUT)
+        assert d2 == {t1} and d3 == {t2}
+
+    def test_last_writer_lookup(self):
+        ap = AccessProcessor()
+        w1, w2 = make_task("w1"), make_task("w2")
+        ap.process_access(w1, "/f", FILE_OUT)
+        ap.process_access(w2, "/f", FILE_OUT)
+        assert ap.last_writer_of_path("/f") is w2
+        assert ap.last_writer_of_path("/other") is None
+
+    def test_non_file_strings_still_untracked(self):
+        from repro.pycompss_api.parameter import IN
+
+        ap = AccessProcessor()
+        ap.process_access(make_task(), "just-a-value", IN)
+        assert ap.last_writer_of_path("just-a-value") is None
+
+
+class TestEndToEndFiles:
+    def test_file_pipeline(self, tmp_path):
+        data_file = str(tmp_path / "data.txt")
+
+        @task(path=FILE_OUT)
+        def produce(path, value):
+            with open(path, "w") as f:
+                f.write(str(value))
+
+        @task(path=FILE_INOUT)
+        def double(path):
+            with open(path) as f:
+                v = int(f.read())
+            with open(path, "w") as f:
+                f.write(str(2 * v))
+
+        @task(returns=int, path=FILE_IN)
+        def consume(path):
+            with open(path) as f:
+                return int(f.read())
+
+        with COMPSs(cluster=local_machine(2)):
+            produce(data_file, 21)
+            double(data_file)
+            result = consume(data_file)
+            assert compss_wait_on(result) == 42
+
+    def test_compss_open_waits_for_writer(self, tmp_path):
+        out_file = str(tmp_path / "out.txt")
+
+        @task(path=FILE_OUT)
+        def slow_write(path):
+            import time
+
+            time.sleep(0.05)
+            with open(path, "w") as f:
+                f.write("done")
+
+        with COMPSs(cluster=local_machine(2)):
+            slow_write(out_file)
+            with compss_open(out_file) as f:
+                assert f.read() == "done"
+
+    def test_compss_open_plain_without_runtime(self, tmp_path):
+        p = tmp_path / "x.txt"
+        p.write_text("hello")
+        with compss_open(str(p)) as f:
+            assert f.read() == "hello"
+
+    def test_file_dependency_orders_execution(self, tmp_path):
+        """Writer and readers ordered purely through the path."""
+        log = str(tmp_path / "seq.txt")
+        (tmp_path / "seq.txt").write_text("")
+
+        @task(path=FILE_INOUT)
+        def append(path, tag):
+            with open(path, "a") as f:
+                f.write(tag)
+
+        with COMPSs(cluster=local_machine(4)):
+            for tag in "abcde":
+                append(log, tag)
+            compss_barrier()
+        assert (tmp_path / "seq.txt").read_text() == "abcde"

@@ -1,0 +1,151 @@
+"""End-to-end tests for @implement / @mpi / @multinode on the runtime.
+
+The paper §3: "@implement … allows the runtime to choose the most
+appropriate task considering the resources" and "@multinode" for tasks
+spanning nodes.  These exercise the full submit→schedule→execute path in
+both executors.
+"""
+
+import pytest
+
+from repro.pycompss_api import (
+    COMPSs,
+    compss_wait_on,
+    constraint,
+    implement,
+    mpi,
+    multinode,
+    task,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.runtime import COMPSsRuntime
+from repro.simcluster.machines import heterogeneous, local_machine, mare_nostrum4
+
+
+class TestImplementEndToEnd:
+    def _make_pair(self):
+        @constraint(
+            processors=[
+                {"ProcessorType": "CPU", "ComputingUnits": 4},
+                {"ProcessorType": "GPU", "ComputingUnits": 1},
+            ]
+        )
+        @task(returns=str)
+        def train(config):
+            return "gpu"
+
+        @implement(source=train)
+        @constraint(computing_units=4)
+        @task(returns=str)
+        def train_cpu(config):
+            return "cpu"
+
+        return train
+
+    def test_gpu_implementation_on_gpu_cluster(self):
+        train = self._make_pair()
+        cfg = RuntimeConfig(
+            cluster=heterogeneous(cpu_nodes=0, gpu_nodes=1),
+            executor="simulated", execute_bodies=True,
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        with COMPSs(cfg):
+            assert compss_wait_on(train({})) == "gpu"
+
+    def test_cpu_fallback_on_cpu_cluster(self):
+        train = self._make_pair()
+        cfg = RuntimeConfig(
+            cluster=heterogeneous(cpu_nodes=1, gpu_nodes=0),
+            executor="simulated", execute_bodies=True,
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        with COMPSs(cfg):
+            assert compss_wait_on(train({})) == "cpu"
+
+    def test_mixed_cluster_saturates_gpus_then_falls_back(self):
+        train = self._make_pair()
+        cfg = RuntimeConfig(
+            cluster=heterogeneous(cpu_nodes=1, gpu_nodes=1),
+            executor="simulated", execute_bodies=True,
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        with COMPSs(cfg) as rt:
+            results = compss_wait_on([train({"i": i}) for i in range(8)])
+        # 4 GPUs on the gpu node; remaining tasks use the CPU alternative
+        # rather than queueing behind the GPUs.
+        assert results.count("gpu") == 4
+        assert results.count("cpu") == 4
+
+    def test_local_executor_also_selects(self):
+        train = self._make_pair()
+        with COMPSs(cluster=local_machine(4, gpus=0)):
+            assert compss_wait_on(train({})) == "cpu"
+
+
+class TestMpiEndToEnd:
+    def test_mpi_task_gets_rank_count_cores(self):
+        @mpi(runner="mpirun", processes=8)
+        @task(returns=int)
+        def solver(n):
+            return n * 2
+
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(1), executor="simulated",
+            execute_bodies=True, duration_fn=lambda t, n, a: 5.0,
+        )
+        with COMPSs(cfg) as rt:
+            assert compss_wait_on(solver(21)) == 42
+            record = rt.tracer.records[0]
+            assert len(record.cpu_ids) == 8
+
+
+class TestMultinodeEndToEnd:
+    def test_multinode_task_spans_nodes(self):
+        @constraint(computing_units=48)
+        @multinode(computing_nodes=2)
+        @task(returns=int)
+        def wide(n):
+            return n + 1
+
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(3), executor="simulated",
+            execute_bodies=True, duration_fn=lambda t, n, a: 30.0,
+        )
+        with COMPSs(cfg) as rt:
+            assert compss_wait_on(wide(1)) == 2
+            nodes = {r.node for r in rt.tracer.records}
+            assert len(nodes) == 2  # one record per spanned node
+
+    def test_two_multinode_tasks_share_three_nodes(self):
+        @constraint(computing_units=48)
+        @multinode(computing_nodes=2)
+        @task(returns=int)
+        def wide(n):
+            return n
+
+        cfg = RuntimeConfig(
+            cluster=mare_nostrum4(3), executor="simulated",
+            execute_bodies=True, duration_fn=lambda t, n, a: 30.0,
+        )
+        with COMPSs(cfg) as rt:
+            compss_wait_on([wide(0), wide(1)])
+            # Only 1 can run at a time (needs 2 of 3 nodes) → serialised.
+            assert rt.virtual_time == pytest.approx(60.0, abs=2.0)
+
+
+class TestBusyTimeline:
+    def test_timeline_tracks_waves(self):
+        @constraint(computing_units=1)
+        @task(returns=int)
+        def unit(i):
+            return i
+
+        cfg = RuntimeConfig(
+            cluster=local_machine(2), executor="simulated",
+            duration_fn=lambda t, n, a: 10.0,
+        )
+        with COMPSs(cfg) as rt:
+            compss_wait_on([unit(i) for i in range(4)])
+            timeline = rt.analysis().busy_cores_timeline(n_points=20)
+        assert max(v for _, v in timeline) == 2
+        assert timeline[0][1] == 2  # both cores busy at the start

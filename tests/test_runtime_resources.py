@@ -1,0 +1,143 @@
+"""Tests for workers, allocations and the resource pool."""
+
+import pytest
+
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.resources import ResourcePool, Worker
+from repro.simcluster.machines import cte_power9, local_machine, mare_nostrum4
+
+
+def mn4_worker(reserved=0):
+    return Worker(mare_nostrum4(1).nodes[0], reserved_cores=reserved)
+
+
+class TestWorker:
+    def test_allocate_gives_distinct_cores(self):
+        w = mn4_worker()
+        a1 = w.allocate(ResourceConstraint(cpu_units=2))
+        a2 = w.allocate(ResourceConstraint(cpu_units=2))
+        assert set(a1.cpu_ids).isdisjoint(a2.cpu_ids)
+        assert w.free_cpu_units == 44
+
+    def test_release_restores(self):
+        w = mn4_worker()
+        alloc = w.allocate(ResourceConstraint(cpu_units=10))
+        w.release(alloc)
+        assert w.free_cpu_units == 48
+
+    def test_reserved_cores_excluded(self):
+        # Paper §5: "the worker takes half of the cores in a node".
+        w = mn4_worker(reserved=24)
+        assert w.task_capacity_cpus == 24
+        alloc = w.allocate(ResourceConstraint(cpu_units=1))
+        assert min(alloc.cpu_ids) >= 24  # runtime owns cores 0..23
+
+    def test_cannot_overallocate(self):
+        w = mn4_worker()
+        w.allocate(ResourceConstraint(cpu_units=48))
+        assert not w.can_host(ResourceConstraint(cpu_units=1))
+        with pytest.raises(RuntimeError):
+            w.allocate(ResourceConstraint(cpu_units=1))
+
+    def test_gpu_allocation(self):
+        w = Worker(cte_power9(1).nodes[0])
+        alloc = w.allocate(ResourceConstraint(cpu_units=4, gpu_units=1))
+        assert alloc.gpu_units == 1
+        assert w.free_gpu_units == 3
+
+    def test_gpu_unavailable_on_cpu_node(self):
+        w = mn4_worker()
+        assert not w.can_host(ResourceConstraint(cpu_units=1, gpu_units=1))
+        assert not w.could_ever_host(ResourceConstraint(cpu_units=1, gpu_units=1))
+
+    def test_memory_accounting(self):
+        w = mn4_worker()
+        w.allocate(ResourceConstraint(cpu_units=1, memory_gb=90.0))
+        assert not w.can_host(ResourceConstraint(cpu_units=1, memory_gb=10.0))
+
+    def test_label_matching(self):
+        w = Worker(cte_power9(1).nodes[0])
+        assert w.can_host(
+            ResourceConstraint(cpu_units=1, node_labels={"arch": "power9"})
+        )
+        assert not w.can_host(
+            ResourceConstraint(cpu_units=1, node_labels={"arch": "skylake"})
+        )
+
+    def test_fail_and_recover(self):
+        w = mn4_worker()
+        w.allocate(ResourceConstraint(cpu_units=10))
+        w.fail()
+        assert not w.can_host(ResourceConstraint(cpu_units=1))
+        w.recover()
+        assert w.free_cpu_units == 48  # full reset on recovery
+
+    def test_release_wrong_node_rejected(self):
+        w1, w2 = mn4_worker(), Worker(local_machine(2).nodes[0])
+        alloc = w1.allocate(ResourceConstraint(cpu_units=1))
+        with pytest.raises(ValueError):
+            w2.release(alloc)
+
+    def test_reserving_all_cores_rejected(self):
+        with pytest.raises(ValueError):
+            Worker(local_machine(2).nodes[0], reserved_cores=2)
+
+
+class TestResourcePool:
+    def test_first_fit_across_nodes(self):
+        pool = ResourcePool(mare_nostrum4(2))
+        a1 = pool.try_allocate(ResourceConstraint(cpu_units=48))
+        a2 = pool.try_allocate(ResourceConstraint(cpu_units=48))
+        assert {a1.node, a2.node} == {"mn4-0001", "mn4-0002"}
+        assert pool.try_allocate(ResourceConstraint(cpu_units=1)) is None
+
+    def test_preferred_node_honoured(self):
+        pool = ResourcePool(mare_nostrum4(3))
+        alloc = pool.try_allocate(
+            ResourceConstraint(cpu_units=1), preferred=["mn4-0003"]
+        )
+        assert alloc.node == "mn4-0003"
+
+    def test_reserved_on_first_node_only(self):
+        pool = ResourcePool(mare_nostrum4(2), reserved_cores=24)
+        assert pool.worker("mn4-0001").task_capacity_cpus == 24
+        assert pool.worker("mn4-0002").task_capacity_cpus == 48
+
+    def test_reserved_mapping(self):
+        pool = ResourcePool(
+            mare_nostrum4(2), reserved_cores={"mn4-0002": 8}
+        )
+        assert pool.worker("mn4-0001").task_capacity_cpus == 48
+        assert pool.worker("mn4-0002").task_capacity_cpus == 40
+
+    def test_total_task_cpus(self):
+        pool = ResourcePool(mare_nostrum4(2), reserved_cores=24)
+        assert pool.total_task_cpus == 24 + 48
+
+    def test_anyone_could_ever_host(self):
+        pool = ResourcePool(mare_nostrum4(1))
+        assert pool.anyone_could_ever_host(ResourceConstraint(cpu_units=48))
+        assert not pool.anyone_could_ever_host(ResourceConstraint(cpu_units=49))
+        assert not pool.anyone_could_ever_host(
+            ResourceConstraint(cpu_units=1, gpu_units=1)
+        )
+
+    def test_fail_node_removes_capacity(self):
+        pool = ResourcePool(mare_nostrum4(2))
+        pool.fail_node("mn4-0001")
+        assert pool.total_task_cpus == 48
+        alloc = pool.try_allocate(ResourceConstraint(cpu_units=1))
+        assert alloc.node == "mn4-0002"
+        pool.recover_node("mn4-0001")
+        assert pool.total_task_cpus == 96
+
+    def test_release_via_pool(self):
+        pool = ResourcePool(local_machine(4))
+        alloc = pool.try_allocate(ResourceConstraint(cpu_units=4))
+        assert pool.try_allocate(ResourceConstraint(cpu_units=1)) is None
+        pool.release(alloc)
+        assert pool.try_allocate(ResourceConstraint(cpu_units=4)) is not None
+
+    def test_describe(self):
+        out = ResourcePool(mare_nostrum4(1)).describe()
+        assert "mn4-0001" in out and "up" in out

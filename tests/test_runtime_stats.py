@@ -1,0 +1,97 @@
+"""Tests for per-task execution statistics."""
+
+import pytest
+
+from repro.runtime.stats import compute_stats, render_stats
+from repro.runtime.tracing.extrae import TaskRecord, TraceRecorder
+
+
+def rec(label, name="experiment", node="n1", cpus=(0,), gpus=(),
+        start=0.0, end=10.0, success=True, attempt=0):
+    return TaskRecord(
+        task_label=label, task_name=name, node=node, cpu_ids=tuple(cpus),
+        gpu_ids=tuple(gpus), start=start, end=end, success=success,
+        attempt=attempt,
+    )
+
+
+def recorder_with(*records):
+    recorder = TraceRecorder()
+    for r in records:
+        recorder.record_task(r)
+    return recorder
+
+
+class TestComputeStats:
+    def test_counts_and_durations(self):
+        stats = compute_stats(
+            recorder_with(
+                rec("experiment-1", end=10.0),
+                rec("experiment-2", start=0.0, end=30.0, cpus=(1,)),
+            )
+        )
+        s = stats["experiment"]
+        assert s.attempts == 2
+        assert s.failures == 0
+        assert s.mean_duration == 20.0
+        assert s.min_duration == 10.0 and s.max_duration == 30.0
+
+    def test_failures_counted_separately(self):
+        stats = compute_stats(
+            recorder_with(
+                rec("experiment-1", success=False, attempt=0),
+                rec("experiment-1", start=10, end=20, attempt=1),
+            )
+        )
+        s = stats["experiment"]
+        assert s.attempts == 2 and s.failures == 1
+        assert s.successes == 1
+        assert s.failure_rate == 0.5
+        assert s.durations == [10.0]  # only successful attempts
+
+    def test_per_name_grouping(self):
+        stats = compute_stats(
+            recorder_with(
+                rec("experiment-1"),
+                rec("visualisation-2", name="visualisation"),
+            )
+        )
+        assert set(stats) == {"experiment", "visualisation"}
+
+    def test_core_seconds_includes_gpus(self):
+        stats = compute_stats(
+            recorder_with(rec("experiment-1", cpus=(0, 1), gpus=(0,), end=10.0))
+        )
+        assert stats["experiment"].total_core_seconds == 30.0
+
+    def test_multinode_records_counted_once(self):
+        # Same attempt recorded for two allocations (multinode task).
+        stats = compute_stats(
+            recorder_with(
+                rec("experiment-1", node="n1", end=10.0),
+                rec("experiment-1", node="n2", end=10.0),
+            )
+        )
+        s = stats["experiment"]
+        assert s.attempts == 1
+        assert s.total_core_seconds == 20.0
+        assert set(s.nodes) == {"n1", "n2"}
+
+    def test_node_histogram(self):
+        stats = compute_stats(
+            recorder_with(
+                rec("e-1", node="n1"),
+                rec("e-2", node="n1", start=1, end=2),
+                rec("e-3", node="n2", start=2, end=3),
+            )
+        )
+        assert stats["experiment"].nodes == {"n1": 2, "n2": 1}
+
+
+class TestRenderStats:
+    def test_render_table(self):
+        out = render_stats(recorder_with(rec("experiment-1")))
+        assert "experiment" in out and "attempts" in out
+
+    def test_empty_trace(self):
+        assert "(no task records)" in render_stats(TraceRecorder())

@@ -1,0 +1,146 @@
+"""Tests for the calibrated training cost model.
+
+The "paper anchor" tests pin the calibration to the durations reported in
+the paper's text so a refactor cannot silently drift the figures.
+"""
+
+import pytest
+
+from repro.simcluster.costmodel import (
+    CIFAR10_LIKE,
+    MNIST_LIKE,
+    DatasetProfile,
+    TrainingCostModel,
+    amdahl_speedup,
+)
+from repro.simcluster.machines import cte_power9, mare_nostrum4
+
+
+@pytest.fixture
+def model():
+    return TrainingCostModel()
+
+
+@pytest.fixture
+def mn4_node():
+    return mare_nostrum4(1).nodes[0]
+
+
+@pytest.fixture
+def p9_node():
+    return cte_power9(1).nodes[0]
+
+
+class TestAmdahl:
+    def test_one_core_is_unity(self):
+        assert amdahl_speedup(1, 0.3) == pytest.approx(1.0)
+
+    def test_no_serial_fraction_linear(self):
+        assert amdahl_speedup(16, 0.0) == pytest.approx(16.0)
+
+    def test_saturates_at_inverse_serial(self):
+        assert amdahl_speedup(10_000, 0.1) == pytest.approx(10.0, rel=0.01)
+
+    def test_monotone_in_cores(self):
+        s = [amdahl_speedup(c, 0.08) for c in (1, 2, 4, 8, 16)]
+        assert s == sorted(s)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            amdahl_speedup(0, 0.1)
+        with pytest.raises(ValueError):
+            amdahl_speedup(2, 1.5)
+
+
+class TestPaperAnchors:
+    def test_fig4_single_mnist_task_about_29_minutes(self, model, mn4_node):
+        # Fig. 4: one MNIST task on one core runs ~29 min.
+        t = model.task_duration(
+            MNIST_LIKE, mn4_node, cpu_units=1, gpu_units=0,
+            epochs=20, batch_size=32, optimizer="SGD",
+        )
+        assert 24 * 60 <= t <= 34 * 60
+
+    def test_longest_grid_config_dominates(self, model, mn4_node):
+        # 100-epoch configs run ~5× the 20-epoch ones (Fig. 5: "some taking
+        # almost half the time" among mixed-epoch tasks).
+        short = model.task_duration(MNIST_LIKE, mn4_node, 1, 0, 20, 128)
+        long = model.task_duration(MNIST_LIKE, mn4_node, 1, 0, 100, 32, "Adam")
+        assert 4.0 <= long / short <= 9.0
+
+    def test_gpu_starves_on_one_core(self, model, p9_node):
+        # Fig. 9: "a powerful GPU with just a single core is irrelevant".
+        one = model.gpu_epoch_seconds(CIFAR10_LIKE, p9_node, 1, 32)
+        many = model.gpu_epoch_seconds(CIFAR10_LIKE, p9_node, 16, 32)
+        assert one > 3 * many
+
+    def test_gpu_epoch_floor_is_gpu_bound(self, model, p9_node):
+        # Past the preprocessing crossover more cores stop helping.
+        e16 = model.gpu_epoch_seconds(CIFAR10_LIKE, p9_node, 16, 32)
+        e64 = model.gpu_epoch_seconds(CIFAR10_LIKE, p9_node, 64, 32)
+        assert e64 == pytest.approx(e16, rel=0.05)
+
+
+class TestCostModelBehaviour:
+    def test_epochs_linear(self, model, mn4_node):
+        t20 = model.task_duration(MNIST_LIKE, mn4_node, 1, 0, 20, 64)
+        t40 = model.task_duration(MNIST_LIKE, mn4_node, 1, 0, 40, 64)
+        per_epoch = (t40 - t20) / 20
+        assert t20 == pytest.approx(model.startup_s + 20 * per_epoch, rel=1e-6)
+
+    def test_smaller_batch_slower(self, model, mn4_node):
+        t32 = model.cpu_epoch_seconds(MNIST_LIKE, mn4_node, 1, 32)
+        t128 = model.cpu_epoch_seconds(MNIST_LIKE, mn4_node, 1, 128)
+        assert t32 > t128
+
+    def test_optimizer_ordering(self, model, mn4_node):
+        ts = {
+            opt: model.cpu_epoch_seconds(MNIST_LIKE, mn4_node, 1, 64, opt)
+            for opt in ("SGD", "RMSprop", "Adam")
+        }
+        assert ts["SGD"] < ts["RMSprop"] < ts["Adam"]
+
+    def test_more_cores_faster_cpu(self, model, mn4_node):
+        times = [
+            model.cpu_epoch_seconds(MNIST_LIKE, mn4_node, c, 64)
+            for c in (1, 2, 4, 8)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_cifar_heavier_than_mnist(self, model, mn4_node):
+        assert model.cpu_epoch_seconds(
+            CIFAR10_LIKE, mn4_node, 1, 64
+        ) > model.cpu_epoch_seconds(MNIST_LIKE, mn4_node, 1, 64)
+
+    def test_gpu_requires_gpu_node(self, model, mn4_node):
+        with pytest.raises(ValueError, match="no GPUs"):
+            model.gpu_epoch_seconds(MNIST_LIKE, mn4_node, 1, 32)
+
+    def test_duration_for_config_reads_listing1_keys(self, model, mn4_node):
+        config = {"optimizer": "Adam", "num_epochs": 20, "batch_size": 32}
+        explicit = model.task_duration(MNIST_LIKE, mn4_node, 1, 0, 20, 32, "Adam")
+        assert model.duration_for_config(config, mn4_node, 1, 0) == pytest.approx(
+            explicit
+        )
+
+    def test_duration_for_config_dataset_key(self, model, mn4_node):
+        c_mnist = {"dataset": "mnist", "num_epochs": 10, "batch_size": 64}
+        c_cifar = {"dataset": "cifar10", "num_epochs": 10, "batch_size": 64}
+        assert model.duration_for_config(
+            c_cifar, mn4_node, 4, 0
+        ) > model.duration_for_config(c_mnist, mn4_node, 4, 0)
+
+    def test_unknown_dataset(self, model, mn4_node):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            model.task_duration("imagenet", mn4_node, 1, 0, 10, 32)
+
+    def test_register_dataset(self, model, mn4_node):
+        profile = DatasetProfile("tiny", 100, 1.0, 0.001, 0.0001)
+        model.register_dataset(profile)
+        assert model.task_duration("tiny", mn4_node, 1, 0, 1, 32) > 0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TrainingCostModel(serial_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatasetProfile("d", 0, 1.0, 1.0, 0.0)

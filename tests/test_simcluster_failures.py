@@ -1,0 +1,76 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.simcluster.failures import FailureInjector, FailurePlan, NodeFailure
+
+
+class TestFailurePlan:
+    def test_scripted_task_failure(self):
+        plan = FailurePlan().fail_task("experiment-3", 0)
+        assert plan.should_fail("experiment-3", 0)
+        assert not plan.should_fail("experiment-3", 1)
+        assert not plan.should_fail("experiment-4", 0)
+
+    def test_multiple_attempts(self):
+        plan = FailurePlan().fail_task("t", 0, 1)
+        assert plan.should_fail("t", 0) and plan.should_fail("t", 1)
+        assert not plan.should_fail("t", 2)
+
+    def test_node_failure_validation(self):
+        with pytest.raises(ValueError):
+            NodeFailure("n1", time=10.0, recovery_time=5.0)
+        with pytest.raises(ValueError):
+            NodeFailure("n1", time=-1.0)
+
+    def test_fail_node_builder(self):
+        plan = FailurePlan().fail_node("n1", 100.0, recovery_time=200.0)
+        assert plan.node_failures[0].node == "n1"
+        assert plan.node_failures[0].recovery_time == 200.0
+
+    def test_negative_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePlan().fail_task("t", -1)
+
+
+class TestFailureInjector:
+    def test_plan_always_honoured(self):
+        inj = FailureInjector(FailurePlan().fail_task("a", 0))
+        assert inj.should_fail("a", 0)
+        assert ("a", 0) in inj.injected_failures
+
+    def test_zero_probability_never_random_fails(self):
+        inj = FailureInjector(task_failure_prob=0.0)
+        assert not any(inj.should_fail(f"t{i}", 0) for i in range(100))
+
+    def test_probability_one_always_fails(self):
+        inj = FailureInjector(task_failure_prob=1.0)
+        assert all(inj.should_fail(f"t{i}", 0) for i in range(10))
+
+    def test_draws_cached_per_attempt(self):
+        inj = FailureInjector(task_failure_prob=0.5, seed=3)
+        first = [inj.should_fail("t", i) for i in range(20)]
+        second = [inj.should_fail("t", i) for i in range(20)]
+        assert first == second
+
+    def test_seed_reproducible(self):
+        a = FailureInjector(task_failure_prob=0.5, seed=7)
+        b = FailureInjector(task_failure_prob=0.5, seed=7)
+        assert [a.should_fail("t", i) for i in range(30)] == [
+            b.should_fail("t", i) for i in range(30)
+        ]
+
+    def test_reset(self):
+        inj = FailureInjector(task_failure_prob=0.5, seed=7)
+        before = [inj.should_fail("t", i) for i in range(10)]
+        inj.reset()
+        assert inj.injected_failures == []
+        assert [inj.should_fail("t", i) for i in range(10)] == before
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FailureInjector(task_failure_prob=1.5)
+
+    def test_node_failures_exposed(self):
+        plan = FailurePlan().fail_node("n1", 5.0)
+        assert FailureInjector(plan).node_failures[0].node == "n1"

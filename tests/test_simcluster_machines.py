@@ -1,0 +1,94 @@
+"""Tests for node specs and machine presets."""
+
+import pytest
+
+from repro.simcluster.machines import (
+    ClusterSpec,
+    cte_power9,
+    heterogeneous,
+    local_machine,
+    mare_nostrum4,
+    minotauro,
+)
+from repro.simcluster.node import NodeSpec
+
+
+class TestNodeSpec:
+    def test_mn4_shape(self):
+        node = mare_nostrum4(1).nodes[0]
+        assert node.cpu_cores == 48  # 2 × 24-core Xeon Platinum (paper §5)
+        assert node.gpus == 0
+
+    def test_power9_shape(self):
+        node = cte_power9(1).nodes[0]
+        assert node.cpu_cores == 160  # 160 hardware threads (paper §5)
+        assert node.gpus == 4  # 4 × V100
+
+    def test_minotauro_shape(self):
+        node = minotauro(1).nodes[0]
+        assert node.gpus == 2  # 2 × K80 cards
+        assert node.cpu_cores == 16
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="", cpu_cores=4)
+        with pytest.raises(ValueError):
+            NodeSpec(name="n", cpu_cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(name="n", cpu_cores=4, gpus=1, gpu_gflops=0.0)
+
+    def test_can_ever_satisfy(self):
+        node = mare_nostrum4(1).nodes[0]
+        assert node.can_ever_satisfy(48, 0, 96.0)
+        assert not node.can_ever_satisfy(49, 0, 1.0)
+        assert not node.can_ever_satisfy(1, 1, 1.0)
+
+    def test_total_gflops(self):
+        node = NodeSpec("n", cpu_cores=2, core_gflops=10.0)
+        assert node.total_gflops == 20.0
+
+    def test_describe_mentions_cores(self):
+        assert "48 cores" in mare_nostrum4(1).nodes[0].describe()
+
+
+class TestClusterSpec:
+    def test_node_count(self):
+        assert len(mare_nostrum4(28)) == 28  # Fig. 6(a) job size
+
+    def test_totals(self):
+        c = mare_nostrum4(2)
+        assert c.total_cpu_cores == 96
+        assert cte_power9(1).total_gpus == 4
+
+    def test_unique_names(self):
+        names = [n.name for n in mare_nostrum4(10)]
+        assert len(set(names)) == 10
+
+    def test_lookup(self):
+        c = mare_nostrum4(2)
+        assert c.node("mn4-0002").name == "mn4-0002"
+        with pytest.raises(KeyError):
+            c.node("nope")
+
+    def test_duplicate_names_rejected(self):
+        node = NodeSpec("same", cpu_cores=2)
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterSpec(name="c", nodes=[node, node])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="c", nodes=[])
+
+    def test_local_machine(self):
+        c = local_machine(8)
+        assert c.total_cpu_cores == 8
+        assert len(c) == 1
+
+    def test_heterogeneous(self):
+        c = heterogeneous(cpu_nodes=2, gpu_nodes=1)
+        assert c.total_gpus == 4
+        assert len(c) == 3
+
+    def test_describe(self):
+        out = mare_nostrum4(2).describe()
+        assert "2 nodes" in out and "96 cores" in out

@@ -1,0 +1,82 @@
+"""Tests for the interconnect and storage models."""
+
+import pytest
+
+from repro.simcluster.network import NetworkModel
+from repro.simcluster.storage import LocalDiskStaging, SharedParallelFilesystem
+
+
+class TestNetworkModel:
+    def test_intra_node_free(self):
+        net = NetworkModel()
+        assert net.transfer_time(100.0, "a", "a") == 0.0
+
+    def test_latency_plus_bandwidth(self):
+        net = NetworkModel(latency_s=1.0, bandwidth_mbps=10.0)
+        assert net.transfer_time(20.0, "a", "b") == pytest.approx(3.0)
+
+    def test_size_monotone(self):
+        net = NetworkModel()
+        assert net.transfer_time(200, "a", "b") > net.transfer_time(100, "a", "b")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1.0, "a", "b")
+
+    def test_broadcast_log_rounds(self):
+        net = NetworkModel(latency_s=0.0, bandwidth_mbps=1.0)
+        one = net.broadcast_time(1.0, 1)
+        many = net.broadcast_time(1.0, 7)
+        assert many == pytest.approx(3 * one)  # ceil(log2(8)) = 3 rounds
+
+    def test_broadcast_zero_destinations(self):
+        assert NetworkModel().broadcast_time(5.0, 0) == 0.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            NetworkModel(bandwidth_mbps=0.0)
+
+
+class TestSharedParallelFilesystem:
+    def test_staging_is_read_bandwidth(self):
+        pfs = SharedParallelFilesystem(read_bandwidth_mbps=100.0)
+        assert pfs.staging_time(200.0, "any-node") == pytest.approx(2.0)
+
+    def test_same_cost_everywhere(self):
+        pfs = SharedParallelFilesystem()
+        assert pfs.staging_time(10, "n1") == pfs.staging_time(10, "n2")
+
+    def test_write_cost(self):
+        pfs = SharedParallelFilesystem(write_bandwidth_mbps=50.0)
+        assert pfs.register_write(100.0, "n1") == pytest.approx(2.0)
+
+
+class TestLocalDiskStaging:
+    def test_first_copy_costs_transfer(self):
+        st = LocalDiskStaging(network=NetworkModel(latency_s=0.0, bandwidth_mbps=10.0))
+        assert st.staging_time(20.0, "n1") == pytest.approx(2.0)
+
+    def test_second_access_free(self):
+        st = LocalDiskStaging()
+        st.staging_time(20.0, "n1")
+        assert st.staging_time(20.0, "n1") == 0.0
+
+    def test_other_node_pays_again(self):
+        st = LocalDiskStaging()
+        st.staging_time(20.0, "n1")
+        assert st.staging_time(20.0, "n2") > 0.0
+
+    def test_source_node_free(self):
+        st = LocalDiskStaging(source_node="master")
+        assert st.staging_time(50.0, "master") == 0.0
+
+    def test_write_registers_residency(self):
+        st = LocalDiskStaging()
+        st.register_write(30.0, "n3")
+        assert st.staging_time(30.0, "n3") == 0.0
+
+    def test_reset(self):
+        st = LocalDiskStaging()
+        st.staging_time(20.0, "n1")
+        st.reset()
+        assert st.staging_time(20.0, "n1") > 0.0

@@ -1,0 +1,90 @@
+"""Tests for TaskGroup / compss_barrier_group."""
+
+import time
+
+import pytest
+
+from repro.pycompss_api import (
+    COMPSs,
+    TaskGroup,
+    compss_barrier_group,
+    compss_wait_on,
+    task,
+)
+from repro.pycompss_api.task_group import get_group, reset_groups
+from repro.simcluster.machines import local_machine
+
+
+@task(returns=int)
+def slow_double(x):
+    time.sleep(0.03)
+    return 2 * x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_groups():
+    reset_groups()
+    yield
+    reset_groups()
+
+
+class TestGrouping:
+    def test_tasks_recorded_in_group(self):
+        with COMPSs(cluster=local_machine(2)):
+            with TaskGroup("batch") as group:
+                futs = [slow_double(i) for i in range(3)]
+            assert len(group) == 3
+            compss_wait_on(futs)
+
+    def test_barrier_waits_only_its_group(self):
+        with COMPSs(cluster=local_machine(2)):
+            with TaskGroup("first"):
+                first = [slow_double(i) for i in range(2)]
+            other = slow_double(99)  # not in the group
+            compss_barrier_group("first")
+            assert all(f.done for f in first)
+            compss_wait_on(other)
+
+    def test_nested_groups_record_in_both(self):
+        with COMPSs(cluster=local_machine(2)):
+            with TaskGroup("outer") as outer:
+                slow_double(1)
+                with TaskGroup("inner") as inner:
+                    slow_double(2)
+            assert len(outer) == 2
+            assert len(inner) == 1
+            compss_barrier_group("outer")
+
+    def test_reentering_name_extends_group(self):
+        with COMPSs(cluster=local_machine(2)):
+            with TaskGroup("rung"):
+                slow_double(1)
+            with TaskGroup("rung"):
+                slow_double(2)
+            assert len(get_group("rung")) == 2
+            compss_barrier_group("rung")
+
+    def test_unknown_group_raises(self):
+        with pytest.raises(KeyError, match="typo"):
+            compss_barrier_group("typo")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            TaskGroup("")
+
+    def test_barrier_without_runtime_is_noop(self):
+        with TaskGroup("offline"):
+            pass
+        compss_barrier_group("offline")
+
+    def test_group_outside_runtime_sequential(self):
+        # Sequential fallback: tasks run inline; group stays empty
+        # (nothing is submitted to a runtime).
+        with TaskGroup("seq") as group:
+            assert slow_double(2) == 4
+        assert len(group) == 0
+
+    def test_compat_shim_module(self):
+        from pycompss.api.task_group import TaskGroup as ShimGroup
+
+        assert ShimGroup is TaskGroup

@@ -1,0 +1,88 @@
+"""Tests for repro.util.ascii_plot."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, histogram, line_chart, table
+
+
+class TestLineChart:
+    def test_contains_title_and_legend(self):
+        out = line_chart({"s1": [(0, 0), (1, 1)]}, title="T", y_label="acc")
+        assert "T" in out
+        assert "s1" in out
+        assert "acc" in out
+
+    def test_multiple_series_get_distinct_markers(self):
+        out = line_chart({"a": [(0, 0), (1, 1)], "b": [(0, 1), (1, 0)]})
+        assert "o a" in out and "x b" in out
+
+    def test_empty_series(self):
+        assert "(no data)" in line_chart({}, title="empty")
+
+    def test_single_point(self):
+        out = line_chart({"a": [(1.0, 2.0)]})
+        assert "o" in out
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": [(0, 0)]}, width=0)
+
+    def test_axis_range_printed(self):
+        out = line_chart({"a": [(0, 5), (10, 25)]})
+        assert "25" in out and "5" in out
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        out = bar_chart({"small": 1.0, "big": 10.0}, width=20)
+        small_row = next(l for l in out.splitlines() if l.startswith("small"))
+        big_row = next(l for l in out.splitlines() if l.startswith("big"))
+        assert big_row.count("#") > small_row.count("#")
+
+    def test_values_rendered(self):
+        out = bar_chart({"x": 3.5})
+        assert "3.5" in out
+
+    def test_empty(self):
+        assert "(no data)" in bar_chart({})
+
+    def test_zero_value_zero_bar(self):
+        out = bar_chart({"z": 0.0, "y": 2.0})
+        z_row = next(l for l in out.splitlines() if l.startswith("z"))
+        assert "#" not in z_row
+
+
+class TestTable:
+    def test_alignment_and_content(self):
+        out = table(["name", "v"], [["a", 1.5], ["bbbb", 22]])
+        lines = out.splitlines()
+        assert "name" in lines[0] and "v" in lines[0]
+        assert "bbbb" in out and "22" in out
+
+    def test_float_formatting(self):
+        out = table(["v"], [[0.123456789]])
+        assert "0.1235" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            table(["a", "b"], [["only-one"]])
+
+    def test_title(self):
+        assert table(["a"], [], title="TT").startswith("TT")
+
+
+class TestHistogram:
+    def test_counts_mass(self):
+        out = histogram([1, 1, 1, 5], bins=2)
+        assert "3" in out  # three values in the low bin
+
+    def test_empty(self):
+        assert "(no data)" in histogram([])
+
+    def test_constant_data(self):
+        out = histogram([2.0, 2.0], bins=3)
+        assert "2" in out
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram([1.0], bins=0)

@@ -1,0 +1,76 @@
+"""Tests for repro.util.timing."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Stopwatch, format_duration
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch().start()
+        time.sleep(0.01)
+        sw.stop()
+        assert sw.elapsed >= 0.01
+
+    def test_stopped_does_not_grow(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        before = sw.elapsed
+        time.sleep(0.005)
+        assert sw.elapsed == before
+
+    def test_resume(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        first = sw.elapsed
+        sw.start()
+        time.sleep(0.005)
+        assert sw.elapsed > first
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        sw.reset()
+        assert sw.elapsed == 0.0
+        assert not sw.running
+
+    def test_running_flag(self):
+        sw = Stopwatch()
+        assert not sw.running
+        sw.start()
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.005
+        assert not sw.running
+
+    def test_double_start_is_idempotent(self):
+        sw = Stopwatch().start()
+        sw.start()
+        sw.stop()
+        assert sw.elapsed >= 0.0
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (3.25, "3.25s"),
+            (0.0, "0.00s"),
+            (60, "1m 0s"),
+            (29 * 60, "29m 0s"),
+            (3661, "1h 1m 1s"),
+            (2 * 3600 + 90, "2h 1m 30s"),
+        ],
+    )
+    def test_rendering(self, seconds, expected):
+        assert format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_duration(-1.0)
