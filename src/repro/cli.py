@@ -38,7 +38,7 @@ from repro.hpo.objective import fast_mock_objective, train_experiment
 from repro.pycompss_api.constraint import ResourceConstraint
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.runtime import COMPSsRuntime
-from repro.runtime.stats import render_stats
+from repro.runtime.stats import render_resilience, render_stats
 from repro.runtime.tracing import export_prv
 from repro.simcluster import (
     cte_power9,
@@ -171,6 +171,8 @@ def cmd_run(args) -> int:
             "",
             render_stats(runtime.tracer),
         ]
+        if len(runtime.resilience):
+            report_lines += ["", render_resilience(runtime.resilience)]
         if study.metadata.get("stopped_early"):
             report_lines.insert(2, f"stopped early: {study.metadata['stop_reason']}")
         report = "\n".join(report_lines)

@@ -19,6 +19,7 @@ from repro.hpo.space import SearchSpace
 from repro.hpo.trial import Study, Trial, TrialResult, TrialStatus
 from repro.hpo.objective import train_experiment
 from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime import resilience as rsl
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.fault import TaskFailedError
 from repro.runtime.runtime import COMPSsRuntime, current_runtime
@@ -164,6 +165,8 @@ class PyCOMPSsRunner:
         self.study_name = study_name
         self.callbacks = list(callbacks or [])
         self.stop_reason: Optional[str] = None
+        #: trial_id -> resubmissions so far (fail-soft trial retries).
+        self._trial_retries: Dict[int, int] = {}
 
         self._experiment_def = TaskDefinition(
             func=self.objective,
@@ -236,7 +239,13 @@ class PyCOMPSsRunner:
                         break
                     continue
                 trial, fut = outstanding.pop(0)
-                self._resolve(runtime, trial, fut)
+                retry_fut = self._resolve(runtime, trial, fut)
+                if retry_fut is not None:
+                    # Fail-soft: the trial's task exhausted its task-level
+                    # retry budget, but the study resubmits it rather than
+                    # losing the trial (up to max_trial_retries times).
+                    outstanding.append((trial, retry_fut))
+                    continue
                 self.algorithm.tell(trial)
                 for cb in self.callbacks:
                     cb.on_trial_complete(study, trial)
@@ -271,14 +280,37 @@ class PyCOMPSsRunner:
         return study
 
     # ------------------------------------------------------------------
-    def _resolve(self, runtime: COMPSsRuntime, trial: Trial, fut: Any) -> None:
-        """Wait for one experiment future and fill the trial."""
+    def _resolve(self, runtime: COMPSsRuntime, trial: Trial, fut: Any) -> Optional[Any]:
+        """Wait for one experiment future and fill the trial.
+
+        Returns a replacement future when the trial is resubmitted under
+        ``RuntimeConfig.max_trial_retries`` (study-level fail-soft), else
+        ``None`` once the trial is terminally resolved.
+        """
         try:
             payload = runtime.wait_on(fut)
         except TaskFailedError as exc:
+            retries = self._trial_retries.get(trial.trial_id, 0)
+            if retries < runtime.config.max_trial_retries:
+                self._trial_retries[trial.trial_id] = retries + 1
+                runtime.resilience.record(
+                    runtime.executor.clock(),
+                    rsl.TRIAL_RETRY,
+                    task_label=fut.invocation.label,
+                    detail=(
+                        f"trial {trial.trial_id} resubmitted "
+                        f"({retries + 1}/{runtime.config.max_trial_retries})"
+                    ),
+                )
+                _log.info(
+                    "trial %d lost its task (%s); resubmitting (%d/%d)",
+                    trial.trial_id, exc,
+                    retries + 1, runtime.config.max_trial_retries,
+                )
+                return runtime.submit(self._experiment_def, (trial.config,), {})
             trial.status = TrialStatus.FAILED
             trial.error = str(exc)
-            return
+            return None
         invocation = fut.invocation
         if payload is None:
             # Simulated executor without execute_bodies: fabricate the
@@ -291,3 +323,4 @@ class PyCOMPSsRunner:
             result.duration_s = invocation.end_time - invocation.start_time
         trial.result = result
         trial.status = TrialStatus.COMPLETED
+        return None

@@ -44,9 +44,37 @@ class RuntimeConfig:
         (applied to the first node, like the paper's "the worker takes
         half of the cores") or a node-name → cores mapping.
     retry_policy:
-        Fault-tolerance budgets.
+        Fault-tolerance budgets (and retry backoff schedule).
     failure_injector:
         Optional failure injection (tests/ablations).
+    task_timeout_s:
+        Per-attempt deadline: an attempt still running after this many
+        seconds (wall-clock on the local executor, virtual on the
+        simulated one) is killed and treated as a retryable failure.
+        ``None`` disables deadlines.
+    speculation_multiplier:
+        Straggler threshold: a task running past ``multiplier × median``
+        of its task name's completed durations gets a speculative backup
+        attempt on another node; the first finisher wins.  ``None``
+        disables speculation.
+    speculation_min_samples:
+        Completed attempts of a task name required before its median is
+        trusted for straggler detection.
+    quarantine_threshold:
+        Per-node failure-rate threshold in ``(0, 1]`` above which a node
+        is quarantined (the scheduler stops placing tasks there).
+        ``None`` disables node-health tracking.
+    quarantine_window:
+        Number of most-recent attempt outcomes per node considered for
+        the failure rate.
+    quarantine_min_events:
+        Minimum outcomes on a node before it can be quarantined.
+    quarantine_cooldown_s:
+        Quarantine duration; afterwards the node is probed back in.
+    max_trial_retries:
+        Study-level fail-soft: a FAILED HPO trial is re-asked this many
+        times with a fresh task before it counts as lost
+        (:class:`~repro.hpo.runner.PyCOMPSsRunner`).
     cost_model:
         Duration model for the simulated executor.
     execute_bodies:
@@ -67,6 +95,14 @@ class RuntimeConfig:
     reserved_cores: Union[int, Mapping[str, int]] = 0
     retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
     failure_injector: Optional[FailureInjector] = None
+    task_timeout_s: Optional[float] = None
+    speculation_multiplier: Optional[float] = None
+    speculation_min_samples: int = 3
+    quarantine_threshold: Optional[float] = None
+    quarantine_window: int = 10
+    quarantine_min_events: int = 4
+    quarantine_cooldown_s: float = 300.0
+    max_trial_retries: int = 0
     cost_model: TrainingCostModel = field(default_factory=TrainingCostModel)
     execute_bodies: bool = False
     duration_fn: Optional[object] = None

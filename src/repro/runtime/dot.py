@@ -53,7 +53,7 @@ def render_dot(
     for sync_id, task_ids in sync_points or ():
         lines.append(
             f'  sync{sync_id} [label="sync" shape=diamond style=filled '
-            f"fillcolor=gainsboro];"
+            "fillcolor=gainsboro];"
         )
         for tid in task_ids:
             lines.append(f"  t{tid} -> sync{sync_id};")

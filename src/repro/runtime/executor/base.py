@@ -29,6 +29,10 @@ class Executor(abc.ABC):
         """Attach to a runtime (graph, pool, scheduler, tracer, policy)."""
         self.runtime = runtime
 
+    def clock(self) -> float:
+        """Current time in this executor's clock (wall or virtual)."""
+        return 0.0
+
     @abc.abstractmethod
     def notify_submitted(self, task: TaskInvocation) -> None:
         """A task entered the graph; the executor may start it eagerly."""

@@ -9,6 +9,16 @@ Thread backend: task bodies run in a thread pool; numpy releases the GIL
 inside BLAS so training tasks overlap genuinely.  Process backend: bodies
 are shipped to a :class:`concurrent.futures.ProcessPoolExecutor` (they
 must be picklable, i.e. module-level functions with picklable args).
+
+Resilience: with ``task_timeout_s`` set, bodies run behind a wall-clock
+deadline — a hung body becomes a retryable
+:class:`~repro.runtime.fault.TaskTimeoutError` (the abandoned thread is
+released at shutdown for injected hangs; a genuinely wedged user body
+cannot be killed, which is a CPython limitation).  With
+``speculation_multiplier`` set, a watchdog thread backs up straggling
+tasks on another node and the first finisher wins.  Retries honour the
+policy's exponential backoff, and every attempt outcome feeds the
+runtime's node-health tracker.
 """
 
 from __future__ import annotations
@@ -16,10 +26,12 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Optional, Sequence
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Dict, List, Optional, Sequence
 
+from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
-from repro.runtime.fault import FaultAction, TaskFailedError
+from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
 from repro.runtime.resources import Allocation
 from repro.runtime.scheduler.base import Assignment, release_assignment
 from repro.runtime.task_definition import TaskInvocation, TaskState
@@ -28,6 +40,17 @@ from repro.util.logging_utils import get_logger
 from repro.util.validation import check_one_of, check_positive
 
 _log = get_logger("runtime.executor.local")
+
+
+class _LocalAttempt:
+    """Bookkeeping for one in-flight attempt (primary or backup)."""
+
+    __slots__ = ("assignment", "start", "speculative")
+
+    def __init__(self, assignment: Assignment, start: float, speculative: bool):
+        self.assignment = assignment
+        self.start = start
+        self.speculative = speculative
 
 
 class LocalExecutor(Executor):
@@ -42,6 +65,9 @@ class LocalExecutor(Executor):
         task-usable CPU count, min 1).
     """
 
+    #: Watchdog poll interval for straggler detection (seconds).
+    SPECULATION_POLL_S = 0.02
+
     def __init__(self, backend: str = "threads", max_parallel: Optional[int] = None):
         super().__init__()
         check_one_of("backend", backend, ["threads", "processes"])
@@ -51,6 +77,12 @@ class LocalExecutor(Executor):
         self._done_cond = threading.Condition(self._lock)
         self._threads: Optional[ThreadPoolExecutor] = None
         self._procs: Optional[ProcessPoolExecutor] = None
+        #: Deadline-guarded bodies run here (created when timeouts are on).
+        self._bodies: Optional[ThreadPoolExecutor] = None
+        self._watchdog: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        #: task_id -> attempts currently in flight (two while a backup races).
+        self._active: Dict[int, List[_LocalAttempt]] = {}
         self._epoch = time.perf_counter()
         self._shutdown = False
 
@@ -68,9 +100,26 @@ class LocalExecutor(Executor):
         )
         if self.backend == "processes":
             self._procs = ProcessPoolExecutor(max_workers=n)
+        if runtime.config.task_timeout_s is not None and self._procs is None:
+            # Bodies get their own pool so a worker thread can abandon a
+            # hung body at the deadline; a few spare slots absorb
+            # abandoned-but-still-running bodies.
+            self._bodies = ThreadPoolExecutor(
+                max_workers=n + 4, thread_name_prefix="repro-body"
+            )
+        if runtime.straggler is not None:
+            self._watchdog = threading.Thread(
+                target=self._speculation_loop,
+                name="repro-speculation",
+                daemon=True,
+            )
+            self._watchdog.start()
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
+
+    def clock(self) -> float:
+        return self._now()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -98,74 +147,209 @@ class LocalExecutor(Executor):
     # ------------------------------------------------------------------
     # Attempt execution
     # ------------------------------------------------------------------
-    def _run_attempt(self, assignment: Assignment) -> None:
+    def _run_attempt(self, assignment: Assignment, speculative: bool = False) -> None:
         assert self.runtime is not None
         task = assignment.task
         alloc = assignment.allocation
         start = self._now()
-        task.node = alloc.node
+        attempt = _LocalAttempt(assignment, start, speculative)
+        with self._lock:
+            if task.state in (TaskState.DONE, TaskState.FAILED):
+                # The task resolved before this (backup) attempt started.
+                release_assignment(self.runtime.pool, assignment)
+                return
+            self._active.setdefault(task.task_id, []).append(attempt)
+            if not speculative:
+                task.node = alloc.node
         self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
         try:
-            result = self._execute_body(task, assignment, alloc)
+            result = self._execute_body(task, assignment, alloc, speculative)
         except BaseException as exc:  # noqa: BLE001 - any body error goes to fault handling
-            self._on_failure(assignment, exc, start)
+            self._on_failure(assignment, exc, start, attempt)
             return
-        self._on_success(assignment, result, start)
+        self._on_success(assignment, result, start, attempt)
 
     def _execute_body(
-        self, task: TaskInvocation, assignment: Assignment, alloc: Allocation
+        self,
+        task: TaskInvocation,
+        assignment: Assignment,
+        alloc: Allocation,
+        speculative: bool = False,
     ):
         assert self.runtime is not None
         injector = self.runtime.failure_injector
-        if injector is not None and injector.should_fail(task.label, task.attempts):
+        # Injected failures/hangs/slowdowns hit primary attempts only: a
+        # speculative backup is a clean re-execution on another node.
+        if (
+            injector is not None
+            and not speculative
+            and injector.should_fail(task.label, task.attempts)
+        ):
             raise RuntimeError(
                 f"injected failure for {task.label} attempt {task.attempts}"
             )
+        hang = (
+            injector is not None
+            and not speculative
+            and injector.should_hang(task.label, task.attempts)
+        )
+        slow = (
+            injector.slow_factor(task.label)
+            if injector is not None and not speculative
+            else 1.0
+        )
         args, kwargs = self.resolve_arguments(task)
         func = assignment.implementation.func
+        timeout = self.runtime.config.task_timeout_s
+
+        def body():
+            if hang:
+                # "Hung" until the deadline abandons us; released at
+                # shutdown so the thread pool can drain.
+                self._stop_event.wait()
+                raise TaskTimeoutError(
+                    f"hung attempt of {task.label} released at shutdown"
+                )
+            t0 = time.perf_counter()
+            result = func(*args, **kwargs)
+            if slow > 1.0:
+                time.sleep((slow - 1.0) * (time.perf_counter() - t0))
+            return result
+
         if self._procs is not None:
-            return self._procs.submit(func, *args, **kwargs).result()
-        return func(*args, **kwargs)
+            future = self._procs.submit(func, *args, **kwargs)
+        elif timeout is not None:
+            assert self._bodies is not None
+            future = self._bodies.submit(body)
+        else:
+            return body()
+        try:
+            return future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            raise TaskTimeoutError(
+                f"task {task.label} exceeded its {timeout}s deadline "
+                f"on {alloc.node}"
+            ) from None
 
-    def _on_success(self, assignment: Assignment, result, start: float) -> None:
-        assert self.runtime is not None
-        task = assignment.task
-        end = self._now()
-        self._record(task, assignment, start, end, success=True)
-        release_assignment(self.runtime.pool, assignment)
-        with self._lock:
-            task.result = result
-            task.start_time, task.end_time = start, end
-            self.runtime.complete_task(task, result)
-            self._done_cond.notify_all()
-        self._dispatch()
+    # ------------------------------------------------------------------
+    # Completion / failure
+    # ------------------------------------------------------------------
+    def _detach(self, task_id: int, attempt: _LocalAttempt) -> None:
+        attempts = self._active.get(task_id)
+        if attempts and attempt in attempts:
+            attempts.remove(attempt)
+            if not attempts:
+                del self._active[task_id]
 
-    def _on_failure(
-        self, assignment: Assignment, exc: BaseException, start: float
+    def _on_success(
+        self, assignment: Assignment, result, start: float, attempt: _LocalAttempt
     ) -> None:
         assert self.runtime is not None
         task = assignment.task
         end = self._now()
+        node = assignment.allocation.node
+        with self._lock:
+            self._detach(task.task_id, attempt)
+            won = task.state not in (TaskState.DONE, TaskState.FAILED)
+            if won:
+                task.result = result
+                task.start_time, task.end_time = start, end
+                task.node = node
+                if attempt.speculative:
+                    self.runtime.resilience.record(
+                        end, rsl.SPECULATION_WON, task.label, node,
+                        detail=f"backup finished first after {end - start:.2f}s",
+                    )
+                self.runtime.complete_task(task, result)
+                self._done_cond.notify_all()
+        if not won:
+            # A faster attempt already resolved the task; discard quietly.
+            release_assignment(self.runtime.pool, assignment)
+            self.runtime.resilience.record(
+                end, rsl.SPECULATION_CANCELLED, task.label, node,
+                detail="slower attempt discarded",
+            )
+            return
+        self._record(task, assignment, start, end, success=True)
+        release_assignment(self.runtime.pool, assignment)
+        self.runtime.node_health.record_success(node)
+        if self.runtime.straggler is not None:
+            self.runtime.straggler.observe(task.definition.name, end - start)
+        self._dispatch()
+
+    def _on_failure(
+        self,
+        assignment: Assignment,
+        exc: BaseException,
+        start: float,
+        attempt: _LocalAttempt,
+    ) -> None:
+        assert self.runtime is not None
+        task = assignment.task
+        end = self._now()
+        node = assignment.allocation.node
         task.attempts += 1
         self._record(task, assignment, start, end, success=False)
+        if isinstance(exc, TaskTimeoutError):
+            self.runtime.resilience.record(
+                end, rsl.TIMEOUT, task.label, node,
+                detail=f"deadline {self.runtime.config.task_timeout_s}s",
+            )
+            self.runtime.node_health.record_failure(node, kind="timeout")
+        else:
+            self.runtime.node_health.record_failure(node)
+        with self._lock:
+            self._detach(task.task_id, attempt)
+            racing = (
+                task.state in (TaskState.DONE, TaskState.FAILED)
+                or bool(self._active.get(task.task_id))
+            )
+        if racing:
+            # Another attempt already resolved (or is still racing) this
+            # task: this failure must not consume the retry budget's
+            # terminal decision.
+            release_assignment(self.runtime.pool, assignment)
+            task.attempt_history.append(
+                f"attempt {task.attempts} on {node}: {exc!r} -> "
+                "another attempt racing"
+            )
+            return
         action = self.runtime.retry_policy.decide(task)
+        task.attempt_history.append(
+            f"attempt {task.attempts} on {node}: {exc!r} -> {action.value}"
+        )
         _log.info("task %s failed (attempt %d): %s -> %s",
                   task.label, task.attempts, exc, action.value)
+        if action != FaultAction.GIVE_UP:
+            delay = self.runtime.retry_policy.backoff_delay(
+                task.label, task.attempts
+            )
+            if delay > 0.0:
+                self.runtime.resilience.record(
+                    end, rsl.BACKOFF_WAIT, task.label, node,
+                    detail=f"{delay:.2f}s before {action.value}",
+                )
+                time.sleep(delay)
         if action == FaultAction.RETRY_SAME_NODE:
             # Keep the allocation; rerun in place (paper: "tries to start
             # the same task in the same node").
             retry_start = self._now()
+            retry_attempt = _LocalAttempt(assignment, retry_start, attempt.speculative)
+            with self._lock:
+                self._active.setdefault(task.task_id, []).append(retry_attempt)
             try:
-                result = self._execute_body(task, assignment, assignment.allocation)
+                result = self._execute_body(
+                    task, assignment, assignment.allocation, attempt.speculative
+                )
             except BaseException as exc2:  # noqa: BLE001
-                self._on_failure(assignment, exc2, retry_start)
+                self._on_failure(assignment, exc2, retry_start, retry_attempt)
                 return
-            self._on_success(assignment, result, retry_start)
+            self._on_success(assignment, result, retry_start, retry_attempt)
             return
         release_assignment(self.runtime.pool, assignment)
         if action == FaultAction.RESUBMIT_OTHER_NODE:
             with self._lock:
-                task.failed_nodes.append(assignment.allocation.node)
+                task.failed_nodes.append(node)
                 task.state = TaskState.READY
                 self.runtime.graph.requeue([task])
             self._dispatch()
@@ -176,6 +360,73 @@ class LocalExecutor(Executor):
             task.error = exc
             self._done_cond.notify_all()
 
+    # ------------------------------------------------------------------
+    # Speculative re-execution (watchdog)
+    # ------------------------------------------------------------------
+    def _speculation_loop(self) -> None:
+        while not self._stop_event.wait(self.SPECULATION_POLL_S):
+            try:
+                self._check_stragglers()
+            except Exception:  # noqa: BLE001 - watchdog must never die
+                _log.exception("speculation watchdog error")
+
+    def _check_stragglers(self) -> None:
+        assert self.runtime is not None
+        detector = self.runtime.straggler
+        if detector is None:
+            return
+        now = self._now()
+        with self._lock:
+            if self._shutdown:
+                return
+            candidates = []
+            for attempts in self._active.values():
+                if len(attempts) != 1:
+                    continue
+                attempt = attempts[0]
+                if attempt.speculative or attempt.assignment.extra_allocations:
+                    continue
+                task = attempt.assignment.task
+                threshold = detector.threshold(task.definition.name)
+                if threshold is not None and now - attempt.start >= threshold:
+                    candidates.append((attempt, threshold))
+        for attempt, threshold in candidates:
+            self._launch_backup(attempt, threshold)
+
+    def _launch_backup(self, attempt: _LocalAttempt, threshold: float) -> None:
+        assert self.runtime is not None and self._threads is not None
+        task = attempt.assignment.task
+        origin = attempt.assignment.allocation.node
+        pool = self.runtime.pool
+        others = [w.name for w in pool.available_workers() if w.name != origin]
+        if not others:
+            return
+        alloc = pool.try_allocate(
+            attempt.assignment.implementation.constraint, preferred=others
+        )
+        if alloc is None:
+            return
+        if alloc.node == origin:
+            pool.release(alloc)
+            return
+        with self._lock:
+            still_lone = (
+                self._active.get(task.task_id) == [attempt]
+                and task.state == TaskState.RUNNING
+                and not self._shutdown
+            )
+            if not still_lone:
+                pool.release(alloc)
+                return
+            backup = Assignment(task, alloc, attempt.assignment.implementation)
+            self.runtime.resilience.record(
+                self._now(), rsl.SPECULATION_LAUNCHED, task.label, alloc.node,
+                detail=f"running {self._now() - attempt.start:.2f}s > "
+                f"{threshold:.2f}s threshold on {origin}",
+            )
+            self._threads.submit(self._run_attempt, backup, True)
+
+    # ------------------------------------------------------------------
     def _record(
         self,
         task: TaskInvocation,
@@ -209,7 +460,8 @@ class LocalExecutor(Executor):
                 failed = [t for t in tasks if t.state == TaskState.FAILED]
                 if failed:
                     t = failed[0]
-                    raise TaskFailedError(t, t.error or RuntimeError("unknown"))
+                    cause = t.error or RuntimeError("unknown")
+                    raise TaskFailedError(t, cause) from cause
                 if all(t.state == TaskState.DONE for t in tasks):
                     return
                 self._done_cond.wait(timeout=0.5)
@@ -217,7 +469,14 @@ class LocalExecutor(Executor):
     def shutdown(self) -> None:
         with self._lock:
             self._shutdown = True
+        self._stop_event.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
         if self._threads is not None:
             self._threads.shutdown(wait=True)
+        if self._bodies is not None:
+            # Hung bodies were released via the stop event; don't block on
+            # any abandoned user body that is genuinely wedged.
+            self._bodies.shutdown(wait=False)
         if self._procs is not None:
             self._procs.shutdown(wait=True)

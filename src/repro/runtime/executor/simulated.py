@@ -10,14 +10,24 @@ user-supplied duration function).
 in virtual time) so that HPO results are genuine trained-model metrics
 while the *timing* reflects the modelled cluster — the combination used
 by the Fig. 7/8 benchmarks.
+
+Resilience (beyond the paper's retry-then-resubmit): a task may have
+several *attempts* in flight at once.  Deadlines (``task_timeout_s``)
+convert hung attempts into retryable failures; straggler detection
+launches a speculative backup attempt on another node and keeps the first
+finisher; retries wait out an exponential backoff; per-node failures feed
+the runtime's :class:`~repro.runtime.resilience.NodeHealth` tracker.  All
+of it runs on the event engine, so chaos scenarios are bit-deterministic
+under a fixed seed.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
-from repro.runtime.fault import FaultAction, TaskFailedError
+from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
 from repro.runtime.scheduler.base import Assignment, release_assignment
 from repro.runtime.task_definition import TaskInvocation, TaskState
 from repro.runtime.tracing.extrae import TaskRecord
@@ -34,6 +44,27 @@ DurationFn = Callable[[TaskInvocation, NodeSpec, Any], float]
 
 class NodeFailureError(RuntimeError):
     """A task attempt died because its node failed."""
+
+
+class _Attempt:
+    """One in-flight attempt of a task (primary or speculative backup)."""
+
+    __slots__ = ("assignment", "start", "speculative", "handle",
+                 "timeout_handle", "spec_check")
+
+    def __init__(self, assignment: Assignment, start: float, speculative: bool):
+        self.assignment = assignment
+        self.start = start
+        self.speculative = speculative
+        self.handle: Optional[EventHandle] = None
+        self.timeout_handle: Optional[EventHandle] = None
+        self.spec_check: Optional[EventHandle] = None
+
+    def cancel_events(self) -> None:
+        for handle in (self.handle, self.timeout_handle, self.spec_check):
+            if handle is not None:
+                handle.cancel()
+        self.handle = self.timeout_handle = self.spec_check = None
 
 
 class SimulatedExecutor(Executor):
@@ -63,15 +94,18 @@ class SimulatedExecutor(Executor):
         self.duration_fn = duration_fn
         self.execute_bodies = execute_bodies
         self.default_dataset = default_dataset
-        self._running: Dict[int, EventHandle] = {}
-        self._assignments: Dict[int, Assignment] = {}
-        self._start_times: Dict[int, float] = {}
+        #: task_id -> attempts currently in flight (usually one; two while
+        #: a speculative backup races the original).
+        self._attempts: Dict[int, List[_Attempt]] = {}
         self._failures_scheduled = False
 
     # ------------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current virtual time (seconds)."""
+        return self.sim.now
+
+    def clock(self) -> float:
         return self.sim.now
 
     def _cost_model(self) -> TrainingCostModel:
@@ -133,6 +167,22 @@ class SimulatedExecutor(Executor):
         return total
 
     # ------------------------------------------------------------------
+    # Attempt bookkeeping
+    # ------------------------------------------------------------------
+    def _detach(self, task_id: int, attempt: _Attempt) -> bool:
+        """Remove ``attempt`` from the active set; False if already gone."""
+        attempts = self._attempts.get(task_id)
+        if not attempts or attempt not in attempts:
+            return False
+        attempts.remove(attempt)
+        if not attempts:
+            del self._attempts[task_id]
+        return True
+
+    def _siblings(self, task_id: int) -> List[_Attempt]:
+        return self._attempts.get(task_id, [])
+
+    # ------------------------------------------------------------------
     # Node failures
     # ------------------------------------------------------------------
     def _ensure_node_failures_scheduled(self) -> None:
@@ -159,27 +209,35 @@ class SimulatedExecutor(Executor):
         _log.info("t=%.1f node %s failed", self.now, node)
         self.runtime.pool.fail_node(node)
         victims = [
-            tid
-            for tid, a in self._assignments.items()
-            if any(al.node == node for al in a.all_allocations)
-            and tid in self._running
+            (tid, attempt)
+            for tid, attempts in list(self._attempts.items())
+            for attempt in list(attempts)
+            if any(al.node == node for al in attempt.assignment.all_allocations)
         ]
-        for tid in victims:
-            self._running.pop(tid).cancel()
-            assignment = self._assignments.pop(tid)
-            start = self._start_times.pop(tid)
+        for tid, attempt in victims:
+            if not self._detach(tid, attempt):
+                continue
+            attempt.cancel_events()
+            assignment = attempt.assignment
             task = assignment.task
             task.attempts += 1
-            self._record(task, assignment, start, self.now, success=False)
+            self._record(task, assignment, attempt.start, self.now, success=False)
             # The failed node's slots are NOT released (the worker is reset
             # on recovery), but a multinode task's allocations on healthy
             # nodes must go back to the pool.
             for alloc in assignment.all_allocations:
                 if alloc.node != node:
                     self.runtime.pool.release(alloc)
-            self._after_failure(
-                assignment, NodeFailureError(f"node {node} failed"), force_other=True
-            )
+            self.runtime.node_health.record_failure(node, kind="node-failure")
+            exc = NodeFailureError(f"node {node} failed")
+            if self._siblings(tid):
+                # A backup attempt survives on another node; let it race on.
+                task.attempt_history.append(
+                    f"attempt {task.attempts} on {node}: {exc!r} -> "
+                    "backup still running"
+                )
+                continue
+            self._after_failure(assignment, exc, force_other=True)
 
     def _recover_node(self, node: str) -> None:
         assert self.runtime is not None
@@ -206,48 +264,94 @@ class SimulatedExecutor(Executor):
         for assignment in assignments:
             self._start(assignment)
 
-    def _start(self, assignment: Assignment) -> None:
+    def _start(self, assignment: Assignment, speculative: bool = False) -> None:
         assert self.runtime is not None
         task = assignment.task
         alloc = assignment.allocation
         node_spec = self.runtime.cluster.node(alloc.node)
         task.state = TaskState.RUNNING
-        task.node = alloc.node
+        if not speculative:
+            task.node = alloc.node
         staging = self._staging_time(task, alloc.node)
         staging += self._dependency_transfer_time(task, alloc.node)
         duration = self._duration(task, node_spec, alloc)
+        injector = self.runtime.failure_injector
+        if injector is not None and not speculative:
+            # Straggler injection models node-local slowness: a backup
+            # attempt on a different node runs at modelled speed.
+            duration *= injector.slow_factor(task.label)
         start = self.now
-        self._assignments[task.task_id] = assignment
-        self._start_times[task.task_id] = start
+        attempt = _Attempt(assignment, start, speculative)
+        self._attempts.setdefault(task.task_id, []).append(attempt)
         self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
-        handle = self.sim.schedule(
-            staging + duration,
-            lambda: self._complete(task.task_id),
-            label=f"complete-{task.label}",
+        hang = (
+            injector is not None
+            and not speculative
+            and injector.should_hang(task.label, task.attempts)
         )
-        self._running[task.task_id] = handle
+        if not hang:
+            attempt.handle = self.sim.schedule(
+                staging + duration,
+                lambda: self._complete(task.task_id, attempt),
+                label=f"complete-{task.label}",
+            )
+        timeout = self.runtime.config.task_timeout_s
+        if timeout is not None:
+            attempt.timeout_handle = self.sim.schedule(
+                float(timeout),
+                lambda: self._on_timeout(task.task_id, attempt),
+                label=f"timeout-{task.label}",
+            )
+        if not speculative:
+            self._schedule_spec_check(task.task_id, attempt)
 
     # ------------------------------------------------------------------
     # Completion / failure
     # ------------------------------------------------------------------
-    def _complete(self, task_id: int) -> None:
+    def _complete(self, task_id: int, attempt: _Attempt) -> None:
         assert self.runtime is not None
-        self._running.pop(task_id, None)
-        assignment = self._assignments.pop(task_id)
-        start = self._start_times.pop(task_id)
+        if not self._detach(task_id, attempt):
+            return
+        attempt.cancel_events()
+        assignment = attempt.assignment
+        start = attempt.start
         task = assignment.task
+        node = assignment.allocation.node
         injector = self.runtime.failure_injector
-        if injector is not None and injector.should_fail(task.label, task.attempts):
+        # Injected failures apply to primary attempts only: a speculative
+        # backup is a clean re-execution on a different node.
+        if (
+            injector is not None
+            and not attempt.speculative
+            and injector.should_fail(task.label, task.attempts)
+        ):
             task.attempts += 1
+            exc = RuntimeError(f"injected failure for {task.label}")
             self._record(task, assignment, start, self.now, success=False)
             release_assignment(self.runtime.pool, assignment)
-            self._after_failure(
-                assignment,
-                RuntimeError(f"injected failure for {task.label}"),
-                force_other=False,
-                released=True,
-            )
+            self.runtime.node_health.record_failure(node)
+            if self._siblings(task_id):
+                task.attempt_history.append(
+                    f"attempt {task.attempts} on {node}: {exc!r} -> "
+                    "backup still running"
+                )
+                return
+            self._after_failure(assignment, exc, force_other=False)
             return
+        # First finisher wins: cancel any still-racing attempts.
+        for loser in self._attempts.pop(task_id, []):
+            loser.cancel_events()
+            release_assignment(self.runtime.pool, loser.assignment)
+            self.runtime.resilience.record(
+                self.now, rsl.SPECULATION_CANCELLED, task.label,
+                loser.assignment.allocation.node,
+                detail=f"lost to attempt on {node}",
+            )
+        if attempt.speculative:
+            self.runtime.resilience.record(
+                self.now, rsl.SPECULATION_WON, task.label, node,
+                detail=f"backup finished first after {self.now - start:.1f}s",
+            )
         result: Any = None
         if self.execute_bodies:
             args, kwargs = self.resolve_arguments(task)
@@ -257,60 +361,189 @@ class SimulatedExecutor(Executor):
                 task.attempts += 1
                 self._record(task, assignment, start, self.now, success=False)
                 release_assignment(self.runtime.pool, assignment)
-                self._after_failure(assignment, exc, force_other=False, released=True)
+                self.runtime.node_health.record_failure(node)
+                self._after_failure(assignment, exc, force_other=False)
                 return
         self._record(task, assignment, start, self.now, success=True)
         release_assignment(self.runtime.pool, assignment)
+        self.runtime.node_health.record_success(node)
+        if self.runtime.straggler is not None:
+            self.runtime.straggler.observe(task.definition.name, self.now - start)
         task.result = result
+        task.node = node
         task.start_time, task.end_time = start, self.now
         self.runtime.complete_task(task, result)
+        self._schedule_spec_checks_for_name(task.definition.name)
         self._dispatch()
 
+    def _on_timeout(self, task_id: int, attempt: _Attempt) -> None:
+        """A deadline fired: kill the attempt and treat it as a failure."""
+        assert self.runtime is not None
+        if not self._detach(task_id, attempt):
+            return
+        attempt.cancel_events()
+        assignment = attempt.assignment
+        task = assignment.task
+        node = assignment.allocation.node
+        timeout = self.runtime.config.task_timeout_s
+        task.attempts += 1
+        exc = TaskTimeoutError(
+            f"task {task.label} exceeded its {timeout}s deadline on {node}"
+        )
+        self._record(task, assignment, attempt.start, self.now, success=False)
+        release_assignment(self.runtime.pool, assignment)
+        self.runtime.resilience.record(
+            self.now, rsl.TIMEOUT, task.label, node,
+            detail=f"deadline {float(timeout):.0f}s",
+        )
+        self.runtime.node_health.record_failure(node, kind="timeout")
+        if self._siblings(task_id):
+            task.attempt_history.append(
+                f"attempt {task.attempts} on {node}: {exc!r} -> "
+                "backup still running"
+            )
+            return
+        self._after_failure(assignment, exc, force_other=False)
+
+    # ------------------------------------------------------------------
+    # Speculative re-execution
+    # ------------------------------------------------------------------
+    def _schedule_spec_check(self, task_id: int, attempt: _Attempt) -> None:
+        """Arm a straggler check for ``attempt`` if a median is known."""
+        assert self.runtime is not None
+        detector = self.runtime.straggler
+        if detector is None or attempt.speculative or attempt.spec_check:
+            return
+        assignment = attempt.assignment
+        if assignment.extra_allocations:
+            return  # multinode tasks are not speculated
+        threshold = detector.threshold(assignment.task.definition.name)
+        if threshold is None:
+            return
+        attempt.spec_check = self.sim.schedule_at(
+            max(self.now, attempt.start + threshold),
+            lambda: self._spec_check(task_id, attempt),
+            label=f"spec-check-{assignment.task.label}",
+        )
+
+    def _schedule_spec_checks_for_name(self, name: str) -> None:
+        """A completion updated ``name``'s median: arm checks on its peers."""
+        assert self.runtime is not None
+        detector = self.runtime.straggler
+        if detector is None or detector.threshold(name) is None:
+            return
+        for task_id, attempts in list(self._attempts.items()):
+            if len(attempts) != 1:
+                continue
+            attempt = attempts[0]
+            if attempt.assignment.task.definition.name == name:
+                self._schedule_spec_check(task_id, attempt)
+
+    def _spec_check(self, task_id: int, attempt: _Attempt) -> None:
+        """Decide whether a running attempt is a straggler; maybe back it up."""
+        assert self.runtime is not None
+        attempt.spec_check = None
+        attempts = self._attempts.get(task_id)
+        if not attempts or attempt not in attempts or len(attempts) > 1:
+            return
+        detector = self.runtime.straggler
+        if detector is None:
+            return
+        task = attempt.assignment.task
+        threshold = detector.threshold(task.definition.name)
+        if threshold is None:
+            return
+        elapsed = self.now - attempt.start
+        if elapsed < threshold:
+            # Median grew since this check was armed; re-arm at the new
+            # threshold (strictly in the future, so this terminates).
+            attempt.spec_check = self.sim.schedule_at(
+                attempt.start + threshold,
+                lambda: self._spec_check(task_id, attempt),
+                label=f"spec-check-{task.label}",
+            )
+            return
+        impl = attempt.assignment.implementation
+        origin = attempt.assignment.allocation.node
+        pool = self.runtime.pool
+        others = [
+            w.name for w in pool.available_workers() if w.name != origin
+        ]
+        if not others:
+            return
+        alloc = pool.try_allocate(impl.constraint, preferred=others)
+        if alloc is None:
+            return
+        if alloc.node == origin:
+            pool.release(alloc)
+            return
+        self.runtime.resilience.record(
+            self.now, rsl.SPECULATION_LAUNCHED, task.label, alloc.node,
+            detail=f"running {elapsed:.1f}s > {threshold:.1f}s threshold "
+            f"on {origin}",
+        )
+        self._start(Assignment(task, alloc, impl), speculative=True)
+
+    # ------------------------------------------------------------------
+    # Retry policy application
+    # ------------------------------------------------------------------
     def _after_failure(
         self,
         assignment: Assignment,
         exc: BaseException,
         force_other: bool,
-        released: bool = False,
     ) -> None:
-        """Apply the retry policy after a failed attempt.
+        """Apply the retry policy (with backoff) after a failed attempt.
 
         ``force_other`` skips the same-node retry (the node is gone).
-        ``released`` records whether the allocation was already returned.
+        The attempt's allocation has already been released (or is stranded
+        on a failed node, which the pool resets on recovery).
         """
         assert self.runtime is not None
         task = assignment.task
+        node = assignment.allocation.node
         action = self.runtime.retry_policy.decide(task)
         if action == FaultAction.RETRY_SAME_NODE and force_other:
             action = FaultAction.RESUBMIT_OTHER_NODE
+        task.attempt_history.append(
+            f"attempt {task.attempts} on {node}: {exc!r} -> {action.value}"
+        )
         _log.info(
             "t=%.1f task %s failed (attempt %d): %s -> %s",
             self.now, task.label, task.attempts, exc, action.value,
         )
-        if action == FaultAction.RETRY_SAME_NODE:
-            if released:
-                # Reacquire the same node's resources for the retry.
-                alloc = self.runtime.pool.try_allocate(
-                    assignment.implementation.constraint,
-                    preferred=[assignment.allocation.node],
-                )
-                if alloc is None or alloc.node != assignment.allocation.node:
-                    if alloc is not None:
-                        self.runtime.pool.release(alloc)
-                    self._requeue_for_other(task, assignment)
-                    return
-                assignment = Assignment(task, alloc, assignment.implementation)
-            self._start(assignment)
+        if action == FaultAction.GIVE_UP:
+            task.state = TaskState.FAILED
+            task.error = exc
             return
-        if not released and action != FaultAction.RETRY_SAME_NODE:
-            # Node-failure path never releases; nothing to do (worker reset
-            # on recovery).  Other paths released before calling us.
-            pass
-        if action == FaultAction.RESUBMIT_OTHER_NODE:
+        delay = self.runtime.retry_policy.backoff_delay(task.label, task.attempts)
+        if delay > 0.0:
+            self.runtime.resilience.record(
+                self.now, rsl.BACKOFF_WAIT, task.label, node,
+                detail=f"{delay:.2f}s before {action.value}",
+            )
+        if action == FaultAction.RETRY_SAME_NODE:
+            retry = lambda: self._retry_same_node(task, assignment)  # noqa: E731
+        else:
+            retry = lambda: self._requeue_for_other(task, assignment)  # noqa: E731
+        if delay > 0.0:
+            self.sim.schedule(delay, retry, label=f"backoff-{task.label}")
+        else:
+            retry()
+
+    def _retry_same_node(self, task: TaskInvocation, assignment: Assignment) -> None:
+        """Reacquire the same node's resources and rerun there."""
+        assert self.runtime is not None
+        alloc = self.runtime.pool.try_allocate(
+            assignment.implementation.constraint,
+            preferred=[assignment.allocation.node],
+        )
+        if alloc is None or alloc.node != assignment.allocation.node:
+            if alloc is not None:
+                self.runtime.pool.release(alloc)
             self._requeue_for_other(task, assignment)
             return
-        task.state = TaskState.FAILED
-        task.error = exc
+        self._start(Assignment(task, alloc, assignment.implementation))
 
     def _requeue_for_other(self, task: TaskInvocation, assignment: Assignment) -> None:
         assert self.runtime is not None
@@ -356,16 +589,19 @@ class SimulatedExecutor(Executor):
         failed = [t for t in tasks if t.state == TaskState.FAILED]
         if failed:
             t = failed[0]
-            raise TaskFailedError(t, t.error or RuntimeError("unknown"))
+            cause = t.error or RuntimeError("unknown")
+            raise TaskFailedError(t, cause) from cause
         if unfinished():
             stuck = [t.label for t in tasks if t.state != TaskState.DONE]
             raise RuntimeError(
                 f"simulation stalled with tasks unfinished: {stuck[:5]} "
                 f"(+{max(0, len(stuck) - 5)} more); "
-                "likely an unsatisfiable constraint or all nodes down"
+                "likely an unsatisfiable constraint, all nodes down, or a "
+                "hung task with no task_timeout_s deadline configured"
             )
 
     def shutdown(self) -> None:
-        self._running.clear()
-        self._assignments.clear()
-        self._start_times.clear()
+        for attempts in self._attempts.values():
+            for attempt in attempts:
+                attempt.cancel_events()
+        self._attempts.clear()

@@ -7,6 +7,10 @@ other tasks unless there are some dependencies."
 
 :class:`RetryPolicy` encodes that two-stage behaviour with configurable
 budgets; the executors consult :meth:`decide` after every failed attempt.
+On top of the paper's scheme the policy carries an exponential-backoff
+schedule with deterministic seeded jitter: the wait before attempt *k* is
+a pure function of ``(task_label, k, backoff_seed)``, so retry timing is
+bit-reproducible regardless of execution order.
 """
 
 from __future__ import annotations
@@ -15,7 +19,8 @@ import enum
 from dataclasses import dataclass
 
 from repro.runtime.task_definition import TaskInvocation
-from repro.util.validation import check_non_negative
+from repro.util.seeding import rng_from
+from repro.util.validation import check_in_range, check_non_negative
 
 
 class FaultAction(str, enum.Enum):
@@ -37,14 +42,39 @@ class RetryPolicy:
     resubmissions:
         Additional attempts on *different* nodes after same-node retries
         are exhausted.
+    backoff_base_s:
+        Wait before the first retry (seconds; 0 disables backoff waits,
+        reproducing the paper's immediate-retry behaviour).
+    backoff_multiplier:
+        Exponential growth factor between consecutive retries.
+    backoff_max_s:
+        Cap on any single backoff wait.
+    backoff_jitter:
+        Fractional jitter in ``[0, 1)``: the wait is scaled by a factor
+        drawn uniformly from ``[1 - jitter, 1 + jitter]``.
+    backoff_seed:
+        Seed for the jitter draw.  The draw is keyed by
+        ``(task_label, attempt)`` so it is independent of call order.
     """
 
     same_node_retries: int = 1
     resubmissions: int = 1
+    backoff_base_s: float = 0.0
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 60.0
+    backoff_jitter: float = 0.1
+    backoff_seed: int = 0
 
     def __post_init__(self) -> None:
         check_non_negative("same_node_retries", self.same_node_retries)
         check_non_negative("resubmissions", self.resubmissions)
+        check_non_negative("backoff_base_s", self.backoff_base_s)
+        check_non_negative("backoff_max_s", self.backoff_max_s)
+        check_in_range("backoff_jitter", self.backoff_jitter, 0.0, 1.0)
+        if self.backoff_multiplier < 1.0:
+            raise ValueError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
 
     @property
     def max_attempts(self) -> int:
@@ -62,14 +92,53 @@ class RetryPolicy:
             return FaultAction.RESUBMIT_OTHER_NODE
         return FaultAction.GIVE_UP
 
+    def backoff_delay(self, task_label: str, failures: int) -> float:
+        """Seconds to wait before retrying after ``failures`` failures.
+
+        Deterministic: the same ``(task_label, failures, backoff_seed)``
+        always yields the same delay, in any call order.
+        """
+        check_non_negative("failures", failures)
+        if self.backoff_base_s <= 0.0 or failures <= 0:
+            return 0.0
+        delay = min(
+            self.backoff_base_s * self.backoff_multiplier ** (failures - 1),
+            self.backoff_max_s,
+        )
+        if self.backoff_jitter > 0.0:
+            rng = rng_from(
+                self.backoff_seed, f"backoff/{task_label}/{failures}"
+            )
+            delay *= 1.0 + self.backoff_jitter * (2.0 * rng.random() - 1.0)
+        return float(delay)
+
+
+class TaskTimeoutError(RuntimeError):
+    """A task attempt exceeded its deadline (``task_timeout_s``).
+
+    Raised *internally* by the executors to convert a hung attempt into a
+    retryable failure; it surfaces to the user (inside
+    :class:`TaskFailedError`) only when the retry budget is exhausted.
+    """
+
 
 class TaskFailedError(RuntimeError):
-    """Raised to the user when a task exhausts its retry budget."""
+    """Raised to the user when a task exhausts its retry budget.
+
+    The message carries the per-attempt action history and the original
+    exception is chained (``raise … from cause`` in the executors) so the
+    user's traceback shows the root failure.
+    """
 
     def __init__(self, task: TaskInvocation, cause: BaseException):
-        super().__init__(
+        history = "; ".join(task.attempt_history)
+        message = (
             f"task {task.label} failed after {task.attempts} attempts "
             f"(nodes tried: {task.failed_nodes or ['?']}): {cause!r}"
         )
+        if history:
+            message += f" [history: {history}]"
+        super().__init__(message)
         self.task = task
         self.cause = cause
+        self.__cause__ = cause

@@ -159,6 +159,9 @@ class ResourcePool:
     ):
         self.cluster = cluster
         self._lock = threading.Lock()
+        #: Optional NodeHealth tracker (set by the runtime): quarantined
+        #: nodes are deprioritised by the scheduler via blocked_nodes().
+        self.health = None
         self.workers: Dict[str, Worker] = {}
         for i, spec in enumerate(cluster.nodes):
             if isinstance(reserved_cores, Mapping):
@@ -195,6 +198,10 @@ class ResourcePool:
     def release(self, alloc: Allocation) -> None:
         with self._lock:
             self.workers[alloc.node].release(alloc)
+
+    def blocked_nodes(self) -> List[str]:
+        """Nodes the health tracker currently quarantines (may be empty)."""
+        return self.health.blocked_nodes() if self.health is not None else []
 
     def anyone_could_ever_host(self, rc: ResourceConstraint) -> bool:
         """Whether any (available) worker could run this constraint when idle."""

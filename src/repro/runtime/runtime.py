@@ -21,6 +21,7 @@ from repro.runtime.executor.local import LocalExecutor
 from repro.runtime.executor.simulated import SimulatedExecutor
 from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
+from repro.runtime.resilience import NodeHealth, ResilienceLog, StragglerDetector
 from repro.runtime.scheduler import Scheduler, get_scheduler
 from repro.runtime.scheduler.locality import LocalityScheduler
 from repro.runtime.task_definition import (
@@ -70,6 +71,25 @@ class COMPSsRuntime:
         self.retry_policy = self.config.retry_policy
         self.failure_injector = self.config.failure_injector
         self.cost_model = self.config.cost_model
+        #: Structured log of resilience decisions (timeouts, backoff
+        #: waits, speculation, quarantine/probe) — see runtime/resilience.
+        self.resilience = ResilienceLog()
+        self.node_health = NodeHealth(
+            threshold=self.config.quarantine_threshold,
+            window=self.config.quarantine_window,
+            min_events=self.config.quarantine_min_events,
+            cooldown_s=self.config.quarantine_cooldown_s,
+            log=self.resilience,
+        )
+        self.straggler: Optional[StragglerDetector] = (
+            StragglerDetector(
+                self.config.speculation_multiplier,
+                self.config.speculation_min_samples,
+            )
+            if self.config.speculation_multiplier is not None
+            else None
+        )
+        self.pool.health = self.node_health
         self.scheduler: Scheduler = (
             get_scheduler(self.config.scheduler)
             if isinstance(self.config.scheduler, str)
@@ -105,6 +125,9 @@ class COMPSsRuntime:
             raise RuntimeError("runtime already started")
         reset_invocation_counter()
         self.executor.bind(self)
+        # Quarantine cool-downs tick in the executor's clock (wall or
+        # virtual), not the host's.
+        self.node_health.clock = self.executor.clock
         set_current(self)
         self._started = True
         _log.info("runtime started on %s", self.cluster.name)
@@ -319,7 +342,7 @@ class COMPSsRuntime:
     # ------------------------------------------------------------------
     def analysis(self) -> TraceAnalysis:
         """Trace analysis over everything recorded so far."""
-        return TraceAnalysis(self.tracer)
+        return TraceAnalysis(self.tracer, self.resilience)
 
     def render_graph(self) -> str:
         """DOT text of the current task graph (Fig. 3)."""

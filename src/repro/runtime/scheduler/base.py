@@ -83,10 +83,20 @@ class Scheduler(abc.ABC):
     def _try_place(
         self, task: TaskInvocation, pool: ResourcePool
     ) -> Optional[Assignment]:
-        """Try each candidate implementation until one fits a node."""
-        preferred = [
-            n for n in self.preferred_nodes(task) if n not in task.failed_nodes
+        """Try each candidate implementation until one fits a node.
+
+        Besides the task's own failure history, quarantined nodes (per the
+        pool's NodeHealth tracker) are avoided: a flaky node stops
+        receiving work until its cool-down expires.  Both sets fall back
+        to "use anyway" when no other node can take the task, so
+        quarantine degrades capacity gracefully instead of stalling the
+        study.
+        """
+        quarantined = pool.blocked_nodes()
+        avoid = list(task.failed_nodes) + [
+            n for n in quarantined if n not in task.failed_nodes
         ]
+        preferred = [n for n in self.preferred_nodes(task) if n not in avoid]
         candidates = task.definition.all_candidates()
         any_possible = False
         for impl in candidates:
@@ -94,11 +104,11 @@ class Scheduler(abc.ABC):
             if pool.anyone_could_ever_host(rc):
                 any_possible = True
             if rc.nodes > 1:
-                allocs = self._allocate_multinode(pool, rc, task.failed_nodes)
+                allocs = self._allocate_multinode(pool, rc, avoid)
                 if allocs is not None:
                     return Assignment(task, allocs[0], impl, allocs[1:])
                 continue
-            alloc = self._allocate_avoiding(pool, rc, preferred, task.failed_nodes)
+            alloc = self._allocate_avoiding(pool, rc, preferred, avoid)
             if alloc is not None:
                 return Assignment(task, alloc, impl)
         if not any_possible:
@@ -170,6 +180,11 @@ class Scheduler(abc.ABC):
                 alloc = None
             if alloc is not None:
                 return alloc
-            # Last resort: allow previously-failed nodes.
+            # Some non-avoided node could host this task once its current
+            # work drains: wait for it rather than using an avoided node.
+            for w in pool.available_workers():
+                if w.name not in avoid and w.could_ever_host(rc):
+                    return None
+            # Last resort: every viable node is failed/quarantined.
             return pool.try_allocate(rc, preferred=preferred)
         return pool.try_allocate(rc, preferred=preferred)

@@ -12,6 +12,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.runtime.resilience import ResilienceLog
 from repro.runtime.tracing.extrae import TraceRecorder
 from repro.util.ascii_plot import table
 
@@ -95,4 +96,25 @@ def render_stats(recorder: TraceRecorder) -> str:
          "nodes", "core-seconds"],
         rows,
         title="per-task execution statistics",
+    )
+
+
+def render_resilience(log: ResilienceLog) -> str:
+    """Text table of resilience decisions (timeouts, speculation, quarantine).
+
+    One row per event kind with its count, plus the first occurrence as a
+    worked example — compact enough for the CLI report, detailed enough
+    to see *why* a study's tail behaved the way it did.
+    """
+    if not len(log):
+        return "(no resilience events)"
+    counts = log.counts()
+    rows = []
+    for kind in sorted(counts):
+        first = log.of_kind(kind)[0]
+        rows.append([kind, counts[kind], first.describe()])
+    return table(
+        ["event", "count", "first occurrence"],
+        rows,
+        title="resilience events",
     )

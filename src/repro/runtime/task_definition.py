@@ -96,6 +96,10 @@ class TaskInvocation:
     #: Execution bookkeeping.
     attempts: int = 0
     failed_nodes: List[str] = field(default_factory=list)
+    #: One human-readable line per failed attempt ("attempt 1 on n1:
+    #: RuntimeError(...) -> retry_same_node"); joined into the
+    #: :class:`~repro.runtime.fault.TaskFailedError` message.
+    attempt_history: List[str] = field(default_factory=list)
     result: Any = None
     error: Optional[BaseException] = None
     start_time: Optional[float] = None

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.runtime.resilience import ResilienceEvent, ResilienceLog
 from repro.runtime.tracing.extrae import TaskRecord, TraceRecorder
 from repro.util.validation import check_positive
 
@@ -20,11 +21,24 @@ CoreKey = Tuple[str, str, int]  # (node, "cpu"|"gpu", index)
 
 
 class TraceAnalysis:
-    """Quantitative queries over a recorded trace."""
+    """Quantitative queries over a recorded trace.
 
-    def __init__(self, recorder: TraceRecorder):
+    ``resilience`` (optional) is the runtime's :class:`ResilienceLog`;
+    when present, resilience decisions (timeouts, speculation, node
+    quarantine) are queryable alongside the trace and appear in
+    :meth:`summary`.
+    """
+
+    def __init__(
+        self,
+        recorder: TraceRecorder,
+        resilience: Optional[ResilienceLog] = None,
+    ):
         self.records: List[TaskRecord] = list(recorder.records)
         self.events = list(recorder.events)
+        self.resilience: List[ResilienceEvent] = (
+            list(resilience.events) if resilience is not None else []
+        )
 
     # ------------------------------------------------------------------
     # Basic aggregates
@@ -183,6 +197,31 @@ class TraceAnalysis:
         )
 
     # ------------------------------------------------------------------
+    # Resilience
+    # ------------------------------------------------------------------
+    def resilience_counts(self) -> Dict[str, int]:
+        """``event kind → occurrences`` over the resilience log."""
+        out: Dict[str, int] = {}
+        for e in self.resilience:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:
+        """Resilience events, optionally filtered to one kind."""
+        if kind is None:
+            return list(self.resilience)
+        return [e for e in self.resilience if e.kind == kind]
+
+    def resilience_timeline(self, max_rows: int = 40) -> str:
+        """One line per resilience event, in decision order."""
+        if not self.resilience:
+            return "(no resilience events)"
+        lines = [e.describe() for e in self.resilience[:max_rows]]
+        if len(self.resilience) > max_rows:
+            lines.append(f"... ({len(self.resilience) - max_rows} more events)")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
     # Rendering
     # ------------------------------------------------------------------
     def gantt(self, width: int = 78, max_rows: int = 64) -> str:
@@ -223,9 +262,14 @@ class TraceAnalysis:
 
     def summary(self) -> str:
         """Multi-line text summary (makespan, utilisation, concurrency)."""
-        return (
+        text = (
             f"tasks: {len(self.records)}  makespan: {self.makespan:.1f}s  "
             f"peak concurrency: {self.max_concurrency()}  "
             f"utilisation(used cores): {self.utilization():.1%}  "
             f"nodes: {len(self.nodes_used())}"
         )
+        if self.resilience:
+            counts = self.resilience_counts()
+            parts = ", ".join(f"{k}: {counts[k]}" for k in sorted(counts))
+            text += f"\nresilience events: {parts}"
+        return text

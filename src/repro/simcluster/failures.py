@@ -15,8 +15,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-import numpy as np
-
 from repro.util.seeding import rng_from
 from repro.util.validation import check_in_range, check_non_negative
 
@@ -54,10 +52,19 @@ class FailurePlan:
         the retry.
     node_failures:
         Scripted node outages for the simulated executor.
+    task_hangs:
+        ``(task_label, attempt_index)`` pairs whose attempt never
+        completes — exercises the ``task_timeout_s`` deadline path.
+    task_slowdowns:
+        ``task_label → factor`` duration multipliers (straggler
+        injection); speculative backup attempts are NOT slowed, modelling
+        node-local slowness.
     """
 
     task_failures: Set[Tuple[str, int]] = field(default_factory=set)
     node_failures: List[NodeFailure] = field(default_factory=list)
+    task_hangs: Set[Tuple[str, int]] = field(default_factory=set)
+    task_slowdowns: Dict[str, float] = field(default_factory=dict)
 
     def fail_task(self, task_label: str, *attempts: int) -> "FailurePlan":
         """Schedule ``task_label`` to fail on the given attempt numbers."""
@@ -73,9 +80,36 @@ class FailurePlan:
         self.node_failures.append(NodeFailure(node, time, recovery_time))
         return self
 
+    def hang_task(self, task_label: str, *attempts: int) -> "FailurePlan":
+        """Make the given attempts of ``task_label`` hang forever.
+
+        A hung attempt only terminates through the runtime's deadline
+        (``RuntimeConfig.task_timeout_s``), which converts it into a
+        retryable failure.
+        """
+        for a in attempts:
+            check_non_negative("attempt", a)
+            self.task_hangs.add((task_label, a))
+        return self
+
+    def slow_task(self, task_label: str, factor: float) -> "FailurePlan":
+        """Multiply ``task_label``'s duration by ``factor`` (straggler)."""
+        if factor <= 0:
+            raise ValueError(f"slowdown factor must be > 0, got {factor}")
+        self.task_slowdowns[task_label] = float(factor)
+        return self
+
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Whether this attempt of this task is scripted to fail."""
         return (task_label, attempt) in self.task_failures
+
+    def should_hang(self, task_label: str, attempt: int) -> bool:
+        """Whether this attempt of this task is scripted to hang."""
+        return (task_label, attempt) in self.task_hangs
+
+    def slow_factor(self, task_label: str) -> float:
+        """Duration multiplier for ``task_label`` (1.0 = unaffected)."""
+        return self.task_slowdowns.get(task_label, 1.0)
 
 
 class FailureInjector:
@@ -104,14 +138,16 @@ class FailureInjector:
         self.task_failure_prob = task_failure_prob
         self._seed = seed
         self._draws: Dict[Tuple[str, int], bool] = {}
-        self._rng: np.random.Generator = rng_from(seed, "failure-injector")
         self.injected_failures: List[Tuple[str, int]] = []
+        self.injected_hangs: List[Tuple[str, int]] = []
 
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Decide (deterministically per (task, attempt)) whether to fail.
 
-        The random draw for a given ``(task_label, attempt)`` is cached so
-        asking twice gives the same answer.
+        The random draw for a ``(task_label, attempt)`` pair is derived
+        from the seed and the pair itself (and cached), so the verdict is
+        independent of the order in which attempts are asked about —
+        executor scheduling jitter cannot change which tasks fail.
         """
         check_non_negative("attempt", attempt)
         if self.plan.should_fail(task_label, attempt):
@@ -121,7 +157,8 @@ class FailureInjector:
             return False
         key = (task_label, attempt)
         if key not in self._draws:
-            self._draws[key] = bool(self._rng.random() < self.task_failure_prob)
+            rng = rng_from(self._seed, f"failure-injector/{task_label}/{attempt}")
+            self._draws[key] = bool(rng.random() < self.task_failure_prob)
         if self._draws[key]:
             self._record(task_label, attempt)
         return self._draws[key]
@@ -129,13 +166,25 @@ class FailureInjector:
     def _record(self, task_label: str, attempt: int) -> None:
         self.injected_failures.append((task_label, attempt))
 
+    def should_hang(self, task_label: str, attempt: int) -> bool:
+        """Whether this attempt is scripted to hang (never complete)."""
+        check_non_negative("attempt", attempt)
+        if self.plan.should_hang(task_label, attempt):
+            self.injected_hangs.append((task_label, attempt))
+            return True
+        return False
+
+    def slow_factor(self, task_label: str) -> float:
+        """Scripted duration multiplier for ``task_label`` (1.0 = none)."""
+        return self.plan.slow_factor(task_label)
+
     @property
     def node_failures(self) -> List[NodeFailure]:
         """Scripted node outages (from the plan)."""
         return list(self.plan.node_failures)
 
     def reset(self) -> None:
-        """Forget cached draws and history; reseed the RNG."""
+        """Forget cached draws and history (draws re-derive identically)."""
         self._draws.clear()
         self.injected_failures.clear()
-        self._rng = rng_from(self._seed, "failure-injector")
+        self.injected_hangs.clear()

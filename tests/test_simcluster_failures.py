@@ -32,6 +32,25 @@ class TestFailurePlan:
         with pytest.raises(ValueError):
             FailurePlan().fail_task("t", -1)
 
+    def test_hang_task(self):
+        plan = FailurePlan().hang_task("t", 0, 2)
+        assert plan.should_hang("t", 0) and plan.should_hang("t", 2)
+        assert not plan.should_hang("t", 1)
+        assert not plan.should_hang("u", 0)
+
+    def test_slow_task(self):
+        plan = FailurePlan().slow_task("t", 4.0)
+        assert plan.slow_factor("t") == 4.0
+        assert plan.slow_factor("u") == 1.0
+
+    def test_invalid_slow_factor_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePlan().slow_task("t", 0.0)
+
+    def test_negative_hang_attempt_rejected(self):
+        with pytest.raises(ValueError):
+            FailurePlan().hang_task("t", -1)
+
 
 class TestFailureInjector:
     def test_plan_always_honoured(self):
@@ -74,3 +93,39 @@ class TestFailureInjector:
     def test_node_failures_exposed(self):
         plan = FailurePlan().fail_node("n1", 5.0)
         assert FailureInjector(plan).node_failures[0].node == "n1"
+
+    def test_same_seed_identical_injected_failures(self):
+        a = FailureInjector(task_failure_prob=0.3, seed=11)
+        b = FailureInjector(task_failure_prob=0.3, seed=11)
+        for inj in (a, b):
+            for i in range(40):
+                inj.should_fail(f"experiment-{i}", 0)
+        assert a.injected_failures == b.injected_failures
+        assert a.injected_failures  # the pattern actually fired
+
+    def test_draws_are_order_independent(self):
+        # Executor scheduling jitter must not change which tasks fail:
+        # the verdict depends only on (seed, label, attempt).
+        keys = [(f"experiment-{i}", a) for i in range(20) for a in range(2)]
+        a = FailureInjector(task_failure_prob=0.4, seed=5)
+        b = FailureInjector(task_failure_prob=0.4, seed=5)
+        forward = {k: a.should_fail(*k) for k in keys}
+        backward = {k: b.should_fail(*k) for k in reversed(keys)}
+        assert forward == backward
+
+    def test_reset_restores_draw_sequence(self):
+        inj = FailureInjector(task_failure_prob=0.5, seed=7)
+        before = [inj.should_fail("t", i) for i in range(10)]
+        inj.should_hang("t", 0)
+        inj.reset()
+        assert inj.injected_failures == [] and inj.injected_hangs == []
+        assert [inj.should_fail("t", i) for i in range(10)] == before
+
+    def test_hang_recorded_and_slow_delegated(self):
+        plan = FailurePlan().hang_task("t", 1).slow_task("s", 2.5)
+        inj = FailureInjector(plan)
+        assert not inj.should_hang("t", 0)
+        assert inj.should_hang("t", 1)
+        assert inj.injected_hangs == [("t", 1)]
+        assert inj.slow_factor("s") == 2.5
+        assert inj.slow_factor("t") == 1.0
