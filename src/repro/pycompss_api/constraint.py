@@ -54,6 +54,32 @@ class ResourceConstraint:
         check_non_negative("gpu_units", self.gpu_units)
         check_non_negative("memory_gb", self.memory_gb)
         check_positive("nodes", self.nodes)
+        # Hashable identity of this resource demand.  ``node_labels`` is a
+        # dict (unhashable), so the dataclass itself cannot be a dict key;
+        # the key is what the dispatch fast path and the resource pool's
+        # capacity index group tasks by ("constraint class").
+        object.__setattr__(
+            self,
+            "class_key",
+            (
+                self.cpu_units,
+                self.gpu_units,
+                self.memory_gb,
+                tuple(sorted(self.node_labels.items())),
+                self.nodes,
+            ),
+        )
+
+    def per_node(self) -> "ResourceConstraint":
+        """The single-node slice of a multinode constraint."""
+        if self.nodes == 1:
+            return self
+        return ResourceConstraint(
+            cpu_units=self.cpu_units,
+            gpu_units=self.gpu_units,
+            memory_gb=self.memory_gb,
+            node_labels=self.node_labels,
+        )
 
     def describe(self) -> str:
         """Compact rendering, e.g. ``"2CPU+1GPU"``."""

@@ -128,19 +128,21 @@ class LocalExecutor(Executor):
         self._dispatch()
 
     def _dispatch(self) -> None:
-        """Schedule every placeable ready task (thread-safe)."""
+        """Incremental scheduling round (thread-safe).
+
+        Newly-ready tasks join the dispatch engine's per-constraint-class
+        queues; the engine probes only class heads and skips classes
+        whose capacity hasn't changed since they last failed to place.
+        Releases from completion threads are buffered by the engine and
+        drained at the start of the round.
+        """
         assert self.runtime is not None and self._threads is not None
         with self._lock:
             if self._shutdown:
                 return
-            ready = self.runtime.graph.pop_ready()
-            if not ready:
-                return
-            assignments, waiting = self.runtime.scheduler.assign(
-                ready, self.runtime.pool
-            )
-            self.runtime.graph.requeue(waiting)
-            for assignment in assignments:
+            runtime = self.runtime
+            runtime.dispatcher.ingest(runtime.graph.pop_ready())
+            for assignment in runtime.dispatcher.schedule_round():
                 assignment.task.state = TaskState.RUNNING
                 self._threads.submit(self._run_attempt, assignment)
 
@@ -161,7 +163,10 @@ class LocalExecutor(Executor):
             self._active.setdefault(task.task_id, []).append(attempt)
             if not speculative:
                 task.node = alloc.node
-        self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
+        if self.runtime.tracer.enabled:
+            self.runtime.tracer.record_event(
+                start, "task_start", task.label, alloc.node
+            )
         try:
             result = self._execute_body(task, assignment, alloc, speculative)
         except BaseException as exc:  # noqa: BLE001 - any body error goes to fault handling
@@ -436,6 +441,10 @@ class LocalExecutor(Executor):
         success: bool,
     ) -> None:
         assert self.runtime is not None
+        if not self.runtime.tracer.enabled:
+            # Zero-cost when tracing is off: no TaskRecord construction,
+            # no buffer append on the fast path.
+            return
         for alloc in assignment.all_allocations:
             self.runtime.tracer.record_task(
                 TaskRecord(
@@ -456,13 +465,19 @@ class LocalExecutor(Executor):
     # ------------------------------------------------------------------
     def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
         with self._done_cond:
+            # Track only the not-yet-finished subset so each wake-up scans
+            # a shrinking list instead of every awaited task.
+            pending = list(tasks)
             while True:
-                failed = [t for t in tasks if t.state == TaskState.FAILED]
-                if failed:
-                    t = failed[0]
-                    cause = t.error or RuntimeError("unknown")
-                    raise TaskFailedError(t, cause) from cause
-                if all(t.state == TaskState.DONE for t in tasks):
+                still = []
+                for t in pending:
+                    if t.state == TaskState.FAILED:
+                        cause = t.error or RuntimeError("unknown")
+                        raise TaskFailedError(t, cause) from cause
+                    if t.state != TaskState.DONE:
+                        still.append(t)
+                pending = still
+                if not pending:
                     return
                 self._done_cond.wait(timeout=0.5)
 

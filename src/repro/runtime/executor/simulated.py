@@ -253,15 +253,16 @@ class SimulatedExecutor(Executor):
         pass
 
     def _dispatch(self) -> None:
+        """Incremental scheduling round over the runtime's dispatch engine.
+
+        Newly-ready tasks are folded into the per-constraint-class
+        queues; the engine probes only class heads and skips classes
+        whose capacity hasn't changed since they last failed to place.
+        """
         assert self.runtime is not None
-        ready = self.runtime.graph.pop_ready()
-        if not ready:
-            return
-        assignments, waiting = self.runtime.scheduler.assign(
-            ready, self.runtime.pool
-        )
-        self.runtime.graph.requeue(waiting)
-        for assignment in assignments:
+        runtime = self.runtime
+        runtime.dispatcher.ingest(runtime.graph.pop_ready())
+        for assignment in runtime.dispatcher.schedule_round():
             self._start(assignment)
 
     def _start(self, assignment: Assignment, speculative: bool = False) -> None:
@@ -283,7 +284,10 @@ class SimulatedExecutor(Executor):
         start = self.now
         attempt = _Attempt(assignment, start, speculative)
         self._attempts.setdefault(task.task_id, []).append(attempt)
-        self.runtime.tracer.record_event(start, "task_start", task.label, alloc.node)
+        if self.runtime.tracer.enabled:
+            self.runtime.tracer.record_event(
+                start, "task_start", task.label, alloc.node
+            )
         hang = (
             injector is not None
             and not speculative
@@ -556,6 +560,10 @@ class SimulatedExecutor(Executor):
         self, task: TaskInvocation, assignment: Assignment, start, end, success
     ) -> None:
         assert self.runtime is not None
+        if not self.runtime.tracer.enabled:
+            # Zero-cost when tracing is off: no TaskRecord construction,
+            # no buffer append on the fast path.
+            return
         for alloc in assignment.all_allocations:
             self.runtime.tracer.record_task(
                 TaskRecord(
@@ -578,20 +586,27 @@ class SimulatedExecutor(Executor):
         self._ensure_node_failures_scheduled()
         self._dispatch()
 
-        def unfinished() -> bool:
-            return any(
-                t.state not in (TaskState.DONE, TaskState.FAILED) for t in tasks
-            )
-
-        while unfinished():
+        # Amortised completion tracking: re-scanning every awaited task
+        # after every event is O(n²) for n-task studies.  Instead keep the
+        # not-yet-finished subset and compact it only after at least
+        # len(pending) events have fired — O(1) amortised per event.
+        terminal = (TaskState.DONE, TaskState.FAILED)
+        pending = [t for t in tasks if t.state not in terminal]
+        steps_until_scan = len(pending)
+        while pending:
             if not self.sim.step():
+                pending = [t for t in pending if t.state not in terminal]
                 break
+            steps_until_scan -= 1
+            if steps_until_scan <= 0:
+                pending = [t for t in pending if t.state not in terminal]
+                steps_until_scan = max(1, len(pending))
         failed = [t for t in tasks if t.state == TaskState.FAILED]
         if failed:
             t = failed[0]
             cause = t.error or RuntimeError("unknown")
             raise TaskFailedError(t, cause) from cause
-        if unfinished():
+        if pending:
             stuck = [t.label for t in tasks if t.state != TaskState.DONE]
             raise RuntimeError(
                 f"simulation stalled with tasks unfinished: {stuck[:5]} "

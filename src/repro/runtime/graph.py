@@ -9,7 +9,8 @@ consumed by the scheduler.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional
 
 import networkx as nx
 
@@ -17,13 +18,22 @@ from repro.runtime.task_definition import TaskInvocation, TaskState
 
 
 class TaskGraph:
-    """Dependency DAG with ready-set maintenance."""
+    """Dependency DAG with ready-set maintenance.
+
+    The ready set is a deque (O(1) at both ends: FIFO pops and front
+    requeues of fault-tolerance resubmissions).  ``ready_ops`` counts
+    every ready-set maintenance operation — pops, pushes, and
+    successor-edge visits on completion — so tests can assert the
+    bookkeeping stays linear in nodes + edges rather than quadratic.
+    """
 
     def __init__(self) -> None:
         self._g = nx.DiGraph()
         self._tasks: Dict[int, TaskInvocation] = {}
         self._pending_preds: Dict[int, int] = {}
-        self._ready: List[int] = []  # FIFO by submission order
+        self._ready: Deque[int] = deque()  # FIFO by submission order
+        #: Ready-set maintenance operation counter (see class docstring).
+        self.ready_ops: int = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -53,6 +63,7 @@ class TaskGraph:
         if pending == 0:
             task.state = TaskState.READY
             self._ready.append(task.task_id)
+            self.ready_ops += 1
         # A cycle is impossible by construction (dependencies precede the
         # task), but guard against misuse via self-edges.
         if self._g.has_edge(task.task_id, task.task_id):
@@ -64,8 +75,8 @@ class TaskGraph:
     def pop_ready(self, limit: Optional[int] = None) -> List[TaskInvocation]:
         """Remove and return up to ``limit`` ready tasks (FIFO)."""
         n = len(self._ready) if limit is None else min(limit, len(self._ready))
-        out = [self._tasks[tid] for tid in self._ready[:n]]
-        del self._ready[:n]
+        out = [self._tasks[self._ready.popleft()] for _ in range(n)]
+        self.ready_ops += n
         return out
 
     def peek_ready(self) -> List[TaskInvocation]:
@@ -75,13 +86,15 @@ class TaskGraph:
     def requeue(self, tasks: Iterable[TaskInvocation]) -> None:
         """Put unschedulable ready tasks back (front, preserving order)."""
         ids = [t.task_id for t in tasks]
-        self._ready[:0] = ids
+        self._ready.extendleft(reversed(ids))
+        self.ready_ops += len(ids)
 
     def mark_done(self, task: TaskInvocation) -> List[TaskInvocation]:
         """Mark completion; returns newly-ready successor tasks."""
         task.state = TaskState.DONE
         newly_ready: List[TaskInvocation] = []
         for succ_id in self._g.successors(task.task_id):
+            self.ready_ops += 1
             self._pending_preds[succ_id] -= 1
             if self._pending_preds[succ_id] == 0:
                 succ = self._tasks[succ_id]

@@ -162,6 +162,15 @@ class ResourcePool:
         #: Optional NodeHealth tracker (set by the runtime): quarantined
         #: nodes are deprioritised by the scheduler via blocked_nodes().
         self.health = None
+        #: Optional capacity-change listener (the runtime's dispatch
+        #: engine).  Must only buffer notifications — it is called with
+        #: the pool lock held and must never call back into the pool.
+        self.listener = None
+        #: Constraint-class capacity index: class_key -> names of workers
+        #: whose *static* capacity (idle node) fits the constraint.  Label
+        #: and capacity specs never change after construction, so entries
+        #: are invalidated only when a node is added.
+        self._static_fit: Dict[Tuple, List[str]] = {}
         self.workers: Dict[str, Worker] = {}
         for i, spec in enumerate(cluster.nodes):
             if isinstance(reserved_cores, Mapping):
@@ -177,11 +186,37 @@ class ResourcePool:
     def available_workers(self) -> List[Worker]:
         return [w for w in self.workers.values() if w.available]
 
+    def static_candidates(self, rc: ResourceConstraint) -> List[str]:
+        """Workers whose idle capacity fits ``rc``, from the class index.
+
+        Availability is *not* considered (it changes with node failures);
+        callers filter by ``Worker.available``.  Because specs are
+        immutable, the answer is cached per constraint class and only
+        invalidated when a node joins the pool.
+        """
+        key = rc.class_key
+        names = self._static_fit.get(key)
+        if names is None:
+            per_node = rc.per_node()
+            names = [
+                w.name
+                for w in self.workers.values()
+                if w.could_ever_host(per_node)
+            ]
+            self._static_fit[key] = names
+        return names
+
     def try_allocate(
         self, rc: ResourceConstraint, preferred: Optional[Iterable[str]] = None
     ) -> Optional[Allocation]:
-        """First-fit allocation, optionally trying ``preferred`` nodes first."""
+        """First-fit allocation, optionally trying ``preferred`` nodes first.
+
+        Only workers in the constraint's static-fit candidate list are
+        probed: a node whose idle capacity cannot hold ``rc`` can never
+        satisfy ``can_host``, so skipping it is free.
+        """
         with self._lock:
+            candidates = self.static_candidates(rc)
             order: List[Worker] = []
             seen = set()
             for name in preferred or ():
@@ -189,7 +224,9 @@ class ResourcePool:
                 if w is not None and name not in seen:
                     order.append(w)
                     seen.add(name)
-            order.extend(w for n, w in self.workers.items() if n not in seen)
+            order.extend(
+                self.workers[n] for n in candidates if n not in seen
+            )
             for w in order:
                 if w.can_host(rc):
                     return w.allocate(rc)
@@ -198,6 +235,8 @@ class ResourcePool:
     def release(self, alloc: Allocation) -> None:
         with self._lock:
             self.workers[alloc.node].release(alloc)
+            if self.listener is not None:
+                self.listener.on_release(alloc.node)
 
     def blocked_nodes(self) -> List[str]:
         """Nodes the health tracker currently quarantines (may be empty)."""
@@ -205,8 +244,9 @@ class ResourcePool:
 
     def anyone_could_ever_host(self, rc: ResourceConstraint) -> bool:
         """Whether any (available) worker could run this constraint when idle."""
+        workers = self.workers
         return any(
-            w.could_ever_host(rc) for w in self.workers.values() if w.available
+            workers[n].available for n in self.static_candidates(rc)
         )
 
     def add_worker(self, spec: NodeSpec, reserved_cores: int = 0) -> Worker:
@@ -221,6 +261,9 @@ class ResourcePool:
             worker = Worker(spec, reserved_cores)
             self.workers[spec.name] = worker
             self.cluster.nodes.append(spec)
+            self._static_fit.clear()
+            if self.listener is not None:
+                self.listener.on_topology_change()
             return worker
 
     def remove_worker(self, name: str) -> None:
@@ -231,14 +274,20 @@ class ResourcePool:
         """
         with self._lock:
             self.workers[name].fail()
+            if self.listener is not None:
+                self.listener.on_topology_change()
 
     def fail_node(self, name: str) -> None:
         with self._lock:
             self.workers[name].fail()
+            if self.listener is not None:
+                self.listener.on_topology_change()
 
     def recover_node(self, name: str) -> None:
         with self._lock:
             self.workers[name].recover()
+            if self.listener is not None:
+                self.listener.on_topology_change()
 
     @property
     def total_task_cpus(self) -> int:

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.runtime.access_processor import AccessProcessor
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.dispatch import DispatchEngine
 from repro.runtime.dot import export_dot, render_dot
 from repro.runtime.executor.base import Executor
 from repro.runtime.executor.local import LocalExecutor
@@ -95,6 +96,11 @@ class COMPSsRuntime:
             if isinstance(self.config.scheduler, str)
             else self.config.scheduler
         )
+        #: Incremental dispatch fast path shared by both executors: holds
+        #: the per-constraint-class ready queues and is woken by the pool
+        #: on capacity changes (event-driven partial rescheduling).
+        self.dispatcher = DispatchEngine(self.scheduler, self.pool)
+        self.pool.listener = self.dispatcher
         self.executor: Executor = self._make_executor()
         self._futures: Dict[int, List[Future]] = {}
         self.sync_points: List[Tuple[int, List[int]]] = []
@@ -216,7 +222,12 @@ class COMPSsRuntime:
         Variadic ``*args`` parameters yield one access per element.
         """
         try:
-            sig = inspect.signature(definition.func)
+            # inspect.signature is ~10µs per call and identical for every
+            # invocation of a definition: cache it on the definition.
+            sig = getattr(definition, "_signature_cache", None)
+            if sig is None:
+                sig = inspect.signature(definition.func)
+                definition._signature_cache = sig
             bound = sig.bind(*args, **kwargs)
         except TypeError:
             # Signature mismatch surfaces when the body runs; fall back to

@@ -44,11 +44,27 @@ def release_assignment(pool: ResourcePool, assignment: Assignment) -> None:
 
 
 class Scheduler(abc.ABC):
-    """Abstract scheduling policy."""
+    """Abstract scheduling policy.
 
-    @abc.abstractmethod
+    A policy is fully described by :meth:`sort_key` (total order over
+    ready tasks) plus :meth:`preferred_nodes` (node preference per task).
+    Both the classic batch :meth:`assign` and the incremental
+    :class:`~repro.runtime.dispatch.DispatchEngine` fast path place tasks
+    in exactly the ``sort_key`` order, so the two paths produce identical
+    assignments.
+    """
+
+    def sort_key(self, task: TaskInvocation):
+        """Comparable policy key; smaller schedules first.
+
+        Must be static per task (it is computed once when the task enters
+        the dispatch queue).  The default is submission order.
+        """
+        return task.task_id
+
     def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
-        """Order the ready queue (policy-specific)."""
+        """Order the ready queue (policy-specific, via :meth:`sort_key`)."""
+        return sorted(ready, key=self.sort_key)
 
     def preferred_nodes(self, task: TaskInvocation) -> List[str]:
         """Nodes to try first for ``task`` (default: none)."""
@@ -60,28 +76,33 @@ class Scheduler(abc.ABC):
         """Place as many ready tasks as possible.
 
         Returns ``(assignments, still_waiting)``.  ``still_waiting``
-        preserves the *original submission order* so FIFO fairness is kept
-        across scheduling rounds.
+        preserves the order the tasks were handed in (submission order in
+        every caller), so FIFO fairness is kept across scheduling rounds
+        without re-sorting the queue on every event.
 
         Tasks whose constraint excludes every failed node they've been
         resubmitted from are placed anywhere else; a task no live node
         could ever host raises ``RuntimeError`` (unsatisfiable constraint)
         rather than waiting forever.
         """
+        # Quarantine is a round-level property: compute it once, not per
+        # task (NodeHealth walks its event windows on every call).
+        quarantined = pool.blocked_nodes()
         assignments: List[Assignment] = []
-        waiting: List[TaskInvocation] = []
+        placed_ids = set()
         for task in self.order(list(ready)):
-            placed = self._try_place(task, pool)
-            if placed is None:
-                waiting.append(task)
-            else:
+            placed = self._try_place(task, pool, quarantined)
+            if placed is not None:
                 assignments.append(placed)
-        # Restore submission order among the waiting tasks.
-        waiting.sort(key=lambda t: t.task_id)
+                placed_ids.add(task.task_id)
+        waiting = [t for t in ready if t.task_id not in placed_ids]
         return assignments, waiting
 
     def _try_place(
-        self, task: TaskInvocation, pool: ResourcePool
+        self,
+        task: TaskInvocation,
+        pool: ResourcePool,
+        quarantined: Optional[Sequence[str]] = None,
     ) -> Optional[Assignment]:
         """Try each candidate implementation until one fits a node.
 
@@ -90,9 +111,11 @@ class Scheduler(abc.ABC):
         receiving work until its cool-down expires.  Both sets fall back
         to "use anyway" when no other node can take the task, so
         quarantine degrades capacity gracefully instead of stalling the
-        study.
+        study.  ``quarantined`` lets the caller compute the blocked set
+        once per scheduling round instead of once per task.
         """
-        quarantined = pool.blocked_nodes()
+        if quarantined is None:
+            quarantined = pool.blocked_nodes()
         avoid = list(task.failed_nodes) + [
             n for n in quarantined if n not in task.failed_nodes
         ]
@@ -128,14 +151,7 @@ class Scheduler(abc.ABC):
         All-or-nothing: partial allocations are rolled back.  Failed nodes
         are avoided when enough alternatives exist.
         """
-        from repro.pycompss_api.constraint import ResourceConstraint
-
-        per_node = ResourceConstraint(
-            cpu_units=rc.cpu_units,
-            gpu_units=rc.gpu_units,
-            memory_gb=rc.memory_gb,
-            node_labels=rc.node_labels,
-        )
+        per_node = rc.per_node()
         allocs: List[Allocation] = []
         candidates = [
             w for w in pool.available_workers() if w.name not in avoid

@@ -7,14 +7,8 @@ new resource is available" (Fig. 5).
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 from repro.runtime.scheduler.base import Scheduler
-from repro.runtime.task_definition import TaskInvocation
 
 
 class FIFOScheduler(Scheduler):
-    """Submission-order scheduling."""
-
-    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
-        return sorted(ready, key=lambda t: t.task_id)
+    """Submission-order scheduling (the base ``sort_key`` is task_id)."""

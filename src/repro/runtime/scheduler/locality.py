@@ -33,9 +33,6 @@ class LocalityScheduler(Scheduler):
         """Remember the producers of ``task`` (called at submission)."""
         self._producers[task.task_id] = list(producers)
 
-    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
-        return sorted(ready, key=lambda t: t.task_id)
-
     def preferred_nodes(self, task: TaskInvocation) -> List[str]:
         nodes: List[str] = []
         for producer in reversed(self._producers.get(task.task_id, [])):

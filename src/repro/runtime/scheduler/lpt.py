@@ -13,7 +13,7 @@ the paper's training times); a custom estimator can be injected.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Mapping, Optional
 
 from repro.runtime.scheduler.base import Scheduler
 from repro.runtime.task_definition import TaskInvocation
@@ -50,7 +50,5 @@ class LPTScheduler(Scheduler):
     def __init__(self, estimator: Optional[Estimator] = None):
         self.estimator = estimator or default_estimate
 
-    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
-        return sorted(
-            ready, key=lambda t: (-self.estimator(t), t.task_id)
-        )
+    def sort_key(self, task: TaskInvocation):
+        return (-self.estimator(task), task.task_id)

@@ -7,8 +7,6 @@ submission order.
 
 from __future__ import annotations
 
-from typing import List, Sequence
-
 from repro.runtime.scheduler.base import Scheduler
 from repro.runtime.task_definition import TaskInvocation
 
@@ -16,8 +14,5 @@ from repro.runtime.task_definition import TaskInvocation
 class PriorityScheduler(Scheduler):
     """Priority-first, then submission order."""
 
-    def order(self, ready: Sequence[TaskInvocation]) -> List[TaskInvocation]:
-        return sorted(
-            ready,
-            key=lambda t: (not t.definition.priority, t.task_id),
-        )
+    def sort_key(self, task: TaskInvocation):
+        return (not task.definition.priority, task.task_id)

@@ -71,6 +71,27 @@ class TaskDefinition:
         """This definition plus any ``@implement`` alternatives."""
         return [self, *self.implementations]
 
+    def constraint_class(self) -> Tuple:
+        """Hashable placement-equivalence key over all candidate constraints.
+
+        Two tasks with equal constraint classes are interchangeable for
+        *feasibility*: at any pool state, either both can be placed or
+        neither can (which node is chosen may still differ, e.g. under
+        locality preferences).  The dispatch fast path keeps one ready
+        queue per class and probes only queue heads.
+
+        The key is cached; the cache revalidates against the (mutable)
+        ``constraint``/``implementations`` fields so stacked decorators
+        applied before first use are picked up.
+        """
+        token = (id(self.constraint), len(self.implementations))
+        cached = getattr(self, "_constraint_class_cache", None)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        key = tuple(c.constraint.class_key for c in self.all_candidates())
+        self._constraint_class_cache = (token, key)
+        return key
+
 
 _invocation_ids = itertools.count(1)
 

@@ -6,6 +6,13 @@ lists — so that recording overhead is negligible and both the real and
 the simulated executor share it.  Tracing is optional (the paper: "both
 tracing and graph generation create a performance overhead … easily
 turned off by a simple flag").
+
+Zero-cost-when-off contract: executors must gate on
+:attr:`TraceRecorder.enabled` *before* constructing a
+:class:`TaskRecord`/:class:`TraceEvent`, so the traces-off fast path
+pays neither object construction nor a method call per task.  The
+recorder's own no-op guard remains only as a safety net for callers
+outside the dispatch hot path.
 """
 
 from __future__ import annotations
