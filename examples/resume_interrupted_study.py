@@ -2,11 +2,18 @@
 
 "Long execution times also raise the important question of fault
 tolerance."  Task-level retries handle transient failures; this example
-shows the *job-level* story: a grid-search study is interrupted partway
-(e.g. the batch job hit its wall-clock limit), its checkpoint reloaded,
-and the search **resumed** — already-completed configurations are not
-re-evaluated, and the merged study covers the full grid while charging
-only the actual compute spent.
+shows the *job-level* story in two acts:
+
+1. **Graceful interruption** — the study is stopped partway (e.g. the
+   batch job hit its wall-clock limit), its ``study.json`` checkpoint
+   reloaded, and the search resumed; completed configurations are not
+   re-evaluated.
+2. **Driver crash** — the study dies with *no* chance to save
+   ``study.json`` (a ``kill -9``).  The runtime's write-ahead journal
+   (``RuntimeConfig(checkpoint_dir=...)``) replays on restart: the
+   resumed driver resubmits the whole grid, and every task that was
+   journaled complete resolves instantly from the checkpoint store
+   instead of re-training.
 
 Run:  python examples/resume_interrupted_study.py
 """
@@ -24,22 +31,25 @@ from repro.hpo import (
     paper_search_space,
     resume_algorithm,
 )
+from repro.hpo.persistence import compose_resume
 from repro.pycompss_api.constraint import ResourceConstraint
 from repro.runtime.config import RuntimeConfig
 from repro.simcluster import mare_nostrum4
 from repro.util.timing import format_duration
 
 
-def runner_for(algorithm):
+def runner_for(algorithm, checkpoint_dir=None, resume_from=None):
     config = RuntimeConfig(
         cluster=mare_nostrum4(1), executor="simulated",
         execute_bodies=True, reserved_cores=24,
+        checkpoint_dir=str(checkpoint_dir) if checkpoint_dir else None,
     )
     return PyCOMPSsRunner(
         algorithm,
         objective=fast_mock_objective,
         constraint=ResourceConstraint(cpu_units=1),
         runtime_config=config,
+        resume_from=resume_from,
         study_name="resumable-grid",
     )
 
@@ -80,5 +90,50 @@ def main():
           "JSON file.")
 
 
+def main_driver_crash():
+    """Act 2: the driver is killed before it can save ``study.json``."""
+    with tempfile.TemporaryDirectory() as tmp:
+        workdir = Path(tmp)
+
+        # --- Session 1: journaling on; the driver "dies" mid-study. ----
+        first = runner_for(
+            GridSearch(paper_search_space()), checkpoint_dir=workdir
+        )
+        first.stoppers = [MaxTrialsStopper(10)]  # stand-in for kill -9
+        crashed = first.run()
+        # NOTE: study.json is deliberately NOT saved — a kill -9 never
+        # got the chance.  Only the runtime journal survives.
+        print(
+            f"\ndriver crash: {len(crashed.completed())}/27 tasks were "
+            f"journaled to {workdir / 'journal.jsonl'}; study.json lost"
+        )
+
+        # --- Session 2: journal replay restores the finished work. -----
+        algorithm = GridSearch(paper_search_space())
+        _, resume_from = compose_resume(
+            algorithm,
+            study_path=workdir / "study.json",  # missing: that's the point
+            checkpoint_dir=workdir,
+        )
+        second = runner_for(
+            algorithm, checkpoint_dir=workdir, resume_from=resume_from
+        )
+        study = second.run()
+        resume = study.metadata["resume"]
+        best = study.best_trial()
+        print(
+            f"resumed: 27/27 configs, {resume['restored_this_session']} "
+            f"restored from the checkpoint store (zero re-training), "
+            f"{27 - resume['restored_this_session']} actually ran"
+        )
+        print(f"best config: {best.config} -> {best.val_accuracy:.3f}")
+        assert len(study.completed()) == 27
+        # Every task the first session journaled complete was restored —
+        # at least the 10 the crashed study recorded, plus any in-flight
+        # work the runtime finished while the study was shutting down.
+        assert resume["restored_this_session"] >= len(crashed.completed())
+
+
 if __name__ == "__main__":
     main()
+    main_driver_crash()

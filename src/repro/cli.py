@@ -22,6 +22,7 @@ and ``report.txt`` (tables + ASCII figures).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -100,6 +101,15 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable graph label recording")
     run.add_argument("--out-dir", type=Path, default=None,
                      help="directory for study/trace/graph artifacts")
+    run.add_argument("--checkpoint-dir", type=Path, default=None,
+                     help="enable crash-consistent journaling into this "
+                     "directory (journal.jsonl + spilled task outputs)")
+    run.add_argument("--checkpoint-every", type=int, default=1,
+                     help="spill every Nth completed task's output "
+                     "(0 = journal only, no spills)")
+    run.add_argument("--resume-from", type=Path, default=None,
+                     help="checkpoint directory (or journal.jsonl) of a "
+                     "crashed run; completed tasks are restored, not rerun")
     run.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
@@ -114,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("study", type=Path, help="study.json checkpoint")
     report.add_argument("--out", type=Path, default=None,
                         help="also write the report to this file")
+
+    recover = sub.add_parser(
+        "recover",
+        help="replay a crashed run's write-ahead journal and report what "
+        "a resumed session would restore",
+    )
+    recover.add_argument(
+        "journal", type=Path,
+        help="checkpoint directory or its journal.jsonl",
+    )
+    recover.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable summary")
     return parser
 
 
@@ -127,6 +149,10 @@ def _make_runtime_config(args) -> RuntimeConfig:
         graph=not args.no_graph,
         reserved_cores=args.reserved_cores,
         execute_bodies=True,
+        checkpoint_dir=(
+            str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
+        ),
+        checkpoint_every=(args.checkpoint_every or None),
     )
 
 
@@ -145,7 +171,12 @@ def cmd_run(args) -> int:
         stoppers.append(TargetAccuracyStopper(args.target_accuracy))
 
     objective = fast_mock_objective if args.mock_objective else train_experiment
-    runtime = COMPSsRuntime(_make_runtime_config(args)).start()
+    resume_from = (
+        str(args.resume_from) if args.resume_from is not None else None
+    )
+    runtime = COMPSsRuntime(
+        _make_runtime_config(args), resume_from=resume_from
+    ).start()
     try:
         runner = PyCOMPSsRunner(
             algorithm,
@@ -212,6 +243,45 @@ def cmd_report(args) -> int:
     return 0
 
 
+def cmd_recover(args) -> int:
+    from repro.runtime.checkpoint import (
+        JOURNAL_FILE,
+        JournalCorruptError,
+        RecoveryManager,
+    )
+
+    path = args.journal
+    if path.name == JOURNAL_FILE:
+        path = path.parent
+    if not (path / JOURNAL_FILE).exists():
+        print(f"no {JOURNAL_FILE} found in {path}", file=sys.stderr)
+        return 1
+    try:
+        recovery = RecoveryManager(path)
+    except JournalCorruptError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 2
+    summary = recovery.summary()
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"journal: {summary['journal']}")
+    print(f"  sessions: {summary['sessions']}  records: {summary['records']}")
+    if summary["truncated_tail"]:
+        print("  torn final record dropped (crash mid-write)")
+    print(
+        f"  tasks seen: {summary['tasks_seen']}  "
+        f"completed: {summary['completed']}  "
+        f"restorable from checkpoints: {summary['restorable']}"
+    )
+    print(f"  frontier (will re-execute on resume): {summary['frontier']}")
+    print(
+        "resume with: repro run <config> "
+        f"--resume-from {path} --checkpoint-dir {path}"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -221,6 +291,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_describe_cluster(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "recover":
+        return cmd_recover(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -41,6 +41,7 @@ from repro.hpo.report import (
     save_report,
 )
 from repro.hpo.persistence import (
+    compose_resume,
     load_study,
     merge_studies,
     resume_algorithm,
@@ -101,6 +102,7 @@ __all__ = [
     "render_effects",
     "render_report",
     "save_report",
+    "compose_resume",
     "load_study",
     "merge_studies",
     "resume_algorithm",

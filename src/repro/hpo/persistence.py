@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Mapping, Union
+from typing import Any, Mapping, Optional, Tuple, Union
 
 from repro.hpo.algorithms import SearchAlgorithm
 from repro.hpo.algorithms.grid import GridSearch
 from repro.hpo.trial import Study, TrialResult, TrialStatus
+from repro.runtime.checkpoint import JOURNAL_FILE
 
 
 def load_study(path: Union[str, Path]) -> Study:
@@ -70,6 +71,43 @@ def resume_algorithm(
             c for c in algorithm._pending if config_key(c) not in done
         ]
     return algorithm
+
+
+def compose_resume(
+    algorithm: SearchAlgorithm,
+    study_path: Optional[Union[str, Path]] = None,
+    checkpoint_dir: Optional[Union[str, Path]] = None,
+) -> Tuple[Optional[Study], Optional[str]]:
+    """Wire both resume layers after a crash, in the right order.
+
+    Two complementary mechanisms cover an interrupted study:
+
+    * **study.json warm start** — trials the *study* recorded as complete
+      are re-told to the algorithm and (for exhaustive search) removed
+      from the schedule; they are never resubmitted.
+    * **runtime journal replay** — trials that finished at the *task*
+      level but crashed before the study recorded them are resubmitted by
+      the resumed driver and restored instantly from the checkpoint store
+      (zero re-training).
+
+    Returns ``(previous_study, resume_from)``: the loaded study (``None``
+    if ``study_path`` is absent/missing) and the checkpoint directory to
+    pass as ``PyCOMPSsRunner(resume_from=...)`` (``None`` if no journal
+    exists there yet).  Either layer alone also works; composing them
+    loses nothing from a kill -9 at any point.
+    """
+    previous: Optional[Study] = None
+    if study_path is not None and Path(study_path).exists():
+        previous = load_study(study_path)
+        resume_algorithm(algorithm, previous)
+    resume_from: Optional[str] = None
+    if checkpoint_dir is not None:
+        checkpoint_dir = Path(checkpoint_dir)
+        if checkpoint_dir.name == JOURNAL_FILE:
+            checkpoint_dir = checkpoint_dir.parent
+        if (checkpoint_dir / JOURNAL_FILE).exists():
+            resume_from = str(checkpoint_dir)
+    return previous, resume_from
 
 
 def merge_studies(base: Study, continuation: Study, name: str = "") -> Study:

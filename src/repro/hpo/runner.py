@@ -137,6 +137,14 @@ class PyCOMPSsRunner:
     callbacks:
         :class:`StudyCallback` observers notified of trial transitions
         (e.g. :class:`ProgressPrinter` for a live textual dashboard).
+    resume_from:
+        Checkpoint directory (or ``journal.jsonl``) of a crashed run.
+        Only honoured when this runner starts its own runtime: the
+        journal is replayed and experiment tasks whose outputs were
+        checkpointed resolve instantly instead of re-training.  Compose
+        with a ``study.json`` warm start
+        (:func:`repro.hpo.persistence.compose_resume`) to also skip
+        fully-recorded trials.
     """
 
     def __init__(
@@ -152,6 +160,7 @@ class PyCOMPSsRunner:
         study_name: str = "hpo-study",
         algorithm_kwargs: Optional[Dict[str, Any]] = None,
         callbacks: Optional[Sequence[StudyCallback]] = None,
+        resume_from: Optional[str] = None,
     ):
         self.algorithm = get_algorithm(
             algorithm, space, **(algorithm_kwargs or {})
@@ -164,6 +173,7 @@ class PyCOMPSsRunner:
         self.visualize = visualize
         self.study_name = study_name
         self.callbacks = list(callbacks or [])
+        self.resume_from = resume_from
         self.stop_reason: Optional[str] = None
         #: trial_id -> resubmissions so far (fail-soft trial retries).
         self._trial_retries: Dict[int, int] = {}
@@ -196,7 +206,10 @@ class PyCOMPSsRunner:
         runtime = current_runtime()
         owns_runtime = runtime is None
         if owns_runtime:
-            runtime = COMPSsRuntime(self.runtime_config or RuntimeConfig()).start()
+            runtime = COMPSsRuntime(
+                self.runtime_config or RuntimeConfig(),
+                resume_from=self.resume_from,
+            ).start()
         study = Study(self.study_name)
         study.metadata.update(
             {
@@ -270,6 +283,10 @@ class PyCOMPSsRunner:
             study.metadata["stopped_early"] = stopped
             if self.stop_reason:
                 study.metadata["stop_reason"] = self.stop_reason
+            if runtime.recovery is not None:
+                # Crash resume: surface what the journal replay recovered
+                # (restored counts include this session's instant restores).
+                study.metadata["resume"] = runtime.resume_stats()
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:

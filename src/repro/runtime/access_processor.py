@@ -34,6 +34,9 @@ class DataVersion:
     version: int
     writer: Optional[TaskInvocation] = None
     readers: List[TaskInvocation] = field(default_factory=list)
+    #: Set when the version's bytes were lost with a failed node; cleared
+    #: when the writer re-executes (lineage recovery re-materialises it).
+    invalidated: bool = False
 
     @property
     def label(self) -> str:
@@ -72,6 +75,8 @@ class AccessProcessor:
         self._keepalive: Dict[int, Any] = {}
         self._future_data: Dict[Tuple[int, int], DataInfo] = {}
         self._by_path: Dict[str, DataInfo] = {}
+        #: writer task_id -> versions it produced (lineage queries).
+        self._by_writer: Dict[int, List[DataVersion]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -93,6 +98,7 @@ class AccessProcessor:
             info = DataInfo(next(self._data_ids))
             version = info.new_version(writer=fut.invocation)
             fut.invocation.writes.append(version.label)
+            self._track_writer(version)
             self._future_data[key] = info
         return info
 
@@ -155,8 +161,50 @@ class AccessProcessor:
                 deps.add(current.writer)
             new = info.new_version(writer=task)
             task.writes.append(new.label)
+            self._track_writer(new)
             labels.append(new.label)
         return deps, labels
+
+    # ------------------------------------------------------------------
+    # Lineage / invalidation (node-loss data recovery)
+    # ------------------------------------------------------------------
+    def _track_writer(self, version: DataVersion) -> None:
+        if version.writer is not None:
+            self._by_writer.setdefault(version.writer.task_id, []).append(version)
+
+    def versions_written_by(self, task: TaskInvocation) -> List[DataVersion]:
+        """Data versions produced by ``task`` (its output lineage)."""
+        return list(self._by_writer.get(task.task_id, ()))
+
+    def invalidate_versions_written_by(self, tasks) -> List[str]:
+        """Mark the versions written by ``tasks`` as lost; returns labels.
+
+        Called when a node failure destroys resident data; the labels
+        feed the ``node_lost`` resilience event.  Versions revalidate
+        when their writer completes again
+        (:meth:`revalidate_versions_written_by`).
+        """
+        labels: List[str] = []
+        for task in tasks:
+            for version in self._by_writer.get(task.task_id, ()):
+                if not version.invalidated:
+                    version.invalidated = True
+                    labels.append(version.label)
+        return labels
+
+    def revalidate_versions_written_by(self, task: TaskInvocation) -> None:
+        """Clear the lost flag on ``task``'s outputs (it re-executed)."""
+        for version in self._by_writer.get(task.task_id, ()):
+            version.invalidated = False
+
+    def invalidated_labels(self) -> List[str]:
+        """Labels of all currently-invalidated versions (introspection)."""
+        return sorted(
+            v.label
+            for versions in self._by_writer.values()
+            for v in versions
+            if v.invalidated
+        )
 
     @staticmethod
     def _is_trackable(obj: Any) -> bool:
@@ -182,6 +230,7 @@ class AccessProcessor:
         self._keepalive.clear()
         self._future_data.clear()
         self._by_path.clear()
+        self._by_writer.clear()
         self._data_ids = itertools.count(1)
 
     @property

@@ -1,0 +1,531 @@
+"""Crash-consistent durability: write-ahead journal, checkpoint store, recovery.
+
+PR 1's resilience stack covers *transient* failures — a task that dies is
+retried, a flaky node is quarantined.  This module covers *hard* failures:
+the driver process is SIGKILLed, or a node is lost together with the data
+versions it held.  Three cooperating pieces:
+
+* :class:`WriteAheadJournal` — an append-only JSONL file with one record
+  per task lifecycle transition (``submitted`` / ``started`` /
+  ``completed`` / ``failed``), fsync'd on commit records so a crash can
+  lose at most the in-flight tail.  Tasks are keyed by
+  :class:`TaskKeyer`'s deterministic ids (task name + parameter digest +
+  occurrence index), which are stable across processes — re-running the
+  same driver program regenerates the same keys in the same order.
+* :class:`CheckpointStore` — spills completed task outputs to disk
+  (pickle) at a configurable cadence (every task / every N / off), so a
+  journaled-complete task can be *restored* instead of re-executed.
+* :class:`RecoveryManager` — on restart, replays the journal (tolerating
+  a torn final record from a mid-write crash), and answers "was this key
+  already completed, and is its output restorable?".  The runtime uses it
+  to mark the replayed prefix done with exactly-once semantics and
+  re-submit only the un-done frontier.
+
+The same module hosts :func:`recover_lost_data`, the lineage-based data
+recovery used when a *node* (not the driver) is lost mid-run: data
+versions resident on the node are invalidated and the minimal ancestor
+set that re-materialises them is re-executed (Hippo-style suffix replay:
+ancestors whose outputs survive — in memory on healthy nodes or in the
+checkpoint store — are not re-run).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import pickle
+import threading
+from pathlib import Path
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+    TYPE_CHECKING,
+)
+
+from repro.runtime.future import is_future
+from repro.runtime.task_definition import TaskInvocation, TaskState
+from repro.util.logging_utils import get_logger
+from repro.util.validation import check_one_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.runtime.resilience import ResilienceLog
+    from repro.runtime.runtime import COMPSsRuntime
+
+_log = get_logger("runtime.checkpoint")
+
+#: Journal record kinds (one per task lifecycle transition, plus session
+#: markers so replay can tell which process wrote which records).
+SUBMITTED = "submitted"
+STARTED = "started"
+COMPLETED = "completed"
+FAILED = "failed"
+SESSION = "session"
+
+RECORD_KINDS = (SUBMITTED, STARTED, COMPLETED, FAILED, SESSION)
+
+#: Journal file name inside a checkpoint directory.
+JOURNAL_FILE = "journal.jsonl"
+#: Sub-directory holding spilled task outputs.
+OUTPUTS_DIR = "outputs"
+
+_MISSING = object()
+
+
+class JournalCorruptError(RuntimeError):
+    """A journal record *before* the final one failed to parse.
+
+    A torn final record is expected (crash mid-write) and silently
+    dropped; corruption earlier in the file means the journal cannot be
+    trusted and replay refuses to guess.
+    """
+
+
+# ----------------------------------------------------------------------
+# Deterministic task keys
+# ----------------------------------------------------------------------
+class TaskKeyer:
+    """Assigns process-independent keys to task invocations.
+
+    A key is ``sha1(name | param-digest | occurrence)``: two runs of the
+    same driver program submit the same tasks in the same order and get
+    identical keys, which is what lets a resumed session match its
+    submissions against the journal of a killed one.
+
+    Futures in the arguments are digested by their *producer's key* (plus
+    return slot), not their object identity, so keys are stable through
+    arbitrary dependency chains.  Objects with a memory-address ``repr``
+    digest unstably — their tasks simply never match the journal and are
+    re-executed, which is safe (at-least-once, never wrong-result).
+    """
+
+    def __init__(self) -> None:
+        self._occurrences: Dict[Tuple[str, str], int] = {}
+
+    def key_for(self, task: TaskInvocation) -> str:
+        """Compute (and memoise on the invocation) the task's key."""
+        if task.task_key is not None:
+            return task.task_key
+        digest = self._params_digest(task.args, task.kwargs)
+        occurrence = self._occurrences.get((task.definition.name, digest), 0)
+        self._occurrences[(task.definition.name, digest)] = occurrence + 1
+        raw = f"{task.definition.name}|{digest}|{occurrence}"
+        task.task_key = hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+        return task.task_key
+
+    def _params_digest(self, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> str:
+        h = hashlib.sha1()
+        for a in args:
+            h.update(self._canonical(a).encode("utf-8", "replace"))
+            h.update(b"\x00")
+        for k in sorted(kwargs):
+            h.update(k.encode("utf-8"))
+            h.update(b"=")
+            h.update(self._canonical(kwargs[k]).encode("utf-8", "replace"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def _canonical(self, obj: Any) -> str:
+        """Stable textual form of one argument (recursive, bounded)."""
+        if is_future(obj):
+            producer = obj.invocation
+            key = producer.task_key or self.key_for(producer)
+            return f"<fut:{key}:{obj.index}>"
+        if isinstance(obj, Mapping):
+            inner = ",".join(
+                f"{self._canonical(k)}:{self._canonical(obj[k])}"
+                for k in sorted(obj, key=repr)
+            )
+            return "{" + inner + "}"
+        if isinstance(obj, (list, tuple)):
+            inner = ",".join(self._canonical(i) for i in obj)
+            return ("[" if isinstance(obj, list) else "(") + inner
+        if isinstance(obj, (set, frozenset)):
+            return "{" + ",".join(sorted(self._canonical(i) for i in obj)) + "}"
+        if isinstance(obj, (int, float, complex, bool, str, bytes, type(None))):
+            return repr(obj)
+        # Arbitrary object: type plus repr, truncated so huge arrays don't
+        # dominate hashing time.  Address-bearing default reprs make the
+        # key unstable, which degrades to re-execution, never corruption.
+        return f"<{type(obj).__name__}:{repr(obj)[:256]}>"
+
+
+# ----------------------------------------------------------------------
+# Write-ahead journal
+# ----------------------------------------------------------------------
+class WriteAheadJournal:
+    """Append-only JSONL journal of task lifecycle transitions.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) if missing, appended to if
+        present — a resumed session continues the same journal, separated
+        by a ``session`` marker record.
+    fsync:
+        ``"always"`` — fsync after every record; ``"commit"`` (default) —
+        fsync after ``completed``/``failed`` records only (losing a
+        ``submitted``/``started`` tail is harmless: the resumed driver
+        re-submits deterministically); ``"off"`` — leave flushing to the
+        OS (tests / throwaway runs).
+    """
+
+    FSYNC_MODES = ("always", "commit", "off")
+
+    def __init__(self, path: Union[str, Path], fsync: str = "commit"):
+        check_one_of("fsync", fsync, list(self.FSYNC_MODES))
+        self.path = Path(path)
+        self.fsync = fsync
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[io.TextIOWrapper] = open(  # noqa: SIM115 - long-lived
+            self.path, "a", encoding="utf-8"
+        )
+        self._seq = 0
+        # submit() (main thread) and completions (worker threads) both
+        # append; a lock keeps records whole on the wire.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def append(self, kind: str, key: str = "", **fields: Any) -> None:
+        """Write one record (and fsync it according to the policy)."""
+        with self._lock:
+            if self._fh is None:
+                return
+            self._seq += 1
+            record = {"rec": kind, "key": key, "seq": self._seq, **fields}
+            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.fsync == "always" or (
+                self.fsync == "commit" and kind in (COMPLETED, FAILED, SESSION)
+            ):
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def open_session(self, **fields: Any) -> None:
+        """Mark the start of one driver process in the journal."""
+        self.append(SESSION, pid=os.getpid(), **fields)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                try:
+                    os.fsync(self._fh.fileno())
+                except OSError:  # pragma: no cover - closed/odd fds
+                    pass
+                self._fh.close()
+                self._fh = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def replay(
+        path: Union[str, Path],
+        log: Optional["ResilienceLog"] = None,
+    ) -> Tuple[List[Dict[str, Any]], bool]:
+        """Read all records, tolerating a torn/corrupt *final* record.
+
+        Returns ``(records, truncated)``.  A final line that does not
+        parse (crash mid-write) is dropped and — when ``log`` is given —
+        recorded as a ``journal_truncated``
+        :class:`~repro.runtime.resilience.ResilienceEvent`.  A bad record
+        anywhere *else* raises :class:`JournalCorruptError`.
+        """
+        path = Path(path)
+        records: List[Dict[str, Any]] = []
+        bad: List[int] = []
+        with open(path, "rb") as fh:
+            lines = fh.read().split(b"\n")
+        # A well-formed journal ends with a newline, leaving one empty
+        # trailing chunk; anything after the last newline is a torn tail.
+        for lineno, line in enumerate(lines, 1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                if not isinstance(record, dict) or "rec" not in record:
+                    raise ValueError("not a journal record")
+            except (ValueError, UnicodeDecodeError):
+                bad.append(lineno)
+                continue
+            if bad:
+                # A parseable record AFTER a bad one: the bad line was
+                # not a torn tail but mid-file corruption.
+                raise JournalCorruptError(
+                    f"{path}: unparseable journal record at line {bad[0]} "
+                    "followed by valid records"
+                )
+            records.append(record)
+        truncated = bool(bad)
+        if truncated:
+            _log.warning(
+                "journal %s: dropped torn final record (line %d)", path, bad[0]
+            )
+            if log is not None:
+                from repro.runtime import resilience as rsl
+
+                log.record(
+                    0.0, rsl.JOURNAL_TRUNCATED,
+                    detail=f"dropped torn record at line {bad[0]} of {path.name}",
+                )
+        return records, truncated
+
+
+# ----------------------------------------------------------------------
+# Checkpoint store
+# ----------------------------------------------------------------------
+class CheckpointStore:
+    """On-disk store of completed task outputs, keyed by task key.
+
+    ``cadence`` controls spilling: ``1`` spills every completion,
+    ``N > 1`` every Nth completion, ``None`` disables spilling (journal
+    only — resume then re-executes everything, but still knows exactly
+    what was done).  Writes are atomic (temp file + rename) so a crash
+    mid-spill never leaves a half-written output that replay would trust.
+    """
+
+    def __init__(self, directory: Union[str, Path], cadence: Optional[int] = 1):
+        if cadence is not None and cadence < 1:
+            raise ValueError(f"cadence must be >= 1 or None, got {cadence}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.cadence = cadence
+        self._completions = 0
+        #: Keys spilled (or found on disk) this session.
+        self.spilled = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    def should_spill(self) -> bool:
+        """Cadence decision for the next completion (counts the call)."""
+        if self.cadence is None:
+            return False
+        self._completions += 1
+        return self._completions % self.cadence == 0
+
+    def save(self, key: str, value: Any) -> bool:
+        """Atomically persist ``value``; False if it cannot be pickled."""
+        target = self._path(key)
+        if target.exists():
+            return True
+        tmp = target.with_suffix(".tmp")
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, target)
+        except (pickle.PicklingError, TypeError, AttributeError) as exc:
+            _log.warning("output of %s not checkpointable: %s", key, exc)
+            tmp.unlink(missing_ok=True)
+            return False
+        self.spilled += 1
+        return True
+
+    def has(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def load(self, key: str) -> Any:
+        """The stored output for ``key`` (raises FileNotFoundError if absent)."""
+        with open(self._path(key), "rb") as fh:
+            return pickle.load(fh)
+
+
+# ----------------------------------------------------------------------
+# Recovery
+# ----------------------------------------------------------------------
+class RecoveryManager:
+    """Replays a journal and answers restore queries for a new session.
+
+    Parameters
+    ----------
+    checkpoint_dir:
+        Directory holding ``journal.jsonl`` and ``outputs/``.
+    log:
+        Optional resilience log receiving ``journal_truncated`` events.
+    """
+
+    def __init__(
+        self,
+        checkpoint_dir: Union[str, Path],
+        log: Optional["ResilienceLog"] = None,
+    ):
+        self.checkpoint_dir = Path(checkpoint_dir)
+        self.store = CheckpointStore(self.checkpoint_dir / OUTPUTS_DIR, cadence=None)
+        journal_path = self.checkpoint_dir / JOURNAL_FILE
+        self.truncated = False
+        self.records: List[Dict[str, Any]] = []
+        if journal_path.exists():
+            self.records, self.truncated = WriteAheadJournal.replay(
+                journal_path, log
+            )
+        #: key -> last known lifecycle state across all sessions.
+        self.states: Dict[str, str] = {}
+        #: Keys with a ``completed`` record (the replayed prefix).
+        self.completed_keys: Set[str] = set()
+        self.sessions = 0
+        for record in self.records:
+            kind = record.get("rec")
+            if kind == SESSION:
+                self.sessions += 1
+                continue
+            key = record.get("key", "")
+            if not key:
+                continue
+            self.states[key] = kind
+            if kind == COMPLETED:
+                self.completed_keys.add(key)
+        #: Keys restored into the new session so far (runtime increments).
+        self.restored = 0
+
+    def restorable(self, key: str) -> bool:
+        """Whether ``key`` is journaled-complete with a stored output."""
+        return key in self.completed_keys and self.store.has(key)
+
+    def restored_result(self, key: str) -> Any:
+        """The stored output for a restorable key, else ``_MISSING``."""
+        if not self.restorable(key):
+            return _MISSING
+        try:
+            value = self.store.load(key)
+        except (OSError, pickle.UnpicklingError) as exc:
+            _log.warning("checkpoint of %s unreadable (%s); re-executing", key, exc)
+            return _MISSING
+        self.restored += 1
+        return value
+
+    def frontier(self) -> List[str]:
+        """Keys journaled as submitted/started but never completed."""
+        return [
+            key for key, state in self.states.items()
+            if state not in (COMPLETED,)
+        ]
+
+    def summary(self) -> Dict[str, Any]:
+        """Machine-readable replay summary (CLI ``recover`` command)."""
+        kinds: Dict[str, int] = {}
+        for record in self.records:
+            kinds[record.get("rec", "?")] = kinds.get(record.get("rec", "?"), 0) + 1
+        restorable = sum(1 for k in self.completed_keys if self.store.has(k))
+        return {
+            "journal": str(self.checkpoint_dir / JOURNAL_FILE),
+            "records": len(self.records),
+            "sessions": self.sessions,
+            "record_kinds": kinds,
+            "tasks_seen": len(self.states),
+            "completed": len(self.completed_keys),
+            "restorable": restorable,
+            "frontier": len(self.frontier()),
+            "truncated_tail": self.truncated,
+        }
+
+
+# ----------------------------------------------------------------------
+# Lineage-based data recovery (node loss)
+# ----------------------------------------------------------------------
+def recover_lost_data(runtime: "COMPSsRuntime", node: str) -> List[str]:
+    """Invalidate data versions lost with ``node``; re-run their lineage.
+
+    Completed tasks whose results were resident on ``node`` (produced
+    there and still needed by a not-yet-done consumer) lose their data.
+    Each such task is re-executed — unless its output survives in the
+    checkpoint store, in which case it is restored from disk for free.
+    The re-execution set is *minimal*: an ancestor re-runs only if its
+    own output was also destroyed (it too ran on the lost node and is
+    needed to rebuild a descendant); ancestors whose outputs survive on
+    healthy nodes are left alone.
+
+    Returns the labels of the destroyed data versions (``d3v2``-style),
+    which the caller records on the ``node_lost`` resilience event.
+    """
+    graph = runtime.graph
+    done_on_node = [
+        t for t in graph.tasks()
+        if t.state == TaskState.DONE and t.node == node
+    ]
+    if not done_on_node:
+        return []
+
+    # Outputs that survive on disk are not "resident on the node".
+    store = runtime.checkpoint_store
+    survives = {
+        t.task_id
+        for t in done_on_node
+        if store is not None and t.task_key is not None and store.has(t.task_key)
+    }
+    destroyed = {t.task_id: t for t in done_on_node if t.task_id not in survives}
+    if not destroyed:
+        return []
+
+    # Seed: destroyed tasks whose output is still needed downstream.
+    needed = [
+        t for t in destroyed.values()
+        if any(s.state != TaskState.DONE for s in graph.successors(t))
+    ]
+    # Minimal ancestor closure: a predecessor re-runs only if it was
+    # destroyed too (its data is gone and a descendant needs it).
+    to_rerun: Dict[int, TaskInvocation] = {}
+    stack = list(needed)
+    while stack:
+        t = stack.pop()
+        if t.task_id in to_rerun:
+            continue
+        to_rerun[t.task_id] = t
+        for p in graph.predecessors(t):
+            if p.task_id in destroyed and p.task_id not in to_rerun:
+                stack.append(p)
+
+    if not to_rerun:
+        return []
+
+    # Consumers already RUNNING would resolve destroyed inputs when their
+    # body executes (the simulated executor runs bodies at completion
+    # time): abort those attempts and let them re-run once their inputs
+    # are re-materialised.  An executor that cannot abort (local threads
+    # already hold the resolved arguments in memory) leaves them be.
+    aborted: Dict[int, TaskInvocation] = {}
+    for t in to_rerun.values():
+        for s in graph.successors(t):
+            if (
+                s.state == TaskState.RUNNING
+                and s.task_id not in to_rerun
+                and s.task_id not in aborted
+                and runtime.executor.abort_task(s)
+            ):
+                aborted[s.task_id] = s
+
+    destroyed_labels = sorted(
+        runtime.access.invalidate_versions_written_by(to_rerun.values())
+    )
+    for t in to_rerun.values():
+        for fut in runtime.future_slots(t):
+            fut.invalidate()
+        t.result = None
+        t.start_time = t.end_time = None
+    batch = list(to_rerun.values()) + list(aborted.values())
+    graph.invalidate(batch)
+    # Entries already handed to the dispatch engine's class heaps cannot
+    # be removed from the graph's ready deque above; tombstone them so a
+    # scheduling round does not place a task whose inputs are gone.
+    runtime.dispatcher.purge(
+        [t for t in batch if t.state != TaskState.READY]
+    )
+    from repro.runtime import resilience as rsl
+
+    for t in sorted(to_rerun.values(), key=lambda t: t.task_id):
+        runtime.resilience.record(
+            runtime.executor.clock(), rsl.LINEAGE_RECOVERY, t.label, node,
+            detail=f"re-materialising {','.join(t.writes) or t.label}",
+        )
+    _log.info(
+        "node %s lost %d data version(s); re-executing %d task(s) "
+        "(+%d aborted consumer(s))",
+        node, len(destroyed_labels), len(to_rerun), len(aborted),
+    )
+    return destroyed_labels

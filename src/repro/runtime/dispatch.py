@@ -104,6 +104,14 @@ class DispatchEngine:
         self._wake_all = False
         self._last_quarantine: Optional[FrozenSet[str]] = None
         self._seq = itertools.count()
+        #: task_ids currently queued — dedups re-ingestion of a task that
+        #: was invalidated (lineage recovery) and re-readied while its
+        #: original heap entry was still queued.
+        self._queued: Set[int] = set()
+        #: Lazily-dropped queue entries (invalidated by lineage recovery);
+        #: resolved at the head of schedule_round, or cancelled in place
+        #: if the task is re-ingested first.
+        self._purged: Set[int] = set()
 
     # ------------------------------------------------------------------
     # Pool listener protocol (called with the pool lock held: buffer only)
@@ -141,12 +149,29 @@ class DispatchEngine:
     def ingest(self, tasks: Iterable[TaskInvocation]) -> None:
         """Add newly-ready tasks to their class queues."""
         for task in tasks:
+            if task.task_id in self._queued:
+                # Still queued from before an invalidate/re-ready cycle:
+                # revive the existing entry instead of duplicating it.
+                self._purged.discard(task.task_id)
+                continue
+            self._queued.add(task.task_id)
             cq = self._class_for(task)
             heapq.heappush(
                 cq.heap,
                 (self.scheduler.sort_key(task), next(self._seq), task),
             )
             self.stats.ingested += 1
+
+    def purge(self, tasks: Iterable[TaskInvocation]) -> None:
+        """Lazily drop queued tasks that lineage recovery invalidated.
+
+        An invalidated task cannot be pulled out of a heap cheaply, so it
+        is tombstoned here and skipped (or revived by a re-:meth:`ingest`)
+        when its entry reaches the head of a scheduling round.
+        """
+        for task in tasks:
+            if task.task_id in self._queued:
+                self._purged.add(task.task_id)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -225,10 +250,22 @@ class DispatchEngine:
             if not cq.heap or cq.heap[0][1] != seq:
                 continue  # stale head entry
             task = cq.heap[0][2]
+            if task.task_id in self._purged:
+                # Invalidated (lineage recovery) while queued: drop the
+                # stale entry; the graph re-readies it when its inputs
+                # re-materialise.
+                heapq.heappop(cq.heap)
+                self._queued.discard(task.task_id)
+                self._purged.discard(task.task_id)
+                if cq.heap:
+                    nsort, nseq, _ = cq.heap[0]
+                    heapq.heappush(heads, (nsort, nseq, key))
+                continue
             self.stats.placement_probes += 1
             placed = self.scheduler._try_place(task, self.pool, quarantined)
             if placed is not None:
                 heapq.heappop(cq.heap)
+                self._queued.discard(task.task_id)
                 assignments.append(placed)
                 self.stats.placed += 1
                 if cq.heap:

@@ -49,6 +49,19 @@ class Executor(abc.ABC):
     def shutdown(self) -> None:
         """Release threads/queues; the executor is unusable afterwards."""
 
+    def abort_task(self, task: TaskInvocation) -> bool:
+        """Cancel the in-flight attempts of ``task`` (lineage recovery).
+
+        Returns True only if every attempt was discarded *before*
+        producing a result, so the task can safely re-enter the graph's
+        ready set once its re-materialised inputs land.  The default is
+        False: the local executor's threads resolved their arguments at
+        start and keep running on the pre-loss in-memory values, which is
+        correct (process memory is not what a simulated node loss
+        destroys).
+        """
+        return False
+
     # ------------------------------------------------------------------
     # Shared helpers
     # ------------------------------------------------------------------

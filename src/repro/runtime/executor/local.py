@@ -29,6 +29,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 from typing import Dict, List, Optional, Sequence
 
+from repro.runtime import checkpoint as ckpt
 from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
 from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
@@ -163,6 +164,7 @@ class LocalExecutor(Executor):
             self._active.setdefault(task.task_id, []).append(attempt)
             if not speculative:
                 task.node = alloc.node
+                self.runtime.journal_task_event(task, ckpt.STARTED, node=alloc.node)
         if self.runtime.tracer.enabled:
             self.runtime.tracer.record_event(
                 start, "task_start", task.label, alloc.node
@@ -363,6 +365,7 @@ class LocalExecutor(Executor):
         with self._lock:
             task.state = TaskState.FAILED
             task.error = exc
+            self.runtime.journal_task_event(task, ckpt.FAILED, node=node)
             self._done_cond.notify_all()
 
     # ------------------------------------------------------------------

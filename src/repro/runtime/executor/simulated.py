@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
+from repro.runtime import checkpoint as ckpt
 from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
 from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
@@ -195,7 +196,9 @@ class SimulatedExecutor(Executor):
             return
         for nf in injector.node_failures:
             self.sim.schedule_at(
-                nf.time, lambda nf=nf: self._fail_node(nf.node), f"fail-{nf.node}"
+                nf.time,
+                lambda nf=nf: self._fail_node(nf.node, nf.destroy_data),
+                f"fail-{nf.node}",
             )
             if nf.recovery_time is not None:
                 self.sim.schedule_at(
@@ -204,10 +207,17 @@ class SimulatedExecutor(Executor):
                     f"recover-{nf.node}",
                 )
 
-    def _fail_node(self, node: str) -> None:
+    def _fail_node(self, node: str, destroy_data: bool = True) -> None:
         assert self.runtime is not None
         _log.info("t=%.1f node %s failed", self.now, node)
         self.runtime.pool.fail_node(node)
+        destroyed: List[str] = []
+        if destroy_data:
+            # Data versions resident on the lost node die with it: running
+            # consumer attempts are aborted (their inputs are gone — the
+            # bodies would resolve stale futures at completion time) and
+            # the minimal producer lineage re-executes.
+            destroyed = self.runtime.recover_lost_data(node)
         victims = [
             (tid, attempt)
             for tid, attempts in list(self._attempts.items())
@@ -238,6 +248,34 @@ class SimulatedExecutor(Executor):
                 )
                 continue
             self._after_failure(assignment, exc, force_other=True)
+        self.runtime.resilience.record(
+            self.now, rsl.NODE_LOST, "", node,
+            detail=(
+                f"destroyed {len(destroyed)} data version(s)"
+                + (": " + ",".join(destroyed[:8]) if destroyed else "")
+                + ("..." if len(destroyed) > 8 else "")
+            ),
+        )
+        # Lineage re-executions (and any aborted consumers whose inputs
+        # survived) may be ready right now on the remaining nodes.
+        self._dispatch()
+
+    def abort_task(self, task: TaskInvocation) -> bool:
+        """Discard in-flight attempts of ``task`` (lineage recovery).
+
+        Simulated bodies run at *completion* time, so an in-flight attempt
+        has computed nothing yet: cancelling its events and releasing its
+        allocations discards it cleanly.  Returns False when no attempt is
+        in flight (e.g. a backoff retry is pending instead).
+        """
+        assert self.runtime is not None
+        attempts = self._attempts.pop(task.task_id, None)
+        if not attempts:
+            return False
+        for attempt in attempts:
+            attempt.cancel_events()
+            release_assignment(self.runtime.pool, attempt.assignment)
+        return True
 
     def _recover_node(self, node: str) -> None:
         assert self.runtime is not None
@@ -273,6 +311,7 @@ class SimulatedExecutor(Executor):
         task.state = TaskState.RUNNING
         if not speculative:
             task.node = alloc.node
+            self.runtime.journal_task_event(task, ckpt.STARTED, node=alloc.node)
         staging = self._staging_time(task, alloc.node)
         staging += self._dependency_transfer_time(task, alloc.node)
         duration = self._duration(task, node_spec, alloc)
@@ -519,6 +558,7 @@ class SimulatedExecutor(Executor):
         if action == FaultAction.GIVE_UP:
             task.state = TaskState.FAILED
             task.error = exc
+            self.runtime.journal_task_event(task, ckpt.FAILED, node=node)
             return
         delay = self.runtime.retry_policy.backoff_delay(task.label, task.attempts)
         if delay > 0.0:

@@ -35,6 +35,14 @@ class Future:
         """Fill the future (called by the runtime on task completion)."""
         self._value = value
 
+    def invalidate(self) -> None:
+        """Forget the resolved value (lineage recovery after data loss).
+
+        The producing task is being re-executed; consumers resolving this
+        future block again until the replacement value lands.
+        """
+        self._value = _UNSET
+
     def result(self) -> Any:
         """The resolved value; raises if the task has not completed."""
         if self._value is _UNSET:

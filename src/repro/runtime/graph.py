@@ -60,7 +60,9 @@ class TaskGraph:
             if dep.state not in (TaskState.DONE,):
                 pending += 1
         self._pending_preds[task.task_id] = pending
-        if pending == 0:
+        # A task restored from a checkpoint enters the graph already DONE:
+        # it holds its journaled result and must never reach the dispatcher.
+        if pending == 0 and task.state != TaskState.DONE:
             task.state = TaskState.READY
             self._ready.append(task.task_id)
             self.ready_ops += 1
@@ -102,6 +104,73 @@ class TaskGraph:
                     succ.state = TaskState.READY
                     self._ready.append(succ_id)
                     newly_ready.append(succ)
+        return newly_ready
+
+    # ------------------------------------------------------------------
+    # Lineage (data recovery after node loss)
+    # ------------------------------------------------------------------
+    def ancestors(self, task: TaskInvocation) -> List[TaskInvocation]:
+        """All transitive predecessors of ``task`` (its data lineage)."""
+        return [self._tasks[tid] for tid in nx.ancestors(self._g, task.task_id)]
+
+    def descendants(self, task: TaskInvocation) -> List[TaskInvocation]:
+        """All transitive successors (everything fed by ``task``'s data)."""
+        return [self._tasks[tid] for tid in nx.descendants(self._g, task.task_id)]
+
+    def invalidate(self, tasks: Iterable[TaskInvocation]) -> List[TaskInvocation]:
+        """Un-complete ``tasks`` so they re-execute (lineage recovery).
+
+        Each task returns to SUBMITTED; successors that had counted a
+        previously-DONE member as done wait again (READY successors are
+        pulled back out of the ready set).  Pending-predecessor counts
+        are then recomputed for the invalidated set and any whose
+        dependencies all survive re-enter the ready set immediately.
+        Returns the newly-ready tasks.  The batch may also contain
+        READY/RUNNING tasks (aborted consumers of destroyed data); their
+        successors already counted them as pending, so only DONE members
+        trigger successor bumps.  RUNNING/DONE successors *outside* the
+        batch are the caller's problem (kill the attempt, or leave the
+        already-computed result alone).
+        """
+        batch = {t.task_id: t for t in tasks}
+        was_done = {
+            tid for tid, t in batch.items() if t.state == TaskState.DONE
+        }
+        for t in batch.values():
+            if t.state == TaskState.READY:
+                try:
+                    self._ready.remove(t.task_id)
+                    self.ready_ops += 1
+                except ValueError:
+                    pass  # already handed to the dispatcher
+            t.state = TaskState.SUBMITTED
+        for tid in was_done:
+            for succ_id in self._g.successors(tid):
+                if succ_id in batch:
+                    continue  # recomputed below
+                succ = self._tasks[succ_id]
+                if succ.state == TaskState.READY:
+                    succ.state = TaskState.SUBMITTED
+                    try:
+                        self._ready.remove(succ_id)
+                        self.ready_ops += 1
+                    except ValueError:
+                        pass  # already handed to the dispatcher
+                if succ.state == TaskState.SUBMITTED:
+                    self._pending_preds[succ_id] += 1
+        newly_ready: List[TaskInvocation] = []
+        for t in batch.values():
+            pending = sum(
+                1
+                for pred_id in self._g.predecessors(t.task_id)
+                if self._tasks[pred_id].state != TaskState.DONE
+            )
+            self._pending_preds[t.task_id] = pending
+            if pending == 0:
+                t.state = TaskState.READY
+                self._ready.append(t.task_id)
+                self.ready_ops += 1
+                newly_ready.append(t)
         return newly_ready
 
     # ------------------------------------------------------------------

@@ -42,6 +42,10 @@ SPECULATION_CANCELLED = "speculation_cancelled"
 QUARANTINE = "quarantine"
 PROBE = "probe"
 TRIAL_RETRY = "trial_retry"
+NODE_LOST = "node_lost"
+LINEAGE_RECOVERY = "lineage_recovery"
+JOURNAL_TRUNCATED = "journal_truncated"
+CHECKPOINT_RESTORE = "checkpoint_restore"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -52,6 +56,10 @@ EVENT_KINDS = (
     QUARANTINE,
     PROBE,
     TRIAL_RETRY,
+    NODE_LOST,
+    LINEAGE_RECOVERY,
+    JOURNAL_TRUNCATED,
+    CHECKPOINT_RESTORE,
 )
 
 
@@ -77,15 +85,27 @@ class ResilienceEvent:
 
 
 class ResilienceLog:
-    """Append-only log of :class:`ResilienceEvent` records.
+    """Bounded ring buffer of :class:`ResilienceEvent` records.
 
     Events are appended in decision order, which for the simulated
     executor is fully deterministic: two runs with the same seed produce
     identical logs (the chaos-test acceptance criterion).
+
+    The buffer keeps the most recent ``maxlen`` events (default 10 000)
+    so a multi-day study with chronic flakiness cannot grow the log
+    without bound; evicted events are counted in :attr:`dropped` and
+    surfaced by :meth:`counts` under ``"dropped_events"``.
     """
 
-    def __init__(self) -> None:
-        self.events: List[ResilienceEvent] = []
+    DEFAULT_MAXLEN = 10_000
+
+    def __init__(self, maxlen: Optional[int] = DEFAULT_MAXLEN) -> None:
+        if maxlen is not None and maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1 or None, got {maxlen}")
+        self.maxlen = maxlen
+        self.events: Deque[ResilienceEvent] = deque(maxlen=maxlen)
+        #: Events evicted from the ring buffer since the last clear().
+        self.dropped = 0
 
     def record(
         self,
@@ -95,25 +115,35 @@ class ResilienceLog:
         node: str = "",
         detail: str = "",
     ) -> ResilienceEvent:
-        """Append and return an event."""
+        """Append and return an event (evicting the oldest when full)."""
         event = ResilienceEvent(time, kind, task_label, node, detail)
+        if self.maxlen is not None and len(self.events) == self.maxlen:
+            self.dropped += 1
         self.events.append(event)
         _log.info("resilience: %s", event.describe())
         return event
 
     def of_kind(self, kind: str) -> List[ResilienceEvent]:
-        """Events of one kind, in record order."""
+        """Retained events of one kind, in record order."""
         return [e for e in self.events if e.kind == kind]
 
     def counts(self) -> Dict[str, int]:
-        """``kind → occurrences`` for every kind that appears."""
+        """``kind → occurrences`` over retained events.
+
+        When the ring buffer has evicted events, the count of evictions
+        appears under ``"dropped_events"`` so dashboards can tell the
+        totals are a window, not the full history.
+        """
         out: Dict[str, int] = {}
         for e in self.events:
             out[e.kind] = out.get(e.kind, 0) + 1
+        if self.dropped:
+            out["dropped_events"] = self.dropped
         return out
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def __len__(self) -> int:
         return len(self.events)

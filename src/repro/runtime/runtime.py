@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import inspect
 import threading
+from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.runtime import checkpoint as ckpt
 from repro.runtime.access_processor import AccessProcessor
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.dispatch import DispatchEngine
@@ -22,12 +24,18 @@ from repro.runtime.executor.local import LocalExecutor
 from repro.runtime.executor.simulated import SimulatedExecutor
 from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
-from repro.runtime.resilience import NodeHealth, ResilienceLog, StragglerDetector
+from repro.runtime.resilience import (
+    CHECKPOINT_RESTORE,
+    NodeHealth,
+    ResilienceLog,
+    StragglerDetector,
+)
 from repro.runtime.scheduler import Scheduler, get_scheduler
 from repro.runtime.scheduler.locality import LocalityScheduler
 from repro.runtime.task_definition import (
     TaskDefinition,
     TaskInvocation,
+    TaskState,
     reset_invocation_counter,
 )
 from repro.runtime.tracing.analysis import TraceAnalysis
@@ -57,9 +65,27 @@ def set_current(runtime: Optional["COMPSsRuntime"]) -> None:
 
 
 class COMPSsRuntime:
-    """One runtime session over a (real or simulated) cluster."""
+    """One runtime session over a (real or simulated) cluster.
 
-    def __init__(self, config: Optional[RuntimeConfig] = None):
+    Parameters
+    ----------
+    config:
+        Runtime configuration (cluster, scheduler, resilience knobs, and
+        — for crash consistency — ``checkpoint_dir``/``checkpoint_every``).
+    resume_from:
+        Path to a previous run's checkpoint directory (or its
+        ``journal.jsonl``).  The journal is replayed before any task
+        runs: submissions matching a journaled-complete task with a
+        stored output are *restored* instead of executed (exactly-once
+        for the replayed prefix), and journaling continues into the same
+        directory so a chain of crashes keeps one history.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RuntimeConfig] = None,
+        resume_from: Optional[str] = None,
+    ):
         from repro.runtime.resources import ResourcePool  # local import: cycle-free
 
         self.config = config or RuntimeConfig()
@@ -105,6 +131,35 @@ class COMPSsRuntime:
         self._futures: Dict[int, List[Future]] = {}
         self.sync_points: List[Tuple[int, List[int]]] = []
         self._started = False
+        # ---- Crash-consistency layer (write-ahead journal + store) ----
+        resume_path: Optional[Path] = None
+        if resume_from is not None:
+            resume_path = Path(resume_from)
+            if resume_path.name == ckpt.JOURNAL_FILE:
+                resume_path = resume_path.parent
+        checkpoint_dir = (
+            Path(self.config.checkpoint_dir)
+            if self.config.checkpoint_dir is not None
+            else resume_path
+        )
+        self.recovery: Optional[ckpt.RecoveryManager] = (
+            ckpt.RecoveryManager(resume_path, log=self.resilience)
+            if resume_path is not None
+            else None
+        )
+        self.keyer: Optional[ckpt.TaskKeyer] = None
+        self.journal: Optional[ckpt.WriteAheadJournal] = None
+        self.checkpoint_store: Optional[ckpt.CheckpointStore] = None
+        if checkpoint_dir is not None:
+            self.keyer = ckpt.TaskKeyer()
+            self.journal = ckpt.WriteAheadJournal(
+                checkpoint_dir / ckpt.JOURNAL_FILE,
+                fsync=self.config.journal_fsync,
+            )
+            self.checkpoint_store = ckpt.CheckpointStore(
+                checkpoint_dir / ckpt.OUTPUTS_DIR,
+                cadence=self.config.checkpoint_every,
+            )
 
     def _make_executor(self) -> Executor:
         ex = self.config.executor
@@ -136,6 +191,11 @@ class COMPSsRuntime:
         self.node_health.clock = self.executor.clock
         set_current(self)
         self._started = True
+        if self.journal is not None:
+            self.journal.open_session(
+                cluster=self.cluster.name,
+                resumed=self.recovery is not None,
+            )
         _log.info("runtime started on %s", self.cluster.name)
         return self
 
@@ -153,6 +213,8 @@ class COMPSsRuntime:
                     _log.warning("outstanding task failed during stop(): %s", exc)
         finally:
             self.executor.shutdown()
+            if self.journal is not None:
+                self.journal.close()
             set_current(None)
             self._started = False
             _log.info("runtime stopped")
@@ -183,6 +245,7 @@ class COMPSsRuntime:
         invocation = TaskInvocation(definition=definition, args=args, kwargs=kwargs)
         deps: Dict[int, TaskInvocation] = {}
         edge_labels: Dict[int, str] = {}
+        restored: Any = ckpt._MISSING
         with self.lock:
             for name, value, spec in self._iter_param_accesses(
                 definition, args, kwargs
@@ -199,14 +262,39 @@ class COMPSsRuntime:
             for fut in futures:
                 self.access.register_output_future(fut)
             self._futures[invocation.task_id] = futures
+            if self.keyer is not None:
+                self.keyer.key_for(invocation)
+                if self.recovery is not None:
+                    restored = self.recovery.restored_result(invocation.task_key)
+            if restored is not ckpt._MISSING:
+                # Journaled-complete with a stored output: restore instead
+                # of executing (exactly-once for the replayed prefix).
+                invocation.state = TaskState.DONE
+                invocation.result = restored
             if isinstance(self.scheduler, LocalityScheduler):
                 self.scheduler.register_dependencies(invocation, list(deps.values()))
             self.graph.add_task(invocation, list(deps.values()), edge_labels)
+            if restored is not ckpt._MISSING:
+                Executor.fan_out_result(invocation, futures, restored)
+                self.resilience.record(
+                    self.executor.clock(), CHECKPOINT_RESTORE, invocation.label,
+                    detail=f"key={invocation.task_key}",
+                )
+            if self.journal is not None:
+                self.journal.append(
+                    ckpt.SUBMITTED, invocation.task_key, task=invocation.label
+                )
+                if restored is not ckpt._MISSING:
+                    self.journal.append(
+                        ckpt.COMPLETED, invocation.task_key,
+                        task=invocation.label, restored=True,
+                    )
         # Attach to any open TaskGroup (selective barriers).
         from repro.pycompss_api.task_group import record_submission
 
         record_submission(invocation)
-        self.executor.notify_submitted(invocation)
+        if restored is ckpt._MISSING:
+            self.executor.notify_submitted(invocation)
         if not futures:
             return None
         return futures[0] if len(futures) == 1 else tuple(futures)
@@ -281,6 +369,53 @@ class COMPSsRuntime:
         futures = self._futures.get(task.task_id, [])
         Executor.fan_out_result(task, futures, result)
         self.graph.mark_done(task)
+        # Lineage recovery: a re-executed writer re-materialises its data.
+        self.access.revalidate_versions_written_by(task)
+        if self.journal is not None and task.task_key is not None:
+            stored = False
+            if (
+                self.checkpoint_store is not None
+                and self.checkpoint_store.should_spill()
+            ):
+                stored = self.checkpoint_store.save(task.task_key, result)
+            self.journal.append(
+                ckpt.COMPLETED, task.task_key,
+                task=task.label, node=task.node or "", stored=stored,
+            )
+
+    def journal_task_event(
+        self, task: TaskInvocation, kind: str, node: str = ""
+    ) -> None:
+        """Append a task lifecycle record (executors journal start/failure)."""
+        if self.journal is None or task.task_key is None:
+            return
+        self.journal.append(
+            kind, task.task_key, task=task.label, node=node or (task.node or "")
+        )
+
+    # ------------------------------------------------------------------
+    # Crash consistency / lineage recovery
+    # ------------------------------------------------------------------
+    def future_slots(self, task: TaskInvocation) -> List[Future]:
+        """The future objects fed by ``task`` (lineage invalidation)."""
+        return self._futures.get(task.task_id, [])
+
+    def recover_lost_data(self, node: str) -> List[str]:
+        """Node loss: invalidate resident data, re-run the minimal lineage.
+
+        Returns the labels of the destroyed data versions (see
+        :func:`repro.runtime.checkpoint.recover_lost_data`).
+        """
+        with self.lock:
+            return ckpt.recover_lost_data(self, node)
+
+    def resume_stats(self) -> Optional[Dict[str, Any]]:
+        """Journal-replay summary for resumed sessions (else ``None``)."""
+        if self.recovery is None:
+            return None
+        stats = self.recovery.summary()
+        stats["restored_this_session"] = self.recovery.restored
+        return stats
 
     # ------------------------------------------------------------------
     # Synchronisation

@@ -126,6 +126,10 @@ class TaskInvocation:
     start_time: Optional[float] = None
     end_time: Optional[float] = None
     node: Optional[str] = None
+    #: Deterministic cross-process id (name + param digest + occurrence),
+    #: assigned by the checkpoint subsystem when journaling is on; stable
+    #: across driver restarts, unlike ``task_id``.
+    task_key: Optional[str] = None
 
     @property
     def label(self) -> str:

@@ -24,11 +24,16 @@ class NodeFailure:
     """A node that becomes unavailable at ``time`` (virtual seconds).
 
     With ``recovery_time`` set, the node rejoins the pool at that time.
+    ``destroy_data`` (default True — real node loss takes its memory with
+    it) makes the failure also destroy the data versions resident on the
+    node, triggering lineage-based recovery; False models a clean drain
+    where results were already shipped off.
     """
 
     node: str
     time: float
     recovery_time: Optional[float] = None
+    destroy_data: bool = True
 
     def __post_init__(self) -> None:
         check_non_negative("time", self.time)
@@ -74,10 +79,20 @@ class FailurePlan:
         return self
 
     def fail_node(
-        self, node: str, time: float, recovery_time: Optional[float] = None
+        self,
+        node: str,
+        time: float,
+        recovery_time: Optional[float] = None,
+        destroy_data: bool = True,
     ) -> "FailurePlan":
-        """Schedule node ``node`` to fail at virtual ``time``."""
-        self.node_failures.append(NodeFailure(node, time, recovery_time))
+        """Schedule node ``node`` to fail at virtual ``time``.
+
+        ``destroy_data=False`` models a clean drain (results already
+        shipped); the default also destroys resident data versions.
+        """
+        self.node_failures.append(
+            NodeFailure(node, time, recovery_time, destroy_data)
+        )
         return self
 
     def hang_task(self, task_label: str, *attempts: int) -> "FailurePlan":

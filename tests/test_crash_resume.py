@@ -1,0 +1,160 @@
+"""Satellite (d): kill -9 the driver mid-study, resume, and verify the
+resumed run reaches the identical best configuration while the
+journaled-complete prefix is restored instead of re-executed."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.runtime import checkpoint as ckpt
+from repro.runtime.checkpoint import WriteAheadJournal
+
+REPO = Path(__file__).resolve().parent.parent
+
+# The driver is a standalone program so SIGKILL hits a real process; it
+# composes the study-level warm start with the runtime journal, exactly
+# as examples/resume_interrupted_study.py does.
+DRIVER = """\
+import json, sys, time
+from pathlib import Path
+
+from repro.hpo import GridSearch, PyCOMPSsRunner
+from repro.hpo.objective import fast_mock_objective
+from repro.hpo.persistence import compose_resume
+from repro.hpo.space import Categorical, SearchSpace
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster.machines import local_machine
+
+workdir = Path(sys.argv[1])
+sleep_s = float(sys.argv[2])
+
+
+def objective(config):
+    time.sleep(sleep_s)
+    return fast_mock_objective(config)
+
+
+space = SearchSpace([
+    Categorical("optimizer", ["SGD", "Adam", "RMSprop"]),
+    Categorical("batch_size", [32, 64, 128, 256]),
+])
+algorithm = GridSearch(space)
+previous, resume_from = compose_resume(
+    algorithm, study_path=workdir / "study.json", checkpoint_dir=workdir
+)
+runner = PyCOMPSsRunner(
+    algorithm,
+    objective=objective,
+    runtime_config=RuntimeConfig(
+        cluster=local_machine(cpu_cores=2),
+        checkpoint_dir=str(workdir),
+        checkpoint_every=1,
+    ),
+    resume_from=resume_from,
+    study_name="crash-study",
+)
+study = runner.run()
+study.save_json(workdir / "study.json")
+best = study.best_trial()
+(workdir / "best.json").write_text(
+    json.dumps({"config": best.config, "val_accuracy": best.val_accuracy})
+)
+"""
+
+
+def run_driver(workdir, sleep_s):
+    env = dict(os.environ, PYTHONPATH=str(REPO / "src"))
+    return subprocess.Popen(
+        [sys.executable, str(workdir / "driver.py"), str(workdir), str(sleep_s)],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+    )
+
+
+def journal_records(workdir):
+    records, _ = WriteAheadJournal.replay(workdir / ckpt.JOURNAL_FILE)
+    return records
+
+
+def completed_keys(records):
+    return {
+        r["key"] for r in records
+        if r["rec"] == ckpt.COMPLETED and not r.get("restored")
+    }
+
+
+def split_sessions(records):
+    sessions = []
+    for r in records:
+        if r["rec"] == ckpt.SESSION:
+            sessions.append([])
+        elif sessions:
+            sessions[-1].append(r)
+    return sessions
+
+
+@pytest.mark.slow
+def test_sigkill_resume_matches_uninterrupted_run(tmp_path):
+    # Uninterrupted baseline.
+    baseline = tmp_path / "baseline"
+    baseline.mkdir()
+    (baseline / "driver.py").write_text(DRIVER)
+    proc = run_driver(baseline, sleep_s=0.0)
+    _, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err.decode()
+    expected = json.loads((baseline / "best.json").read_text())
+
+    # Interrupted run: SIGKILL once the journal shows real progress.
+    crash = tmp_path / "crash"
+    crash.mkdir()
+    (crash / "driver.py").write_text(DRIVER)
+    proc = run_driver(crash, sleep_s=0.5)
+    deadline = time.monotonic() + 60
+    journal = crash / ckpt.JOURNAL_FILE
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            pytest.fail("driver finished before it could be killed: "
+                        + proc.stderr.read().decode())
+        if journal.exists() and len(completed_keys(journal_records(crash))) >= 2:
+            break
+        time.sleep(0.02)
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+    assert not (crash / "study.json").exists()  # died mid-study
+    survived = completed_keys(journal_records(crash))
+    assert len(survived) >= 2
+
+    # Resume: same driver, same workdir.
+    proc = run_driver(crash, sleep_s=0.0)
+    _, err = proc.communicate(timeout=120)
+    assert proc.returncode == 0, err.decode()
+
+    # Identical outcome.
+    resumed = json.loads((crash / "best.json").read_text())
+    assert resumed == expected
+
+    # Exactly-once for the journaled prefix: every key completed in
+    # session 1 shows up in session 2 only as a restored completion —
+    # never started, never re-executed.
+    sessions = split_sessions(journal_records(crash))
+    assert len(sessions) == 2
+    session2 = sessions[1]
+    restored = {
+        r["key"] for r in session2
+        if r["rec"] == ckpt.COMPLETED and r.get("restored")
+    }
+    started2 = {r["key"] for r in session2 if r["rec"] == ckpt.STARTED}
+    assert survived <= restored
+    assert not (survived & started2)
+    # The frontier really ran in session 2 (the study wasn't done).
+    executed2 = completed_keys(session2)
+    assert executed2 and survived.isdisjoint(executed2)
+    # All 12 grid points completed exactly once across both sessions.
+    assert len(survived | executed2) == 12

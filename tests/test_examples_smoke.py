@@ -19,7 +19,8 @@ FAST_EXAMPLES = [
     ("cifar_multinode_simulation.py", ["Fig. 5", "14 vs 28 nodes"]),
     ("fault_tolerance_demo.py", ["trials completed: 27/27"]),
     ("heterogeneous_implementations.py", ["fastest:"]),
-    ("resume_interrupted_study.py", ["merged study: 27/27"]),
+    ("resume_interrupted_study.py",
+     ["merged study: 27/27", "resumed: 27/27"]),
     ("elastic_cloud_bursting.py", ["elastic run is"]),
 ]
 

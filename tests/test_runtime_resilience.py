@@ -249,6 +249,40 @@ class TestResilienceLog:
         out = render_resilience(log)
         assert rsl.SPECULATION_WON in out and "t1" in out
 
+    def test_ring_buffer_bounds_memory(self):
+        log = ResilienceLog(maxlen=5)
+        for i in range(12):
+            log.record(float(i), rsl.PROBE, f"t{i}")
+        assert len(log) == 5
+        assert log.dropped == 7
+        # Oldest events evicted, newest kept.
+        assert [e.task_label for e in log.events] == [
+            f"t{i}" for i in range(7, 12)
+        ]
+
+    def test_dropped_events_surface_in_counts(self):
+        log = ResilienceLog(maxlen=2)
+        for i in range(5):
+            log.record(float(i), rsl.TIMEOUT, f"t{i}")
+        counts = log.counts()
+        assert counts[rsl.TIMEOUT] == 2
+        assert counts["dropped_events"] == 3
+        # No phantom key while nothing has been dropped.
+        assert "dropped_events" not in ResilienceLog(maxlen=2).counts()
+
+    def test_default_capacity_is_bounded(self):
+        log = ResilienceLog()
+        assert log.events.maxlen == ResilienceLog.DEFAULT_MAXLEN == 10_000
+
+    def test_clear_resets_dropped_counter(self):
+        log = ResilienceLog(maxlen=1)
+        log.record(0.0, rsl.PROBE, "a")
+        log.record(1.0, rsl.PROBE, "b")
+        assert log.dropped == 1
+        log.clear()
+        assert len(log) == 0 and log.dropped == 0
+        assert log.counts() == {}
+
 
 # ----------------------------------------------------------------------
 # Simulated executor: deadlines and backoff
