@@ -1,0 +1,169 @@
+"""Worker-pool overhead benchmark (supervised pool vs in-driver threads).
+
+Process isolation is not free: every attempt pays pickle transport of the
+function reference and arguments, a pipe round-trip, and supervisor
+bookkeeping.  This harness quantifies that tax so the ``workers`` backend
+can be recommended (crash containment, hard-kill deadlines) with a known
+per-task cost — and so a regression in the IPC path shows up in CI.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_worker_pool.py`` — CI perf-smoke mode.
+  Runs a small batch on both backends and fails if the worker pool's
+  absolute per-task cost or its overhead ratio vs threads regresses
+  past the thresholds in ``benchmarks/perf_thresholds.json``.
+* ``python benchmarks/bench_worker_pool.py`` — full run (more tasks,
+  plus a crash-recovery latency probe) that writes the machine-readable
+  ``BENCH_workers.json`` to the repo root.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from conftest import banner
+
+from repro.pycompss_api import COMPSs, compss_wait_on, task
+from repro.runtime.config import RuntimeConfig
+from repro.simcluster import local_machine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THRESHOLDS_PATH = Path(__file__).resolve().parent / "perf_thresholds.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_workers.json"
+
+N_CORES = 4
+
+
+@task(returns=int)
+def tiny(x):
+    return x + 1
+
+
+@task(returns=int)
+def crash_then_return(marker, x):
+    if not os.path.exists(marker):
+        Path(marker).write_text("crashed")
+        os._exit(1)
+    return x
+
+
+def load_thresholds() -> dict:
+    with open(THRESHOLDS_PATH) as fh:
+        return json.load(fh)
+
+
+def run_backend(backend: str, n_tasks: int) -> dict:
+    """Run ``n_tasks`` independent tiny tasks on one backend."""
+    cfg = RuntimeConfig(
+        cluster=local_machine(N_CORES), backend=backend, tracing=False,
+        graph=False,
+    )
+    start = time.perf_counter()
+    with COMPSs(cfg):
+        futs = [tiny(i) for i in range(n_tasks)]
+        assert compss_wait_on(futs) == list(range(1, n_tasks + 1))
+    elapsed = time.perf_counter() - start
+    return {
+        "backend": backend,
+        "n_tasks": n_tasks,
+        "elapsed_s": round(elapsed, 3),
+        "tasks_per_sec": round(n_tasks / elapsed, 1),
+        "per_task_ms": round(elapsed / n_tasks * 1e3, 3),
+    }
+
+
+def measure_crash_recovery(tmp_marker: str) -> dict:
+    """Wall-clock cost of one contained worker crash (kill → respawn → retry)."""
+    cfg = RuntimeConfig(
+        cluster=local_machine(N_CORES), backend="workers", tracing=False,
+        graph=False,
+    )
+    with COMPSs(cfg) as rt:
+        compss_wait_on(tiny(0))  # pool warm
+        start = time.perf_counter()
+        assert compss_wait_on(crash_then_return(tmp_marker, 7)) == 7
+        elapsed = time.perf_counter() - start
+        counts = rt.resilience.counts()
+    return {
+        "crash_recovery_s": round(elapsed, 3),
+        "worker_crashes": counts.get("worker_crash", 0),
+    }
+
+
+def compare(n_tasks: int) -> dict:
+    # Warm-up both paths: imports, allocator pools, fork page tables.
+    run_backend("threads", 50)
+    run_backend("workers", 50)
+    threads = min(
+        (run_backend("threads", n_tasks) for _ in range(3)),
+        key=lambda r: r["elapsed_s"],
+    )
+    workers = min(
+        (run_backend("workers", n_tasks) for _ in range(3)),
+        key=lambda r: r["elapsed_s"],
+    )
+    return {
+        "benchmark": "worker_pool_overhead",
+        "cores": N_CORES,
+        "workload": "independent tiny tasks (x+1), tracing/graph off",
+        "threads": threads,
+        "workers": workers,
+        "overhead_ratio": round(
+            workers["per_task_ms"] / max(threads["per_task_ms"], 1e-9), 2
+        ),
+        "overhead_per_task_ms": round(
+            workers["per_task_ms"] - threads["per_task_ms"], 3
+        ),
+    }
+
+
+def report(data: dict) -> None:
+    banner("Supervised worker pool — per-task overhead vs threads")
+    for key in ("threads", "workers"):
+        r = data[key]
+        print(
+            f"{key:>8}: {r['tasks_per_sec']:>8} tasks/s  "
+            f"{r['per_task_ms']:>7} ms/task  (n={r['n_tasks']})"
+        )
+    print(
+        f"isolation tax: {data['overhead_per_task_ms']} ms/task "
+        f"({data['overhead_ratio']}x threads)"
+    )
+    if "crash_recovery" in data:
+        print(
+            "one contained crash (kill -> respawn -> retry): "
+            f"{data['crash_recovery']['crash_recovery_s']} s"
+        )
+
+
+def test_worker_pool_overhead_smoke():
+    """CI perf-smoke: worker-pool per-task cost within stored bounds."""
+    thresholds = load_thresholds()
+    data = compare(200)
+    report(data)
+    assert (
+        data["workers"]["per_task_ms"]
+        < thresholds["worker_pool_per_task_ms_max"]
+    ), data
+    assert (
+        data["overhead_ratio"] < thresholds["worker_pool_overhead_ratio_max"]
+    ), data
+
+
+def main() -> None:
+    n_tasks = int(os.environ.get("BENCH_WORKER_TASKS", "1000"))
+    data = compare(n_tasks)
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as td:
+        data["crash_recovery"] = measure_crash_recovery(
+            os.path.join(td, "marker")
+        )
+    report(data)
+    OUTPUT_PATH.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

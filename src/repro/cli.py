@@ -75,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor", choices=["local", "simulated"], default="local"
     )
     run.add_argument(
+        "--backend", choices=["threads", "processes", "workers"],
+        default="threads",
+        help="local-executor body backend; 'workers' is the supervised "
+        "worker-process pool (crash containment, hard-kill deadlines, "
+        "poison-task quarantine)",
+    )
+    run.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-attempt deadline; on --backend workers a "
+                     "hung body is hard-killed at the deadline")
+    run.add_argument("--max-tasks-per-worker", type=int, default=None,
+                     help="recycle each worker process after this many "
+                     "completed tasks (--backend workers)")
+    run.add_argument("--poison-threshold", type=int, default=3,
+                     help="consecutive worker deaths before a task is "
+                     "blacklisted as poison (--backend workers)")
+    run.add_argument(
         "--scheduler", choices=["fifo", "priority", "locality", "lpt"],
         default="fifo",
     )
@@ -144,6 +161,10 @@ def _make_runtime_config(args) -> RuntimeConfig:
     return RuntimeConfig(
         cluster=cluster,
         executor=args.executor,
+        backend=args.backend,
+        task_timeout_s=args.task_timeout,
+        max_tasks_per_worker=args.max_tasks_per_worker,
+        poison_threshold=args.poison_threshold,
         scheduler=args.scheduler,
         tracing=not args.no_tracing,
         graph=not args.no_graph,

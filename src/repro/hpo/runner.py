@@ -287,6 +287,12 @@ class PyCOMPSsRunner:
                 # Crash resume: surface what the journal replay recovered
                 # (restored counts include this session's instant restores).
                 study.metadata["resume"] = runtime.resume_stats()
+            resilience_counts = runtime.resilience.counts()
+            if resilience_counts:
+                # Worker crashes, hard kills, poison quarantines, retries,
+                # speculation — shown by `repro report` alongside the rest
+                # of the study metadata.
+                study.metadata["resilience_events"] = resilience_counts
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:

@@ -8,17 +8,23 @@ next task is assigned a computational unit as soon as one is available"
 Thread backend: task bodies run in a thread pool; numpy releases the GIL
 inside BLAS so training tasks overlap genuinely.  Process backend: bodies
 are shipped to a :class:`concurrent.futures.ProcessPoolExecutor` (they
-must be picklable, i.e. module-level functions with picklable args).
+must be picklable, i.e. module-level functions with picklable args); a
+worker crash breaks *that attempt only* — the broken pool is rebuilt and
+the attempt becomes a retryable
+:class:`~repro.runtime.fault.WorkerCrashError`.
 
 Resilience: with ``task_timeout_s`` set, bodies run behind a wall-clock
 deadline — a hung body becomes a retryable
-:class:`~repro.runtime.fault.TaskTimeoutError` (the abandoned thread is
-released at shutdown for injected hangs; a genuinely wedged user body
-cannot be killed, which is a CPython limitation).  With
-``speculation_multiplier`` set, a watchdog thread backs up straggling
-tasks on another node and the first finisher wins.  Retries honour the
-policy's exponential backoff, and every attempt outcome feeds the
-runtime's node-health tracker.
+:class:`~repro.runtime.fault.TaskTimeoutError`.  On the *thread* backend
+the abandoned body keeps its thread until it returns (CPython threads
+cannot be killed), so the deadline frees the task but not the OS
+resources; the supervised worker pool
+(:class:`~repro.runtime.executor.workers.WorkerPoolExecutor`,
+``backend="workers"``) lifts that limitation by hard-killing the worker
+process at the deadline.  With ``speculation_multiplier`` set, a
+watchdog thread backs up straggling tasks on another node and the first
+finisher wins.  Retries honour the policy's exponential backoff, and
+every attempt outcome feeds the runtime's node-health tracker.
 """
 
 from __future__ import annotations
@@ -27,12 +33,18 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence
 
 from repro.runtime import checkpoint as ckpt
 from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
-from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
+from repro.runtime.fault import (
+    FaultAction,
+    TaskFailedError,
+    TaskTimeoutError,
+    WorkerCrashError,
+)
 from repro.runtime.resources import Allocation
 from repro.runtime.scheduler.base import Assignment, release_assignment
 from repro.runtime.task_definition import TaskInvocation, TaskState
@@ -74,6 +86,8 @@ class LocalExecutor(Executor):
         check_one_of("backend", backend, ["threads", "processes"])
         self.backend = backend
         self.max_parallel = max_parallel
+        self._procs_lock = threading.Lock()
+        self._procs_workers = 1
         self._lock = threading.RLock()
         self._done_cond = threading.Condition(self._lock)
         self._threads: Optional[ThreadPoolExecutor] = None
@@ -99,15 +113,7 @@ class LocalExecutor(Executor):
         self._threads = ThreadPoolExecutor(
             max_workers=n, thread_name_prefix="repro-worker"
         )
-        if self.backend == "processes":
-            self._procs = ProcessPoolExecutor(max_workers=n)
-        if runtime.config.task_timeout_s is not None and self._procs is None:
-            # Bodies get their own pool so a worker thread can abandon a
-            # hung body at the deadline; a few spare slots absorb
-            # abandoned-but-still-running bodies.
-            self._bodies = ThreadPoolExecutor(
-                max_workers=n + 4, thread_name_prefix="repro-body"
-            )
+        self._bind_backend(n)
         if runtime.straggler is not None:
             self._watchdog = threading.Thread(
                 target=self._speculation_loop,
@@ -115,6 +121,37 @@ class LocalExecutor(Executor):
                 daemon=True,
             )
             self._watchdog.start()
+
+    def _bind_backend(self, n: int) -> None:
+        """Create the body-execution backend (hook for subclasses)."""
+        assert self.runtime is not None
+        if self.backend == "processes":
+            self._procs_workers = n
+            self._procs = ProcessPoolExecutor(max_workers=n)
+        if self.runtime.config.task_timeout_s is not None and self._procs is None:
+            # Bodies get their own pool so a worker thread can abandon a
+            # hung body at the deadline; a few spare slots absorb
+            # abandoned-but-still-running bodies.
+            self._bodies = ThreadPoolExecutor(
+                max_workers=n + 4, thread_name_prefix="repro-body"
+            )
+
+    def _rebuild_procs(self, broken: ProcessPoolExecutor) -> None:
+        """Replace a broken process pool so one crash poisons one attempt.
+
+        A worker crash marks the whole ``ProcessPoolExecutor`` broken:
+        every later ``submit`` raises :class:`BrokenProcessPool`.  All
+        concurrently-failed attempts race here; the identity check makes
+        exactly one of them rebuild.
+        """
+        with self._procs_lock:
+            if self._procs is broken:
+                broken.shutdown(wait=False)
+                self._procs = ProcessPoolExecutor(max_workers=self._procs_workers)
+                _log.warning(
+                    "process pool broken by a worker crash; rebuilt with %d workers",
+                    self._procs_workers,
+                )
 
     def _now(self) -> float:
         return time.perf_counter() - self._epoch
@@ -224,8 +261,28 @@ class LocalExecutor(Executor):
             return result
 
         if self._procs is not None:
-            future = self._procs.submit(func, *args, **kwargs)
-        elif timeout is not None:
+            procs = self._procs
+            try:
+                future = procs.submit(func, *args, **kwargs)
+                return future.result(timeout=timeout)
+            except BrokenProcessPool as exc:
+                # One crashed worker poisons the whole pool: rebuild it
+                # and convert this attempt into a retryable crash so the
+                # next submission (and this task's retry) get a live pool.
+                self._rebuild_procs(procs)
+                self.runtime.resilience.record(
+                    self._now(), rsl.WORKER_CRASH, task.label, alloc.node,
+                    detail="process pool broken; rebuilt",
+                )
+                raise WorkerCrashError(
+                    task.label, "process pool worker died"
+                ) from exc
+            except FuturesTimeoutError:
+                raise TaskTimeoutError(
+                    f"task {task.label} exceeded its {timeout}s deadline "
+                    f"on {alloc.node}"
+                ) from None
+        if timeout is not None:
             assert self._bodies is not None
             future = self._bodies.submit(body)
         else:
@@ -284,6 +341,14 @@ class LocalExecutor(Executor):
             self.runtime.straggler.observe(task.definition.name, end - start)
         self._dispatch()
 
+    def _decide_action(self, task: TaskInvocation, exc: BaseException) -> FaultAction:
+        """Retry decision for one failed attempt (hook for subclasses).
+
+        The worker-pool backend overrides this to make
+        :class:`~repro.runtime.fault.PoisonTaskError` terminal.
+        """
+        return self.runtime.retry_policy.decide(task)
+
     def _on_failure(
         self,
         assignment: Assignment,
@@ -321,7 +386,7 @@ class LocalExecutor(Executor):
                 "another attempt racing"
             )
             return
-        action = self.runtime.retry_policy.decide(task)
+        action = self._decide_action(task, exc)
         task.attempt_history.append(
             f"attempt {task.attempts} on {node}: {exc!r} -> {action.value}"
         )

@@ -122,6 +122,49 @@ class TaskTimeoutError(RuntimeError):
     """
 
 
+class WorkerCrashError(RuntimeError):
+    """A task attempt died with its worker process.
+
+    Raised by the process-isolated backends when the OS process hosting
+    a task body disappears mid-attempt — segfault, OOM-kill, ``os._exit``,
+    ``sys.exit``, or an external ``SIGKILL``.  Like
+    :class:`TaskTimeoutError` it is *retryable*: the executor feeds it
+    through the :class:`RetryPolicy`, so the task re-runs on a fresh
+    worker and only surfaces (inside :class:`TaskFailedError`) once the
+    budget is exhausted.  The crash never takes the pool down: the dead
+    worker is replaced and every other slot keeps running.
+    """
+
+    def __init__(self, task_label: str, detail: str = ""):
+        message = f"worker crashed while running {task_label}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+        self.task_label = task_label
+        self.detail = detail
+
+
+class PoisonTaskError(RuntimeError):
+    """A task was quarantined after killing too many workers.
+
+    A body that deterministically crashes its host (a poison task) would
+    otherwise burn the whole retry budget killing worker after worker.
+    Once a task kills ``poison_threshold`` *consecutive* workers the
+    supervised pool blacklists it and raises this **terminal** error:
+    the retry policy is bypassed (straight to GIVE_UP) and the task
+    fails immediately, while the rest of the study keeps running.
+    """
+
+    def __init__(self, task_label: str, worker_deaths: int, threshold: int):
+        super().__init__(
+            f"task {task_label} killed {worker_deaths} consecutive workers "
+            f"(poison threshold {threshold}); blacklisted — no further retries"
+        )
+        self.task_label = task_label
+        self.worker_deaths = worker_deaths
+        self.threshold = threshold
+
+
 class TaskFailedError(RuntimeError):
     """Raised to the user when a task exhausts its retry budget.
 

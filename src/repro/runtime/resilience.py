@@ -46,6 +46,14 @@ NODE_LOST = "node_lost"
 LINEAGE_RECOVERY = "lineage_recovery"
 JOURNAL_TRUNCATED = "journal_truncated"
 CHECKPOINT_RESTORE = "checkpoint_restore"
+#: Supervised worker-pool events (``backend="workers"``): a worker
+#: process died under a task (crash containment), was hard-killed at the
+#: task deadline, was retired after ``max_tasks_per_worker`` completions,
+#: or a task was blacklisted for killing too many consecutive workers.
+WORKER_CRASH = "worker_crash"
+WORKER_KILLED = "worker_killed"
+WORKER_RECYCLED = "worker_recycled"
+POISON_TASK = "poison_task"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -60,6 +68,10 @@ EVENT_KINDS = (
     LINEAGE_RECOVERY,
     JOURNAL_TRUNCATED,
     CHECKPOINT_RESTORE,
+    WORKER_CRASH,
+    WORKER_KILLED,
+    WORKER_RECYCLED,
+    POISON_TASK,
 )
 
 

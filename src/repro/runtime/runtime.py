@@ -166,6 +166,15 @@ class COMPSsRuntime:
         if isinstance(ex, Executor):
             return ex
         if ex == "local":
+            if self.config.backend == "workers":
+                from repro.runtime.executor.workers import WorkerPoolExecutor
+
+                return WorkerPoolExecutor(
+                    max_parallel=self.config.max_parallel,
+                    max_tasks_per_worker=self.config.max_tasks_per_worker,
+                    poison_threshold=self.config.poison_threshold,
+                    heartbeat_s=self.config.worker_heartbeat_s,
+                )
             return LocalExecutor(
                 backend=self.config.backend, max_parallel=self.config.max_parallel
             )

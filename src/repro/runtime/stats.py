@@ -111,8 +111,11 @@ def render_resilience(log: ResilienceLog) -> str:
     counts = log.counts()
     rows = []
     for kind in sorted(counts):
-        first = log.of_kind(kind)[0]
-        rows.append([kind, counts[kind], first.describe()])
+        events = log.of_kind(kind)
+        # counts() carries synthetic keys (e.g. "dropped_events") with no
+        # backing events; show them without a worked example.
+        example = events[0].describe() if events else "-"
+        rows.append([kind, counts[kind], example])
     return table(
         ["event", "count", "first occurrence"],
         rows,

@@ -206,6 +206,23 @@ class TraceAnalysis:
             out[e.kind] = out.get(e.kind, 0) + 1
         return out
 
+    def worker_churn(self) -> Dict[str, int]:
+        """Worker-pool lifecycle summary (``backend="workers"`` studies).
+
+        Counts of crashes contained, deadline hard-kills, graceful
+        recycles, and poison-task quarantines — the process-churn view of
+        a supervised-pool run (all zero on other backends).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "crashes": counts.get(rsl.WORKER_CRASH, 0),
+            "hard_kills": counts.get(rsl.WORKER_KILLED, 0),
+            "recycles": counts.get(rsl.WORKER_RECYCLED, 0),
+            "poisoned_tasks": counts.get(rsl.POISON_TASK, 0),
+        }
+
     def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:
         """Resilience events, optionally filtered to one kind."""
         if kind is None:
