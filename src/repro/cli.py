@@ -127,6 +127,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume-from", type=Path, default=None,
                      help="checkpoint directory (or journal.jsonl) of a "
                      "crashed run; completed tasks are restored, not rerun")
+    run.add_argument("--verify-outputs", action="store_true",
+                     help="checksum every task output at write time and "
+                     "verify it at every consume point; corruption repairs "
+                     "from a replica or re-executes the writer")
+    run.add_argument("--replication-factor", type=int, default=1,
+                     help="simulated data plane: copies of each task "
+                     "output (primary + N-1 replicas)")
+    run.add_argument("--transfer-retries", type=int, default=2,
+                     help="cross-node transfer retries before falling "
+                     "back to a replica / recompute (simulated executor)")
     run.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
@@ -174,6 +184,9 @@ def _make_runtime_config(args) -> RuntimeConfig:
             str(args.checkpoint_dir) if args.checkpoint_dir is not None else None
         ),
         checkpoint_every=(args.checkpoint_every or None),
+        verify_outputs=args.verify_outputs,
+        replication_factor=args.replication_factor,
+        transfer_retries=args.transfer_retries,
     )
 
 
@@ -223,6 +236,8 @@ def cmd_run(args) -> int:
             "",
             render_stats(runtime.tracer),
         ]
+        if runtime.integrity is not None:
+            report_lines += ["", runtime.integrity.describe()]
         if len(runtime.resilience):
             report_lines += ["", render_resilience(runtime.resilience)]
         if study.metadata.get("stopped_early"):
@@ -294,6 +309,12 @@ def cmd_recover(args) -> int:
         f"  tasks seen: {summary['tasks_seen']}  "
         f"completed: {summary['completed']}  "
         f"restorable from checkpoints: {summary['restorable']}"
+    )
+    spills = summary["spill_integrity"]
+    print(
+        f"  spill integrity: {spills['ok']} ok / {spills['corrupt']} corrupt "
+        f"/ {spills['missing']} missing"
+        + (" (corrupt spills re-execute on resume)" if spills["corrupt"] else "")
     )
     print(f"  frontier (will re-execute on resume): {summary['frontier']}")
     print(

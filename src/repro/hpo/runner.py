@@ -293,6 +293,10 @@ class PyCOMPSsRunner:
                 # speculation — shown by `repro report` alongside the rest
                 # of the study metadata.
                 study.metadata["resilience_events"] = resilience_counts
+            if runtime.integrity is not None:
+                # Sealed/verified/repaired counters from the end-to-end
+                # data-integrity layer (config.verify_outputs).
+                study.metadata["integrity"] = runtime.integrity.stats()
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:

@@ -37,6 +37,9 @@ class DataVersion:
     #: Set when the version's bytes were lost with a failed node; cleared
     #: when the writer re-executes (lineage recovery re-materialises it).
     invalidated: bool = False
+    #: Content digest sealed at write time by the integrity layer
+    #: (``None`` until sealed / when ``verify_outputs`` is off).
+    checksum: Optional[str] = None
 
     @property
     def label(self) -> str:
@@ -175,6 +178,21 @@ class AccessProcessor:
     def versions_written_by(self, task: TaskInvocation) -> List[DataVersion]:
         """Data versions produced by ``task`` (its output lineage)."""
         return list(self._by_writer.get(task.task_id, ()))
+
+    def future_versions(self, task: TaskInvocation) -> List[Tuple[int, DataVersion]]:
+        """``(return_slot, version)`` pairs for ``task``'s return values.
+
+        Return-slot versions carry the payload that actually moves
+        between tasks (futures); INOUT versions mutate caller objects in
+        place.  The integrity layer snapshots only the former in local
+        mode.
+        """
+        out: List[Tuple[int, DataVersion]] = []
+        for (task_id, index), info in self._future_data.items():
+            if task_id == task.task_id:
+                out.append((index, info.versions[0]))
+        out.sort(key=lambda pair: pair[0])
+        return out
 
     def invalidate_versions_written_by(self, tasks) -> List[str]:
         """Mark the versions written by ``tasks`` as lost; returns labels.

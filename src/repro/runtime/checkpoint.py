@@ -88,6 +88,15 @@ class JournalCorruptError(RuntimeError):
     """
 
 
+class CheckpointCorruptError(RuntimeError):
+    """A spilled output failed its checksum or could not be unpickled.
+
+    Recovery treats a corrupt spill exactly like a *missing* one — the
+    task re-executes — so a bit-flip on disk degrades to recompute
+    instead of a crash (or worse, a silently wrong restored value).
+    """
+
+
 # ----------------------------------------------------------------------
 # Deterministic task keys
 # ----------------------------------------------------------------------
@@ -286,7 +295,11 @@ class CheckpointStore:
     ``N > 1`` every Nth completion, ``None`` disables spilling (journal
     only — resume then re-executes everything, but still knows exactly
     what was done).  Writes are atomic (temp file + rename) so a crash
-    mid-spill never leaves a half-written output that replay would trust.
+    mid-spill never leaves a half-written output that replay would trust,
+    and each spill gets a ``<key>.sum`` sha256 sidecar so a later load
+    can prove the bytes are the ones that were written (bit-rot, torn
+    disks, manual tampering).  Spills from older versions without a
+    sidecar stay loadable — they are verified by unpickling alone.
     """
 
     def __init__(self, directory: Union[str, Path], cadence: Optional[int] = 1):
@@ -302,6 +315,9 @@ class CheckpointStore:
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
 
+    def _sum_path(self, key: str) -> Path:
+        return self.directory / f"{key}.sum"
+
     def should_spill(self) -> bool:
         """Cadence decision for the next completion (counts the call)."""
         if self.cadence is None:
@@ -310,21 +326,33 @@ class CheckpointStore:
         return self._completions % self.cadence == 0
 
     def save(self, key: str, value: Any) -> bool:
-        """Atomically persist ``value``; False if it cannot be pickled."""
+        """Atomically persist ``value``; False if it cannot be pickled.
+
+        The payload is serialised once, its sha256 recorded in a
+        ``<key>.sum`` sidecar (also written atomically, after the data
+        file — a crash between the two leaves a sidecar-less spill,
+        which loads via the unpickle-only legacy path).
+        """
         target = self._path(key)
         if target.exists():
             return True
-        tmp = target.with_suffix(".tmp")
         try:
-            with open(tmp, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, target)
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         except (pickle.PicklingError, TypeError, AttributeError) as exc:
             _log.warning("output of %s not checkpointable: %s", key, exc)
-            tmp.unlink(missing_ok=True)
             return False
+        tmp = target.with_suffix(".tmp")
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, target)
+        sum_tmp = target.with_suffix(".sumtmp")
+        with open(sum_tmp, "w", encoding="ascii") as fh:
+            fh.write(hashlib.sha256(payload).hexdigest() + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(sum_tmp, self._sum_path(key))
         self.spilled += 1
         return True
 
@@ -335,6 +363,51 @@ class CheckpointStore:
         """The stored output for ``key`` (raises FileNotFoundError if absent)."""
         with open(self._path(key), "rb") as fh:
             return pickle.load(fh)
+
+    def load_verified(self, key: str) -> Any:
+        """Load ``key`` after proving its bytes match the ``.sum`` sidecar.
+
+        Raises :class:`CheckpointCorruptError` on a digest mismatch or
+        any unpickle failure (truncated file, flipped bytes inside a
+        still-parseable stream, sidecar-less legacy spill that no longer
+        parses); ``FileNotFoundError`` if the spill is absent.
+        """
+        with open(self._path(key), "rb") as fh:
+            payload = fh.read()
+        sum_path = self._sum_path(key)
+        if sum_path.exists():
+            expected = sum_path.read_text(encoding="ascii").strip()
+            actual = hashlib.sha256(payload).hexdigest()
+            if actual != expected:
+                raise CheckpointCorruptError(
+                    f"spill {key}: sha256 {actual[:16]}… does not match "
+                    f"recorded {expected[:16]}…"
+                )
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # noqa: BLE001 - any unpickle failure is corruption
+            raise CheckpointCorruptError(
+                f"spill {key}: unreadable pickle ({exc!r})"
+            ) from exc
+
+    def verify(self, key: str) -> str:
+        """Integrity state of one spill: ``"ok"`` / ``"corrupt"`` / ``"missing"``."""
+        if not self._path(key).exists():
+            return "missing"
+        try:
+            self.load_verified(key)
+        except CheckpointCorruptError:
+            return "corrupt"
+        except OSError:
+            return "missing"
+        return "ok"
+
+    def verify_spills(self, keys) -> Dict[str, int]:
+        """``{"ok": n, "corrupt": n, "missing": n}`` over ``keys``."""
+        counts = {"ok": 0, "corrupt": 0, "missing": 0}
+        for key in keys:
+            counts[self.verify(key)] += 1
+        return counts
 
 
 # ----------------------------------------------------------------------
@@ -357,6 +430,7 @@ class RecoveryManager:
         log: Optional["ResilienceLog"] = None,
     ):
         self.checkpoint_dir = Path(checkpoint_dir)
+        self.log = log
         self.store = CheckpointStore(self.checkpoint_dir / OUTPUTS_DIR, cadence=None)
         journal_path = self.checkpoint_dir / JOURNAL_FILE
         self.truncated = False
@@ -389,12 +463,25 @@ class RecoveryManager:
         return key in self.completed_keys and self.store.has(key)
 
     def restored_result(self, key: str) -> Any:
-        """The stored output for a restorable key, else ``_MISSING``."""
+        """The stored output for a restorable key, else ``_MISSING``.
+
+        Spills are checksum-verified on load: a truncated or bit-flipped
+        file is treated as *missing* (the task re-executes, and the
+        corruption surfaces as a ``data_corrupt`` resilience event) —
+        never as a crash, never as a silently wrong value.
+        """
         if not self.restorable(key):
             return _MISSING
         try:
-            value = self.store.load(key)
-        except (OSError, pickle.UnpicklingError) as exc:
+            value = self.store.load_verified(key)
+        except CheckpointCorruptError as exc:
+            _log.warning("checkpoint of %s corrupt (%s); re-executing", key, exc)
+            if self.log is not None:
+                from repro.runtime import resilience as rsl
+
+                self.log.record(0.0, rsl.DATA_CORRUPT, detail=str(exc))
+            return _MISSING
+        except OSError as exc:
             _log.warning("checkpoint of %s unreadable (%s); re-executing", key, exc)
             return _MISSING
         self.restored += 1
@@ -412,7 +499,7 @@ class RecoveryManager:
         kinds: Dict[str, int] = {}
         for record in self.records:
             kinds[record.get("rec", "?")] = kinds.get(record.get("rec", "?"), 0) + 1
-        restorable = sum(1 for k in self.completed_keys if self.store.has(k))
+        spills = self.store.verify_spills(sorted(self.completed_keys))
         return {
             "journal": str(self.checkpoint_dir / JOURNAL_FILE),
             "records": len(self.records),
@@ -420,7 +507,8 @@ class RecoveryManager:
             "record_kinds": kinds,
             "tasks_seen": len(self.states),
             "completed": len(self.completed_keys),
-            "restorable": restorable,
+            "restorable": spills["ok"],
+            "spill_integrity": spills,
             "frontier": len(self.frontier()),
             "truncated_tail": self.truncated,
         }
@@ -452,12 +540,16 @@ def recover_lost_data(runtime: "COMPSsRuntime", node: str) -> List[str]:
     if not done_on_node:
         return []
 
-    # Outputs that survive on disk are not "resident on the node".
+    # Outputs that survive on disk are not "resident on the node" — but a
+    # spill only counts as surviving if it passes verification; trusting
+    # a corrupt spill here would skip the recompute AND restore garbage.
     store = runtime.checkpoint_store
     survives = {
         t.task_id
         for t in done_on_node
-        if store is not None and t.task_key is not None and store.has(t.task_key)
+        if store is not None
+        and t.task_key is not None
+        and store.verify(t.task_key) == "ok"
     }
     destroyed = {t.task_id: t for t in done_on_node if t.task_id not in survives}
     if not destroyed:

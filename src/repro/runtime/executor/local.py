@@ -37,6 +37,7 @@ from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence
 
 from repro.runtime import checkpoint as ckpt
+from repro.runtime import integrity as igr
 from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
 from repro.runtime.fault import (
@@ -207,11 +208,40 @@ class LocalExecutor(Executor):
                 start, "task_start", task.label, alloc.node
             )
         try:
+            self._verify_inputs(task, speculative)
             result = self._execute_body(task, assignment, alloc, speculative)
         except BaseException as exc:  # noqa: BLE001 - any body error goes to fault handling
             self._on_failure(assignment, exc, start, attempt)
             return
         self._on_success(assignment, result, start, attempt)
+
+    def _verify_inputs(self, task: TaskInvocation, speculative: bool) -> None:
+        """End-to-end integrity gate: check every input before the body runs.
+
+        A checksum mismatch on a producer's snapshot repairs in place
+        from the driver's live value; an input with no intact copy left
+        raises a retryable :class:`~repro.runtime.integrity.IntegrityError`
+        so the attempt goes through the normal fault path.  Speculative
+        backups skip the gate — they race an attempt that already passed
+        it, on the same in-memory values.
+        """
+        assert self.runtime is not None
+        integrity = self.runtime.integrity
+        if integrity is None or speculative:
+            return
+        with self._lock:
+            for producer in self.runtime.graph.predecessors(task):
+                versions = self.runtime.access.versions_written_by(producer)
+                if not versions:
+                    continue
+                outcome = integrity.verify_writer(
+                    producer, versions, consumer_label=task.label
+                )
+                if not outcome.ok:
+                    raise igr.IntegrityError(
+                        f"input {','.join(outcome.corrupt)} of {task.label} "
+                        "is corrupt with no intact copy"
+                    )
 
     def _execute_body(
         self,
@@ -410,6 +440,7 @@ class LocalExecutor(Executor):
             with self._lock:
                 self._active.setdefault(task.task_id, []).append(retry_attempt)
             try:
+                self._verify_inputs(task, attempt.speculative)
                 result = self._execute_body(
                     task, assignment, assignment.allocation, attempt.speculative
                 )

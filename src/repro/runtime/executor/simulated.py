@@ -151,21 +151,119 @@ class SimulatedExecutor(Executor):
                 return 0.0
         return self.runtime.cluster.storage.staging_time(profile.size_mb, node)
 
-    def _dependency_transfer_time(self, task: TaskInvocation, node: str) -> float:
-        """Inter-task data movement: producers on other nodes ship results.
+    def _prepare_inputs(
+        self, task: TaskInvocation, node: str, speculative: bool
+    ) -> tuple:
+        """Verify and transfer predecessor outputs onto ``node``.
 
-        COMPSs transfers task outputs to consumers on different nodes
-        (paper §3); the charged size is each producer's
-        ``output_size_mb`` hint (0 = free, the default).
+        Inter-task data movement: producers on other nodes ship results
+        to consumers (paper §3); the charged size is each producer's
+        ``output_size_mb`` hint (0 = free, the default).  With
+        ``verify_outputs`` on, every input is checksum-verified first —
+        a mismatch repairs from a surviving replica in place, and an
+        unrepairable input sends its writer back through the lineage
+        machinery.  Cross-node transfers go through the retrying
+        transfer path (:meth:`_simulate_transfer`).
+
+        Returns ``(seconds, corrupt_writers)``; a non-empty second item
+        means the consumer must NOT start — its writers re-execute.
+        Speculative backups skip chaos and verification: they are clean
+        re-reads racing an attempt that already passed this gate.
         """
         assert self.runtime is not None
+        runtime = self.runtime
+        integrity = runtime.integrity
+        network = runtime.cluster.network
         total = 0.0
-        network = self.runtime.cluster.network
-        for producer in self.runtime.graph.predecessors(task):
+        corrupt: List[TaskInvocation] = []
+        for producer in runtime.graph.predecessors(task):
+            if integrity is not None and not speculative:
+                versions = runtime.access.versions_written_by(producer)
+                if versions:
+                    outcome = integrity.verify_writer(
+                        producer, versions, consumer_label=task.label
+                    )
+                    if not outcome.ok:
+                        corrupt.append(producer)
+                        continue
             size = float(producer.definition.output_size_mb)
-            if size > 0.0 and producer.node and producer.node != node:
+            if size <= 0.0 or not producer.node or producer.node == node:
+                continue
+            if speculative:
                 total += network.transfer_time(size, producer.node, node)
-        return total
+                continue
+            cost, ok = self._simulate_transfer(task, producer, size, node)
+            total += cost
+            if not ok:
+                corrupt.append(producer)
+        return total, corrupt
+
+    def _simulate_transfer(
+        self, task: TaskInvocation, producer: TaskInvocation, size: float, node: str
+    ) -> tuple:
+        """One producer→consumer transfer with retries and fallbacks.
+
+        A torn attempt burns its wire time, waits out the retry policy's
+        seeded-jitter backoff, and tries again up to
+        ``config.transfer_retries`` times.  Exhausting the budget marks
+        the source node unhealthy, then escalates: re-fetch from a
+        surviving replica when one exists, else report the producer lost
+        (``ok=False`` — the caller re-executes it).  Without the
+        integrity layer there is no replica/lineage escalation, so the
+        model assumes the source eventually resends (one extra charge).
+
+        Returns ``(seconds, ok)``.
+        """
+        assert self.runtime is not None
+        runtime = self.runtime
+        network = runtime.cluster.network
+        injector = runtime.failure_injector
+        integrity = runtime.integrity
+        src = producer.node
+        base = network.transfer_time(size, src, node)
+        if injector is None:
+            return base, True
+        base *= injector.link_factor(src, node)
+        total = 0.0
+        retries = runtime.config.transfer_retries
+        for attempt in range(retries + 1):
+            if not injector.should_fail_transfer(task.label, producer.label, attempt):
+                return total + base, True
+            total += base  # the torn attempt still burned the wire time
+            if attempt < retries:
+                delay = runtime.retry_policy.backoff_delay(
+                    f"xfer-{task.label}-{producer.label}", attempt + 1
+                )
+                total += delay
+                if integrity is not None:
+                    integrity.transfer_retries += 1
+                runtime.resilience.record(
+                    self.now, rsl.TRANSFER_RETRY, task.label, src,
+                    detail=(
+                        f"{producer.label} -> {node} attempt {attempt + 1} "
+                        f"torn; retry in {delay:.2f}s"
+                    ),
+                )
+        if integrity is not None:
+            integrity.transfer_failures += 1
+        runtime.resilience.record(
+            self.now, rsl.TRANSFER_FAILED, task.label, src,
+            detail=f"{producer.label} -> {node} failed after {retries + 1} attempts",
+        )
+        runtime.node_health.record_failure(src, kind="transfer")
+        if integrity is not None:
+            alt = integrity.replica_source(producer, exclude=(src,))
+            if alt is not None:
+                alt_cost = network.transfer_time(size, alt, node)
+                alt_cost *= injector.link_factor(alt, node)
+                integrity.replica_repairs += 1
+                runtime.resilience.record(
+                    self.now, rsl.REPLICA_REPAIR, task.label, alt,
+                    detail=f"{producer.label} re-fetched from replica on {alt}",
+                )
+                return total + alt_cost, True
+            return total, False
+        return total + base, True
 
     # ------------------------------------------------------------------
     # Attempt bookkeeping
@@ -308,12 +406,20 @@ class SimulatedExecutor(Executor):
         task = assignment.task
         alloc = assignment.allocation
         node_spec = self.runtime.cluster.node(alloc.node)
+        transfer, corrupt = self._prepare_inputs(task, alloc.node, speculative)
+        if corrupt:
+            # A corrupt input with no intact copy anywhere: hand the
+            # resources back, pull this consumer out of the running set
+            # and re-execute the writers through the lineage machinery.
+            release_assignment(self.runtime.pool, assignment)
+            self.runtime.recompute_corrupt(corrupt, extra_consumers=[task])
+            self.sim.schedule(0.0, self._dispatch, label=f"redispatch-{task.label}")
+            return
         task.state = TaskState.RUNNING
         if not speculative:
             task.node = alloc.node
             self.runtime.journal_task_event(task, ckpt.STARTED, node=alloc.node)
-        staging = self._staging_time(task, alloc.node)
-        staging += self._dependency_transfer_time(task, alloc.node)
+        staging = self._staging_time(task, alloc.node) + transfer
         duration = self._duration(task, node_spec, alloc)
         injector = self.runtime.failure_injector
         if injector is not None and not speculative:

@@ -54,6 +54,16 @@ WORKER_CRASH = "worker_crash"
 WORKER_KILLED = "worker_killed"
 WORKER_RECYCLED = "worker_recycled"
 POISON_TASK = "poison_task"
+#: Data-integrity events: a consumed version's checksum mismatched its
+#: write-time record, a cross-node transfer tore (with per-attempt
+#: retries), a corrupt/unreachable output was re-fetched from a replica,
+#: or — with no good copy left — its writer was re-executed through the
+#: lineage machinery.
+DATA_CORRUPT = "data_corrupt"
+TRANSFER_FAILED = "transfer_failed"
+TRANSFER_RETRY = "transfer_retry"
+REPLICA_REPAIR = "replica_repair"
+INTEGRITY_RECOMPUTE = "integrity_recompute"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -72,6 +82,11 @@ EVENT_KINDS = (
     WORKER_KILLED,
     WORKER_RECYCLED,
     POISON_TASK,
+    DATA_CORRUPT,
+    TRANSFER_FAILED,
+    TRANSFER_RETRY,
+    REPLICA_REPAIR,
+    INTEGRITY_RECOMPUTE,
 )
 
 

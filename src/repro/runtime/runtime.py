@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.runtime import checkpoint as ckpt
+from repro.runtime import integrity as igr
 from repro.runtime.access_processor import AccessProcessor
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.dispatch import DispatchEngine
@@ -128,6 +129,24 @@ class COMPSsRuntime:
         self.dispatcher = DispatchEngine(self.scheduler, self.pool)
         self.pool.listener = self.dispatcher
         self.executor: Executor = self._make_executor()
+        #: End-to-end data integrity (``config.verify_outputs``): seals a
+        #: checksum on every data version at write time, verifies at
+        #: consume time, repairs from replicas, escalates to lineage
+        #: recompute.  ``None`` when verification is off (zero overhead).
+        self.integrity: Optional[igr.IntegrityManager] = None
+        if self.config.verify_outputs:
+            mode = (
+                igr.MODE_SIMULATED
+                if isinstance(self.executor, SimulatedExecutor)
+                else igr.MODE_LOCAL
+            )
+            self.integrity = igr.IntegrityManager(
+                mode,
+                replication_factor=self.config.replication_factor,
+                seed=getattr(self.failure_injector, "_seed", 0) or 0,
+                log=self.resilience,
+                clock=self.executor.clock,
+            )
         self._futures: Dict[int, List[Future]] = {}
         self.sync_points: List[Tuple[int, List[int]]] = []
         self._started = False
@@ -285,6 +304,9 @@ class COMPSsRuntime:
             self.graph.add_task(invocation, list(deps.values()), edge_labels)
             if restored is not ckpt._MISSING:
                 Executor.fan_out_result(invocation, futures, restored)
+                # Restored outputs verified at spill load; seal them so
+                # consumers can verify them like freshly-produced ones.
+                self._seal_outputs(invocation, restored)
                 self.resilience.record(
                     self.executor.clock(), CHECKPOINT_RESTORE, invocation.label,
                     detail=f"key={invocation.task_key}",
@@ -380,6 +402,7 @@ class COMPSsRuntime:
         self.graph.mark_done(task)
         # Lineage recovery: a re-executed writer re-materialises its data.
         self.access.revalidate_versions_written_by(task)
+        self._seal_outputs(task, result)
         if self.journal is not None and task.task_key is not None:
             stored = False
             if (
@@ -391,6 +414,70 @@ class COMPSsRuntime:
                 ckpt.COMPLETED, task.task_key,
                 task=task.label, node=task.node or "", stored=stored,
             )
+
+    def _seal_outputs(self, task: TaskInvocation, result: Any) -> None:
+        """Checksum ``task``'s freshly-written data versions (integrity).
+
+        Local mode snapshots the pickled return values; simulated mode
+        derives digests from the modelled output size and registers the
+        primary + replica copies.  After sealing, the failure injector
+        gets a chance to silently corrupt the new copies (chaos testing)
+        — detection happens later, at consume time.
+        """
+        integrity = self.integrity
+        if integrity is None:
+            return
+        versions = self.access.versions_written_by(task)
+        if not versions:
+            return
+        if integrity.mode == igr.MODE_SIMULATED:
+            primary = task.node or ""
+            integrity.seal_simulated(
+                task,
+                versions,
+                primary,
+                float(task.definition.output_size_mb),
+                self._replica_nodes(primary),
+            )
+        else:
+            futs = self.access.future_versions(task)
+            if not futs:
+                return
+            if len(futs) == 1:
+                items = [(futs[0][1], result)]
+            else:
+                try:
+                    values = list(result)
+                except TypeError:
+                    values = []
+                items = [
+                    (version, values[i]) for i, version in futs if i < len(values)
+                ]
+            integrity.seal_local(task, items)
+        injector = self.failure_injector
+        if injector is not None:
+            scope = injector.corruption_scope(task.label)
+            if scope is not None:
+                # Silent: no event at injection — the point of end-to-end
+                # verification is that corruption surfaces at read time.
+                integrity.corrupt(task, scope)
+
+    def _replica_nodes(self, primary: str) -> List[str]:
+        """Replica placements for a primary copy (simulated data plane)."""
+        extra = self.config.replication_factor - 1
+        if extra <= 0:
+            return []
+        others = sorted(n.name for n in self.cluster.nodes if n.name != primary)
+        return others[:extra]
+
+    def recompute_corrupt(self, writers, extra_consumers=()) -> List[str]:
+        """Re-execute writers whose outputs have no intact copy left.
+
+        Returns the labels of the invalidated data versions (see
+        :func:`repro.runtime.integrity.recover_corrupt_versions`).
+        """
+        with self.lock:
+            return igr.recover_corrupt_versions(self, writers, extra_consumers)
 
     def journal_task_event(
         self, task: TaskInvocation, kind: str, node: str = ""
@@ -439,11 +526,45 @@ class COMPSsRuntime:
         self._collect_futures(obj, futures)
         tasks = sorted({f.invocation for f in futures}, key=lambda t: t.task_id)
         if tasks:
-            self.executor.wait_for(tasks)
+            self._wait_verified(tasks)
             self.sync_points.append(
                 (len(self.sync_points) + 1, [t.task_id for t in tasks])
             )
         return self._substitute(obj)
+
+    def _wait_verified(self, tasks: List[TaskInvocation]) -> None:
+        """Wait for ``tasks``, then verify what the driver is about to read.
+
+        A corrupt output that cannot be repaired from a replica sends its
+        writer back through the lineage machinery and the wait repeats;
+        the loop is bounded so persistent corruption (e.g. a deterministic
+        injector that re-corrupts every attempt) fails loudly instead of
+        spinning forever.
+        """
+        self.executor.wait_for(tasks)
+        if self.integrity is None:
+            return
+        for _ in range(25):
+            bad: List[TaskInvocation] = []
+            with self.lock:
+                for task in tasks:
+                    versions = self.access.versions_written_by(task)
+                    if not versions:
+                        continue
+                    outcome = self.integrity.verify_writer(task, versions)
+                    if not outcome.ok:
+                        bad.append(task)
+                if bad:
+                    igr.recover_corrupt_versions(self, bad)
+            if not bad:
+                return
+            if hasattr(self.executor, "_dispatch"):
+                self.executor._dispatch()
+            self.executor.wait_for(tasks)
+        raise igr.IntegrityError(
+            "corrupt outputs persisted after 25 repair rounds: "
+            + ", ".join(t.label for t in bad)
+        )
 
     def barrier(self) -> None:
         """Wait for every submitted task to complete."""

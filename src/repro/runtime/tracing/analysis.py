@@ -223,6 +223,25 @@ class TraceAnalysis:
             "poisoned_tasks": counts.get(rsl.POISON_TASK, 0),
         }
 
+    def data_integrity(self) -> Dict[str, int]:
+        """Data-plane integrity summary (``verify_outputs`` studies).
+
+        Counts of detected corruptions, replica repairs, lineage
+        recomputes, and transfer retries/failures — the end-to-end
+        data-integrity view of a run (all zero when verification is off
+        and no transfer chaos was injected).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "corruptions": counts.get(rsl.DATA_CORRUPT, 0),
+            "replica_repairs": counts.get(rsl.REPLICA_REPAIR, 0),
+            "recomputes": counts.get(rsl.INTEGRITY_RECOMPUTE, 0),
+            "transfer_retries": counts.get(rsl.TRANSFER_RETRY, 0),
+            "transfer_failures": counts.get(rsl.TRANSFER_FAILED, 0),
+        }
+
     def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:
         """Resilience events, optionally filtered to one kind."""
         if kind is None:

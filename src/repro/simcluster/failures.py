@@ -64,12 +64,27 @@ class FailurePlan:
         ``task_label → factor`` duration multipliers (straggler
         injection); speculative backup attempts are NOT slowed, modelling
         node-local slowness.
+    output_corruptions:
+        ``task_label → scope`` silent bit-flips applied to the task's
+        sealed outputs right after it completes.  Scope ``"primary"``
+        corrupts the consumer-facing copy only (a replica survives);
+        ``"all"`` corrupts every copy, forcing a lineage recompute.
+    transfer_failures:
+        ``(consumer_label, attempt)`` pairs whose cross-node input
+        transfer tears on that attempt (attempts numbered from 0 within
+        one staging sequence) — exercises the transfer-retry path.
+    link_slowdowns:
+        ``(src, dst) → factor`` transfer-time multipliers (degraded
+        links); applied on top of the network model.
     """
 
     task_failures: Set[Tuple[str, int]] = field(default_factory=set)
     node_failures: List[NodeFailure] = field(default_factory=list)
     task_hangs: Set[Tuple[str, int]] = field(default_factory=set)
     task_slowdowns: Dict[str, float] = field(default_factory=dict)
+    output_corruptions: Dict[str, str] = field(default_factory=dict)
+    transfer_failures: Set[Tuple[str, int]] = field(default_factory=set)
+    link_slowdowns: Dict[Tuple[str, str], float] = field(default_factory=dict)
 
     def fail_task(self, task_label: str, *attempts: int) -> "FailurePlan":
         """Schedule ``task_label`` to fail on the given attempt numbers."""
@@ -114,6 +129,33 @@ class FailurePlan:
         self.task_slowdowns[task_label] = float(factor)
         return self
 
+    def corrupt_output(
+        self, task_label: str, scope: str = "primary"
+    ) -> "FailurePlan":
+        """Silently corrupt ``task_label``'s output after it completes.
+
+        ``scope="primary"`` leaves replicas intact (repair re-fetches);
+        ``scope="all"`` destroys every copy (repair must recompute).
+        """
+        if scope not in ("primary", "all"):
+            raise ValueError(f"scope must be 'primary' or 'all', got {scope!r}")
+        self.output_corruptions[task_label] = scope
+        return self
+
+    def fail_transfer(self, consumer_label: str, *attempts: int) -> "FailurePlan":
+        """Tear ``consumer_label``'s input transfer on the given attempts."""
+        for a in attempts:
+            check_non_negative("attempt", a)
+            self.transfer_failures.add((consumer_label, a))
+        return self
+
+    def degrade_link(self, src: str, dst: str, factor: float) -> "FailurePlan":
+        """Multiply ``src → dst`` transfer times by ``factor``."""
+        if factor <= 0:
+            raise ValueError(f"link factor must be > 0, got {factor}")
+        self.link_slowdowns[(src, dst)] = float(factor)
+        return self
+
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Whether this attempt of this task is scripted to fail."""
         return (task_label, attempt) in self.task_failures
@@ -126,6 +168,18 @@ class FailurePlan:
         """Duration multiplier for ``task_label`` (1.0 = unaffected)."""
         return self.task_slowdowns.get(task_label, 1.0)
 
+    def corruption_scope(self, task_label: str) -> Optional[str]:
+        """Scripted corruption scope for ``task_label`` (None = none)."""
+        return self.output_corruptions.get(task_label)
+
+    def should_fail_transfer(self, consumer_label: str, attempt: int) -> bool:
+        """Whether this staging attempt of this consumer is scripted to tear."""
+        return (consumer_label, attempt) in self.transfer_failures
+
+    def link_factor(self, src: str, dst: str) -> float:
+        """Transfer-time multiplier for the ``src → dst`` link (1.0 = ok)."""
+        return self.link_slowdowns.get((src, dst), 1.0)
+
 
 class FailureInjector:
     """Combines a deterministic plan with optional random task failures.
@@ -136,6 +190,14 @@ class FailureInjector:
         Scripted failures (always honoured).
     task_failure_prob:
         Additional i.i.d. probability that any attempt fails.
+    output_corrupt_prob:
+        I.i.d. probability that a completed task's sealed output is
+        silently bit-flipped (primary copy only — replicas survive, so
+        repair paths stay reachable).  Each completion of a label draws
+        afresh, so a recomputed writer is not doomed to re-corrupt.
+    transfer_failure_prob:
+        I.i.d. probability that one cross-node staging attempt tears.
+        Each attempt (including retries and re-stagings) draws afresh.
     seed:
         Seed for the random component; identical seeds reproduce the
         exact same failure pattern (attempts are counted, not timed, so
@@ -147,14 +209,31 @@ class FailureInjector:
         plan: Optional[FailurePlan] = None,
         task_failure_prob: float = 0.0,
         seed: int = 0,
+        output_corrupt_prob: float = 0.0,
+        transfer_failure_prob: float = 0.0,
     ) -> None:
         check_in_range("task_failure_prob", task_failure_prob, 0.0, 1.0)
+        check_in_range("output_corrupt_prob", output_corrupt_prob, 0.0, 1.0)
+        check_in_range("transfer_failure_prob", transfer_failure_prob, 0.0, 1.0)
         self.plan = plan or FailurePlan()
         self.task_failure_prob = task_failure_prob
+        self.output_corrupt_prob = output_corrupt_prob
+        self.transfer_failure_prob = transfer_failure_prob
         self._seed = seed
         self._draws: Dict[Tuple[str, int], bool] = {}
+        #: Per-label completion counter: the n-th completion of a label
+        #: gets its own corruption draw (a recompute redraws).
+        self._seal_counts: Dict[str, int] = {}
+        #: Per-(consumer, producer) staging-attempt counter: every torn
+        #: transfer retry and every re-staging redraws.
+        self._transfer_counts: Dict[Tuple[str, str], int] = {}
+        #: Scripted transfer tears fire once each (staging attempts are
+        #: numbered within a sequence, which restarts after a recompute).
+        self._transfer_script_used: Set[Tuple[str, int]] = set()
         self.injected_failures: List[Tuple[str, int]] = []
         self.injected_hangs: List[Tuple[str, int]] = []
+        self.injected_corruptions: List[str] = []
+        self.injected_transfer_failures: List[Tuple[str, str]] = []
 
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Decide (deterministically per (task, attempt)) whether to fail.
@@ -193,6 +272,69 @@ class FailureInjector:
         """Scripted duration multiplier for ``task_label`` (1.0 = none)."""
         return self.plan.slow_factor(task_label)
 
+    def corruption_scope(self, task_label: str) -> Optional[str]:
+        """Corruption decision for one *completion* of ``task_label``.
+
+        Returns ``"primary"`` / ``"all"`` / ``None``.  A scripted
+        corruption fires on the label's first completion only, so an
+        ``"all"``-scope corruption (which forces a recompute) converges
+        once the writer re-executes.  The random component draws per
+        completion — the n-th completion of a label has its own seeded
+        verdict — so a recomputed writer can come back clean.
+        """
+        n = self._seal_counts.get(task_label, 0)
+        self._seal_counts[task_label] = n + 1
+        scripted = self.plan.corruption_scope(task_label)
+        if scripted is not None and n == 0:
+            # Scripted corruption hits the first completion only; the
+            # recomputed output comes back clean (otherwise "all"-scope
+            # corruption could never converge).
+            self.injected_corruptions.append(task_label)
+            return scripted
+        if self.output_corrupt_prob <= 0.0:
+            return None
+        rng = rng_from(self._seed, f"corrupt-injector/{task_label}/{n}")
+        if rng.random() < self.output_corrupt_prob:
+            self.injected_corruptions.append(task_label)
+            return "primary"
+        return None
+
+    def should_fail_transfer(
+        self, consumer_label: str, producer_label: str, attempt: int
+    ) -> bool:
+        """Whether this staging attempt tears (scripted or random).
+
+        ``attempt`` is the index within the current staging sequence
+        (scripted tears consume one ``(consumer, attempt)`` pair each);
+        the random component keys on a monotonic per-(consumer, producer)
+        counter so every retry and every re-staging draws afresh.
+        """
+        check_non_negative("attempt", attempt)
+        key = (consumer_label, attempt)
+        if self.plan.should_fail_transfer(consumer_label, attempt) and (
+            key not in self._transfer_script_used
+        ):
+            self._transfer_script_used.add(key)
+            self.injected_transfer_failures.append((consumer_label, producer_label))
+            return True
+        if self.transfer_failure_prob <= 0.0:
+            return False
+        pair = (consumer_label, producer_label)
+        n = self._transfer_counts.get(pair, 0)
+        self._transfer_counts[pair] = n + 1
+        rng = rng_from(
+            self._seed,
+            f"transfer-injector/{consumer_label}/{producer_label}/{n}",
+        )
+        if rng.random() < self.transfer_failure_prob:
+            self.injected_transfer_failures.append((consumer_label, producer_label))
+            return True
+        return False
+
+    def link_factor(self, src: str, dst: str) -> float:
+        """Scripted transfer-time multiplier for the link (1.0 = none)."""
+        return self.plan.link_factor(src, dst)
+
     @property
     def node_failures(self) -> List[NodeFailure]:
         """Scripted node outages (from the plan)."""
@@ -201,5 +343,10 @@ class FailureInjector:
     def reset(self) -> None:
         """Forget cached draws and history (draws re-derive identically)."""
         self._draws.clear()
+        self._seal_counts.clear()
+        self._transfer_counts.clear()
+        self._transfer_script_used.clear()
         self.injected_failures.clear()
         self.injected_hangs.clear()
+        self.injected_corruptions.clear()
+        self.injected_transfer_failures.clear()

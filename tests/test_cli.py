@@ -125,6 +125,82 @@ class TestRunCommand:
         assert code == 0
 
 
+class TestIntegrityFlags:
+    def test_verify_outputs_prints_integrity_summary(self, config_path, capsys):
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective", "--verify-outputs",
+                "--replication-factor", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "integrity:" in out
+        assert "0 unverified reads" in out
+
+    def test_integrity_flags_parsed(self, config_path):
+        args = build_parser().parse_args(
+            [
+                "run", str(config_path), "--verify-outputs",
+                "--replication-factor", "3", "--transfer-retries", "5",
+            ]
+        )
+        assert args.verify_outputs is True
+        assert args.replication_factor == 3
+        assert args.transfer_retries == 5
+
+
+class TestRecoverCommand:
+    def _checkpointed_run(self, config_path, tmp_path):
+        ckpt_dir = tmp_path / "ckpt"
+        code = main(
+            [
+                "run", str(config_path),
+                "--executor", "simulated", "--cluster", "mn4",
+                "--mock-objective", "--no-tracing", "--no-graph",
+                "--checkpoint-dir", str(ckpt_dir),
+            ]
+        )
+        assert code == 0
+        return ckpt_dir
+
+    def test_recover_reports_clean_spill_integrity(
+        self, config_path, tmp_path, capsys
+    ):
+        ckpt_dir = self._checkpointed_run(config_path, tmp_path)
+        capsys.readouterr()
+        assert main(["recover", str(ckpt_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "spill integrity:" in out
+        assert "0 corrupt" in out
+
+    def test_recover_counts_corrupt_spills(self, config_path, tmp_path, capsys):
+        ckpt_dir = self._checkpointed_run(config_path, tmp_path)
+        spills = sorted((ckpt_dir / "outputs").glob("*.pkl"))
+        assert spills
+        victim = spills[0]
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        capsys.readouterr()
+        assert main(["recover", str(ckpt_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "1 corrupt" in out
+        assert "corrupt spills re-execute on resume" in out
+
+    def test_recover_json_includes_spill_integrity(
+        self, config_path, tmp_path, capsys
+    ):
+        ckpt_dir = self._checkpointed_run(config_path, tmp_path)
+        capsys.readouterr()
+        assert main(["recover", str(ckpt_dir), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary["spill_integrity"]) == {"ok", "corrupt", "missing"}
+        assert summary["spill_integrity"]["corrupt"] == 0
+
+
 class TestDescribeCluster:
     def test_describe(self, capsys):
         code = main(["describe-cluster", "--cluster", "power9", "--nodes", "2"])

@@ -577,6 +577,111 @@ class TestGraphInvalidate:
         assert [x.task_id for x in g.pop_ready()] == [t2.task_id]
 
 
+class TestSpillIntegrity:
+    """Checksummed spills: corruption degrades to recompute, never a crash."""
+
+    def test_save_writes_checksum_sidecar(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("k1", {"val_accuracy": 0.9})
+        assert (tmp_path / "k1.sum").exists()
+        assert store.verify("k1") == "ok"
+        assert store.load_verified("k1") == {"val_accuracy": 0.9}
+
+    def test_bit_flip_detected_as_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("k1", list(range(100)))
+        path = tmp_path / "k1.pkl"
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.verify("k1") == "corrupt"
+        with pytest.raises(ckpt.CheckpointCorruptError):
+            store.load_verified("k1")
+
+    def test_truncated_spill_is_corrupt(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("k1", list(range(100)))
+        path = tmp_path / "k1.pkl"
+        path.write_bytes(path.read_bytes()[: 10])
+        assert store.verify("k1") == "corrupt"
+
+    def test_missing_spill_reported(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.verify("ghost") == "missing"
+        with pytest.raises(FileNotFoundError):
+            store.load_verified("ghost")
+
+    def test_legacy_sidecarless_spill_still_loads(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "old.pkl").write_bytes(pickle.dumps(42))
+        assert store.verify("old") == "ok"
+        assert store.load_verified("old") == 42
+
+    def test_legacy_garbage_spill_is_corrupt_not_crash(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        (tmp_path / "old.pkl").write_bytes(b"not a pickle")
+        assert store.verify("old") == "corrupt"
+
+    def test_verify_spills_counts(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("good", 1)
+        store.save("bad", 2)
+        (tmp_path / "bad.pkl").write_bytes(b"garbage")
+        counts = store.verify_spills(["good", "bad", "gone"])
+        assert counts == {"ok": 1, "corrupt": 1, "missing": 1}
+
+    def test_corrupt_restore_degrades_to_missing_and_logs(self, tmp_path):
+        j = WriteAheadJournal(tmp_path / ckpt.JOURNAL_FILE, fsync="off")
+        j.open_session(cluster="c")
+        j.append(ckpt.SUBMITTED, "done1")
+        j.append(ckpt.STARTED, "done1", node="n0")
+        j.append(ckpt.COMPLETED, "done1", stored=True)
+        j.close()
+        store = CheckpointStore(tmp_path / ckpt.OUTPUTS_DIR)
+        store.save("done1", 42)
+        path = tmp_path / ckpt.OUTPUTS_DIR / "done1.pkl"
+        data = bytearray(path.read_bytes())
+        data[0] ^= 0xFF
+        path.write_bytes(bytes(data))
+        log = ResilienceLog()
+        rm = RecoveryManager(tmp_path, log=log)
+        assert rm.restored_result("done1") is ckpt._MISSING
+        assert rm.restored == 0
+        events = [e for e in log.events if e.kind == rsl.DATA_CORRUPT]
+        assert len(events) == 1
+        assert rm.summary()["spill_integrity"]["corrupt"] == 1
+
+    def test_resume_with_flipped_spill_reexecutes_only_that_task(self, tmp_path):
+        CALLS.clear()
+        rt = COMPSsRuntime(
+            RuntimeConfig(checkpoint_dir=str(tmp_path))
+        ).start()
+        try:
+            assert drive(rt) == 113
+        finally:
+            rt.stop()
+        assert sum(CALLS.values()) == 3
+        keyer = TaskKeyer()
+        d = make_def("add", counting_add)
+        t1 = invocation(d, 1, 2)
+        keyer.key_for(t1)
+        t2 = invocation(d, Future(t1, 0), 10)
+        k2 = keyer.key_for(t2)
+        victim = tmp_path / ckpt.OUTPUTS_DIR / f"{k2}.pkl"
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        CALLS.clear()
+        rt2 = COMPSsRuntime(RuntimeConfig(), resume_from=str(tmp_path)).start()
+        try:
+            assert drive(rt2) == 113
+        finally:
+            rt2.stop()
+        # Same answer, and only the corrupted task's body re-ran.
+        assert sum(CALLS.values()) == 1
+        assert CALLS[("add", 3, 10)] == 1
+
+
 class TestAccessInvalidation:
     def test_invalidate_and_revalidate_by_writer(self):
         from repro.runtime.access_processor import AccessProcessor

@@ -80,3 +80,50 @@ class TestLocalDiskStaging:
         st.staging_time(20.0, "n1")
         st.reset()
         assert st.staging_time(20.0, "n1") > 0.0
+
+
+class TestTransferEdgeCases:
+    """Degenerate sizes and routes the data-integrity paths lean on."""
+
+    def test_zero_byte_transfer_costs_latency_only(self):
+        net = NetworkModel(latency_s=0.5, bandwidth_mbps=10.0)
+        assert net.transfer_time(0.0, "a", "b") == pytest.approx(0.5)
+
+    def test_zero_byte_same_node_is_free(self):
+        net = NetworkModel(latency_s=0.5)
+        assert net.transfer_time(0.0, "a", "a") == 0.0
+
+    def test_zero_byte_broadcast_costs_latency_rounds(self):
+        net = NetworkModel(latency_s=0.25, bandwidth_mbps=1.0)
+        # ceil(log2(4)) = 2 rounds of pure latency.
+        assert net.broadcast_time(0.0, 3) == pytest.approx(0.5)
+
+    def test_negative_broadcast_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkModel().broadcast_time(-1.0, 2)
+
+    def test_shared_fs_rejects_negative_sizes(self):
+        pfs = SharedParallelFilesystem()
+        with pytest.raises(ValueError):
+            pfs.staging_time(-1.0, "n1")
+        with pytest.raises(ValueError):
+            pfs.register_write(-1.0, "n1")
+
+    def test_local_disk_rejects_negative_sizes(self):
+        st = LocalDiskStaging()
+        with pytest.raises(ValueError):
+            st.staging_time(-1.0, "n1")
+        with pytest.raises(ValueError):
+            st.register_write(-1.0, "n1")
+
+    def test_zero_byte_staging_is_free_and_registers(self):
+        st = LocalDiskStaging(network=NetworkModel(latency_s=0.5))
+        first = st.staging_time(0.0, "n1")
+        assert first == pytest.approx(0.5)  # latency still paid once
+        assert st.staging_time(0.0, "n1") == 0.0
+
+    def test_register_write_then_staging_is_free_on_that_node_only(self):
+        st = LocalDiskStaging()
+        st.register_write(25.0, "n2")
+        assert st.staging_time(25.0, "n2") == 0.0
+        assert st.staging_time(25.0, "n3") > 0.0
