@@ -1,0 +1,194 @@
+"""Elastic churn benchmark (makespan under spot churn vs churn-free).
+
+A spot-market cluster loses nodes continuously — with notice (graceful
+drains) and without (storms) — and gets them back after a provisioning
+delay.  This harness runs the same HPO grid on a calm cluster and on one
+under sustained ~30% per-window preemption pressure plus one mass-loss
+storm, and reports:
+
+* the virtual-makespan inflation caused by the churn, and
+* the drain success rate (drains that finished before their deadline
+  vs. ones that escalated to node failures).
+
+Both runs use the simulated executor, so every number is bit-
+deterministic under a fixed seed: the CI smoke thresholds cannot flap.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_churn.py`` — CI perf-smoke mode.  One seed;
+  fails if the churny study diverges from the clean answer, if the
+  makespan inflation exceeds ``churn_makespan_ratio_max``, or if the
+  drain success rate drops below ``churn_drain_success_min`` in
+  ``benchmarks/perf_thresholds.json``.
+* ``python benchmarks/bench_churn.py`` — full run (three seeds) that
+  writes the machine-readable ``BENCH_churn.json`` to the repo root.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import banner
+
+from repro.hpo import GridSearch, PyCOMPSsRunner, fast_mock_objective, parse_search_space
+from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.fault import RetryPolicy
+from repro.runtime.runtime import COMPSsRuntime
+from repro.simcluster import mare_nostrum4
+from repro.simcluster.failures import ChurnPlan, FailureInjector
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THRESHOLDS_PATH = Path(__file__).resolve().parent / "perf_thresholds.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_churn.json"
+
+SIM_NODES = 6
+#: Per-node, per-window preemption probability of the stochastic churn —
+#: the "30% churn" level the acceptance criteria name.
+PREEMPT_PROB = 0.30
+SEEDS = (11, 23, 37)
+
+
+def load_thresholds() -> dict:
+    with open(THRESHOLDS_PATH) as fh:
+        return json.load(fh)
+
+
+def space():
+    return parse_search_space(
+        {"optimizer": ["Adam", "SGD"], "num_epochs": [2, 4], "batch_size": [32]}
+    )
+
+
+def make_churn(seed: int) -> ChurnPlan:
+    return (
+        ChurnPlan()
+        # One mass-loss storm: three nodes at once, back 20 min later.
+        .storm(400.0, "mn4-0002", "mn4-0003", "mn4-0004", rejoin_at=1600.0)
+        # Sustained spot churn with provisioning-delay rejoins.
+        .stochastic(
+            PREEMPT_PROB, interval_s=900.0, horizon_s=7200.0,
+            lead_s=60.0, rejoin_delay_s=300.0, seed=seed,
+        )
+    )
+
+
+def run_study(seed: int, churn_on: bool) -> dict:
+    injector = (
+        FailureInjector(seed=seed, churn=make_churn(seed)) if churn_on else None
+    )
+    cfg = RuntimeConfig(
+        cluster=mare_nostrum4(SIM_NODES),
+        executor="simulated",
+        execute_bodies=True,
+        tracing=False,
+        graph=False,
+        verify_outputs=True,
+        replication_factor=2,
+        failure_injector=injector,
+        drain_deadline_s=60.0,
+        starvation_timeout_s=600.0,
+        # Under sustained 30% churn a long-lived task can be killed by
+        # several unrelated node losses; the default single resubmission
+        # is sized for rare faults, not spot storms.
+        retry_policy=RetryPolicy(same_node_retries=1, resubmissions=8),
+    )
+    runtime = COMPSsRuntime(cfg).start()
+    try:
+        runner = PyCOMPSsRunner(
+            GridSearch(space()),
+            objective=fast_mock_objective,
+            constraint=ResourceConstraint(cpu_units=48),
+            visualize=True,
+        )
+        study = runner.run()
+        return {
+            "best_config": study.best_trial().config,
+            "n_complete": sum(
+                1 for t in study.trials if t.status.value == "completed"
+            ),
+            "virtual_time_s": round(runtime.virtual_time or 0.0, 2),
+            "churn": runtime.analysis().churn(),
+        }
+    finally:
+        runtime.stop(wait=False)
+
+
+def compare(seed: int) -> dict:
+    clean = run_study(seed, churn_on=False)
+    dirty = run_study(seed, churn_on=True)
+    started = dirty["churn"]["drains_started"]
+    completed = dirty["churn"]["drains_completed"]
+    return {
+        "seed": seed,
+        "clean": clean,
+        "dirty": dirty,
+        "same_best_config": dirty["best_config"] == clean["best_config"],
+        "makespan_ratio": round(
+            dirty["virtual_time_s"] / clean["virtual_time_s"], 3
+        ),
+        "drain_success_rate": round(completed / started, 3) if started else 1.0,
+    }
+
+
+def report(data: dict) -> None:
+    banner(f"Elastic churn — seed {data['seed']}")
+    clean, dirty = data["clean"], data["dirty"]
+    churn = dirty["churn"]
+    print(
+        f"     clean: {clean['virtual_time_s']:>9} s virtual "
+        f"({clean['n_complete']} trials)"
+    )
+    print(
+        f"     churn: {dirty['virtual_time_s']:>9} s virtual "
+        f"({dirty['n_complete']} trials)  x{data['makespan_ratio']} makespan"
+    )
+    print(
+        f"    events: {churn['preemption_notices']} notices, "
+        f"{churn['drains_completed']}/{churn['drains_started']} drains ok "
+        f"({churn['drain_deadline_escalations']} escalated), "
+        f"{churn['nodes_lost']} lost, {churn['nodes_rejoined']} rejoined, "
+        f"{churn['classes_starved']} starved"
+    )
+    print(f" same best: {data['same_best_config']}")
+
+
+def test_churn_survival_smoke():
+    """CI perf-smoke: churny study converges, bounded makespan inflation."""
+    thresholds = load_thresholds()
+    data = compare(SEEDS[0])
+    report(data)
+    assert data["same_best_config"], data
+    assert data["dirty"]["n_complete"] == data["clean"]["n_complete"], data
+    assert data["dirty"]["churn"]["nodes_rejoined"] >= 1, data
+    assert data["makespan_ratio"] <= thresholds["churn_makespan_ratio_max"], data
+    assert (
+        data["drain_success_rate"] >= thresholds["churn_drain_success_min"]
+    ), data
+
+
+def main() -> None:
+    results = []
+    for seed in SEEDS:
+        data = compare(seed)
+        report(data)
+        results.append(data)
+    summary = {
+        "benchmark": "churn_survival",
+        "workload": (
+            f"4-trial grid on mare_nostrum4({SIM_NODES}), "
+            f"{int(PREEMPT_PROB * 100)}% per-window stochastic preemption "
+            "+ one 3-node storm, 60 s notice lead, 300 s rejoin delay"
+        ),
+        "runs": results,
+        "all_converged": all(r["same_best_config"] for r in results),
+        "worst_makespan_ratio": max(r["makespan_ratio"] for r in results),
+        "mean_drain_success_rate": round(
+            sum(r["drain_success_rate"] for r in results) / len(results), 3
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

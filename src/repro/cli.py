@@ -137,6 +137,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--transfer-retries", type=int, default=2,
                      help="cross-node transfer retries before falling "
                      "back to a replica / recompute (simulated executor)")
+    run.add_argument("--drain-deadline", type=float, default=120.0,
+                     help="graceful-drain window in seconds: a draining "
+                     "node that still has running tasks at the deadline "
+                     "escalates to a node failure (lineage recovery)")
+    run.add_argument("--starvation-timeout", type=float, default=300.0,
+                     help="seconds a task whose constraint no live node "
+                     "can satisfy waits for a rejoin before failing with "
+                     "ResourceStarvationError; 0 disables the watchdog "
+                     "(tasks wait forever)")
     run.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
@@ -187,6 +196,10 @@ def _make_runtime_config(args) -> RuntimeConfig:
         verify_outputs=args.verify_outputs,
         replication_factor=args.replication_factor,
         transfer_retries=args.transfer_retries,
+        drain_deadline_s=args.drain_deadline,
+        starvation_timeout_s=(
+            args.starvation_timeout if args.starvation_timeout > 0 else None
+        ),
     )
 
 
@@ -238,6 +251,19 @@ def cmd_run(args) -> int:
         ]
         if runtime.integrity is not None:
             report_lines += ["", runtime.integrity.describe()]
+        churn = runtime.analysis().churn()
+        if any(churn.values()):
+            report_lines += ["", (
+                "node churn: "
+                f"{churn['preemption_notices']} preemption notice(s), "
+                f"{churn['drains_completed']}/{churn['drains_started']} "
+                f"drain(s) completed "
+                f"({churn['drain_deadline_escalations']} escalated), "
+                f"{churn['nodes_lost']} node(s) lost, "
+                f"{churn['nodes_rejoined']} rejoined, "
+                f"{churn['classes_starved']} class(es) starved, "
+                f"{churn['upstream_cancellations']} consumer(s) cancelled"
+            )]
         if len(runtime.resilience):
             report_lines += ["", render_resilience(runtime.resilience)]
         if study.metadata.get("stopped_early"):

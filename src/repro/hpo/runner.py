@@ -297,6 +297,11 @@ class PyCOMPSsRunner:
                 # Sealed/verified/repaired counters from the end-to-end
                 # data-integrity layer (config.verify_outputs).
                 study.metadata["integrity"] = runtime.integrity.stats()
+            churn = runtime.analysis().churn()
+            if any(churn.values()):
+                # Preemptions, drains, rejoins, starvation — the elastic
+                # view of the run (absent on a static, healthy cluster).
+                study.metadata["churn"] = churn
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:

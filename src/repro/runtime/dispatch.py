@@ -44,6 +44,8 @@ import threading
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.runtime.fault import UnsatisfiableError
+from repro.runtime.resilience import CLASS_STARVED
 from repro.runtime.resources import ResourcePool
 from repro.runtime.scheduler.base import Assignment, Scheduler
 from repro.runtime.task_definition import TaskInvocation
@@ -64,6 +66,8 @@ class DispatchStats:
     blocked_skips: int = 0
     wakes: int = 0
     full_wakes: int = 0
+    classes_starved: int = 0
+    starvation_failures: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -74,6 +78,8 @@ class DispatchStats:
             "blocked_skips": self.blocked_skips,
             "wakes": self.wakes,
             "full_wakes": self.full_wakes,
+            "classes_starved": self.classes_starved,
+            "starvation_failures": self.starvation_failures,
         }
 
 
@@ -95,6 +101,17 @@ class DispatchEngine:
         self.scheduler = scheduler
         self.pool = pool
         self.stats = DispatchStats()
+        #: Starvation watchdog wiring (set by the runtime after
+        #: construction): executor clock, resilience log, and the hold
+        #: budget before starved tasks are reaped.  ``None`` timeout
+        #: disables reaping — starved classes are simply held.
+        self.clock = None
+        self.resilience = None
+        self.starvation_timeout_s: Optional[float] = None
+        #: class key -> time it first starved (every candidate node dead
+        #: or draining).  The start time survives re-probes so the
+        #: watchdog measures total starvation, not time-since-last-look.
+        self._starved: Dict[Tuple, float] = {}
         self._classes: Dict[Tuple, _ClassQueue] = {}
         self._blocked: Set[Tuple] = set()
         #: node name -> constraint classes that statically fit on it.
@@ -186,6 +203,64 @@ class DispatchEngine:
         return [task for _, _, task in sorted(entries)]
 
     # ------------------------------------------------------------------
+    # Starvation watchdog
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        return self.clock() if self.clock is not None else 0.0
+
+    def _mark_starved(self, key, task, exc: UnsatisfiableError) -> None:
+        if key in self._starved:
+            return
+        now = self._now()
+        self._starved[key] = now
+        self.stats.classes_starved += 1
+        if self.resilience is not None:
+            self.resilience.record(
+                now, CLASS_STARVED, task_label=task.label,
+                detail=exc.constraint,
+            )
+
+    def starved_classes(self) -> Dict[Tuple, float]:
+        """Currently-starved constraint classes → starvation start time."""
+        return dict(self._starved)
+
+    def next_starvation_deadline(self) -> Optional[float]:
+        """Earliest time a starved class becomes reapable (None if n/a)."""
+        if self.starvation_timeout_s is None or not self._starved:
+            return None
+        return min(self._starved.values()) + self.starvation_timeout_s
+
+    def reap_starved(self) -> List[Tuple[TaskInvocation, float]]:
+        """Fail-out pass of the starvation watchdog.
+
+        Pops every queued task of each class starved for at least
+        ``starvation_timeout_s`` and returns ``(task, waited_s)`` pairs;
+        the executor fails them with
+        :class:`~repro.runtime.fault.ResourceStarvationError`.  Classes
+        that re-gained a candidate node were already un-starved by the
+        scheduling round that saw it, so they are never reaped.
+        """
+        if self.starvation_timeout_s is None or not self._starved:
+            return []
+        now = self._now()
+        victims: List[Tuple[TaskInvocation, float]] = []
+        for key, since in sorted(self._starved.items(), key=lambda kv: kv[1]):
+            if now - since < self.starvation_timeout_s - 1e-9:
+                continue
+            cq = self._classes.get(key)
+            while cq is not None and cq.heap:
+                _, _, task = heapq.heappop(cq.heap)
+                self._queued.discard(task.task_id)
+                if task.task_id in self._purged:
+                    self._purged.discard(task.task_id)
+                    continue
+                victims.append((task, now - since))
+                self.stats.starvation_failures += 1
+            del self._starved[key]
+            self._blocked.discard(key)
+        return victims
+
+    # ------------------------------------------------------------------
     # Scheduling rounds
     # ------------------------------------------------------------------
     def _drain_wakes(self) -> None:
@@ -262,7 +337,20 @@ class DispatchEngine:
                     heapq.heappush(heads, (nsort, nseq, key))
                 continue
             self.stats.placement_probes += 1
-            placed = self.scheduler._try_place(task, self.pool, quarantined)
+            try:
+                placed = self.scheduler._try_place(
+                    task, self.pool, quarantined
+                )
+            except UnsatisfiableError as exc:
+                if exc.permanent:
+                    raise
+                # Starved: capable nodes exist but all are dead/draining.
+                # Hold the class awaiting a rejoin; the watchdog reaps it
+                # after starvation_timeout_s.
+                self._blocked.add(key)
+                self._mark_starved(key, task, exc)
+                continue
+            self._starved.pop(key, None)
             if placed is not None:
                 heapq.heappop(cq.heap)
                 self._queued.discard(task.task_id)

@@ -49,6 +49,36 @@ class Executor(abc.ABC):
     def shutdown(self) -> None:
         """Release threads/queues; the executor is unusable afterwards."""
 
+    def notify_topology_change(self) -> None:
+        """The pool's node set changed (add/drain/fail/recover).
+
+        The dispatch engine has already buffered the wake via the pool's
+        listener protocol; this hook gives the executor a chance to run a
+        scheduling round *now* so waiting tasks reach the new capacity
+        without waiting for the next completion.  The default is a no-op
+        (executors whose event loop polls, e.g. during ``wait_for``,
+        pick the wake up there).
+        """
+
+    def drain_node(self, node: str, deadline_s: float) -> None:
+        """Begin honouring a drain: finish ``node``'s running tasks, then
+        retire it; escalate to a node failure at ``deadline_s``.
+
+        The pool state (DRAINING) and data spill are handled by the
+        runtime before this is called; executors that track in-flight
+        attempts override this to watch for the last one finishing and to
+        arm the deadline.  The default retires the node immediately when
+        it is idle and otherwise leaves it DRAINING (a conservative,
+        deadline-less drain).
+        """
+        runtime = self.runtime
+        if runtime is not None and not self.node_busy(node):
+            runtime.finish_drain(node)
+
+    def node_busy(self, node: str) -> bool:
+        """Whether the executor has attempts in flight on ``node``."""
+        return False
+
     def abort_task(self, task: TaskInvocation) -> bool:
         """Cancel the in-flight attempts of ``task`` (lineage recovery).
 

@@ -42,6 +42,7 @@ from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
 from repro.runtime.fault import (
     FaultAction,
+    ResourceStarvationError,
     TaskFailedError,
     TaskTimeoutError,
     WorkerCrashError,
@@ -99,6 +100,8 @@ class LocalExecutor(Executor):
         self._stop_event = threading.Event()
         #: task_id -> attempts currently in flight (two while a backup races).
         self._active: Dict[int, List[_LocalAttempt]] = {}
+        #: node -> armed drain-deadline timer (graceful drain in progress).
+        self._draining: Dict[str, threading.Timer] = {}
         self._epoch = time.perf_counter()
         self._shutdown = False
 
@@ -166,6 +169,10 @@ class LocalExecutor(Executor):
     def notify_submitted(self, task: TaskInvocation) -> None:
         self._dispatch()
 
+    def notify_topology_change(self) -> None:
+        """Run a scheduling round now (node added / drained / rejoined)."""
+        self._dispatch()
+
     def _dispatch(self) -> None:
         """Incremental scheduling round (thread-safe).
 
@@ -173,9 +180,12 @@ class LocalExecutor(Executor):
         queues; the engine probes only class heads and skips classes
         whose capacity hasn't changed since they last failed to place.
         Releases from completion threads are buffered by the engine and
-        drained at the start of the round.
+        drained at the start of the round.  Each round also completes any
+        drain whose node went idle and reaps starved-out classes.
         """
         assert self.runtime is not None and self._threads is not None
+        self._check_drains()
+        self._reap_starved()
         with self._lock:
             if self._shutdown:
                 return
@@ -184,6 +194,97 @@ class LocalExecutor(Executor):
             for assignment in runtime.dispatcher.schedule_round():
                 assignment.task.state = TaskState.RUNNING
                 self._threads.submit(self._run_attempt, assignment)
+
+    # ------------------------------------------------------------------
+    # Graceful drain / starvation watchdog
+    # ------------------------------------------------------------------
+    def node_busy(self, node: str) -> bool:
+        with self._lock:
+            return any(
+                al.node == node
+                for attempts in self._active.values()
+                for attempt in attempts
+                for al in attempt.assignment.all_allocations
+            )
+
+    def drain_node(self, node: str, deadline_s: float) -> None:
+        """Honour a drain: watch for the last attempt, arm the deadline."""
+        assert self.runtime is not None
+        if not self.node_busy(node):
+            self.runtime.finish_drain(node)
+            self._dispatch()
+            return
+        with self._lock:
+            previous = self._draining.pop(node, None)
+            if previous is not None:
+                previous.cancel()
+            timer = threading.Timer(
+                float(deadline_s), self._drain_deadline, args=(node,)
+            )
+            timer.daemon = True
+            self._draining[node] = timer
+            timer.start()
+
+    def _check_drains(self) -> None:
+        """Complete any drain whose node has gone idle."""
+        assert self.runtime is not None
+        with self._lock:
+            if not self._draining:
+                return
+            idle = [n for n in sorted(self._draining) if not self.node_busy(n)]
+            for node in idle:
+                self._draining.pop(node).cancel()
+        for node in idle:
+            self.runtime.finish_drain(node)
+
+    def _drain_deadline(self, node: str) -> None:
+        """The drain window closed (timer thread); force the node out."""
+        assert self.runtime is not None
+        runtime = self.runtime
+        with self._lock:
+            if self._shutdown or node not in self._draining:
+                return
+            del self._draining[node]
+            worker = runtime.pool.workers.get(node)
+            if worker is None or not worker.draining:
+                return
+            busy = self.node_busy(node)
+        if not busy:
+            runtime.finish_drain(node)
+            self._dispatch()
+            return
+        # Local attempts run in this process, so their in-flight results
+        # stay valid after the node is forced out — no data is destroyed;
+        # the slots are simply gone for future placements.
+        runtime.resilience.record(
+            self._now(), rsl.DRAIN_DEADLINE, "", node,
+            detail="attempts still running; node forcibly retired",
+        )
+        runtime.pool.retire_worker(node)
+        self._dispatch()
+
+    def _reap_starved(self) -> None:
+        """Fail every task whose constraint class starved past the timeout."""
+        assert self.runtime is not None
+        runtime = self.runtime
+        deadline = runtime.dispatcher.next_starvation_deadline()
+        if deadline is None or self._now() < deadline:
+            return
+        with self._lock:
+            victims = runtime.dispatcher.reap_starved()
+            for task, waited in victims:
+                names = ", ".join(
+                    impl.constraint.describe()
+                    for impl in task.definition.all_candidates()
+                )
+                exc = ResourceStarvationError(task.label, names, waited)
+                task.attempt_history.append(f"starved for {waited:g}s: {exc}")
+                task.state = TaskState.FAILED
+                task.error = exc
+                runtime.journal_task_event(task, ckpt.FAILED, node="")
+                runtime.fail_descendants(task, self._now())
+            if victims:
+                self._done_cond.notify_all()
 
     # ------------------------------------------------------------------
     # Attempt execution
@@ -462,6 +563,7 @@ class LocalExecutor(Executor):
             task.state = TaskState.FAILED
             task.error = exc
             self.runtime.journal_task_event(task, ckpt.FAILED, node=node)
+            self.runtime.fail_descendants(task, end)
             self._done_cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -579,10 +681,19 @@ class LocalExecutor(Executor):
                 if not pending:
                     return
                 self._done_cond.wait(timeout=0.5)
+                # The poll doubles as the elastic heartbeat: complete
+                # idle drains and reap starved-out classes so a study
+                # whose only remaining work is unplaceable fails with
+                # ResourceStarvationError instead of spinning here.
+                self._check_drains()
+                self._reap_starved()
 
     def shutdown(self) -> None:
         with self._lock:
             self._shutdown = True
+            for timer in self._draining.values():
+                timer.cancel()
+            self._draining.clear()
         self._stop_event.set()
         if self._watchdog is not None:
             self._watchdog.join(timeout=2.0)

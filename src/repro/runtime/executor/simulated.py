@@ -28,12 +28,19 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 from repro.runtime import checkpoint as ckpt
 from repro.runtime import resilience as rsl
 from repro.runtime.executor.base import Executor
-from repro.runtime.fault import FaultAction, TaskFailedError, TaskTimeoutError
+from repro.runtime.fault import (
+    FaultAction,
+    ResourceStarvationError,
+    TaskFailedError,
+    TaskTimeoutError,
+)
+from repro.runtime.resources import DOWN
 from repro.runtime.scheduler.base import Assignment, release_assignment
 from repro.runtime.task_definition import TaskInvocation, TaskState
 from repro.runtime.tracing.extrae import TaskRecord
 from repro.simcluster.costmodel import TrainingCostModel, MNIST_LIKE
 from repro.simcluster.events import DiscreteEventSimulator, EventHandle
+from repro.simcluster.failures import MassLoss, NodeRejoin, PreemptionNotice
 from repro.simcluster.node import NodeSpec
 from repro.util.logging_utils import get_logger
 
@@ -99,6 +106,10 @@ class SimulatedExecutor(Executor):
         #: a speculative backup races the original).
         self._attempts: Dict[int, List[_Attempt]] = {}
         self._failures_scheduled = False
+        #: node -> armed drain-deadline event (graceful drain in progress).
+        self._draining: Dict[str, EventHandle] = {}
+        self._starvation_handle: Optional[EventHandle] = None
+        self._starvation_at = 0.0
 
     # ------------------------------------------------------------------
     @property
@@ -304,10 +315,47 @@ class SimulatedExecutor(Executor):
                     lambda nf=nf: self._recover_node(nf.node),
                     f"recover-{nf.node}",
                 )
+        churn = getattr(injector, "churn", None)
+        if churn is None:
+            return
+        node_names = [spec.name for spec in self.runtime.cluster.nodes]
+        for ev in churn.materialize(node_names):
+            if isinstance(ev, PreemptionNotice):
+                self.sim.schedule_at(
+                    ev.time,
+                    lambda ev=ev: self._on_preemption_notice(ev),
+                    f"preempt-{ev.node}",
+                )
+                if ev.rejoin_at is not None:
+                    self.sim.schedule_at(
+                        ev.rejoin_at,
+                        lambda ev=ev: self._rejoin_node(ev.node),
+                        f"rejoin-{ev.node}",
+                    )
+            elif isinstance(ev, MassLoss):
+                self.sim.schedule_at(
+                    ev.time, lambda ev=ev: self._storm(ev), "storm"
+                )
+                if ev.rejoin_at is not None:
+                    for name in ev.nodes:
+                        self.sim.schedule_at(
+                            ev.rejoin_at,
+                            lambda name=name: self._rejoin_node(name),
+                            f"rejoin-{name}",
+                        )
+            elif isinstance(ev, NodeRejoin):
+                self.sim.schedule_at(
+                    ev.time,
+                    lambda ev=ev: self._rejoin_node(ev.node),
+                    f"rejoin-{ev.node}",
+                )
 
     def _fail_node(self, node: str, destroy_data: bool = True) -> None:
         assert self.runtime is not None
         _log.info("t=%.1f node %s failed", self.now, node)
+        drain = self._draining.pop(node, None)
+        if drain is not None:
+            drain.cancel()  # the failure supersedes the graceful drain
         self.runtime.pool.fail_node(node)
         destroyed: List[str] = []
         if destroy_data:
@@ -378,8 +426,149 @@ class SimulatedExecutor(Executor):
     def _recover_node(self, node: str) -> None:
         assert self.runtime is not None
         _log.info("t=%.1f node %s recovered", self.now, node)
-        self.runtime.pool.recover_node(node)
+        # Through the runtime so recovery and elastic rejoin share one
+        # path: slot reset, replica re-seeding, NODE_REJOINED event, and
+        # the topology wake that re-probes blocked (even starved) classes.
+        self.runtime.recover_node(node)
+
+    # ------------------------------------------------------------------
+    # Spot churn: preemption notices, storms, rejoins
+    # ------------------------------------------------------------------
+    def _on_preemption_notice(self, ev: PreemptionNotice) -> None:
+        """A spot node received its eviction warning: drain within the lead."""
+        assert self.runtime is not None
+        worker = self.runtime.pool.workers.get(ev.node)
+        if worker is None or not worker.available:
+            return  # already down or draining — the notice is moot
+        self.runtime.resilience.record(
+            self.now, rsl.PREEMPTION_NOTICE, "", ev.node,
+            detail=f"lead_s={ev.lead_s:g}",
+        )
+        self.runtime.drain_node(ev.node, deadline_s=ev.lead_s)
+
+    def _storm(self, ev: MassLoss) -> None:
+        """Mass loss: k nodes die at once, no warning."""
+        assert self.runtime is not None
+        pool = self.runtime.pool
+        for node in ev.nodes:
+            worker = pool.workers.get(node)
+            if worker is None or worker.state == DOWN:
+                continue
+            self._fail_node(node, destroy_data=True)
+
+    def _rejoin_node(self, node: str) -> None:
+        assert self.runtime is not None
+        worker = self.runtime.pool.workers.get(node)
+        if worker is None or worker.state != DOWN:
+            return  # still up, or still draining its last attempts
+        self.runtime.recover_node(node)
+
+    # ------------------------------------------------------------------
+    # Graceful drain
+    # ------------------------------------------------------------------
+    def node_busy(self, node: str) -> bool:
+        return any(
+            al.node == node
+            for attempts in self._attempts.values()
+            for attempt in attempts
+            for al in attempt.assignment.all_allocations
+        )
+
+    def drain_node(self, node: str, deadline_s: float) -> None:
+        """Honour a drain: watch for the last attempt, arm the deadline."""
+        assert self.runtime is not None
+        if not self.node_busy(node):
+            self.runtime.finish_drain(node)
+            self._dispatch()
+            return
+        previous = self._draining.pop(node, None)
+        if previous is not None:
+            previous.cancel()
+        self._draining[node] = self.sim.schedule(
+            float(deadline_s),
+            lambda: self._drain_deadline(node),
+            label=f"drain-deadline-{node}",
+        )
         self._dispatch()
+
+    def _check_drains(self) -> None:
+        """Complete any drain whose node has gone idle."""
+        if not self._draining:
+            return
+        assert self.runtime is not None
+        for node in sorted(self._draining):
+            if self.node_busy(node):
+                continue
+            self._draining.pop(node).cancel()
+            self.runtime.finish_drain(node)
+
+    def _drain_deadline(self, node: str) -> None:
+        """The drain window closed; escalate a busy node to a failure."""
+        assert self.runtime is not None
+        self._draining.pop(node, None)
+        worker = self.runtime.pool.workers.get(node)
+        if worker is None or not worker.draining:
+            return
+        if not self.node_busy(node):
+            self.runtime.finish_drain(node)
+            return
+        running = sum(
+            1
+            for attempts in self._attempts.values()
+            for attempt in attempts
+            if any(al.node == node for al in attempt.assignment.all_allocations)
+        )
+        self.runtime.resilience.record(
+            self.now, rsl.DRAIN_DEADLINE, "", node,
+            detail=f"{running} attempt(s) still running; escalating to failure",
+        )
+        self._fail_node(node, destroy_data=True)
+
+    # ------------------------------------------------------------------
+    # Starvation watchdog
+    # ------------------------------------------------------------------
+    def _arm_starvation_watchdog(self) -> None:
+        """Keep one sim event armed at the earliest starvation deadline.
+
+        This is what turns an otherwise-stalled simulation (every node a
+        class could use is dead or draining, queue empty) into a timed,
+        structured failure instead of a hang.
+        """
+        assert self.runtime is not None
+        deadline = self.runtime.dispatcher.next_starvation_deadline()
+        if deadline is None:
+            if self._starvation_handle is not None:
+                self._starvation_handle.cancel()
+                self._starvation_handle = None
+            return
+        if self._starvation_handle is not None:
+            if self._starvation_at <= deadline + 1e-9:
+                return  # armed early enough; the handler re-arms
+            self._starvation_handle.cancel()
+        self._starvation_at = max(deadline, self.now)
+        self._starvation_handle = self.sim.schedule_at(
+            self._starvation_at,
+            self._reap_starved,
+            "starvation-watchdog",
+        )
+
+    def _reap_starved(self) -> None:
+        """Fail every task whose class starved past the timeout."""
+        assert self.runtime is not None
+        self._starvation_handle = None
+        runtime = self.runtime
+        for task, waited in runtime.dispatcher.reap_starved():
+            names = ", ".join(
+                impl.constraint.describe()
+                for impl in task.definition.all_candidates()
+            )
+            exc = ResourceStarvationError(task.label, names, waited)
+            task.attempt_history.append(f"starved for {waited:g}s: {exc}")
+            task.state = TaskState.FAILED
+            task.error = exc
+            runtime.journal_task_event(task, ckpt.FAILED, node="")
+            runtime.fail_descendants(task, self.now)
+        self._arm_starvation_watchdog()
 
     # ------------------------------------------------------------------
     # Dispatch
@@ -388,18 +577,26 @@ class SimulatedExecutor(Executor):
         # Lazy: the event loop runs inside wait_for (virtual time).
         pass
 
+    def notify_topology_change(self) -> None:
+        """Run a scheduling round now (node added / drained / rejoined)."""
+        self._dispatch()
+
     def _dispatch(self) -> None:
         """Incremental scheduling round over the runtime's dispatch engine.
 
         Newly-ready tasks are folded into the per-constraint-class
         queues; the engine probes only class heads and skips classes
         whose capacity hasn't changed since they last failed to place.
+        Also the hook where drains complete (the round follows every
+        attempt-ending event) and where the starvation watchdog re-arms.
         """
         assert self.runtime is not None
         runtime = self.runtime
+        self._check_drains()
         runtime.dispatcher.ingest(runtime.graph.pop_ready())
         for assignment in runtime.dispatcher.schedule_round():
             self._start(assignment)
+        self._arm_starvation_watchdog()
 
     def _start(self, assignment: Assignment, speculative: bool = False) -> None:
         assert self.runtime is not None
@@ -665,6 +862,7 @@ class SimulatedExecutor(Executor):
             task.state = TaskState.FAILED
             task.error = exc
             self.runtime.journal_task_event(task, ckpt.FAILED, node=node)
+            self.runtime.fail_descendants(task, self.now)
             return
         delay = self.runtime.retry_policy.backoff_delay(task.label, task.attempts)
         if delay > 0.0:
@@ -766,3 +964,9 @@ class SimulatedExecutor(Executor):
             for attempt in attempts:
                 attempt.cancel_events()
         self._attempts.clear()
+        for handle in self._draining.values():
+            handle.cancel()
+        self._draining.clear()
+        if self._starvation_handle is not None:
+            self._starvation_handle.cancel()
+            self._starvation_handle = None

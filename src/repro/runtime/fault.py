@@ -165,6 +165,72 @@ class PoisonTaskError(RuntimeError):
         self.threshold = threshold
 
 
+class UnsatisfiableError(RuntimeError):
+    """No node can currently host a task — a structured condition.
+
+    ``permanent=True`` means the constraint fits no node in the cluster
+    even when idle (a sizing error): it surfaces to the user at once.
+    ``permanent=False`` means capable nodes exist but every one is dead
+    or draining (*starvation*): the dispatch engine holds the task and
+    arms the starvation watchdog instead of failing, so an elastic
+    rejoin can still save it.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        task_label: str,
+        constraint: str,
+        permanent: bool,
+    ):
+        super().__init__(message)
+        self.task_label = task_label
+        self.constraint = constraint
+        self.permanent = permanent
+
+
+class ResourceStarvationError(RuntimeError):
+    """A task's constraint class lost every candidate node.
+
+    Raised by the starvation watchdog when all nodes that could host a
+    task are dead or draining and none rejoined within
+    ``starvation_timeout_s``.  A GPU task whose last GPU node was
+    preempted, say, fails with this **terminal** error instead of
+    hanging the study forever; the HPO layer treats it like any other
+    task failure (fail-soft per trial via ``max_trial_retries``).
+    """
+
+    def __init__(self, task_label: str, constraint: str, waited_s: float):
+        super().__init__(
+            f"task {task_label} starved: no live node can host its "
+            f"constraint ({constraint}) and none rejoined within "
+            f"{waited_s:g} s (starvation_timeout_s)"
+        )
+        self.task_label = task_label
+        self.constraint = constraint
+        self.waited_s = waited_s
+
+
+class UpstreamFailureError(RuntimeError):
+    """A task was cancelled because a task it depends on failed terminally.
+
+    "The failure of a task does not affect the other tasks unless there
+    are some dependencies" — when a producer exhausts its retry budget
+    (or starves), its transitive consumers can never become ready.
+    Failing them eagerly with this error turns a would-be infinite wait
+    into an immediate, attributable study failure.
+    """
+
+    def __init__(self, task_label: str, upstream_label: str, cause: BaseException):
+        super().__init__(
+            f"task {task_label} cancelled: upstream task "
+            f"{upstream_label} failed terminally ({cause!r})"
+        )
+        self.task_label = task_label
+        self.upstream_label = upstream_label
+        self.upstream_cause = cause
+
+
 class TaskFailedError(RuntimeError):
     """Raised to the user when a task exhausts its retry budget.
 

@@ -359,6 +359,67 @@ class IntegrityManager:
         record.snapshot = bytearray(payload)
         return "driver-memory"
 
+    def evacuate(self, node: str, targets: Sequence[str]) -> int:
+        """Drain-time spill: copy ``node``'s *only-good* copies elsewhere.
+
+        For every record whose copy on ``node`` is its last good one, a
+        replica is placed on the first ``targets`` nodes (up to
+        ``replication_factor`` total good copies, and at least one).
+        Modelled off-critical-path like seal-time replication.  Returns
+        the number of records evacuated.  Simulated mode only — local
+        outputs live in driver memory and survive node churn.
+        """
+        if self.mode != MODE_SIMULATED or not targets:
+            return 0
+        moved = 0
+        with self._lock:
+            for label in sorted(self._records):
+                record = self._records[label]
+                if record.copies.get(node) != record.checksum:
+                    continue
+                good_elsewhere = [
+                    n for n, d in record.copies.items()
+                    if n != node and d == record.checksum
+                ]
+                if good_elsewhere:
+                    continue
+                want = max(1, self.replication_factor - 1)
+                placed = False
+                for target in targets[:want]:
+                    if record.copies.get(target) != record.checksum:
+                        record.copies[target] = record.checksum
+                        placed = True
+                if placed:
+                    moved += 1
+        return moved
+
+    def reseed_node(self, node: str) -> int:
+        """Rejoin-time re-seed: use ``node`` as a replica target again.
+
+        Every record with fewer than ``replication_factor`` good copies
+        gains a fresh one on the rejoined node.  (Records still naming a
+        copy on the node are the ones that survived its loss via a
+        verified checkpoint spill — lineage recovery discarded the rest —
+        so those copies count as restored rather than stale.)  Returns
+        the number of records re-seeded.
+        """
+        if self.mode != MODE_SIMULATED:
+            return 0
+        seeded = 0
+        with self._lock:
+            for label in sorted(self._records):
+                record = self._records[label]
+                good = [
+                    n for n, d in record.copies.items() if d == record.checksum
+                ]
+                if not good:
+                    continue  # nothing intact to copy from
+                if node in good or len(good) >= self.replication_factor:
+                    continue
+                record.copies[node] = record.checksum
+                seeded += 1
+        return seeded
+
     def replica_source(
         self, writer: TaskInvocation, exclude: Sequence[str] = ()
     ) -> Optional[str]:

@@ -64,6 +64,19 @@ TRANSFER_FAILED = "transfer_failed"
 TRANSFER_RETRY = "transfer_retry"
 REPLICA_REPAIR = "replica_repair"
 INTEGRITY_RECOMPUTE = "integrity_recompute"
+#: Cluster-churn events: a node entered graceful drain (finish running
+#: tasks, accept no new placements, spill resident data), finished
+#: draining cleanly, blew its drain deadline (escalated to ``fail_node``
+#: so lineage recovery takes over), received a spot-preemption notice,
+#: rejoined the cluster after a loss, or a whole constraint class lost
+#: its last candidate node (starvation watchdog armed).
+NODE_DRAINING = "node_draining"
+DRAIN_COMPLETE = "drain_complete"
+DRAIN_DEADLINE = "drain_deadline"
+PREEMPTION_NOTICE = "preemption_notice"
+NODE_REJOINED = "node_rejoined"
+CLASS_STARVED = "class_starved"
+UPSTREAM_CANCELLED = "upstream_cancelled"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -87,6 +100,13 @@ EVENT_KINDS = (
     TRANSFER_RETRY,
     REPLICA_REPAIR,
     INTEGRITY_RECOMPUTE,
+    NODE_DRAINING,
+    DRAIN_COMPLETE,
+    DRAIN_DEADLINE,
+    PREEMPTION_NOTICE,
+    NODE_REJOINED,
+    CLASS_STARVED,
+    UPSTREAM_CANCELLED,
 )
 
 

@@ -22,6 +22,16 @@ from repro.simcluster.machines import ClusterSpec
 from repro.simcluster.node import NodeSpec
 from repro.util.validation import check_non_negative
 
+#: Worker lifecycle states.  ``UP`` accepts placements; ``DRAINING``
+#: finishes its running tasks but accepts no new ones (graceful
+#: preemption); ``DOWN`` is dead (crashed or retired after a drain);
+#: ``QUARANTINED`` is a *health* overlay rendered by ``describe()`` when
+#: the NodeHealth tracker has benched an otherwise-up node.
+UP = "up"
+DRAINING = "draining"
+DOWN = "down"
+QUARANTINED = "quarantined"
+
 
 @dataclass(frozen=True)
 class Allocation:
@@ -62,12 +72,26 @@ class Worker:
         self._free_cpus = list(range(reserved_cores, spec.cpu_cores))
         self._free_gpus = list(range(spec.gpus))
         self._free_memory = spec.memory_gb
-        self.available = True
+        self._state = UP
 
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
         return self.spec.name
+
+    @property
+    def state(self) -> str:
+        """Lifecycle state: UP, DRAINING, or DOWN."""
+        return self._state
+
+    @property
+    def available(self) -> bool:
+        """Whether the node accepts *new* placements (UP only)."""
+        return self._state == UP
+
+    @property
+    def draining(self) -> bool:
+        return self._state == DRAINING
 
     @property
     def free_cpu_units(self) -> int:
@@ -128,13 +152,18 @@ class Worker:
         self._free_gpus.sort()
         self._free_memory += alloc.memory_gb
 
+    def drain(self) -> None:
+        """Stop accepting new placements; running tasks keep their slots."""
+        if self._state == UP:
+            self._state = DRAINING
+
     def fail(self) -> None:
         """Mark the node down (running allocations are handled by caller)."""
-        self.available = False
+        self._state = DOWN
 
     def recover(self) -> None:
         """Bring the node back with all slots free."""
-        self.available = True
+        self._state = UP
         self._free_cpus = list(range(self.reserved_cores, self.spec.cpu_cores))
         self._free_gpus = list(range(self.spec.gpus))
         self._free_memory = self.spec.memory_gb
@@ -270,8 +299,20 @@ class ResourcePool:
         """Shrink the pool: the node stops accepting tasks.
 
         Running tasks are unaffected (their allocations stay valid until
-        released); only *new* placements skip the node.
+        released); only *new* placements skip the node.  The node enters
+        DRAINING — ``describe()`` keeps it distinguishable from a crash.
         """
+        self.drain_worker(name)
+
+    def drain_worker(self, name: str) -> None:
+        """Put a node into DRAINING: no new placements, running tasks finish."""
+        with self._lock:
+            self.workers[name].drain()
+            if self.listener is not None:
+                self.listener.on_topology_change()
+
+    def retire_worker(self, name: str) -> None:
+        """Cleanly take a drained (or idle) node DOWN without data loss."""
         with self._lock:
             self.workers[name].fail()
             if self.listener is not None:
@@ -298,8 +339,13 @@ class ResourcePool:
 
     def describe(self) -> str:
         lines = [f"pool over {self.cluster.name}:"]
+        quarantined = set(self.blocked_nodes())
         for w in self.workers.values():
-            state = "up" if w.available else "DOWN"
+            state = w.state
+            if state == UP and w.name in quarantined:
+                state = QUARANTINED
+            if state != UP:
+                state = state.upper()
             lines.append(
                 f"  {w.name} [{state}] free {w.free_cpu_units}/"
                 f"{w.task_capacity_cpus} cores, {w.free_gpu_units} GPUs"

@@ -25,8 +25,13 @@ from repro.runtime.executor.local import LocalExecutor
 from repro.runtime.executor.simulated import SimulatedExecutor
 from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
+from repro.runtime.fault import UpstreamFailureError
 from repro.runtime.resilience import (
     CHECKPOINT_RESTORE,
+    DRAIN_COMPLETE,
+    NODE_DRAINING,
+    NODE_REJOINED,
+    UPSTREAM_CANCELLED,
     NodeHealth,
     ResilienceLog,
     StragglerDetector,
@@ -129,6 +134,12 @@ class COMPSsRuntime:
         self.dispatcher = DispatchEngine(self.scheduler, self.pool)
         self.pool.listener = self.dispatcher
         self.executor: Executor = self._make_executor()
+        # Starvation watchdog wiring: the engine timestamps starved
+        # constraint classes in the executor's clock and the executors
+        # reap them after starvation_timeout_s.
+        self.dispatcher.clock = self.executor.clock
+        self.dispatcher.resilience = self.resilience
+        self.dispatcher.starvation_timeout_s = self.config.starvation_timeout_s
         #: End-to-end data integrity (``config.verify_outputs``): seals a
         #: checksum on every data version at write time, verifies at
         #: consume time, repairs from replicas, escalates to lineage
@@ -463,11 +474,22 @@ class COMPSsRuntime:
                 integrity.corrupt(task, scope)
 
     def _replica_nodes(self, primary: str) -> List[str]:
-        """Replica placements for a primary copy (simulated data plane)."""
+        """Replica placements for a primary copy (simulated data plane).
+
+        Only live (UP) workers receive replicas — a dead or draining node
+        cannot accept the asynchronous copy.  Outputs written while the
+        cluster is short-handed stay under-replicated until a node
+        rejoins and :meth:`~repro.runtime.integrity.IntegrityManager.
+        reseed_node` tops them back up.
+        """
         extra = self.config.replication_factor - 1
         if extra <= 0:
             return []
-        others = sorted(n.name for n in self.cluster.nodes if n.name != primary)
+        others = sorted(
+            w.name
+            for w in self.pool.workers.values()
+            if w.available and w.name != primary
+        )
         return others[:extra]
 
     def recompute_corrupt(self, writers, extra_consumers=()) -> List[str]:
@@ -488,6 +510,37 @@ class COMPSsRuntime:
         self.journal.append(
             kind, task.task_key, task=task.label, node=node or (task.node or "")
         )
+
+    def fail_descendants(
+        self, task: TaskInvocation, now: float
+    ) -> List[TaskInvocation]:
+        """Cancel every unfinished transitive consumer of a dead task.
+
+        Called by the executors when ``task`` fails *terminally* (retry
+        budget exhausted, or reaped by the starvation watchdog).  Its
+        consumers can never become ready — without this they would sit
+        in SUBMITTED forever and ``wait_for`` would hang (simulated: a
+        "simulation stalled" crash) instead of surfacing the root
+        failure.  Each victim fails with :class:`UpstreamFailureError`
+        chained to the producer's error.
+        """
+        cause = task.error or RuntimeError("unknown")
+        victims: List[TaskInvocation] = []
+        with self.lock:
+            for dep in self.graph.descendants(task):
+                if dep.state in (TaskState.DONE, TaskState.FAILED):
+                    continue
+                exc = UpstreamFailureError(dep.label, task.label, cause)
+                dep.attempt_history.append(f"cancelled: {exc}")
+                dep.state = TaskState.FAILED
+                dep.error = exc
+                self.journal_task_event(dep, ckpt.FAILED, node="")
+                self.resilience.record(
+                    now, UPSTREAM_CANCELLED, dep.label, "",
+                    detail=f"producer {task.label} failed terminally",
+                )
+                victims.append(dep)
+        return victims
 
     # ------------------------------------------------------------------
     # Crash consistency / lineage recovery
@@ -558,8 +611,7 @@ class COMPSsRuntime:
                     igr.recover_corrupt_versions(self, bad)
             if not bad:
                 return
-            if hasattr(self.executor, "_dispatch"):
-                self.executor._dispatch()
+            self.executor.notify_topology_change()
             self.executor.wait_for(tasks)
         raise igr.IntegrityError(
             "corrupt outputs persisted after 25 repair rounds: "
@@ -604,14 +656,113 @@ class COMPSsRuntime:
         """Grow the cluster mid-run; waiting tasks dispatch onto it."""
         self.pool.add_worker(spec)
         _log.info("node %s added to the pool", spec.name)
-        # Kick the executor so queued work can use the new capacity.
-        if hasattr(self.executor, "_dispatch"):
-            self.executor._dispatch()
+        # Kick the executor so queued work can use the new capacity (the
+        # dispatch engine buffered the wake via the pool's listener).
+        self.executor.notify_topology_change()
 
     def remove_node(self, name: str) -> None:
         """Stop placing new tasks on ``name`` (running ones finish)."""
         self.pool.remove_worker(name)
         _log.info("node %s drained from the pool", name)
+
+    def drain_node(self, name: str, deadline_s: Optional[float] = None) -> None:
+        """Gracefully drain ``name``: spill its resident data, finish its
+        running tasks, accept no new placements, then retire it cleanly.
+
+        At ``deadline_s`` (default ``config.drain_deadline_s``) an
+        incomplete drain escalates to a node failure so lineage recovery
+        takes over.
+        """
+        worker = self.pool.workers.get(name)
+        if worker is None:
+            raise ValueError(f"unknown node {name!r}")
+        deadline = (
+            deadline_s if deadline_s is not None
+            else self.config.drain_deadline_s
+        )
+        if deadline <= 0:
+            raise ValueError(f"drain deadline must be > 0, got {deadline}")
+        if not worker.available:
+            return  # already draining or down
+        spilled = self._spill_node_data(name)
+        self.pool.drain_worker(name)
+        self.resilience.record(
+            self.executor.clock(), NODE_DRAINING, node=name,
+            detail=f"deadline_s={deadline:g} spilled={spilled}",
+        )
+        self.executor.drain_node(name, deadline)
+
+    def finish_drain(self, name: str) -> None:
+        """Complete a drain: final spill pass, then retire the node.
+
+        Called by the executor when the node's last running attempt
+        finishes (or immediately for an idle node).
+        """
+        worker = self.pool.workers.get(name)
+        if worker is None or not worker.draining:
+            return
+        spilled = self._spill_node_data(name)
+        self.pool.retire_worker(name)
+        self.resilience.record(
+            self.executor.clock(), DRAIN_COMPLETE, node=name,
+            detail=f"spilled={spilled}",
+        )
+
+    def recover_node(self, name: str) -> None:
+        """Elastically rejoin a previously lost or retired node.
+
+        The node comes back with all slots free, is re-seeded as a
+        replica target for under-replicated data versions, and blocked
+        (even starved) constraint classes are woken so queued tasks can
+        place on it.
+        """
+        worker = self.pool.workers.get(name)
+        if worker is None:
+            raise ValueError(f"unknown node {name!r}")
+        if worker.available or worker.draining:
+            # Draining nodes may still have attempts in flight — resetting
+            # their slots would corrupt the allocation accounting.  They
+            # retire (or fail) first, and can rejoin afterwards.
+            return
+        self.pool.recover_node(name)
+        reseeded = 0
+        if self.integrity is not None:
+            reseeded = self.integrity.reseed_node(name)
+        self.resilience.record(
+            self.executor.clock(), NODE_REJOINED, node=name,
+            detail=f"reseeded={reseeded}" if reseeded else "",
+        )
+        self.executor.notify_topology_change()
+
+    def _spill_node_data(self, node: str) -> int:
+        """Persist data resident on ``node`` before it goes away.
+
+        Two mechanisms, both best-effort: every DONE output produced on
+        the node is spilled to the checkpoint store (when configured, and
+        regardless of the spill cadence), and the simulated integrity
+        manager copies the node's only-good copies onto other up nodes.
+        Returns the number of task outputs protected.
+        """
+        protected = 0
+        with self.lock:
+            if self.checkpoint_store is not None:
+                done_here = [
+                    t for t in self.graph.tasks()
+                    if t.state == TaskState.DONE and t.node == node
+                ]
+                for task in done_here:
+                    if task.task_key is not None and self.checkpoint_store.save(
+                        task.task_key, task.result
+                    ):
+                        protected += 1
+            if self.integrity is not None:
+                targets = [
+                    w.name
+                    for w in self.pool.workers.values()
+                    if w.available and w.name != node
+                ]
+                protected += self.integrity.evacuate(node, targets)
+        return protected
 
     # ------------------------------------------------------------------
     # Introspection / artefacts

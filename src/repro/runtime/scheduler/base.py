@@ -14,6 +14,7 @@ import abc
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.runtime.fault import UnsatisfiableError
 from repro.runtime.resources import Allocation, ResourcePool
 from repro.runtime.task_definition import TaskDefinition, TaskInvocation
 
@@ -91,7 +92,14 @@ class Scheduler(abc.ABC):
         assignments: List[Assignment] = []
         placed_ids = set()
         for task in self.order(list(ready)):
-            placed = self._try_place(task, pool, quarantined)
+            try:
+                placed = self._try_place(task, pool, quarantined)
+            except UnsatisfiableError as exc:
+                if exc.permanent:
+                    raise
+                # Starved (capable nodes exist but are all dead/draining):
+                # leave the task waiting — a rejoin may still save it.
+                placed = None
             if placed is not None:
                 assignments.append(placed)
                 placed_ids.add(task.task_id)
@@ -122,8 +130,11 @@ class Scheduler(abc.ABC):
         preferred = [n for n in self.preferred_nodes(task) if n not in avoid]
         candidates = task.definition.all_candidates()
         any_possible = False
+        any_static = False
         for impl in candidates:
             rc = impl.constraint
+            if pool.static_candidates(rc):
+                any_static = True
             if pool.anyone_could_ever_host(rc):
                 any_possible = True
             if rc.nodes > 1:
@@ -136,9 +147,12 @@ class Scheduler(abc.ABC):
                 return Assignment(task, alloc, impl)
         if not any_possible:
             names = ", ".join(i.constraint.describe() for i in candidates)
-            raise RuntimeError(
+            raise UnsatisfiableError(
                 f"task {task.label} is unsatisfiable: no live node can host "
-                f"any implementation ({names})"
+                f"any implementation ({names})",
+                task_label=task.label,
+                constraint=names,
+                permanent=not any_static,
             )
         return None
 

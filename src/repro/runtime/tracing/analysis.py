@@ -242,6 +242,30 @@ class TraceAnalysis:
             "transfer_failures": counts.get(rsl.TRANSFER_FAILED, 0),
         }
 
+    def churn(self) -> Dict[str, int]:
+        """Node-churn summary (elastic / spot-market studies).
+
+        Counts of preemption notices received, graceful drains started
+        and completed, drain deadlines that escalated to failures, nodes
+        lost outright, nodes that rejoined, constraint classes that
+        starved, and consumers cancelled because a producer died
+        terminally — the cluster-elasticity view of a run (all zero on
+        a static cluster).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "preemption_notices": counts.get(rsl.PREEMPTION_NOTICE, 0),
+            "drains_started": counts.get(rsl.NODE_DRAINING, 0),
+            "drains_completed": counts.get(rsl.DRAIN_COMPLETE, 0),
+            "drain_deadline_escalations": counts.get(rsl.DRAIN_DEADLINE, 0),
+            "nodes_lost": counts.get(rsl.NODE_LOST, 0),
+            "nodes_rejoined": counts.get(rsl.NODE_REJOINED, 0),
+            "classes_starved": counts.get(rsl.CLASS_STARVED, 0),
+            "upstream_cancellations": counts.get(rsl.UPSTREAM_CANCELLED, 0),
+        }
+
     def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:
         """Resilience events, optionally filtered to one kind."""
         if kind is None:

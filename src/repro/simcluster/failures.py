@@ -181,6 +181,180 @@ class FailurePlan:
         return self.link_slowdowns.get((src, dst), 1.0)
 
 
+@dataclass(frozen=True)
+class PreemptionNotice:
+    """A spot-style preemption: advance notice at ``time``, loss at
+    ``time + lead_s``.
+
+    The simulated executor honours the notice by draining the node
+    (finish running tasks, no new placements, spill resident data); at
+    the deadline an incomplete drain escalates to a data-destroying node
+    failure, a complete one retires the node cleanly.  With ``rejoin_at``
+    set the node elastically rejoins at that time.
+    """
+
+    node: str
+    time: float
+    lead_s: float = 60.0
+    rejoin_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+        if self.lead_s <= 0:
+            raise ValueError(f"lead_s must be > 0, got {self.lead_s}")
+        if self.rejoin_at is not None and self.rejoin_at <= self.time + self.lead_s:
+            raise ValueError(
+                f"rejoin_at ({self.rejoin_at}) must be after the preemption "
+                f"deadline ({self.time + self.lead_s})"
+            )
+
+
+@dataclass(frozen=True)
+class MassLoss:
+    """A storm: ``k`` nodes lost at once with no notice (data destroyed)."""
+
+    time: float
+    nodes: Tuple[str, ...]
+    rejoin_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+        if not self.nodes:
+            raise ValueError("a storm must name at least one node")
+        if self.rejoin_at is not None and self.rejoin_at <= self.time:
+            raise ValueError(
+                f"rejoin_at ({self.rejoin_at}) must be after the storm "
+                f"({self.time})"
+            )
+
+
+@dataclass(frozen=True)
+class NodeRejoin:
+    """A node (previously lost or retired) elastically rejoins at ``time``."""
+
+    node: str
+    time: float
+
+    def __post_init__(self) -> None:
+        check_non_negative("time", self.time)
+
+
+@dataclass
+class ChurnPlan:
+    """Cluster churn: scripted preemption notices, storms, and rejoins,
+    plus an optional stochastic spot-churn component.
+
+    Scripted events are built with :meth:`notice` / :meth:`storm` /
+    :meth:`rejoin`.  The stochastic component (:meth:`stochastic`) models
+    sustained spot-market churn: the horizon is cut into windows of
+    ``interval_s`` and every node draws once per window — with
+    probability ``preempt_prob`` it receives a preemption notice at a
+    seeded offset inside the window, with ``lead_s`` of lead time and
+    (when ``rejoin_delay_s`` is set) a rejoin that long after the loss.
+    Draws are keyed by ``(seed, node, window)`` so the pattern is
+    bit-reproducible and independent of execution order.
+    """
+
+    notices: List[PreemptionNotice] = field(default_factory=list)
+    storms: List[MassLoss] = field(default_factory=list)
+    rejoins: List[NodeRejoin] = field(default_factory=list)
+    preempt_prob: float = 0.0
+    interval_s: float = 300.0
+    horizon_s: float = 0.0
+    lead_s: float = 60.0
+    rejoin_delay_s: Optional[float] = None
+    seed: int = 0
+
+    def notice(
+        self,
+        node: str,
+        time: float,
+        lead_s: float = 60.0,
+        rejoin_at: Optional[float] = None,
+    ) -> "ChurnPlan":
+        """Schedule a preemption notice for ``node`` at ``time``."""
+        self.notices.append(PreemptionNotice(node, time, lead_s, rejoin_at))
+        return self
+
+    def storm(
+        self, time: float, *nodes: str, rejoin_at: Optional[float] = None
+    ) -> "ChurnPlan":
+        """Schedule a mass loss of ``nodes`` at ``time`` (no notice)."""
+        self.storms.append(MassLoss(time, tuple(nodes), rejoin_at))
+        return self
+
+    def rejoin(self, node: str, time: float) -> "ChurnPlan":
+        """Schedule ``node`` to elastically rejoin at ``time``."""
+        self.rejoins.append(NodeRejoin(node, time))
+        return self
+
+    def stochastic(
+        self,
+        preempt_prob: float,
+        interval_s: float,
+        horizon_s: float,
+        lead_s: float = 60.0,
+        rejoin_delay_s: Optional[float] = None,
+        seed: int = 0,
+    ) -> "ChurnPlan":
+        """Enable the seeded stochastic spot-churn component."""
+        check_in_range("preempt_prob", preempt_prob, 0.0, 1.0)
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be > 0, got {interval_s}")
+        check_non_negative("horizon_s", horizon_s)
+        if lead_s <= 0:
+            raise ValueError(f"lead_s must be > 0, got {lead_s}")
+        if rejoin_delay_s is not None and rejoin_delay_s <= 0:
+            raise ValueError(
+                f"rejoin_delay_s must be > 0, got {rejoin_delay_s}"
+            )
+        self.preempt_prob = preempt_prob
+        self.interval_s = float(interval_s)
+        self.horizon_s = float(horizon_s)
+        self.lead_s = float(lead_s)
+        self.rejoin_delay_s = rejoin_delay_s
+        self.seed = seed
+        return self
+
+    def materialize(self, node_names: List[str]) -> List[object]:
+        """Scripted plus stochastically-drawn events, deterministically.
+
+        The stochastic draws are pure functions of ``(seed, node,
+        window)``, so the same plan over the same node set always yields
+        the same event list regardless of when or how often this is
+        called.
+        """
+        events: List[object] = list(self.notices) + list(self.storms)
+        events += list(self.rejoins)
+        if self.preempt_prob > 0.0 and self.horizon_s > 0.0:
+            windows = int(self.horizon_s // self.interval_s)
+            for node in sorted(node_names):
+                for k in range(windows):
+                    rng = rng_from(self.seed, f"churn/{node}/{k}")
+                    if rng.random() >= self.preempt_prob:
+                        continue
+                    t = k * self.interval_s + rng.random() * (
+                        self.interval_s - self.lead_s
+                        if self.interval_s > self.lead_s
+                        else self.interval_s
+                    )
+                    rejoin_at = None
+                    if self.rejoin_delay_s is not None:
+                        rejoin_at = t + self.lead_s + self.rejoin_delay_s
+                    events.append(
+                        PreemptionNotice(node, t, self.lead_s, rejoin_at)
+                    )
+        # Deterministic order: by time, then a stable type/node key.
+        def _key(e: object):
+            if isinstance(e, MassLoss):
+                return (e.time, 0, ",".join(e.nodes))
+            if isinstance(e, PreemptionNotice):
+                return (e.time, 1, e.node)
+            return (e.time, 2, e.node)
+
+        return sorted(events, key=_key)
+
+
 class FailureInjector:
     """Combines a deterministic plan with optional random task failures.
 
@@ -202,6 +376,9 @@ class FailureInjector:
         Seed for the random component; identical seeds reproduce the
         exact same failure pattern (attempts are counted, not timed, so
         reproduction is independent of execution order jitter).
+    churn:
+        Optional :class:`ChurnPlan` — preemption notices, storms, and
+        elastic rejoins consumed by the simulated executor.
     """
 
     def __init__(
@@ -211,11 +388,13 @@ class FailureInjector:
         seed: int = 0,
         output_corrupt_prob: float = 0.0,
         transfer_failure_prob: float = 0.0,
+        churn: Optional[ChurnPlan] = None,
     ) -> None:
         check_in_range("task_failure_prob", task_failure_prob, 0.0, 1.0)
         check_in_range("output_corrupt_prob", output_corrupt_prob, 0.0, 1.0)
         check_in_range("transfer_failure_prob", transfer_failure_prob, 0.0, 1.0)
         self.plan = plan or FailurePlan()
+        self.churn = churn
         self.task_failure_prob = task_failure_prob
         self.output_corrupt_prob = output_corrupt_prob
         self.transfer_failure_prob = transfer_failure_prob

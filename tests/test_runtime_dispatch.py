@@ -283,6 +283,10 @@ class TestBlockedClassWakes:
         assert engine.pending() == 1
 
     def test_node_recovery_unblocks(self):
+        # All nodes that could ever host the task are down: the class is
+        # *starved*, not permanently unsatisfiable — the engine holds the
+        # task (awaiting a rejoin or the starvation watchdog) instead of
+        # raising.
         pool = ResourcePool(mare_nostrum4(2))
         engine = DispatchEngine(FIFOScheduler(), pool)
         pool.listener = engine
@@ -290,11 +294,36 @@ class TestBlockedClassWakes:
         pool.fail_node("mn4-0002")
         t = make_task(cpu=48)
         engine.ingest([t])
-        with pytest.raises(RuntimeError, match="unsatisfiable"):
-            engine.schedule_round()
+        assert engine.schedule_round() == []
+        assert len(engine.starved_classes()) == 1
+        assert engine.stats.classes_starved == 1
         pool.recover_node("mn4-0001")
         (assignment,) = engine.schedule_round()
         assert assignment.allocation.node == "mn4-0001"
+        assert engine.starved_classes() == {}
+
+    def test_starved_class_reaped_after_timeout(self):
+        clock = {"now": 0.0}
+        pool = ResourcePool(mare_nostrum4(2))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        engine.clock = lambda: clock["now"]
+        engine.starvation_timeout_s = 30.0
+        pool.listener = engine
+        pool.fail_node("mn4-0001")
+        pool.fail_node("mn4-0002")
+        tasks = [make_task(cpu=48) for _ in range(3)]
+        engine.ingest(tasks)
+        assert engine.schedule_round() == []
+        assert engine.next_starvation_deadline() == 30.0
+        clock["now"] = 29.0
+        assert engine.reap_starved() == []  # not yet
+        clock["now"] = 30.0
+        reaped = engine.reap_starved()
+        assert [t.task_id for t, _ in reaped] == [t.task_id for t in tasks]
+        assert all(waited == 30.0 for _, waited in reaped)
+        assert engine.pending() == 0
+        assert engine.stats.starvation_failures == 3
+        assert engine.next_starvation_deadline() is None
 
 
 # ----------------------------------------------------------------------

@@ -4,9 +4,11 @@ import pytest
 
 from repro.pycompss_api import COMPSs, compss_wait_on
 from repro.pycompss_api.constraint import ResourceConstraint
+from repro.runtime import resilience as rsl
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.runtime import COMPSsRuntime
 from repro.runtime.task_definition import TaskDefinition
+from repro.simcluster.failures import FailureInjector, FailurePlan
 from repro.simcluster.machines import mare_nostrum4
 from repro.simcluster.node import NodeSpec
 
@@ -63,6 +65,35 @@ class TestElasticity:
             assert nodes == {"mn4-0001"}
             # Serialised on the surviving node.
             assert rt.virtual_time == pytest.approx(200.0, abs=3.0)
+        finally:
+            rt.stop(wait=False)
+
+    def test_recovered_node_rejoins_and_receives_placements(self):
+        # recover_node mid-study: the blocked class wakes and the
+        # returning node picks up queued work.
+        plan = FailurePlan().fail_node("mn4-0001", 150.0, recovery_time=250.0)
+        rt = COMPSsRuntime(
+            RuntimeConfig(
+                cluster=mare_nostrum4(1), executor="simulated",
+                execute_bodies=True, duration_fn=lambda t, n, a: 100.0,
+                failure_injector=FailureInjector(plan=plan),
+                starvation_timeout_s=500.0,
+            )
+        ).start()
+        try:
+            d = definition(cpu=48)
+            futs = [rt.submit(d, (i,), {}) for i in range(2)]
+            # Task 1: 0-100.  Task 2 starts at 100, dies with the node at
+            # 150, and its class starves (no node left).  The recovery at
+            # 250 rejoins the node, wakes the class, and reruns it.
+            compss_wait_on(futs)
+            assert rt.virtual_time == pytest.approx(350.0, abs=2.0)
+            kinds = [e.kind for e in rt.resilience.events]
+            assert rsl.NODE_LOST in kinds
+            assert rsl.NODE_REJOINED in kinds
+            done = [r for r in rt.tracer.records if r.success]
+            assert done[-1].start == pytest.approx(250.0, abs=2.0)
+            assert done[-1].node == "mn4-0001"
         finally:
             rt.stop(wait=False)
 
