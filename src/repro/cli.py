@@ -249,6 +249,17 @@ def cmd_run(args) -> int:
             "",
             render_stats(runtime.tracer),
         ]
+        dispatch = runtime.analysis().dispatch()
+        if dispatch["rounds"]:
+            report_lines += ["", (
+                "dispatch: "
+                f"{dispatch['rounds']} scheduling round(s), "
+                f"{dispatch['placed']} placement(s), "
+                f"avg batch {dispatch['avg_batch_size']:.1f} task(s)/round, "
+                f"{dispatch['wakes']} class wake(s) "
+                f"({dispatch['full_wakes']} full), "
+                f"{dispatch['blocked_skips']} blocked-class skip(s)"
+            )]
         if runtime.integrity is not None:
             report_lines += ["", runtime.integrity.describe()]
         churn = runtime.analysis().churn()

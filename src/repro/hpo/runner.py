@@ -302,6 +302,12 @@ class PyCOMPSsRunner:
                 # Preemptions, drains, rejoins, starvation — the elastic
                 # view of the run (absent on a static, healthy cluster).
                 study.metadata["churn"] = churn
+            dispatch = runtime.analysis().dispatch()
+            if dispatch["rounds"]:
+                # Batched-scheduling observability: rounds vs placements
+                # (avg_batch_size ≫ 1 means batching is engaged), class
+                # wakes and blocked-class skips.
+                study.metadata["dispatch"] = dispatch
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:

@@ -20,6 +20,19 @@ import functools
 from typing import Any
 
 
+def _resolve_current_runtime():
+    """First-call shim: bind ``current_runtime`` lazily (import cycle),
+    then rebind the module global so later calls skip the import."""
+    global _current_runtime
+    from repro.runtime.runtime import current_runtime
+
+    _current_runtime = current_runtime
+    return current_runtime()
+
+
+_current_runtime = _resolve_current_runtime
+
+
 def _count_returns(returns: Any) -> int:
     """Number of return futures implied by a ``returns`` spec.
 
@@ -78,9 +91,7 @@ def task(
 
         @functools.wraps(func)
         def wrapper(*args, **kwargs):
-            from repro.runtime.runtime import current_runtime
-
-            runtime = current_runtime()
+            runtime = _current_runtime()
             if runtime is None:
                 # Sequential fallback: "the program executes sequentially
                 # as it would and all PyCOMPSs directions are ignored".

@@ -63,6 +63,10 @@ class TaskGroup:
 
 def record_submission(task: "TaskInvocation") -> None:
     """Attach ``task`` to every currently-open group (runtime hook)."""
+    if not _active_groups:
+        # Unlocked emptiness probe: groups open/close only in the driver
+        # thread, and a stale read merely defers to the locked path.
+        return
     with _active_lock:
         for group in _active_groups:
             group.add(task)

@@ -18,7 +18,6 @@ future's datum.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.pycompss_api.parameter import ParameterSpec
@@ -26,32 +25,57 @@ from repro.runtime.future import Future, is_future
 from repro.runtime.task_definition import TaskInvocation
 
 
-@dataclass
 class DataVersion:
-    """One version of a datum: ``d<data_id>v<version>``."""
+    """One version of a datum: ``d<data_id>v<version>``.
 
-    data_id: int
-    version: int
-    writer: Optional[TaskInvocation] = None
-    readers: List[TaskInvocation] = field(default_factory=list)
-    #: Set when the version's bytes were lost with a failed node; cleared
-    #: when the writer re-executes (lineage recovery re-materialises it).
-    invalidated: bool = False
-    #: Content digest sealed at write time by the integrity layer
-    #: (``None`` until sealed / when ``verify_outputs`` is off).
-    checksum: Optional[str] = None
+    A ``__slots__`` class rather than a dataclass: one instance is
+    created per task output on the submission hot path, and the
+    dataclass ctor alone was the single largest cost at 100k tasks.
+
+    Attributes: ``writer`` is the producing task (None for main-program
+    data); ``readers`` the tasks that read this version; ``invalidated``
+    is set when the version's bytes were lost with a failed node and
+    cleared when the writer re-executes (lineage recovery); ``checksum``
+    is the content digest sealed at write time by the integrity layer
+    (None until sealed / when ``verify_outputs`` is off).
+    """
+
+    __slots__ = (
+        "data_id", "version", "writer", "readers", "invalidated", "checksum"
+    )
+
+    def __init__(
+        self,
+        data_id: int,
+        version: int,
+        writer: Optional[TaskInvocation] = None,
+    ):
+        self.data_id = data_id
+        self.version = version
+        self.writer = writer
+        self.readers: List[TaskInvocation] = []
+        self.invalidated = False
+        self.checksum: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"DataVersion({self.label}, writer="
+            f"{self.writer.label if self.writer else None})"
+        )
 
     @property
     def label(self) -> str:
         return f"d{self.data_id}v{self.version}"
 
 
-@dataclass
 class DataInfo:
-    """All versions of one datum."""
+    """All versions of one datum (slots: one per task output, hot path)."""
 
-    data_id: int
-    versions: List[DataVersion] = field(default_factory=list)
+    __slots__ = ("data_id", "versions")
+
+    def __init__(self, data_id: int):
+        self.data_id = data_id
+        self.versions: List[DataVersion] = []
 
     @property
     def current(self) -> DataVersion:
@@ -80,6 +104,10 @@ class AccessProcessor:
         self._by_path: Dict[str, DataInfo] = {}
         #: writer task_id -> versions it produced (lineage queries).
         self._by_writer: Dict[int, List[DataVersion]] = {}
+        #: True once any version was ever invalidated — lets the
+        #: per-completion revalidation pass skip entirely in the
+        #: (overwhelmingly common) no-failure run.
+        self.any_invalidated = False
 
     # ------------------------------------------------------------------
     # Registration
@@ -98,10 +126,17 @@ class AccessProcessor:
         key = (fut.invocation.task_id, fut.index)
         info = self._future_data.get(key)
         if info is None:
+            writer = fut.invocation
             info = DataInfo(next(self._data_ids))
-            version = info.new_version(writer=fut.invocation)
-            fut.invocation.writes.append(version.label)
-            self._track_writer(version)
+            version = info.new_version(writer=writer)
+            writer.writes.append(version.label)
+            by_writer = self._by_writer
+            tid = writer.task_id
+            versions = by_writer.get(tid)
+            if versions is None:
+                by_writer[tid] = [version]
+            else:
+                versions.append(version)
             self._future_data[key] = info
         return info
 
@@ -208,6 +243,8 @@ class AccessProcessor:
                 if not version.invalidated:
                     version.invalidated = True
                     labels.append(version.label)
+        if labels:
+            self.any_invalidated = True
         return labels
 
     def revalidate_versions_written_by(self, task: TaskInvocation) -> None:
@@ -223,6 +260,19 @@ class AccessProcessor:
             for v in versions
             if v.invalidated
         )
+
+    def release_task(self, task_id: int, n_returns: int) -> None:
+        """Drop a freed task's future/writer registrations (streaming).
+
+        Called via ``TaskGraph.on_free`` once every consumer of the task
+        has completed — nothing can read these versions again, so the
+        version objects (and through them the task invocation) become
+        collectable.  Object-keyed data (INOUT containers) stays: it is
+        bounded by live user objects, not by task count.
+        """
+        for i in range(n_returns):
+            self._future_data.pop((task_id, i), None)
+        self._by_writer.pop(task_id, None)
 
     @staticmethod
     def _is_trackable(obj: Any) -> bool:
@@ -249,6 +299,7 @@ class AccessProcessor:
         self._future_data.clear()
         self._by_path.clear()
         self._by_writer.clear()
+        self.any_invalidated = False
         self._data_ids = itertools.count(1)
 
     @property

@@ -116,17 +116,30 @@ class TaskKeyer:
     """
 
     def __init__(self) -> None:
-        self._occurrences: Dict[Tuple[str, str], int] = {}
+        # Occurrence counters keyed by a 64-bit slot derived from
+        # (name, param digest) rather than the strings themselves: the
+        # keyer is the one journal-path structure that must persist for
+        # the whole session (a counter per *distinct* submission), and at
+        # 1M tasks the string tuples retained ~270 B/task.  A slot
+        # collision merely inflates the colliding task's occurrence index
+        # — and deterministically so (same driver program, same hashes,
+        # same collision), so keys still match across sessions.
+        self._occurrences: Dict[int, int] = {}
 
     def key_for(self, task: TaskInvocation) -> str:
         """Compute (and memoise on the invocation) the task's key."""
         if task.task_key is not None:
             return task.task_key
         digest = self._params_digest(task.args, task.kwargs)
-        occurrence = self._occurrences.get((task.definition.name, digest), 0)
-        self._occurrences[(task.definition.name, digest)] = occurrence + 1
-        raw = f"{task.definition.name}|{digest}|{occurrence}"
-        task.task_key = hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+        raw = f"{task.definition.name}|{digest}"
+        slot = int.from_bytes(
+            hashlib.sha1(raw.encode("utf-8")).digest()[:8], "big"
+        )
+        occurrence = self._occurrences.get(slot, 0)
+        self._occurrences[slot] = occurrence + 1
+        task.task_key = hashlib.sha1(
+            f"{raw}|{occurrence}".encode("utf-8")
+        ).hexdigest()[:16]
         return task.task_key
 
     def _params_digest(self, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> str:
@@ -184,11 +197,23 @@ class WriteAheadJournal:
         ``submitted``/``started`` tail is harmless: the resumed driver
         re-submits deterministically); ``"off"`` — leave flushing to the
         OS (tests / throwaway runs).
+    buffer_records:
+        Serialised records accumulate in a bounded in-memory buffer and
+        hit the file every this-many records — and always before an
+        fsync point and on close.  Durability is unchanged (an fsync
+        point flushes the buffer first); only non-durable tail records
+        can sit in memory, exactly the ones the policy already allowed
+        the OS to lose.
     """
 
     FSYNC_MODES = ("always", "commit", "off")
 
-    def __init__(self, path: Union[str, Path], fsync: str = "commit"):
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fsync: str = "commit",
+        buffer_records: int = 256,
+    ):
         check_one_of("fsync", fsync, list(self.FSYNC_MODES))
         self.path = Path(path)
         self.fsync = fsync
@@ -197,24 +222,36 @@ class WriteAheadJournal:
             self.path, "a", encoding="utf-8"
         )
         self._seq = 0
+        self._buffer: List[str] = []
+        self._buffer_limit = max(1, int(buffer_records))
         # submit() (main thread) and completions (worker threads) both
         # append; a lock keeps records whole on the wire.
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     def append(self, kind: str, key: str = "", **fields: Any) -> None:
-        """Write one record (and fsync it according to the policy)."""
+        """Buffer one record (flush + fsync according to the policy)."""
         with self._lock:
             if self._fh is None:
                 return
             self._seq += 1
             record = {"rec": kind, "key": key, "seq": self._seq, **fields}
-            self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+            self._buffer.append(json.dumps(record, sort_keys=True))
             if self.fsync == "always" or (
                 self.fsync == "commit" and kind in (COMPLETED, FAILED, SESSION)
             ):
-                self._fh.flush()
-                os.fsync(self._fh.fileno())
+                self._flush_locked(sync=True)
+            elif len(self._buffer) >= self._buffer_limit:
+                self._flush_locked(sync=False)
+
+    def _flush_locked(self, sync: bool) -> None:
+        """Drain the buffer to the file; optionally fsync.  Lock held."""
+        if self._buffer:
+            self._fh.write("\n".join(self._buffer) + "\n")
+            self._buffer.clear()
+        if sync:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
 
     def open_session(self, **fields: Any) -> None:
         """Mark the start of one driver process in the journal."""
@@ -223,6 +260,9 @@ class WriteAheadJournal:
     def close(self) -> None:
         with self._lock:
             if self._fh is not None:
+                if self._buffer:
+                    self._fh.write("\n".join(self._buffer) + "\n")
+                    self._buffer.clear()
                 self._fh.flush()
                 try:
                     os.fsync(self._fh.fileno())

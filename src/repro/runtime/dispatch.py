@@ -113,7 +113,13 @@ class DispatchEngine:
         #: watchdog measures total starvation, not time-since-last-look.
         self._starved: Dict[Tuple, float] = {}
         self._classes: Dict[Tuple, _ClassQueue] = {}
-        self._blocked: Set[Tuple] = set()
+        #: class key -> nodes that freed capacity since the class was last
+        #: conclusively blocked.  An *empty* set means "blocked, skip the
+        #: probe"; a non-empty set means "re-probe, but only the listed
+        #: nodes" (every node outside the set failed a capacity check and
+        #: has only lost capacity since, so probing it again is wasted
+        #: work).  Absent key = never blocked, probe unrestricted.
+        self._blocked: Dict[Tuple, Set[str]] = {}
         #: node name -> constraint classes that statically fit on it.
         self._node_classes: Dict[str, Set[Tuple]] = {}
         self._wake_lock = threading.Lock()
@@ -129,6 +135,10 @@ class DispatchEngine:
         #: resolved at the head of schedule_round, or cancelled in place
         #: if the task is re-ingested first.
         self._purged: Set[int] = set()
+        #: Pooled per-round scratch (reused across rounds so the hot path
+        #: allocates no fresh lists per completion batch).
+        self._heads: List[Tuple] = []
+        self._deferred: List[Tuple] = []
 
     # ------------------------------------------------------------------
     # Pool listener protocol (called with the pool lock held: buffer only)
@@ -147,12 +157,20 @@ class DispatchEngine:
     # Queue maintenance
     # ------------------------------------------------------------------
     def _class_for(self, task: TaskInvocation) -> _ClassQueue:
-        key = task.definition.constraint_class()
+        definition = task.definition
+        cached = getattr(definition, "_dispatch_class_cache", None)
+        if cached is not None and cached[0] is self:
+            return cached[1]
+        key = definition.constraint_class()
         cq = self._classes.get(key)
         if cq is None:
             cq = _ClassQueue(key)
             self._classes[key] = cq
             self._register_nodes(cq, task)
+        # Safe to cache per (engine, definition): constraint_class() is
+        # itself cached on the definition and decorators finish mutating
+        # the constraint before the first submission.
+        definition._dispatch_class_cache = (self, cq)
         return cq
 
     def _register_nodes(self, cq: _ClassQueue, task: TaskInvocation) -> None:
@@ -165,19 +183,26 @@ class DispatchEngine:
 
     def ingest(self, tasks: Iterable[TaskInvocation]) -> None:
         """Add newly-ready tasks to their class queues."""
+        queued = self._queued
+        purged = self._purged
+        sort_key = self.scheduler.sort_key
+        seq = self._seq
+        heappush = heapq.heappush
+        class_for = self._class_for
+        n = 0
         for task in tasks:
-            if task.task_id in self._queued:
+            tid = task.task_id
+            if tid in queued:
                 # Still queued from before an invalidate/re-ready cycle:
                 # revive the existing entry instead of duplicating it.
-                self._purged.discard(task.task_id)
+                purged.discard(tid)
                 continue
-            self._queued.add(task.task_id)
-            cq = self._class_for(task)
-            heapq.heappush(
-                cq.heap,
-                (self.scheduler.sort_key(task), next(self._seq), task),
+            queued.add(tid)
+            heappush(
+                class_for(task).heap, (sort_key(task), next(seq), task)
             )
-            self.stats.ingested += 1
+            n += 1
+        self.stats.ingested += n
 
     def purge(self, tasks: Iterable[TaskInvocation]) -> None:
         """Lazily drop queued tasks that lineage recovery invalidated.
@@ -189,18 +214,49 @@ class DispatchEngine:
         for task in tasks:
             if task.task_id in self._queued:
                 self._purged.add(task.task_id)
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the class heaps when tombstones dominate.
+
+        Lazy deletion is O(1) per purge but leaves dead entries in the
+        heaps; after a mass invalidation (lineage recovery under churn)
+        those can dominate and every later round pays to skip them.  When
+        at least 64 entries — and more than half of everything queued —
+        are tombstones, rebuild each affected heap without them so heap
+        sizes stay bounded by live work.
+        """
+        purged = self._purged
+        n_purged = len(purged)
+        if n_purged < 64 or n_purged * 2 <= len(self._queued):
+            return
+        for cq in self._classes.values():
+            heap = cq.heap
+            if any(e[2].task_id in purged for e in heap):
+                heap[:] = [e for e in heap if e[2].task_id not in purged]
+                heapq.heapify(heap)
+        self._queued -= purged
+        purged.clear()
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def pending(self) -> int:
-        """Tasks currently queued (ready but unplaced)."""
-        return sum(len(cq.heap) for cq in self._classes.values())
+        """Tasks currently queued (ready but unplaced).
+
+        Tombstoned (purged-but-not-yet-dropped) entries are excluded, so
+        the answer agrees with the graph across cancel+resubmit cycles.
+        """
+        return len(self._queued) - len(self._purged)
 
     def waiting_tasks(self) -> List[TaskInvocation]:
         """Queued tasks in policy order (debugging / tests)."""
         entries = [e for cq in self._classes.values() for e in cq.heap]
-        return [task for _, _, task in sorted(entries)]
+        return [
+            task
+            for _, _, task in sorted(entries)
+            if task.task_id not in self._purged
+        ]
 
     # ------------------------------------------------------------------
     # Starvation watchdog
@@ -257,7 +313,7 @@ class DispatchEngine:
                 victims.append((task, now - since))
                 self.stats.starvation_failures += 1
             del self._starved[key]
-            self._blocked.discard(key)
+            self._blocked.pop(key, None)
         return victims
 
     # ------------------------------------------------------------------
@@ -281,11 +337,22 @@ class DispatchEngine:
                     cq.nodes = frozenset()
             return
         if woken and self._blocked:
+            blocked = self._blocked
+            node_classes = self._node_classes
             for node in woken:
-                hit = self._node_classes.get(node)
-                if hit:
-                    self.stats.wakes += len(self._blocked & hit)
-                    self._blocked -= hit
+                hit = node_classes.get(node)
+                if not hit:
+                    continue
+                for key in hit:
+                    restrict = blocked.get(key)
+                    if restrict is None:
+                        continue
+                    if not restrict:
+                        # First capacity signal since the class blocked:
+                        # it becomes probeable again (restricted to the
+                        # nodes that actually freed something).
+                        self.stats.wakes += 1
+                    restrict.add(node)
 
     def _check_quarantine(self) -> List[str]:
         quarantined = self.pool.blocked_nodes()
@@ -309,66 +376,202 @@ class DispatchEngine:
         self._drain_wakes()
         quarantined = self._check_quarantine()
         assignments: List[Assignment] = []
-        deferred: List[Tuple] = []
-        heads: List[Tuple] = []
-        for key, cq in self._classes.items():
-            if not cq.heap:
-                continue
-            if key in self._blocked:
-                self.stats.blocked_skips += 1
-                continue
-            sort, seq, _task = cq.heap[0]
-            heapq.heappush(heads, (sort, seq, key))
-        while heads:
-            sort, seq, key = heapq.heappop(heads)
-            cq = self._classes[key]
-            if not cq.heap or cq.heap[0][1] != seq:
-                continue  # stale head entry
-            task = cq.heap[0][2]
-            if task.task_id in self._purged:
-                # Invalidated (lineage recovery) while queued: drop the
-                # stale entry; the graph re-readies it when its inputs
-                # re-materialise.
-                heapq.heappop(cq.heap)
-                self._queued.discard(task.task_id)
-                self._purged.discard(task.task_id)
-                if cq.heap:
-                    nsort, nseq, _ = cq.heap[0]
-                    heapq.heappush(heads, (nsort, nseq, key))
-                continue
-            self.stats.placement_probes += 1
-            try:
-                placed = self.scheduler._try_place(
-                    task, self.pool, quarantined
-                )
-            except UnsatisfiableError as exc:
-                if exc.permanent:
-                    raise
-                # Starved: capable nodes exist but all are dead/draining.
-                # Hold the class awaiting a rejoin; the watchdog reaps it
-                # after starvation_timeout_s.
-                self._blocked.add(key)
-                self._mark_starved(key, task, exc)
-                continue
-            self._starved.pop(key, None)
-            if placed is not None:
-                heapq.heappop(cq.heap)
-                self._queued.discard(task.task_id)
-                assignments.append(placed)
-                self.stats.placed += 1
-                if cq.heap:
-                    nsort, nseq, _ = cq.heap[0]
-                    heapq.heappush(heads, (nsort, nseq, key))
-            elif task.failed_nodes:
-                # Per-task avoid sets make this task stricter than its
-                # class: set it aside and give the next-in-class a go.
-                deferred.append(heapq.heappop(cq.heap))
-                if cq.heap:
-                    nsort, nseq, _ = cq.heap[0]
-                    heapq.heappush(heads, (nsort, nseq, key))
-            else:
-                self._blocked.add(key)
-        for entry in deferred:
-            key = entry[2].definition.constraint_class()
-            heapq.heappush(self._classes[key].heap, entry)
+        self._place_ready(quarantined, assignments)
         return assignments
+
+    def drain(
+        self,
+        units: List[Tuple[Assignment, List[TaskInvocation]]],
+    ) -> List[Assignment]:
+        """Batched scheduling: replay buffered completion units in order.
+
+        Each unit is ``(assignment, ready)`` — the resources one finished
+        attempt held plus the tasks its completion made ready.  Units are
+        replayed strictly in completion order: release the unit's
+        allocations, fold the wakes they generate into the blocked-class
+        restriction sets, ingest the readied tasks, then place.  That
+        per-unit replay is what keeps placements byte-identical to the
+        unbatched engine (releasing a whole batch up front would let an
+        early task see capacity that, event-by-event, a later task
+        claimed first), while the round-level bookkeeping — quarantine
+        check, stats round — is paid once per batch.
+        """
+        self.stats.rounds += 1
+        self._drain_wakes()
+        quarantined = self._check_quarantine()
+        out: List[Assignment] = []
+        pool = self.pool
+        for assignment, ready in units:
+            pool.release(assignment.allocation)
+            for extra in assignment.extra_allocations:
+                pool.release(extra)
+            self._drain_wakes()
+            if ready:
+                self.ingest(ready)
+            self._place_ready(quarantined, out)
+        return out
+
+    def _place_ready(
+        self, quarantined: List[str], out: List[Assignment]
+    ) -> None:
+        """One placement pass over the class-queue heads (shared core).
+
+        Appends assignments to ``out``.  Uses the pooled ``_heads`` /
+        ``_deferred`` scratch lists — no per-round allocations.
+        """
+        heads = self._heads
+        blocked = self._blocked
+        stats = self.stats
+        for key, cq in self._classes.items():
+            heap = cq.heap
+            if not heap:
+                continue
+            restrict = blocked.get(key)
+            if restrict is not None and not restrict:
+                stats.blocked_skips += 1
+                continue
+            entry = heap[0]
+            heads.append((entry[0], entry[1], key))
+        if not heads:
+            return
+        if len(heads) == 1:
+            # Single participating class (the common case in homogeneous
+            # studies): within a class, heap order *is* policy order, so
+            # the lazy merge below adds nothing but overhead.
+            key = heads[0][2]
+            heads.clear()
+            self._place_class(key, quarantined, out)
+            return
+        heapq.heapify(heads)
+        deferred = self._deferred
+        try:
+            while heads:
+                _sort, seq, key = heapq.heappop(heads)
+                cq = self._classes[key]
+                heap = cq.heap
+                if not heap or heap[0][1] != seq:
+                    continue  # stale head entry
+                task = heap[0][2]
+                if task.task_id in self._purged:
+                    # Invalidated (lineage recovery) while queued: drop the
+                    # stale entry; the graph re-readies it when its inputs
+                    # re-materialise.
+                    heapq.heappop(heap)
+                    self._queued.discard(task.task_id)
+                    self._purged.discard(task.task_id)
+                    if heap:
+                        nxt = heap[0]
+                        heapq.heappush(heads, (nxt[0], nxt[1], key))
+                    continue
+                stats.placement_probes += 1
+                try:
+                    placed = self.scheduler._try_place(
+                        task, self.pool, quarantined, blocked.get(key)
+                    )
+                except UnsatisfiableError as exc:
+                    if exc.permanent:
+                        raise
+                    # Starved: capable nodes exist but all are
+                    # dead/draining.  Hold the class awaiting a rejoin;
+                    # the watchdog reaps it after starvation_timeout_s.
+                    blocked[key] = set()
+                    self._mark_starved(key, task, exc)
+                    continue
+                self._starved.pop(key, None)
+                if placed is not None:
+                    heapq.heappop(heap)
+                    self._queued.discard(task.task_id)
+                    out.append(placed)
+                    stats.placed += 1
+                    if heap:
+                        restrict = blocked.get(key)
+                        if restrict is not None and not restrict:
+                            # The allocation itself exhausted the last
+                            # woken node (pruned by try_allocate): the
+                            # class is conclusively blocked again.
+                            stats.blocked_skips += 1
+                        else:
+                            nxt = heap[0]
+                            heapq.heappush(heads, (nxt[0], nxt[1], key))
+                elif task.failed_nodes:
+                    # Per-task avoid sets make this task stricter than its
+                    # class: set it aside and give the next-in-class a go.
+                    deferred.append(heapq.heappop(heap))
+                    if heap:
+                        nxt = heap[0]
+                        heapq.heappush(heads, (nxt[0], nxt[1], key))
+                else:
+                    # Conclusively blocked at the current pool state:
+                    # reset the restriction set — only nodes that free
+                    # capacity from here on are worth re-probing.
+                    blocked[key] = set()
+        finally:
+            if heads:
+                heads.clear()
+            if deferred:
+                for entry in deferred:
+                    key = entry[2].definition.constraint_class()
+                    heapq.heappush(self._classes[key].heap, entry)
+                deferred.clear()
+
+    def _place_class(
+        self, key: Tuple, quarantined: List[str], out: List[Assignment]
+    ) -> None:
+        """Tight placement loop for a round with one participating class.
+
+        Behaviourally identical to the merge loop in
+        :meth:`_place_ready` when only one head exists: tasks are probed
+        in heap (= policy) order, deferral and blocking semantics match,
+        and a conclusive block ends the round.
+        """
+        cq = self._classes[key]
+        heap = cq.heap
+        blocked = self._blocked
+        stats = self.stats
+        purged = self._purged
+        queued = self._queued
+        try_place = self.scheduler._try_place
+        pool = self.pool
+        deferred = self._deferred
+        try:
+            while heap:
+                task = heap[0][2]
+                if task.task_id in purged:
+                    heapq.heappop(heap)
+                    queued.discard(task.task_id)
+                    purged.discard(task.task_id)
+                    continue
+                stats.placement_probes += 1
+                try:
+                    placed = try_place(
+                        task, pool, quarantined, blocked.get(key)
+                    )
+                except UnsatisfiableError as exc:
+                    if exc.permanent:
+                        raise
+                    blocked[key] = set()
+                    self._mark_starved(key, task, exc)
+                    return
+                self._starved.pop(key, None)
+                if placed is not None:
+                    heapq.heappop(heap)
+                    queued.discard(task.task_id)
+                    out.append(placed)
+                    stats.placed += 1
+                    restrict = blocked.get(key)
+                    if restrict is not None and not restrict:
+                        # The allocation itself exhausted the last woken
+                        # node (pruned by try_allocate): conclusively
+                        # blocked again — skip the would-fail re-probe.
+                        stats.blocked_skips += 1
+                        return
+                elif task.failed_nodes:
+                    deferred.append(heapq.heappop(heap))
+                else:
+                    blocked[key] = set()
+                    return
+        finally:
+            if deferred:
+                for entry in deferred:
+                    heapq.heappush(heap, entry)
+                deferred.clear()

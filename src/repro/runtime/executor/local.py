@@ -102,6 +102,9 @@ class LocalExecutor(Executor):
         self._active: Dict[int, List[_LocalAttempt]] = {}
         #: node -> armed drain-deadline timer (graceful drain in progress).
         self._draining: Dict[str, threading.Timer] = {}
+        #: Bumped (under the lock) whenever a task resolves; lets
+        #: ``wait_for`` skip rescans on pure-timeout wake-ups.
+        self._resolutions = 0
         self._epoch = time.perf_counter()
         self._shutdown = False
 
@@ -284,6 +287,7 @@ class LocalExecutor(Executor):
                 runtime.journal_task_event(task, ckpt.FAILED, node="")
                 runtime.fail_descendants(task, self._now())
             if victims:
+                self._resolutions += 1
                 self._done_cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -456,6 +460,7 @@ class LocalExecutor(Executor):
                         detail=f"backup finished first after {end - start:.2f}s",
                     )
                 self.runtime.complete_task(task, result)
+                self._resolutions += 1
                 self._done_cond.notify_all()
         if not won:
             # A faster attempt already resolved the task; discard quietly.
@@ -564,6 +569,7 @@ class LocalExecutor(Executor):
             task.error = exc
             self.runtime.journal_task_event(task, ckpt.FAILED, node=node)
             self.runtime.fail_descendants(task, end)
+            self._resolutions += 1
             self._done_cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -667,19 +673,29 @@ class LocalExecutor(Executor):
     def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
         with self._done_cond:
             # Track only the not-yet-finished subset so each wake-up scans
-            # a shrinking list instead of every awaited task.
+            # a shrinking list instead of every awaited task, and rescan
+            # only when something actually resolved — a pure-timeout wake
+            # (the 0.5s elastic heartbeat) changes no task state.
             pending = list(tasks)
+            seen = self._resolutions - 1
             while True:
-                still = []
-                for t in pending:
-                    if t.state == TaskState.FAILED:
-                        cause = t.error or RuntimeError("unknown")
-                        raise TaskFailedError(t, cause) from cause
-                    if t.state != TaskState.DONE:
-                        still.append(t)
-                pending = still
-                if not pending:
-                    return
+                if self._resolutions != seen:
+                    seen = self._resolutions
+                    still = []
+                    for t in pending:
+                        if t.state == TaskState.FAILED:
+                            cause = t.error or RuntimeError("unknown")
+                            raise TaskFailedError(t, cause) from cause
+                        if t.state != TaskState.DONE:
+                            still.append(t)
+                    pending = still
+                    if not pending:
+                        return
+                    # Rescan cadence doubles as GC relief: freeze the
+                    # completed-task history out of the cycle
+                    # collector's scan set (see runtime.gc_checkpoint).
+                    if self.runtime is not None:
+                        self.runtime.gc_checkpoint()
                 self._done_cond.wait(timeout=0.5)
                 # The poll doubles as the elastic heartbeat: complete
                 # idle drains and reap starved-out classes so a study

@@ -102,6 +102,8 @@ class SimulatedExecutor(Executor):
         self.duration_fn = duration_fn
         self.execute_bodies = execute_bodies
         self.default_dataset = default_dataset
+        #: Lazily-resolved default dataset profile (``_staging_time``).
+        self._default_profile = None
         #: task_id -> attempts currently in flight (usually one; two while
         #: a speculative backup races the original).
         self._attempts: Dict[int, List[_Attempt]] = {}
@@ -110,6 +112,16 @@ class SimulatedExecutor(Executor):
         self._draining: Dict[str, EventHandle] = {}
         self._starvation_handle: Optional[EventHandle] = None
         self._starvation_at = 0.0
+        #: Buffered completion units — ``(assignment, ready)`` pairs whose
+        #: release + scheduling round are deferred into the next batched
+        #: engine drain (see :meth:`_drain_pending`).
+        self._units: List[tuple] = []
+        #: When True, every completion runs its scheduling round inline
+        #: (the pre-batching behaviour).  Recomputed per wait_for: any
+        #: feature whose bookkeeping is ordered against individual rounds
+        #: (speculation, node health, integrity, tracing) forces it, as
+        #: does ``config.batch_wakes=False``.
+        self._eager_flush = True
 
     # ------------------------------------------------------------------
     @property
@@ -124,10 +136,17 @@ class SimulatedExecutor(Executor):
         assert self.runtime is not None
         return self.runtime.cost_model
 
-    def _duration(self, task: TaskInvocation, spec: NodeSpec, alloc) -> float:
+    def _duration(
+        self,
+        task: TaskInvocation,
+        spec: NodeSpec,
+        alloc,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> float:
         if self.duration_fn is not None:
             return float(self.duration_fn(task, spec, alloc))
-        config = self._find_config(task)
+        if config is None:
+            config = self._find_config(task)
         return self._cost_model().duration_for_config(
             config,
             spec,
@@ -136,25 +155,55 @@ class SimulatedExecutor(Executor):
             default_dataset=self.default_dataset,
         )
 
-    @staticmethod
-    def _find_config(task: TaskInvocation) -> Mapping[str, Any]:
-        for value in (*task.args, *task.kwargs.values()):
+    #: Arg types that can never be a config mapping — checked by exact
+    #: type before the (comparatively slow) ABC ``isinstance`` below.
+    _NON_CONFIG_TYPES = frozenset(
+        (int, float, complex, bool, str, bytes, type(None), tuple, list)
+    )
+
+    @classmethod
+    def _find_config(cls, task: TaskInvocation) -> Mapping[str, Any]:
+        non_config = cls._NON_CONFIG_TYPES
+        for value in task.args:
+            t = type(value)
+            if t is dict:
+                return value
+            if t in non_config:
+                continue
+            if isinstance(value, Mapping):
+                return value
+        for value in task.kwargs.values():
+            t = type(value)
+            if t is dict:
+                return value
+            if t in non_config:
+                continue
             if isinstance(value, Mapping):
                 return value
         return {}
 
-    def _staging_time(self, task: TaskInvocation, node: str) -> float:
+    def _staging_time(
+        self,
+        task: TaskInvocation,
+        node: str,
+        config: Optional[Mapping[str, Any]] = None,
+    ) -> float:
         """Input staging cost from the cluster storage model (paper §4)."""
         assert self.runtime is not None
-        config = self._find_config(task)
+        if config is None:
+            config = self._find_config(task)
         dataset = config.get("dataset", None)
         model = self._cost_model()
         if dataset is None:
-            profile = (
-                self.default_dataset
-                if not isinstance(self.default_dataset, str)
-                else model._resolve_dataset(self.default_dataset)
-            )
+            # default_dataset never changes mid-run: resolve it once.
+            profile = self._default_profile
+            if profile is None:
+                profile = (
+                    self.default_dataset
+                    if not isinstance(self.default_dataset, str)
+                    else model._resolve_dataset(self.default_dataset)
+                )
+                self._default_profile = profile
         else:
             try:
                 profile = model._resolve_dataset(dataset)
@@ -183,11 +232,16 @@ class SimulatedExecutor(Executor):
         """
         assert self.runtime is not None
         runtime = self.runtime
+        producers = runtime.graph.predecessors(task)
+        if not producers:
+            # Independent task (the common HPO shape): nothing to verify
+            # or move.
+            return 0.0, ()
         integrity = runtime.integrity
         network = runtime.cluster.network
         total = 0.0
         corrupt: List[TaskInvocation] = []
-        for producer in runtime.graph.predecessors(task):
+        for producer in producers:
             if integrity is not None and not speculative:
                 versions = runtime.access.versions_written_by(producer)
                 if versions:
@@ -352,6 +406,9 @@ class SimulatedExecutor(Executor):
 
     def _fail_node(self, node: str, destroy_data: bool = True) -> None:
         assert self.runtime is not None
+        # Replay any buffered completion rounds before mutating topology:
+        # event-by-event those rounds ran before this failure fired.
+        self._drain_pending()
         _log.info("t=%.1f node %s failed", self.now, node)
         drain = self._draining.pop(node, None)
         if drain is not None:
@@ -425,6 +482,7 @@ class SimulatedExecutor(Executor):
 
     def _recover_node(self, node: str) -> None:
         assert self.runtime is not None
+        self._drain_pending()
         _log.info("t=%.1f node %s recovered", self.now, node)
         # Through the runtime so recovery and elastic rejoin share one
         # path: slot reset, replica re-seeding, NODE_REJOINED event, and
@@ -437,6 +495,7 @@ class SimulatedExecutor(Executor):
     def _on_preemption_notice(self, ev: PreemptionNotice) -> None:
         """A spot node received its eviction warning: drain within the lead."""
         assert self.runtime is not None
+        self._drain_pending()
         worker = self.runtime.pool.workers.get(ev.node)
         if worker is None or not worker.available:
             return  # already down or draining — the notice is moot
@@ -458,6 +517,7 @@ class SimulatedExecutor(Executor):
 
     def _rejoin_node(self, node: str) -> None:
         assert self.runtime is not None
+        self._drain_pending()
         worker = self.runtime.pool.workers.get(node)
         if worker is None or worker.state != DOWN:
             return  # still up, or still draining its last attempts
@@ -477,6 +537,7 @@ class SimulatedExecutor(Executor):
     def drain_node(self, node: str, deadline_s: float) -> None:
         """Honour a drain: watch for the last attempt, arm the deadline."""
         assert self.runtime is not None
+        self._drain_pending()
         if not self.node_busy(node):
             self.runtime.finish_drain(node)
             self._dispatch()
@@ -505,6 +566,7 @@ class SimulatedExecutor(Executor):
     def _drain_deadline(self, node: str) -> None:
         """The drain window closed; escalate a busy node to a failure."""
         assert self.runtime is not None
+        self._drain_pending()
         self._draining.pop(node, None)
         worker = self.runtime.pool.workers.get(node)
         if worker is None or not worker.draining:
@@ -555,6 +617,7 @@ class SimulatedExecutor(Executor):
     def _reap_starved(self) -> None:
         """Fail every task whose class starved past the timeout."""
         assert self.runtime is not None
+        self._drain_pending()
         self._starvation_handle = None
         runtime = self.runtime
         for task, waited in runtime.dispatcher.reap_starved():
@@ -581,6 +644,47 @@ class SimulatedExecutor(Executor):
         """Run a scheduling round now (node added / drained / rejoined)."""
         self._dispatch()
 
+    def _refresh_batching(self) -> None:
+        """Recompute whether completions may defer their scheduling rounds.
+
+        Batching buffers clean completions and replays them through one
+        engine drain per simulator wake.  The replay is placement-exact
+        (see :meth:`DispatchEngine.drain <repro.runtime.dispatch.DispatchEngine.drain>`),
+        but features whose *side bookkeeping* observes individual rounds
+        — straggler medians, node-health windows, integrity verification,
+        trace event order — keep the classic round-per-event path so
+        their outputs stay bit-identical.  The pure-throughput regime
+        (all of them off) is exactly the one the batching targets.
+        """
+        assert self.runtime is not None
+        runtime = self.runtime
+        self._eager_flush = (
+            not runtime.config.batch_wakes
+            or runtime.straggler is not None
+            or runtime.node_health.enabled
+            or runtime.integrity is not None
+            or runtime.tracer.enabled
+        )
+
+    def _drain_pending(self) -> None:
+        """Replay buffered completion units through one batched round.
+
+        No-op when nothing is buffered.  Every event handler that is not
+        a clean completion calls this first: event-by-event, the buffered
+        rounds ran *before* that handler fired, so replaying them first
+        preserves the unbatched ordering exactly.
+        """
+        units = self._units
+        if not units:
+            return
+        assert self.runtime is not None
+        runtime = self.runtime
+        self._units = []
+        self._check_drains()
+        for assignment in runtime.dispatcher.drain(units):
+            self._start(assignment)
+        self._arm_starvation_watchdog()
+
     def _dispatch(self) -> None:
         """Incremental scheduling round over the runtime's dispatch engine.
 
@@ -592,6 +696,7 @@ class SimulatedExecutor(Executor):
         """
         assert self.runtime is not None
         runtime = self.runtime
+        self._drain_pending()
         self._check_drains()
         runtime.dispatcher.ingest(runtime.graph.pop_ready())
         for assignment in runtime.dispatcher.schedule_round():
@@ -600,35 +705,39 @@ class SimulatedExecutor(Executor):
 
     def _start(self, assignment: Assignment, speculative: bool = False) -> None:
         assert self.runtime is not None
+        runtime = self.runtime
         task = assignment.task
         alloc = assignment.allocation
-        node_spec = self.runtime.cluster.node(alloc.node)
-        transfer, corrupt = self._prepare_inputs(task, alloc.node, speculative)
+        node = alloc.node
+        node_spec = runtime.cluster.node(node)
+        transfer, corrupt = self._prepare_inputs(task, node, speculative)
         if corrupt:
             # A corrupt input with no intact copy anywhere: hand the
             # resources back, pull this consumer out of the running set
             # and re-execute the writers through the lineage machinery.
-            release_assignment(self.runtime.pool, assignment)
-            self.runtime.recompute_corrupt(corrupt, extra_consumers=[task])
+            release_assignment(runtime.pool, assignment)
+            runtime.recompute_corrupt(corrupt, extra_consumers=[task])
             self.sim.schedule(0.0, self._dispatch, label=f"redispatch-{task.label}")
             return
         task.state = TaskState.RUNNING
         if not speculative:
-            task.node = alloc.node
-            self.runtime.journal_task_event(task, ckpt.STARTED, node=alloc.node)
-        staging = self._staging_time(task, alloc.node) + transfer
-        duration = self._duration(task, node_spec, alloc)
-        injector = self.runtime.failure_injector
+            task.node = node
+            if runtime.journal is not None:
+                runtime.journal_task_event(task, ckpt.STARTED, node=node)
+        config = self._find_config(task)
+        staging = self._staging_time(task, node, config) + transfer
+        duration = self._duration(task, node_spec, alloc, config)
+        injector = runtime.failure_injector
         if injector is not None and not speculative:
             # Straggler injection models node-local slowness: a backup
             # attempt on a different node runs at modelled speed.
             duration *= injector.slow_factor(task.label)
-        start = self.now
+        start = self.sim.now
         attempt = _Attempt(assignment, start, speculative)
         self._attempts.setdefault(task.task_id, []).append(attempt)
-        if self.runtime.tracer.enabled:
-            self.runtime.tracer.record_event(
-                start, "task_start", task.label, alloc.node
+        if runtime.tracer.enabled:
+            runtime.tracer.record_event(
+                start, "task_start", task.label, node
             )
         hang = (
             injector is not None
@@ -636,19 +745,23 @@ class SimulatedExecutor(Executor):
             and injector.should_hang(task.label, task.attempts)
         )
         if not hang:
+            # args-based dispatch: no per-task closure or f-string label
+            # on the hot path (millions of these per large study).
             attempt.handle = self.sim.schedule(
                 staging + duration,
-                lambda: self._complete(task.task_id, attempt),
-                label=f"complete-{task.label}",
+                self._complete,
+                "complete",
+                (task.task_id, attempt),
             )
-        timeout = self.runtime.config.task_timeout_s
+        timeout = runtime.config.task_timeout_s
         if timeout is not None:
             attempt.timeout_handle = self.sim.schedule(
                 float(timeout),
-                lambda: self._on_timeout(task.task_id, attempt),
-                label=f"timeout-{task.label}",
+                self._on_timeout,
+                "timeout",
+                (task.task_id, attempt),
             )
-        if not speculative:
+        if not speculative and runtime.straggler is not None:
             self._schedule_spec_check(task.task_id, attempt)
 
     # ------------------------------------------------------------------
@@ -656,6 +769,7 @@ class SimulatedExecutor(Executor):
     # ------------------------------------------------------------------
     def _complete(self, task_id: int, attempt: _Attempt) -> None:
         assert self.runtime is not None
+        runtime = self.runtime
         if not self._detach(task_id, attempt):
             return
         attempt.cancel_events()
@@ -663,7 +777,7 @@ class SimulatedExecutor(Executor):
         start = attempt.start
         task = assignment.task
         node = assignment.allocation.node
-        injector = self.runtime.failure_injector
+        injector = runtime.failure_injector
         # Injected failures apply to primary attempts only: a speculative
         # backup is a clean re-execution on a different node.
         if (
@@ -671,6 +785,9 @@ class SimulatedExecutor(Executor):
             and not attempt.speculative
             and injector.should_fail(task.label, task.attempts)
         ):
+            # Failure handling is ordered against scheduling rounds:
+            # replay any buffered completions before processing it.
+            self._drain_pending()
             task.attempts += 1
             exc = RuntimeError(f"injected failure for {task.label}")
             self._record(task, assignment, start, self.now, success=False)
@@ -684,15 +801,17 @@ class SimulatedExecutor(Executor):
                 return
             self._after_failure(assignment, exc, force_other=False)
             return
-        # First finisher wins: cancel any still-racing attempts.
-        for loser in self._attempts.pop(task_id, []):
-            loser.cancel_events()
-            release_assignment(self.runtime.pool, loser.assignment)
-            self.runtime.resilience.record(
-                self.now, rsl.SPECULATION_CANCELLED, task.label,
-                loser.assignment.allocation.node,
-                detail=f"lost to attempt on {node}",
-            )
+        if self._attempts.get(task_id):
+            # First finisher wins: cancel any still-racing attempts.
+            self._drain_pending()
+            for loser in self._attempts.pop(task_id, []):
+                loser.cancel_events()
+                release_assignment(self.runtime.pool, loser.assignment)
+                self.runtime.resilience.record(
+                    self.now, rsl.SPECULATION_CANCELLED, task.label,
+                    loser.assignment.allocation.node,
+                    detail=f"lost to attempt on {node}",
+                )
         if attempt.speculative:
             self.runtime.resilience.record(
                 self.now, rsl.SPECULATION_WON, task.label, node,
@@ -704,27 +823,42 @@ class SimulatedExecutor(Executor):
             try:
                 result = assignment.implementation.func(*args, **kwargs)
             except BaseException as exc:  # noqa: BLE001 - route into fault handling
+                self._drain_pending()
                 task.attempts += 1
                 self._record(task, assignment, start, self.now, success=False)
                 release_assignment(self.runtime.pool, assignment)
                 self.runtime.node_health.record_failure(node)
                 self._after_failure(assignment, exc, force_other=False)
                 return
-        self._record(task, assignment, start, self.now, success=True)
-        release_assignment(self.runtime.pool, assignment)
-        self.runtime.node_health.record_success(node)
-        if self.runtime.straggler is not None:
-            self.runtime.straggler.observe(task.definition.name, self.now - start)
+        if self._eager_flush or self._draining:
+            self._record(task, assignment, start, self.now, success=True)
+            release_assignment(self.runtime.pool, assignment)
+            self.runtime.node_health.record_success(node)
+            if self.runtime.straggler is not None:
+                self.runtime.straggler.observe(
+                    task.definition.name, self.now - start
+                )
+            task.result = result
+            task.node = node
+            task.start_time, task.end_time = start, self.now
+            self.runtime.complete_task(task, result)
+            self._schedule_spec_checks_for_name(task.definition.name)
+            self._dispatch()
+            return
+        # Batched fast path: record the completion now, but defer the
+        # allocation release and the scheduling round into the next
+        # engine drain.  The drain replays units in completion order, so
+        # placements are byte-identical to the round-per-event path.
         task.result = result
         task.node = node
-        task.start_time, task.end_time = start, self.now
-        self.runtime.complete_task(task, result)
-        self._schedule_spec_checks_for_name(task.definition.name)
-        self._dispatch()
+        task.start_time, task.end_time = start, self.sim.now
+        runtime.complete_task(task, result)
+        self._units.append((assignment, runtime.graph.pop_ready()))
 
     def _on_timeout(self, task_id: int, attempt: _Attempt) -> None:
         """A deadline fired: kill the attempt and treat it as a failure."""
         assert self.runtime is not None
+        self._drain_pending()
         if not self._detach(task_id, attempt):
             return
         attempt.cancel_events()
@@ -788,6 +922,7 @@ class SimulatedExecutor(Executor):
     def _spec_check(self, task_id: int, attempt: _Attempt) -> None:
         """Decide whether a running attempt is a straggler; maybe back it up."""
         assert self.runtime is not None
+        self._drain_pending()
         attempt.spec_check = None
         attempts = self._attempts.get(task_id)
         if not attempts or attempt not in attempts or len(attempts) > 1:
@@ -882,6 +1017,7 @@ class SimulatedExecutor(Executor):
     def _retry_same_node(self, task: TaskInvocation, assignment: Assignment) -> None:
         """Reacquire the same node's resources and rerun there."""
         assert self.runtime is not None
+        self._drain_pending()
         alloc = self.runtime.pool.try_allocate(
             assignment.implementation.constraint,
             preferred=[assignment.allocation.node],
@@ -895,6 +1031,7 @@ class SimulatedExecutor(Executor):
 
     def _requeue_for_other(self, task: TaskInvocation, assignment: Assignment) -> None:
         assert self.runtime is not None
+        self._drain_pending()
         task.failed_nodes.append(assignment.allocation.node)
         task.state = TaskState.READY
         self.runtime.graph.requeue([task])
@@ -927,6 +1064,7 @@ class SimulatedExecutor(Executor):
     # Synchronisation (virtual time)
     # ------------------------------------------------------------------
     def wait_for(self, tasks: Sequence[TaskInvocation]) -> None:
+        self._refresh_batching()
         self._ensure_node_failures_scheduled()
         self._dispatch()
 
@@ -934,24 +1072,59 @@ class SimulatedExecutor(Executor):
         # after every event is O(n²) for n-task studies.  Instead keep the
         # not-yet-finished subset and compact it only after at least
         # len(pending) events have fired — O(1) amortised per event.
-        terminal = (TaskState.DONE, TaskState.FAILED)
-        pending = [t for t in tasks if t.state not in terminal]
+        # Failures are captured *during* compaction (not by a final scan
+        # of ``tasks``) so completed invocations drop out of this frame
+        # and the graph's streaming mode can free them.
+        done = TaskState.DONE
+        failed_state = TaskState.FAILED
+        failed: List[TaskInvocation] = []
+        pending: List[TaskInvocation] = []
+        for t in tasks:
+            state = t.state
+            if state is done:
+                continue
+            if state is failed_state:
+                failed.append(t)
+            else:
+                pending.append(t)
+        step_batch = self.sim.step_batch
         steps_until_scan = len(pending)
         while pending:
-            if not self.sim.step():
-                pending = [t for t in pending if t.state not in terminal]
-                break
-            steps_until_scan -= 1
-            if steps_until_scan <= 0:
-                pending = [t for t in pending if t.state not in terminal]
+            # Vectorised event core: fire every event at the current
+            # timestamp (thousands of homogeneous completions per wake),
+            # then run ONE batched drain over the buffered units.
+            fired = step_batch()
+            if self._units:
+                self._drain_pending()
+            if not fired:
+                stalled = True
+            else:
+                stalled = False
+                steps_until_scan -= fired
+            if stalled or steps_until_scan <= 0:
+                remaining: List[TaskInvocation] = []
+                for t in pending:
+                    state = t.state
+                    if state is done:
+                        continue
+                    if state is failed_state:
+                        failed.append(t)
+                    else:
+                        remaining.append(t)
+                pending = remaining
+                if stalled:
+                    break
                 steps_until_scan = max(1, len(pending))
-        failed = [t for t in tasks if t.state == TaskState.FAILED]
+                # Compaction cadence doubles as the GC-relief cadence:
+                # freeze the completed-task history out of the cycle
+                # collector's scan set (O(1), see runtime.gc_checkpoint).
+                self.runtime.gc_checkpoint()
         if failed:
             t = failed[0]
             cause = t.error or RuntimeError("unknown")
             raise TaskFailedError(t, cause) from cause
         if pending:
-            stuck = [t.label for t in tasks if t.state != TaskState.DONE]
+            stuck = [t.label for t in pending]
             raise RuntimeError(
                 f"simulation stalled with tasks unfinished: {stuck[:5]} "
                 f"(+{max(0, len(stuck) - 5)} more); "
@@ -960,6 +1133,7 @@ class SimulatedExecutor(Executor):
             )
 
     def shutdown(self) -> None:
+        self._units.clear()
         for attempts in self._attempts.values():
             for attempt in attempts:
                 attempt.cancel_events()

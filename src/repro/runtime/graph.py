@@ -1,18 +1,28 @@
 """The dynamic task dependency graph (paper §4, Fig. 3).
 
-A thin layer over :mod:`networkx`: nodes are
-:class:`~repro.runtime.task_definition.TaskInvocation` ids, edges carry
-the data-version labels produced by the access processor.  The graph
-maintains the ready set (tasks whose predecessors have all completed)
-consumed by the scheduler.
+Nodes are :class:`~repro.runtime.task_definition.TaskInvocation` ids,
+edges carry the data-version labels produced by the access processor.
+The graph maintains the ready set (tasks whose predecessors have all
+completed) consumed by the scheduler.
+
+Adjacency is plain dict-of-lists (insertion-ordered, matching the edge
+iteration order of the earlier networkx backend) — the graph sits on the
+submit/complete hot path, and dict operations are several times cheaper
+than DiGraph node/edge bookkeeping at million-task scale.  A
+:attr:`nx_graph` view is still built on demand for callers that want the
+networkx API.
+
+Streaming mode (``stream_completed``): once a completed task's consumers
+are all complete too, the task is freed — its node, edges and counters
+leave the graph so resident memory tracks the *active frontier* rather
+than the full study history.  Introspection (``tasks()``, DOT export)
+and lineage recovery then only see live tasks.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional
-
-import networkx as nx
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.runtime.task_definition import TaskInvocation, TaskState
 
@@ -28,12 +38,27 @@ class TaskGraph:
     """
 
     def __init__(self) -> None:
-        self._g = nx.DiGraph()
         self._tasks: Dict[int, TaskInvocation] = {}
+        #: Insertion-ordered adjacency: task_id -> successor/predecessor ids.
+        self._succ: Dict[int, List[int]] = {}
+        self._pred: Dict[int, List[int]] = {}
+        #: (src_id, dst_id) -> data-version label (only non-empty labels).
+        self._labels: Dict[Tuple[int, int], str] = {}
         self._pending_preds: Dict[int, int] = {}
         self._ready: Deque[int] = deque()  # FIFO by submission order
         #: Ready-set maintenance operation counter (see class docstring).
         self.ready_ops: int = 0
+        #: Streaming mode: free completed tasks whose consumers are all
+        #: complete (set from ``RuntimeConfig.stream_completed``).
+        self.stream_completed: bool = False
+        #: task_id -> number of its successors not yet DONE (streaming
+        #: bookkeeping; only maintained when streaming is on).
+        self._unfinished_succs: Dict[int, int] = {}
+        #: Count of tasks freed by streaming (observability / tests).
+        self.freed_tasks: int = 0
+        #: Optional hook invoked with each freed task (the runtime uses
+        #: it to drop its output-future registry entry).
+        self.on_free: Optional[Callable[[TaskInvocation], None]] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -45,39 +70,60 @@ class TaskGraph:
         edge_labels: Optional[Dict[int, str]] = None,
     ) -> None:
         """Insert ``task`` depending on ``dependencies`` (may be empty)."""
-        if task.task_id in self._tasks:
+        tid = task.task_id
+        if tid in self._tasks:
             raise ValueError(f"task {task.label} already in graph")
-        self._tasks[task.task_id] = task
-        self._g.add_node(task.task_id)
+        self._tasks[tid] = task
+        self._succ[tid] = []
+        pred_list: List[int] = []
+        self._pred[tid] = pred_list
+        streaming = self.stream_completed
         pending = 0
         for dep in dependencies:
-            if dep.task_id not in self._tasks:
+            dep_id = dep.task_id
+            if dep_id == tid:
+                raise ValueError(f"task {task.label} depends on itself")
+            if dep_id not in self._tasks:
+                if streaming and dep.state == TaskState.DONE:
+                    # The producer was freed (its earlier consumers all
+                    # completed): it is done by construction, no edge to
+                    # record.
+                    continue
                 raise ValueError(
                     f"dependency {dep.label} of {task.label} not in graph"
                 )
-            label = (edge_labels or {}).get(dep.task_id, "")
-            self._g.add_edge(dep.task_id, task.task_id, label=label)
-            if dep.state not in (TaskState.DONE,):
+            self._succ[dep_id].append(tid)
+            pred_list.append(dep_id)
+            if edge_labels:
+                label = edge_labels.get(dep_id, "")
+                if label:
+                    self._labels[(dep_id, tid)] = label
+            if dep.state is not TaskState.DONE:
                 pending += 1
-        self._pending_preds[task.task_id] = pending
+            if streaming:
+                self._unfinished_succs[dep_id] = (
+                    self._unfinished_succs.get(dep_id, 0) + 1
+                )
+        self._pending_preds[tid] = pending
         # A task restored from a checkpoint enters the graph already DONE:
         # it holds its journaled result and must never reach the dispatcher.
-        if pending == 0 and task.state != TaskState.DONE:
+        if pending == 0 and task.state is not TaskState.DONE:
             task.state = TaskState.READY
-            self._ready.append(task.task_id)
+            self._ready.append(tid)
             self.ready_ops += 1
-        # A cycle is impossible by construction (dependencies precede the
-        # task), but guard against misuse via self-edges.
-        if self._g.has_edge(task.task_id, task.task_id):
-            raise ValueError(f"task {task.label} depends on itself")
 
     # ------------------------------------------------------------------
     # Execution-time updates
     # ------------------------------------------------------------------
     def pop_ready(self, limit: Optional[int] = None) -> List[TaskInvocation]:
         """Remove and return up to ``limit`` ready tasks (FIFO)."""
-        n = len(self._ready) if limit is None else min(limit, len(self._ready))
-        out = [self._tasks[self._ready.popleft()] for _ in range(n)]
+        ready = self._ready
+        n = len(ready) if limit is None else min(limit, len(ready))
+        if not n:
+            return []
+        tasks = self._tasks
+        popleft = ready.popleft
+        out = [tasks[popleft()] for _ in range(n)]
         self.ready_ops += n
         return out
 
@@ -92,30 +138,93 @@ class TaskGraph:
         self.ready_ops += len(ids)
 
     def mark_done(self, task: TaskInvocation) -> List[TaskInvocation]:
-        """Mark completion; returns newly-ready successor tasks."""
+        """Mark completion; returns newly-ready successor tasks.
+
+        In streaming mode this is also the point where fully-consumed
+        history is freed: the task itself (if it already has no pending
+        consumers) and any predecessor whose last unfinished consumer
+        this was.
+        """
         task.state = TaskState.DONE
+        tid = task.task_id
         newly_ready: List[TaskInvocation] = []
-        for succ_id in self._g.successors(task.task_id):
-            self.ready_ops += 1
-            self._pending_preds[succ_id] -= 1
-            if self._pending_preds[succ_id] == 0:
-                succ = self._tasks[succ_id]
-                if succ.state == TaskState.SUBMITTED:
-                    succ.state = TaskState.READY
-                    self._ready.append(succ_id)
-                    newly_ready.append(succ)
+        tasks = self._tasks
+        pending_preds = self._pending_preds
+        succs = self._succ[tid]
+        if succs:
+            ready_append = self._ready.append
+            self.ready_ops += len(succs)
+            for succ_id in succs:
+                left = pending_preds[succ_id] - 1
+                pending_preds[succ_id] = left
+                if left == 0:
+                    succ = tasks[succ_id]
+                    if succ.state is TaskState.SUBMITTED:
+                        succ.state = TaskState.READY
+                        ready_append(succ_id)
+                        newly_ready.append(succ)
+        if self.stream_completed:
+            unfinished = self._unfinished_succs
+            for pred_id in self._pred[tid]:
+                left = unfinished.get(pred_id, 0) - 1
+                if left > 0:
+                    unfinished[pred_id] = left
+                else:
+                    unfinished.pop(pred_id, None)
+                    pred = tasks.get(pred_id)
+                    if pred is not None and pred.state is TaskState.DONE:
+                        self._free(pred_id)
+            if not unfinished.get(tid):
+                self._free(tid)
         return newly_ready
+
+    def _free(self, tid: int) -> None:
+        """Drop a fully-consumed completed task from the graph."""
+        task = self._tasks.pop(tid, None)
+        if task is None:
+            return
+        self._pending_preds.pop(tid, None)
+        self._unfinished_succs.pop(tid, None)
+        labels = self._labels
+        for pred_id in self._pred.pop(tid, ()):
+            labels.pop((pred_id, tid), None)
+        for succ_id in self._succ.pop(tid, ()):
+            labels.pop((tid, succ_id), None)
+        self.freed_tasks += 1
+        if self.on_free is not None:
+            self.on_free(task)
 
     # ------------------------------------------------------------------
     # Lineage (data recovery after node loss)
     # ------------------------------------------------------------------
+    def _reachable(self, start: int, adjacency: Dict[int, List[int]]) -> List[int]:
+        seen = {start}
+        stack = [start]
+        while stack:
+            for nxt in adjacency.get(stack.pop(), ()):
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append(nxt)
+        seen.discard(start)
+        return sorted(seen)
+
     def ancestors(self, task: TaskInvocation) -> List[TaskInvocation]:
         """All transitive predecessors of ``task`` (its data lineage)."""
-        return [self._tasks[tid] for tid in nx.ancestors(self._g, task.task_id)]
+        tasks = self._tasks
+        return [
+            tasks[tid]
+            for tid in self._reachable(task.task_id, self._pred)
+            if tid in tasks
+        ]
 
     def descendants(self, task: TaskInvocation) -> List[TaskInvocation]:
         """All transitive successors (everything fed by ``task``'s data)."""
-        return [self._tasks[tid] for tid in nx.descendants(self._g, task.task_id)]
+        tasks = self._tasks
+        return [
+            tasks[tid]
+            for tid in self._reachable(task.task_id, self._succ)
+            if tid in tasks
+        ]
 
     def invalidate(self, tasks: Iterable[TaskInvocation]) -> List[TaskInvocation]:
         """Un-complete ``tasks`` so they re-execute (lineage recovery).
@@ -145,7 +254,7 @@ class TaskGraph:
                     pass  # already handed to the dispatcher
             t.state = TaskState.SUBMITTED
         for tid in was_done:
-            for succ_id in self._g.successors(tid):
+            for succ_id in self._succ[tid]:
                 if succ_id in batch:
                     continue  # recomputed below
                 succ = self._tasks[succ_id]
@@ -162,7 +271,7 @@ class TaskGraph:
         for t in batch.values():
             pending = sum(
                 1
-                for pred_id in self._g.predecessors(t.task_id)
+                for pred_id in self._pred[t.task_id]
                 if self._tasks[pred_id].state != TaskState.DONE
             )
             self._pending_preds[t.task_id] = pending
@@ -181,7 +290,7 @@ class TaskGraph:
         return len(self._tasks)
 
     def tasks(self) -> List[TaskInvocation]:
-        """All tasks in submission order."""
+        """All (live) tasks in submission order."""
         return [self._tasks[tid] for tid in sorted(self._tasks)]
 
     def task(self, task_id: int) -> TaskInvocation:
@@ -192,23 +301,53 @@ class TaskGraph:
         return [t for t in self._tasks.values() if t.state != TaskState.DONE]
 
     def predecessors(self, task: TaskInvocation) -> List[TaskInvocation]:
-        return [self._tasks[tid] for tid in self._g.predecessors(task.task_id)]
+        tasks = self._tasks
+        return [
+            tasks[tid]
+            for tid in self._pred.get(task.task_id, ())
+            if tid in tasks
+        ]
 
     def successors(self, task: TaskInvocation) -> List[TaskInvocation]:
-        return [self._tasks[tid] for tid in self._g.successors(task.task_id)]
+        tasks = self._tasks
+        return [
+            tasks[tid]
+            for tid in self._succ.get(task.task_id, ())
+            if tid in tasks
+        ]
 
     def edge_label(self, src: TaskInvocation, dst: TaskInvocation) -> str:
-        return self._g.edges[src.task_id, dst.task_id].get("label", "")
+        key = (src.task_id, dst.task_id)
+        if key not in self._labels and dst.task_id not in self._succ.get(
+            src.task_id, ()
+        ):
+            raise KeyError(key)
+        return self._labels.get(key, "")
 
     def edges(self):
         """Iterate ``(src_task, dst_task, label)`` triples."""
-        for u, v, data in self._g.edges(data=True):
-            yield self._tasks[u], self._tasks[v], data.get("label", "")
+        tasks = self._tasks
+        labels = self._labels
+        for u, succs in self._succ.items():
+            src = tasks.get(u)
+            if src is None:
+                continue
+            for v in succs:
+                dst = tasks.get(v)
+                if dst is not None:
+                    yield src, dst, labels.get((u, v), "")
 
     @property
-    def nx_graph(self) -> nx.DiGraph:
-        """The underlying networkx graph (read-only use)."""
-        return self._g
+    def nx_graph(self):
+        """A networkx DiGraph view (built on demand; mutations ignored)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(self._tasks)
+        for u, succs in self._succ.items():
+            for v in succs:
+                g.add_edge(u, v, label=self._labels.get((u, v), ""))
+        return g
 
     def critical_path_length(self, duration_of=None) -> float:
         """Longest path weight through the DAG.
@@ -225,9 +364,24 @@ class TaskGraph:
                 return t.end_time - t.start_time
             return 1.0
 
+        # Kahn's algorithm over the live graph (dependencies always carry
+        # smaller ids than their consumers, but lineage invalidation can
+        # touch counts, so compute indegrees fresh).
+        indeg = {tid: len(self._pred.get(tid, ())) for tid in self._tasks}
+        queue: Deque[int] = deque(
+            tid for tid, d in indeg.items() if d == 0
+        )
         best: Dict[int, float] = {}
-        for tid in nx.topological_sort(self._g):
-            preds = list(self._g.predecessors(tid))
-            base = max((best[p] for p in preds), default=0.0)
+        while queue:
+            tid = queue.popleft()
+            base = 0.0
+            for pred_id in self._pred.get(tid, ()):
+                b = best.get(pred_id, 0.0)
+                if b > base:
+                    base = b
             best[tid] = base + dur(tid)
+            for succ_id in self._succ.get(tid, ()):
+                indeg[succ_id] -= 1
+                if indeg[succ_id] == 0:
+                    queue.append(succ_id)
         return max(best.values(), default=0.0)

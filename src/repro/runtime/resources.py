@@ -33,14 +33,29 @@ DOWN = "down"
 QUARANTINED = "quarantined"
 
 
-@dataclass(frozen=True)
 class Allocation:
-    """Concrete resources held by one running task."""
+    """Concrete resources held by one running task.
 
-    node: str
-    cpu_ids: Tuple[int, ...]
-    gpu_ids: Tuple[int, ...] = ()
-    memory_gb: float = 0.0
+    A ``__slots__`` class (was a frozen dataclass): one is created per
+    placement, and the frozen-dataclass ``__init__`` — every field set
+    via ``object.__setattr__`` — was measurable at 100k+ tasks.
+    Instances are immutable by convention: nothing mutates an allocation
+    after :meth:`Worker._take` builds it.
+    """
+
+    __slots__ = ("node", "cpu_ids", "gpu_ids", "memory_gb")
+
+    def __init__(
+        self,
+        node: str,
+        cpu_ids: Tuple[int, ...],
+        gpu_ids: Tuple[int, ...] = (),
+        memory_gb: float = 0.0,
+    ):
+        self.node = node
+        self.cpu_ids = cpu_ids
+        self.gpu_ids = gpu_ids
+        self.memory_gb = memory_gb
 
     @property
     def cpu_units(self) -> int:
@@ -53,6 +68,9 @@ class Allocation:
     def describe(self) -> str:
         gpu = f" gpus={list(self.gpu_ids)}" if self.gpu_ids else ""
         return f"{self.node} cores={list(self.cpu_ids)}{gpu}"
+
+    def __repr__(self) -> str:
+        return f"Allocation({self.describe()})"
 
 
 class Worker:
@@ -67,6 +85,7 @@ class Worker:
             )
         self.spec = spec
         self.reserved_cores = reserved_cores
+        self._name = spec.name
         #: Core ids available for tasks: the runtime processes occupy the
         #: first ``reserved_cores`` ids.
         self._free_cpus = list(range(reserved_cores, spec.cpu_cores))
@@ -107,14 +126,22 @@ class Worker:
         return self.spec.cpu_cores - self.reserved_cores
 
     def matches_labels(self, labels: Mapping[str, str]) -> bool:
-        return all(self.spec.labels.get(k) == v for k, v in labels.items())
+        if not labels:
+            return True
+        spec_labels = self.spec.labels
+        for k, v in labels.items():
+            if spec_labels.get(k) != v:
+                return False
+        return True
 
     def can_host(self, rc: ResourceConstraint) -> bool:
         """Whether this worker can run the task *right now*."""
+        # Millions of calls per large study: plain field reads, no
+        # property hops.
         return (
-            self.available
-            and rc.cpu_units <= self.free_cpu_units
-            and rc.gpu_units <= self.free_gpu_units
+            self._state == UP
+            and rc.cpu_units <= len(self._free_cpus)
+            and rc.gpu_units <= len(self._free_gpus)
             and rc.memory_gb <= self._free_memory
             and self.matches_labels(rc.node_labels)
         )
@@ -135,12 +162,16 @@ class Worker:
                 f"worker {self.name} cannot host {rc.describe()} now "
                 f"(free: {self.free_cpu_units}CPU/{self.free_gpu_units}GPU)"
             )
+        return self._take(rc)
+
+    def _take(self, rc: ResourceConstraint) -> Allocation:
+        """Take slots unchecked — caller must have verified ``can_host``."""
         cpus = tuple(self._free_cpus[: rc.cpu_units])
         del self._free_cpus[: rc.cpu_units]
         gpus = tuple(self._free_gpus[: rc.gpu_units])
         del self._free_gpus[: rc.gpu_units]
         self._free_memory -= rc.memory_gb
-        return Allocation(self.name, cpus, gpus, rc.memory_gb)
+        return Allocation(self._name, cpus, gpus, rc.memory_gb)
 
     def release(self, alloc: Allocation) -> None:
         """Return an allocation's slots to the free lists."""
@@ -200,6 +231,9 @@ class ResourcePool:
         #: and capacity specs never change after construction, so entries
         #: are invalidated only when a node is added.
         self._static_fit: Dict[Tuple, List[str]] = {}
+        #: Same index as a set, for O(1) membership on the single-node
+        #: restricted-probe fast path.
+        self._static_fit_sets: Dict[Tuple, frozenset] = {}
         self.workers: Dict[str, Worker] = {}
         for i, spec in enumerate(cluster.nodes):
             if isinstance(reserved_cores, Mapping):
@@ -235,16 +269,93 @@ class ResourcePool:
             self._static_fit[key] = names
         return names
 
+    def _static_fit_set(self, rc: ResourceConstraint) -> frozenset:
+        key = rc.class_key
+        members = self._static_fit_sets.get(key)
+        if members is None:
+            members = frozenset(self.static_candidates(rc))
+            self._static_fit_sets[key] = members
+        return members
+
     def try_allocate(
-        self, rc: ResourceConstraint, preferred: Optional[Iterable[str]] = None
+        self,
+        rc: ResourceConstraint,
+        preferred: Optional[Iterable[str]] = None,
+        only: Optional[set] = None,
     ) -> Optional[Allocation]:
         """First-fit allocation, optionally trying ``preferred`` nodes first.
 
         Only workers in the constraint's static-fit candidate list are
         probed: a node whose idle capacity cannot hold ``rc`` can never
         satisfy ``can_host``, so skipping it is free.
+
+        ``only`` restricts probing to the named nodes *and is pruned in
+        place*: a node probed and found unable to host is discarded from
+        the set (its free capacity can only shrink until the caller next
+        observes a release on it, so re-probing it before then is wasted
+        work).  Callers own the set and re-add nodes as releases land.
         """
         with self._lock:
+            if only is not None:
+                workers = self.workers
+                if preferred:
+                    for name in preferred:
+                        if name in only and name in workers:
+                            w = workers[name]
+                            if w.can_host(rc):
+                                alloc = w._take(rc)
+                                if (
+                                    rc.cpu_units > len(w._free_cpus)
+                                    or rc.gpu_units > len(w._free_gpus)
+                                    or rc.memory_gb > w._free_memory
+                                ):
+                                    # Exhausted by this very allocation:
+                                    # prune now so the caller's next probe
+                                    # short-circuits instead of re-probing.
+                                    # (Capacity-only check: labels/state
+                                    # cannot change under the pool lock.)
+                                    only.discard(name)
+                                return alloc
+                            only.discard(name)
+                if not only:
+                    return None
+                if len(only) == 1:
+                    # One restricted node (a wake from a single release —
+                    # the steady-state drain shape): first-fit order is
+                    # irrelevant, so probe it directly.  A node outside
+                    # the static-fit set is skipped but NOT pruned: its
+                    # failure is specific to this constraint, and the
+                    # caller's restrict set is shared across `@implement`
+                    # alternatives with different constraints.
+                    (name,) = only
+                    if name not in self._static_fit_set(rc):
+                        return None
+                    w = workers.get(name)
+                    if w is not None and w.can_host(rc):
+                        alloc = w._take(rc)
+                        if (
+                            rc.cpu_units > len(w._free_cpus)
+                            or rc.gpu_units > len(w._free_gpus)
+                            or rc.memory_gb > w._free_memory
+                        ):
+                            only.discard(name)
+                        return alloc
+                    only.discard(name)
+                    return None
+                for name in self.static_candidates(rc):
+                    if name in only:
+                        w = workers[name]
+                        if w.can_host(rc):
+                            alloc = w._take(rc)
+                            if (
+                                rc.cpu_units > len(w._free_cpus)
+                                or rc.gpu_units > len(w._free_gpus)
+                                or rc.memory_gb > w._free_memory
+                            ):
+                                only.discard(name)
+                            return alloc
+                        only.discard(name)
+                return None
             candidates = self.static_candidates(rc)
             order: List[Worker] = []
             seen = set()
@@ -258,7 +369,7 @@ class ResourcePool:
             )
             for w in order:
                 if w.can_host(rc):
-                    return w.allocate(rc)
+                    return w._take(rc)
         return None
 
     def release(self, alloc: Allocation) -> None:
@@ -291,6 +402,7 @@ class ResourcePool:
             self.workers[spec.name] = worker
             self.cluster.nodes.append(spec)
             self._static_fit.clear()
+            self._static_fit_sets.clear()
             if self.listener is not None:
                 self.listener.on_topology_change()
             return worker

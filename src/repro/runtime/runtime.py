@@ -9,6 +9,7 @@ provide the synchronisation API of the paper's Listing 2.
 
 from __future__ import annotations
 
+import gc
 import inspect
 import threading
 from pathlib import Path
@@ -26,6 +27,7 @@ from repro.runtime.executor.simulated import SimulatedExecutor
 from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
 from repro.runtime.fault import UpstreamFailureError
+from repro.pycompss_api.task_group import record_submission
 from repro.runtime.resilience import (
     CHECKPOINT_RESTORE,
     DRAIN_COMPLETE,
@@ -52,6 +54,12 @@ _log = get_logger("runtime")
 
 _current: Optional["COMPSsRuntime"] = None
 _current_lock = threading.Lock()
+
+#: Exact types that can never create a dependency edge: not trackable by
+#: the access processor and never a FILE path (strings stay out — they
+#: can name files).  Exact-type check on purpose: an int subclass falls
+#: through to the full binder, which handles it like before.
+_DEP_FREE_TYPES = frozenset((int, float, complex, bool, type(None)))
 
 
 def current_runtime() -> Optional["COMPSsRuntime"]:
@@ -97,6 +105,7 @@ class COMPSsRuntime:
         self.config = config or RuntimeConfig()
         self.cluster = self.config.cluster
         self.lock = threading.RLock()
+        self._gc_managed = False
         self.graph = TaskGraph()
         self.access = AccessProcessor()
         self.tracer = TraceRecorder(enabled=self.config.tracing)
@@ -127,6 +136,13 @@ class COMPSsRuntime:
             get_scheduler(self.config.scheduler)
             if isinstance(self.config.scheduler, str)
             else self.config.scheduler
+        )
+        #: The scheduler again when it wants dependency registration
+        #: (locality policy), else None — avoids an isinstance per submit.
+        self._locality: Optional[LocalityScheduler] = (
+            self.scheduler
+            if isinstance(self.scheduler, LocalityScheduler)
+            else None
         )
         #: Incremental dispatch fast path shared by both executors: holds
         #: the per-constraint-class ready queues and is woken by the pool
@@ -159,6 +175,12 @@ class COMPSsRuntime:
                 clock=self.executor.clock,
             )
         self._futures: Dict[int, List[Future]] = {}
+        # Streaming mode: the graph frees fully-consumed completed tasks
+        # and tells us to drop their registry entries, so memory tracks
+        # the active frontier instead of the whole study.
+        self.graph.stream_completed = self.config.stream_completed
+        if self.config.stream_completed:
+            self.graph.on_free = self._on_task_freed
         self.sync_points: List[Tuple[int, List[int]]] = []
         self._started = False
         # ---- Crash-consistency layer (write-ahead journal + store) ----
@@ -185,6 +207,7 @@ class COMPSsRuntime:
             self.journal = ckpt.WriteAheadJournal(
                 checkpoint_dir / ckpt.JOURNAL_FILE,
                 fsync=self.config.journal_fsync,
+                buffer_records=self.config.journal_buffer_records,
             )
             self.checkpoint_store = ckpt.CheckpointStore(
                 checkpoint_dir / ckpt.OUTPUTS_DIR,
@@ -230,6 +253,15 @@ class COMPSsRuntime:
         self.node_health.clock = self.executor.clock
         set_current(self)
         self._started = True
+        if self.config.manage_gc:
+            # The runtime's own structures are cycle-free and reclaimed
+            # by reference counting; the cycle collector only re-scans
+            # the growing live-task heap (~30% of dispatch cost at 100k
+            # tasks).  Freeze the baseline heap now and the accumulating
+            # task history periodically (gc_checkpoint); unfrozen in
+            # stop().
+            self._gc_managed = True
+            gc.freeze()
         if self.journal is not None:
             self.journal.open_session(
                 cluster=self.cluster.name,
@@ -237,6 +269,19 @@ class COMPSsRuntime:
             )
         _log.info("runtime started on %s", self.cluster.name)
         return self
+
+    def gc_checkpoint(self) -> None:
+        """Move the live heap out of the cycle collector's scan set.
+
+        Called periodically by ``submit`` and the executors' wait loops
+        (``gc.freeze`` is an O(1) generation-list splice, so frequent
+        calls are fine).  Everything alive right now — dominated by the
+        completed-task history — stops being re-scanned by every later
+        generational sweep; reference counting still reclaims it the
+        moment it dies.  No-op unless ``manage_gc`` froze at start.
+        """
+        if self._gc_managed:
+            gc.freeze()
 
     def stop(self, wait: bool = True) -> None:
         """Deactivate; optionally waits for all outstanding tasks first."""
@@ -256,6 +301,9 @@ class COMPSsRuntime:
                 self.journal.close()
             set_current(None)
             self._started = False
+            if self._gc_managed:
+                self._gc_managed = False
+                gc.unfreeze()
             _log.info("runtime stopped")
 
     def __enter__(self) -> "COMPSsRuntime":
@@ -286,20 +334,22 @@ class COMPSsRuntime:
         edge_labels: Dict[int, str] = {}
         restored: Any = ckpt._MISSING
         with self.lock:
-            for name, value, spec in self._iter_param_accesses(
-                definition, args, kwargs
-            ):
-                access_deps, labels = self.access.process_access(
-                    invocation, value, spec
-                )
-                label = labels[0] if labels else ""
-                for dep in access_deps:
-                    deps[dep.task_id] = dep
-                    if self.config.graph and label:
-                        edge_labels[dep.task_id] = label
+            if not COMPSsRuntime._scan_free(definition, args, kwargs):
+                for name, value, spec in self._iter_param_accesses(
+                    definition, args, kwargs
+                ):
+                    access_deps, labels = self.access.process_access(
+                        invocation, value, spec
+                    )
+                    label = labels[0] if labels else ""
+                    for dep in access_deps:
+                        deps[dep.task_id] = dep
+                        if self.config.graph and label:
+                            edge_labels[dep.task_id] = label
             futures = [Future(invocation, i) for i in range(definition.n_returns)]
             for fut in futures:
-                self.access.register_output_future(fut)
+                # register_output_future minus the unused label return.
+                self.access._info_for_future(fut)
             self._futures[invocation.task_id] = futures
             if self.keyer is not None:
                 self.keyer.key_for(invocation)
@@ -310,9 +360,10 @@ class COMPSsRuntime:
                 # of executing (exactly-once for the replayed prefix).
                 invocation.state = TaskState.DONE
                 invocation.result = restored
-            if isinstance(self.scheduler, LocalityScheduler):
-                self.scheduler.register_dependencies(invocation, list(deps.values()))
-            self.graph.add_task(invocation, list(deps.values()), edge_labels)
+            dep_list = list(deps.values())
+            if self._locality is not None:
+                self._locality.register_dependencies(invocation, dep_list)
+            self.graph.add_task(invocation, dep_list, edge_labels)
             if restored is not ckpt._MISSING:
                 Executor.fan_out_result(invocation, futures, restored)
                 # Restored outputs verified at spill load; seal them so
@@ -332,9 +383,11 @@ class COMPSsRuntime:
                         task=invocation.label, restored=True,
                     )
         # Attach to any open TaskGroup (selective barriers).
-        from repro.pycompss_api.task_group import record_submission
-
         record_submission(invocation)
+        if invocation.task_id & 0xFFF == 0:
+            # Periodically stop the cycle collector re-scanning the
+            # accumulated submission history (O(1), see gc_checkpoint).
+            self.gc_checkpoint()
         if restored is ckpt._MISSING:
             self.executor.notify_submitted(invocation)
         if not futures:
@@ -351,6 +404,30 @@ class COMPSsRuntime:
 
         Variadic ``*args`` parameters yield one access per element.
         """
+        # Fast path for plain positional calls against plain signatures
+        # (the overwhelmingly common case on the submission hot path):
+        # ``sig.bind`` costs ~15µs per call just to pair names with
+        # values, so pair them with ``zip`` instead.  Only taken when it
+        # provably binds the same way: no kwargs, no variadic parameters,
+        # and the positional count fills every required parameter.
+        fast = getattr(definition, "_positional_fast", False)
+        if fast is False:
+            fast = COMPSsRuntime._positional_fast_info(definition)
+            definition._positional_fast = fast
+        if fast is not None and not kwargs:
+            names, n_required = fast
+            if n_required <= len(args) <= len(names):
+                skippable = _DEP_FREE_TYPES
+                for name, value in zip(names, args):
+                    if type(value) in skippable:
+                        # Numbers/None can never carry a dependency (not
+                        # trackable, not a file path): skip the access
+                        # processor round-trip entirely.
+                        continue
+                    yield from COMPSsRuntime._expand_value(
+                        name, value, definition.spec_for(name)
+                    )
+                return
         try:
             # inspect.signature is ~10µs per call and identical for every
             # invocation of a definition: cache it on the definition.
@@ -382,6 +459,65 @@ class COMPSsRuntime:
                 yield from COMPSsRuntime._expand_value(name, value, spec)
 
     @staticmethod
+    def _scan_free(
+        definition: TaskDefinition,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ) -> bool:
+        """True when no argument can carry a dependency.
+
+        A plainly-positional call whose every argument is a dep-free
+        scalar needs no access scan at all — the generator in
+        :meth:`_iter_param_accesses` would yield nothing, so ``submit``
+        skips creating it (measurably cheaper at 100k+ tasks).
+        """
+        if kwargs:
+            return False
+        fast = getattr(definition, "_positional_fast", False)
+        if fast is False:
+            fast = COMPSsRuntime._positional_fast_info(definition)
+            definition._positional_fast = fast
+        if fast is None:
+            return False
+        names, n_required = fast
+        if not (n_required <= len(args) <= len(names)):
+            return False
+        free = _DEP_FREE_TYPES
+        for value in args:
+            if type(value) not in free:
+                return False
+        return True
+
+    @staticmethod
+    def _positional_fast_info(definition: TaskDefinition):
+        """``(names, n_required)`` when the signature is plainly positional.
+
+        Returns ``None`` (fast path unusable) for signatures with
+        variadic or keyword-only parameters.
+        """
+        sig = getattr(definition, "_signature_cache", None)
+        if sig is None:
+            try:
+                sig = inspect.signature(definition.func)
+            except (TypeError, ValueError):
+                return None
+            definition._signature_cache = sig
+        names = []
+        n_required = 0
+        for name, param in sig.parameters.items():
+            if param.kind not in (
+                inspect.Parameter.POSITIONAL_ONLY,
+                inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            ):
+                return None
+            names.append(name)
+            if param.default is inspect.Parameter.empty:
+                n_required += 1
+        # Required params always precede defaults in these kinds, so
+        # ``n_required <= len(args)`` means every required one is filled.
+        return tuple(names), n_required
+
+    @staticmethod
     def _expand_value(name: str, value: Any, spec):
         """Yield the value plus any futures nested in containers.
 
@@ -411,9 +547,12 @@ class COMPSsRuntime:
         futures = self._futures.get(task.task_id, [])
         Executor.fan_out_result(task, futures, result)
         self.graph.mark_done(task)
-        # Lineage recovery: a re-executed writer re-materialises its data.
-        self.access.revalidate_versions_written_by(task)
-        self._seal_outputs(task, result)
+        if self.access.any_invalidated:
+            # Lineage recovery: a re-executed writer re-materialises its
+            # data.  Skipped wholesale until a node loss ever happens.
+            self.access.revalidate_versions_written_by(task)
+        if self.integrity is not None:
+            self._seal_outputs(task, result)
         if self.journal is not None and task.task_key is not None:
             stored = False
             if (
@@ -425,6 +564,12 @@ class COMPSsRuntime:
                 ckpt.COMPLETED, task.task_key,
                 task=task.label, node=task.node or "", stored=stored,
             )
+
+    def _on_task_freed(self, task: TaskInvocation) -> None:
+        """Streaming: drop registry entries of a graph-freed task."""
+        tid = task.task_id
+        self._futures.pop(tid, None)
+        self.access.release_task(tid, task.definition.n_returns)
 
     def _seal_outputs(self, task: TaskInvocation, result: Any) -> None:
         """Checksum ``task``'s freshly-written data versions (integrity).
@@ -769,7 +914,7 @@ class COMPSsRuntime:
     # ------------------------------------------------------------------
     def analysis(self) -> TraceAnalysis:
         """Trace analysis over everything recorded so far."""
-        return TraceAnalysis(self.tracer, self.resilience)
+        return TraceAnalysis(self.tracer, self.resilience, self.dispatcher.stats)
 
     def render_graph(self) -> str:
         """DOT text of the current task graph (Fig. 3)."""

@@ -67,9 +67,13 @@ class Scheduler(abc.ABC):
         """Order the ready queue (policy-specific, via :meth:`sort_key`)."""
         return sorted(ready, key=self.sort_key)
 
+    #: Shared "no preference" result — callers only read it, and
+    #: returning one list avoids an allocation per placement probe.
+    _NO_PREFERENCE: List[str] = []
+
     def preferred_nodes(self, task: TaskInvocation) -> List[str]:
-        """Nodes to try first for ``task`` (default: none)."""
-        return []
+        """Nodes to try first for ``task`` (default: none; read-only)."""
+        return self._NO_PREFERENCE
 
     def assign(
         self, ready: Sequence[TaskInvocation], pool: ResourcePool
@@ -111,6 +115,7 @@ class Scheduler(abc.ABC):
         task: TaskInvocation,
         pool: ResourcePool,
         quarantined: Optional[Sequence[str]] = None,
+        only: Optional[set] = None,
     ) -> Optional[Assignment]:
         """Try each candidate implementation until one fits a node.
 
@@ -121,14 +126,61 @@ class Scheduler(abc.ABC):
         quarantine degrades capacity gracefully instead of stalling the
         study.  ``quarantined`` lets the caller compute the blocked set
         once per scheduling round instead of once per task.
+
+        ``only`` (dispatch fast path) restricts single-node probes to the
+        given node set — the engine passes the nodes that have freed
+        capacity since this task's class was last conclusively blocked, so
+        re-probes after a wake are O(woken) instead of O(cluster).  It is
+        ignored whenever there are nodes to avoid (failure/quarantine
+        paths have wait-vs-last-resort semantics that need the full scan)
+        and for multi-node constraints.  The unsatisfiable verdict is
+        always computed unrestricted, so restriction never changes *what*
+        is placed or raised, only how many nodes are probed.
         """
         if quarantined is None:
             quarantined = pool.blocked_nodes()
-        avoid = list(task.failed_nodes) + [
-            n for n in quarantined if n not in task.failed_nodes
-        ]
-        preferred = [n for n in self.preferred_nodes(task) if n not in avoid]
+        failed = task.failed_nodes
+        if failed or quarantined:
+            avoid = list(failed) + [n for n in quarantined if n not in failed]
+        else:
+            avoid = []
         candidates = task.definition.all_candidates()
+        if not avoid:
+            # Hot path: probe allocations first and compute the
+            # unsatisfiable verdict lazily below — the verdict needs a
+            # full candidate scan that successful probes never use.
+            preferred = self.preferred_nodes(task)
+            for impl in candidates:
+                rc = impl.constraint
+                if rc.nodes > 1:
+                    allocs = self._allocate_multinode(pool, rc, avoid)
+                    if allocs is not None:
+                        return Assignment(task, allocs[0], impl, allocs[1:])
+                    continue
+                alloc = pool.try_allocate(rc, preferred=preferred, only=only)
+                if alloc is not None:
+                    return Assignment(task, alloc, impl)
+            if only is not None:
+                # Restricted wake re-probe: the class was conclusively
+                # blocked by an earlier *unrestricted* round, which
+                # already proved the task satisfiable, and any topology
+                # change (node death/retire) clears restrictions via a
+                # full wake — so skip the verdict scan.
+                return None
+        else:
+            preferred = [
+                n for n in self.preferred_nodes(task) if n not in avoid
+            ]
+            for impl in candidates:
+                rc = impl.constraint
+                if rc.nodes > 1:
+                    allocs = self._allocate_multinode(pool, rc, avoid)
+                    if allocs is not None:
+                        return Assignment(task, allocs[0], impl, allocs[1:])
+                    continue
+                alloc = self._allocate_avoiding(pool, rc, preferred, avoid)
+                if alloc is not None:
+                    return Assignment(task, alloc, impl)
         any_possible = False
         any_static = False
         for impl in candidates:
@@ -137,14 +189,7 @@ class Scheduler(abc.ABC):
                 any_static = True
             if pool.anyone_could_ever_host(rc):
                 any_possible = True
-            if rc.nodes > 1:
-                allocs = self._allocate_multinode(pool, rc, avoid)
-                if allocs is not None:
-                    return Assignment(task, allocs[0], impl, allocs[1:])
-                continue
-            alloc = self._allocate_avoiding(pool, rc, preferred, avoid)
-            if alloc is not None:
-                return Assignment(task, alloc, impl)
+                break
         if not any_possible:
             names = ", ".join(i.constraint.describe() for i in candidates)
             raise UnsatisfiableError(

@@ -68,8 +68,19 @@ class TaskDefinition:
             self.param_specs[key] = normalize_param(value)
 
     def all_candidates(self) -> List["TaskDefinition"]:
-        """This definition plus any ``@implement`` alternatives."""
-        return [self, *self.implementations]
+        """This definition plus any ``@implement`` alternatives.
+
+        Cached (and revalidated against ``implementations``, which
+        stacked decorators extend before first use): the list is rebuilt
+        once per decorator application instead of once per placement
+        probe.  Callers treat the list as read-only.
+        """
+        cached = getattr(self, "_candidates_cache", None)
+        if cached is not None and cached[0] == len(self.implementations):
+            return cached[1]
+        candidates = [self, *self.implementations]
+        self._candidates_cache = (len(self.implementations), candidates)
+        return candidates
 
     def constraint_class(self) -> Tuple:
         """Hashable placement-equivalence key over all candidate constraints.
@@ -102,34 +113,54 @@ def reset_invocation_counter() -> None:
     _invocation_ids = itertools.count(1)
 
 
-@dataclass
 class TaskInvocation:
-    """One call of a task function — a node in the dependency graph."""
+    """One call of a task function — a node in the dependency graph.
 
-    definition: TaskDefinition
-    args: Tuple[Any, ...]
-    kwargs: Dict[str, Any]
-    task_id: int = field(default_factory=lambda: next(_invocation_ids))
-    state: TaskState = TaskState.SUBMITTED
-    #: Data versions read / written (filled by the access processor).
-    reads: List[str] = field(default_factory=list)
-    writes: List[str] = field(default_factory=list)
-    #: Execution bookkeeping.
-    attempts: int = 0
-    failed_nodes: List[str] = field(default_factory=list)
-    #: One human-readable line per failed attempt ("attempt 1 on n1:
-    #: RuntimeError(...) -> retry_same_node"); joined into the
-    #: :class:`~repro.runtime.fault.TaskFailedError` message.
-    attempt_history: List[str] = field(default_factory=list)
-    result: Any = None
-    error: Optional[BaseException] = None
-    start_time: Optional[float] = None
-    end_time: Optional[float] = None
-    node: Optional[str] = None
-    #: Deterministic cross-process id (name + param digest + occurrence),
-    #: assigned by the checkpoint subsystem when journaling is on; stable
-    #: across driver restarts, unlike ``task_id``.
-    task_key: Optional[str] = None
+    A ``__slots__`` class with a hand-written ``__init__`` rather than a
+    dataclass: one instance (plus its bookkeeping lists) is created per
+    submission, and the generated 16-field ctor was a measurable slice
+    of the hot path at 100k+ tasks.
+
+    ``reads``/``writes`` are the data-version labels filled in by the
+    access processor.  ``attempt_history`` keeps one human-readable line
+    per failed attempt ("attempt 1 on n1: RuntimeError(...) ->
+    retry_same_node"); joined into the
+    :class:`~repro.runtime.fault.TaskFailedError` message.  ``task_key``
+    is the deterministic cross-process id (name + param digest +
+    occurrence) assigned by the checkpoint subsystem when journaling is
+    on; stable across driver restarts, unlike ``task_id``.
+    """
+
+    __slots__ = (
+        "definition", "args", "kwargs", "task_id", "state", "reads",
+        "writes", "attempts", "failed_nodes", "attempt_history", "result",
+        "error", "start_time", "end_time", "node", "task_key",
+    )
+
+    def __init__(
+        self,
+        definition: TaskDefinition,
+        args: Tuple[Any, ...] = (),
+        kwargs: Optional[Dict[str, Any]] = None,
+        task_id: Optional[int] = None,
+        state: TaskState = TaskState.SUBMITTED,
+    ):
+        self.definition = definition
+        self.args = args
+        self.kwargs = {} if kwargs is None else kwargs
+        self.task_id = next(_invocation_ids) if task_id is None else task_id
+        self.state = state
+        self.reads: List[str] = []
+        self.writes: List[str] = []
+        self.attempts = 0
+        self.failed_nodes: List[str] = []
+        self.attempt_history: List[str] = []
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.start_time: Optional[float] = None
+        self.end_time: Optional[float] = None
+        self.node: Optional[str] = None
+        self.task_key: Optional[str] = None
 
     @property
     def label(self) -> str:

@@ -27,17 +27,26 @@ class TraceAnalysis:
     when present, resilience decisions (timeouts, speculation, node
     quarantine) are queryable alongside the trace and appear in
     :meth:`summary`.
+
+    ``dispatch`` (optional) is the runtime's live
+    :class:`~repro.runtime.dispatch.DispatchStats`; when present, the
+    batching/scheduling counters are snapshotted at construction and
+    queryable via :meth:`dispatch`.
     """
 
     def __init__(
         self,
         recorder: TraceRecorder,
         resilience: Optional[ResilienceLog] = None,
+        dispatch=None,
     ):
         self.records: List[TaskRecord] = list(recorder.records)
         self.events = list(recorder.events)
         self.resilience: List[ResilienceEvent] = (
             list(resilience.events) if resilience is not None else []
+        )
+        self._dispatch: Dict[str, int] = (
+            dispatch.snapshot() if dispatch is not None else {}
         )
 
     # ------------------------------------------------------------------
@@ -264,6 +273,30 @@ class TraceAnalysis:
             "nodes_rejoined": counts.get(rsl.NODE_REJOINED, 0),
             "classes_starved": counts.get(rsl.CLASS_STARVED, 0),
             "upstream_cancellations": counts.get(rsl.UPSTREAM_CANCELLED, 0),
+        }
+
+    def dispatch(self) -> Dict[str, float]:
+        """Dispatch/batching summary (batched scheduling observability).
+
+        ``rounds`` is the number of scheduling rounds the engine ran;
+        with wake batching on, one round drains *all* completions that
+        arrived in a simulator wake, so ``avg_batch_size`` (tasks placed
+        per round) ≫ 1 is the signature of batching paying off.
+        ``wakes`` counts blocked constraint classes woken by freed
+        capacity; ``full_wakes`` counts topology changes that re-probe
+        every class.  All zero when no dispatch stats were captured.
+        """
+        d = self._dispatch
+        rounds = d.get("rounds", 0)
+        placed = d.get("placed", 0)
+        return {
+            "rounds": rounds,
+            "placed": placed,
+            "avg_batch_size": round(placed / rounds, 3) if rounds else 0.0,
+            "wakes": d.get("wakes", 0),
+            "full_wakes": d.get("full_wakes", 0),
+            "placement_probes": d.get("placement_probes", 0),
+            "blocked_skips": d.get("blocked_skips", 0),
         }
 
     def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:

@@ -15,7 +15,7 @@ from typing import Any, Callable, List, Optional, Tuple
 
 from repro.util.validation import check_non_negative
 
-Action = Callable[[], Any]
+Action = Callable[..., Any]
 
 
 class EventHandle:
@@ -26,12 +26,20 @@ class EventHandle:
     O(n), skipping is O(log n) amortised).
     """
 
-    __slots__ = ("time", "seq", "action", "cancelled", "label")
+    __slots__ = ("time", "seq", "action", "args", "cancelled", "label")
 
-    def __init__(self, time: float, seq: int, action: Action, label: str = ""):
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Action,
+        label: str = "",
+        args: Tuple[Any, ...] = (),
+    ):
         self.time = time
         self.seq = seq
         self.action: Optional[Action] = action
+        self.args = args
         self.cancelled = False
         self.label = label
 
@@ -82,18 +90,35 @@ class DiscreteEventSimulator:
         """Number of events executed so far."""
         return self._processed
 
-    def schedule(self, delay: float, action: Action, label: str = "") -> EventHandle:
-        """Schedule ``action`` to fire ``delay`` seconds from now."""
-        check_non_negative("delay", delay)
-        return self.schedule_at(self._now + delay, action, label)
+    def schedule(
+        self,
+        delay: float,
+        action: Action,
+        label: str = "",
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
+        """Schedule ``action`` to fire ``delay`` seconds from now.
 
-    def schedule_at(self, time: float, action: Action, label: str = "") -> EventHandle:
+        ``args`` are stored on the handle and passed positionally when the
+        event fires — cheaper than closing over them in a lambda on hot
+        paths that schedule millions of events.
+        """
+        check_non_negative("delay", delay)
+        return self.schedule_at(self._now + delay, action, label, args)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Action,
+        label: str = "",
+        args: Tuple[Any, ...] = (),
+    ) -> EventHandle:
         """Schedule ``action`` at absolute virtual ``time`` (>= now)."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule in the past: t={time} < now={self._now}"
             )
-        handle = EventHandle(time, next(self._seq), action, label)
+        handle = EventHandle(time, next(self._seq), action, label, args)
         heapq.heappush(self._heap, (time, handle.seq, handle))
         return handle
 
@@ -105,10 +130,58 @@ class DiscreteEventSimulator:
                 continue
             self._now = time
             action, handle.action = handle.action, None
-            action()
+            action(*handle.args)
             self._processed += 1
             return True
         return False
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None if the queue is empty.
+
+        Skips (and discards) lazily-cancelled entries at the head so the
+        answer reflects a live event.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2].action is None:
+                heapq.heappop(heap)
+                continue
+            return head[0]
+        return None
+
+    def step_batch(self) -> int:
+        """Fire *all* events sharing the earliest pending timestamp.
+
+        Events fire strictly in ``(time, seq)`` order, one at a time, so
+        this is observably identical to calling :meth:`step` repeatedly —
+        including when a fired event schedules new work at the same
+        timestamp (the new event has a larger seq and is picked up by the
+        inner loop in order).  Returns the number of events fired (0 when
+        the queue is empty).
+
+        This is the k-way batch pop that lets callers amortise their
+        per-wake bookkeeping over thousands of homogeneous same-timestamp
+        completions instead of paying it per event.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        fired = 0
+        batch_time: Optional[float] = None
+        while heap:
+            if batch_time is not None and heap[0][0] != batch_time:
+                break
+            time, _, handle = pop(heap)
+            if handle.action is None:
+                continue
+            if batch_time is None:
+                batch_time = time
+                self._now = time
+            action, handle.action = handle.action, None
+            action(*handle.args)
+            fired += 1
+        self._processed += fired
+        return fired
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Run events in timestamp order.

@@ -378,3 +378,77 @@ class TestEndToEndScaling:
             stats = rt.dispatcher.stats.snapshot()
         assert out == [i + 1 for i in range(50)]
         assert stats["placed"] == 50
+
+
+# ----------------------------------------------------------------------
+# Purge / tombstone hygiene
+# ----------------------------------------------------------------------
+class TestPurgeTombstoneHygiene:
+    def test_mass_purge_compacts_heaps(self):
+        # Lazy deletion must not let dead entries dominate the heaps: a
+        # mass invalidation (lineage recovery under churn) triggers a
+        # rebuild that drops every tombstone in one pass.
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        tasks = [make_task(name=f"t{i}") for i in range(500)]
+        engine.ingest(tasks)
+        (first,) = engine.schedule_round()  # one core: one placed
+        engine.purge(tasks[1:400])
+        # Tombstones outnumbered live entries, so the heaps were rebuilt
+        # without them and the tombstone set is empty again.
+        total_heap = sum(len(cq.heap) for cq in engine._classes.values())
+        assert total_heap == 100
+        assert engine.pending() == 100
+        assert not engine._purged
+        # Revived (re-readied) tasks are clean re-ingests after the
+        # compaction dropped their entries.
+        engine.ingest(tasks[1:400])
+        assert engine.pending() == 499
+        assert len(engine.waiting_tasks()) == 499
+
+    def test_small_purge_stays_lazy(self):
+        # Below the compaction threshold the tombstones stay in place
+        # (O(1) purge) but pending() already excludes them.
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        tasks = [make_task(name=f"s{i}") for i in range(20)]
+        engine.ingest(tasks)
+        (first,) = engine.schedule_round()
+        engine.purge(tasks[1:6])
+        total_heap = sum(len(cq.heap) for cq in engine._classes.values())
+        assert total_heap == 19  # entries still there...
+        assert engine.pending() == 14  # ...but not counted
+        assert len(engine.waiting_tasks()) == 14
+
+    def test_pending_agrees_with_graph_after_cancel_resubmit(self):
+        # Repeated invalidate/re-ready cycles on queued tasks must not
+        # drift the engine's queue accounting from the graph's view, and
+        # every task must still place exactly once, in policy order.
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        g = TaskGraph()
+        tasks = [make_task(name=f"c{i}") for i in range(10)]
+        for t in tasks:
+            g.add_task(t, [])
+        engine.ingest(g.pop_ready())
+        (a0,) = engine.schedule_round()
+        assert a0.task is tasks[0]
+        for _ in range(5):
+            engine.purge(tasks[1:6])
+            assert engine.pending() == 4
+            engine.ingest(tasks[1:6])  # re-readied: revived in place
+            assert engine.pending() == 9
+        assert len(engine.waiting_tasks()) == engine.pending() == 9
+        placed = [a0]
+        while True:
+            pool.release(placed[-1].allocation)
+            got = engine.schedule_round()
+            if not got:
+                break
+            placed.extend(got)
+        # All ten placed exactly once, in FIFO submission order (revived
+        # entries keep their original position).
+        assert [a.task.task_id for a in placed] == [t.task_id for t in tasks]
