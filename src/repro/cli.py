@@ -160,6 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("study", type=Path, help="study.json checkpoint")
     report.add_argument("--out", type=Path, default=None,
                         help="also write the report to this file")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable study dump instead of the "
+                        "rendered report")
 
     recover = sub.add_parser(
         "recover",
@@ -172,6 +175,97 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--json", action="store_true", dest="as_json",
                          help="machine-readable summary")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant HPO service daemon over a spool "
+        "directory (fault-isolated studies, admission control, "
+        "whole-daemon crash recovery)",
+    )
+    serve.add_argument("root", type=Path, help="service root directory")
+    serve.add_argument("--cluster", choices=sorted(CLUSTERS), default="local")
+    serve.add_argument("--nodes", type=int, default=1)
+    serve.add_argument(
+        "--executor", choices=["local", "simulated"], default="local"
+    )
+    serve.add_argument(
+        "--backend", choices=["threads", "processes", "workers"],
+        default="threads",
+    )
+    serve.add_argument("--scheduler",
+                       choices=["fifo", "priority", "locality", "lpt"],
+                       default="fifo")
+    serve.add_argument("--max-queued-studies", type=int, default=16,
+                       help="bound on the admission queue (QueueFullError "
+                       "beyond it)")
+    serve.add_argument("--max-queued-per-tenant", type=int, default=8,
+                       help="per-tenant queue share (TenantQuotaError "
+                       "beyond it)")
+    serve.add_argument("--max-studies-per-tenant", type=int, default=2,
+                       help="cap on one tenant's concurrently running "
+                       "studies (over-quota studies wait in the queue)")
+    serve.add_argument("--max-concurrent-studies", type=int, default=4,
+                       help="daemon-wide concurrent-study cap")
+    serve.add_argument("--rss-limit-mb", type=float, default=None,
+                       help="memory ceiling: shed queued studies and "
+                       "reject submissions while over it")
+    serve.add_argument("--drain-deadline", type=float, default=30.0,
+                       help="graceful-shutdown budget; stragglers are "
+                       "re-queued for the next daemon life")
+    serve.add_argument("--heartbeat", type=float, default=1.0,
+                       help="daemon.json liveness stamp cadence (seconds)")
+    serve.add_argument("--once", action="store_true",
+                       help="serve until the inbox/queue/running set is "
+                       "empty, then exit (CI soak mode)")
+    serve.add_argument("--max-wait", type=float, default=None,
+                       help="with --once: fail if not idle in this time")
+    serve.add_argument("--verbose", action="store_true")
+
+    submit = sub.add_parser(
+        "submit", help="submit a study to a running service daemon"
+    )
+    submit.add_argument("root", type=Path, help="service root directory")
+    submit.add_argument("study_id", help="unique study id (idempotency key)")
+    submit.add_argument("config", type=Path,
+                        help="Listing-1 style JSON search-space file")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--algorithm", default="grid",
+                        choices=["grid", "random", "bayesian", "tpe",
+                                 "hyperband", "successive_halving",
+                                 "evolutionary"])
+    submit.add_argument("--n-trials", type=int, default=20)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--objective", default="fast_mock",
+                        help="objective spec: fast_mock | slow_mock | "
+                        "poison | train | module:function")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--weight", type=float, default=1.0)
+    submit.add_argument("--batch-size", type=int, default=None)
+    submit.add_argument("--max-trial-retries", type=int, default=0)
+    submit.add_argument("--max-failed-trials", type=int, default=None)
+    submit.add_argument("--max-tenant-slots", type=int, default=None)
+    submit.add_argument("--timeout", type=float, default=30.0,
+                        help="seconds to wait for the admission verdict")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="drop the request and return immediately")
+
+    watch = sub.add_parser(
+        "watch", help="wait for a submitted study to reach a terminal state"
+    )
+    watch.add_argument("root", type=Path)
+    watch.add_argument("study_id")
+    watch.add_argument("--timeout", type=float, default=300.0)
+    watch.add_argument("--json", action="store_true", dest="as_json")
+
+    cancel = sub.add_parser("cancel", help="cancel a queued/running study")
+    cancel.add_argument("root", type=Path)
+    cancel.add_argument("study_id")
+
+    svc_status = sub.add_parser(
+        "service-status", help="daemon liveness + per-state study counts"
+    )
+    svc_status.add_argument("root", type=Path)
+    svc_status.add_argument("--json", action="store_true", dest="as_json")
     return parser
 
 
@@ -309,7 +403,10 @@ def cmd_report(args) -> int:
     from repro.hpo.report import render_report, save_report
 
     study = load_study(args.study)
-    print(render_report(study))
+    if args.as_json:
+        print(json.dumps(study.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_report(study))
     if args.out is not None:
         save_report(study, args.out)
         print(f"\nreport written to {args.out}")
@@ -361,6 +458,132 @@ def cmd_recover(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+
+    from repro.service import AdmissionConfig, HPOService
+
+    set_verbosity(args.verbose)
+    config = RuntimeConfig(
+        cluster=CLUSTERS[args.cluster](args.nodes),
+        executor=args.executor,
+        backend=args.backend,
+        scheduler=args.scheduler,
+        execute_bodies=True,
+    )
+    service = HPOService(
+        args.root,
+        runtime_config=config,
+        admission=AdmissionConfig(
+            max_queued_studies=args.max_queued_studies,
+            max_queued_per_tenant=args.max_queued_per_tenant,
+            max_studies_per_tenant=args.max_studies_per_tenant,
+            max_concurrent_studies=args.max_concurrent_studies,
+            rss_limit_mb=args.rss_limit_mb,
+        ),
+        drain_deadline_s=args.drain_deadline,
+        heartbeat_s=args.heartbeat,
+    ).start()
+
+    def _graceful(signum, frame):  # noqa: ARG001 - signal signature
+        service.shutdown(drain=True)
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    try:
+        if args.once:
+            service.run_until_idle(max_wait_s=args.max_wait)
+        else:
+            service.serve_forever()
+    finally:
+        if service.runtime is not None:
+            service.shutdown(drain=True)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError, StudyRequest
+
+    spec = json.loads(args.config.read_text(encoding="utf-8"))
+    algorithm_kwargs = {}
+    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary"):
+        algorithm_kwargs = {"n_trials": args.n_trials, "seed": args.seed}
+    elif args.algorithm in ("hyperband", "successive_halving"):
+        algorithm_kwargs = {"seed": args.seed}
+    request = StudyRequest(
+        study_id=args.study_id,
+        tenant=args.tenant,
+        space=spec,
+        algorithm=args.algorithm,
+        algorithm_kwargs=algorithm_kwargs,
+        objective=args.objective,
+        batch_size=args.batch_size,
+        priority=args.priority,
+        weight=args.weight,
+        max_trial_retries=args.max_trial_retries,
+        max_failed_trials=args.max_failed_trials,
+        max_tenant_slots=args.max_tenant_slots,
+    )
+    client = ServiceClient(args.root, timeout_s=args.timeout)
+    try:
+        client.submit(request, wait_admission=not args.no_wait)
+    except ServiceError as exc:
+        print(f"{type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+    print(f"study {args.study_id} submitted"
+          + ("" if args.no_wait else " and admitted"))
+    return 0
+
+
+def cmd_watch(args) -> int:
+    from repro.service import ClientTimeoutError, ServiceClient
+
+    client = ServiceClient(args.root)
+    try:
+        state = client.watch(args.study_id, timeout_s=args.timeout)
+    except ClientTimeoutError as exc:
+        print(f"ClientTimeoutError: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(json.dumps(state, indent=2, sort_keys=True))
+    else:
+        print(f"study {args.study_id}: {state.get('status')}"
+              + (f" — {state['detail']}" if state.get("detail") else ""))
+        best = state.get("best")
+        if best:
+            print(f"  best trial {best['trial_id']}: "
+                  f"val_acc={best['val_accuracy']:.3f} {best['config']}")
+    return 0 if state.get("status") == "completed" else 2
+
+
+def cmd_cancel(args) -> int:
+    from repro.service import ServiceClient, StudyNotFoundError
+
+    try:
+        ServiceClient(args.root).cancel(args.study_id)
+    except StudyNotFoundError as exc:
+        print(f"StudyNotFoundError: {exc}", file=sys.stderr)
+        return 1
+    print(f"cancellation requested for {args.study_id}")
+    return 0
+
+
+def cmd_service_status(args) -> int:
+    from repro.service import ServiceClient
+
+    status = ServiceClient(args.root).service_status()
+    if args.as_json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    daemon = status["daemon"]
+    print(f"daemon: {daemon.get('status', 'absent')}"
+          + (f" (pid {daemon['pid']}, generation {daemon['generation']})"
+             if "pid" in daemon else ""))
+    for state, count in sorted(status["studies"].items()):
+        print(f"  {state}: {count}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -372,6 +595,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     if args.command == "recover":
         return cmd_recover(args)
+    if args.command == "serve":
+        return cmd_serve(args)
+    if args.command == "submit":
+        return cmd_submit(args)
+    if args.command == "watch":
+        return cmd_watch(args)
+    if args.command == "cancel":
+        return cmd_cancel(args)
+    if args.command == "service-status":
+        return cmd_service_status(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -117,3 +117,29 @@ def fast_mock_objective(config: Mapping[str, Any]) -> Dict[str, Any]:
         "epochs_run": epochs,
         "duration_s": 0.0,
     }
+
+
+def slow_mock_objective(config: Mapping[str, Any]) -> Dict[str, Any]:
+    """``fast_mock_objective`` with a short real sleep (~50 ms).
+
+    Module-level (picklable) so service soak tests can reference it by
+    name across a daemon restart; the sleep keeps studies in flight long
+    enough for a mid-soak SIGKILL to land while work is outstanding.
+    """
+    import time
+
+    time.sleep(0.05)
+    return fast_mock_objective(config)
+
+
+def poison_objective(config: Mapping[str, Any]) -> Dict[str, Any]:
+    """An objective that always fails — a tenant's crash-looping trial.
+
+    Raises (rather than ``os._exit``) so a threads-backend service daemon
+    survives; the task burns its retry budget, the trial fails, and the
+    study's failed-trial budget decides when the *study* is terminated.
+    Other tenants sharing the daemon must be unaffected.
+    """
+    raise RuntimeError(
+        f"poison objective: deliberate failure for config {dict(config)!r}"
+    )

@@ -21,7 +21,7 @@ from repro.hpo.objective import train_experiment
 from repro.pycompss_api.constraint import ResourceConstraint
 from repro.runtime import resilience as rsl
 from repro.runtime.config import RuntimeConfig
-from repro.runtime.fault import TaskFailedError
+from repro.runtime.fault import StudyAbandonedError, TaskFailedError
 from repro.runtime.runtime import COMPSsRuntime, current_runtime
 from repro.runtime.task_definition import TaskDefinition
 from repro.util.logging_utils import get_logger
@@ -161,6 +161,7 @@ class PyCOMPSsRunner:
         algorithm_kwargs: Optional[Dict[str, Any]] = None,
         callbacks: Optional[Sequence[StudyCallback]] = None,
         resume_from: Optional[str] = None,
+        max_trial_retries: Optional[int] = None,
     ):
         self.algorithm = get_algorithm(
             algorithm, space, **(algorithm_kwargs or {})
@@ -174,6 +175,10 @@ class PyCOMPSsRunner:
         self.study_name = study_name
         self.callbacks = list(callbacks or [])
         self.resume_from = resume_from
+        #: Per-study override of ``RuntimeConfig.max_trial_retries`` —
+        #: lets service tenants carry their own resilience budget over a
+        #: shared runtime (None = inherit the runtime's knob).
+        self.max_trial_retries = max_trial_retries
         self.stop_reason: Optional[str] = None
         #: trial_id -> resubmissions so far (fail-soft trial retries).
         self._trial_retries: Dict[int, int] = {}
@@ -283,10 +288,13 @@ class PyCOMPSsRunner:
             study.metadata["stopped_early"] = stopped
             if self.stop_reason:
                 study.metadata["stop_reason"] = self.stop_reason
-            if runtime.recovery is not None:
+            resume = runtime.resume_stats()
+            if resume is not None:
                 # Crash resume: surface what the journal replay recovered
                 # (restored counts include this session's instant restores).
-                study.metadata["resume"] = runtime.resume_stats()
+                # Session-aware: in service mode this summarises the
+                # calling study's own recovery, not the whole daemon's.
+                study.metadata["resume"] = resume
             resilience_counts = runtime.resilience.counts()
             if resilience_counts:
                 # Worker crashes, hard kills, poison quarantines, retries,
@@ -328,8 +336,19 @@ class PyCOMPSsRunner:
         try:
             payload = runtime.wait_on(fut)
         except TaskFailedError as exc:
+            if isinstance(exc.cause, StudyAbandonedError):
+                # The whole study was terminated out from under us
+                # (drain, cancel, budget exhaustion): this is not a trial
+                # failure to absorb — the run must stop here so the
+                # service layer decides the study's terminal state.
+                raise exc.cause from exc
+            budget = (
+                self.max_trial_retries
+                if self.max_trial_retries is not None
+                else runtime.config.max_trial_retries
+            )
             retries = self._trial_retries.get(trial.trial_id, 0)
-            if retries < runtime.config.max_trial_retries:
+            if retries < budget:
                 self._trial_retries[trial.trial_id] = retries + 1
                 runtime.resilience.record(
                     runtime.executor.clock(),
@@ -337,13 +356,12 @@ class PyCOMPSsRunner:
                     task_label=fut.invocation.label,
                     detail=(
                         f"trial {trial.trial_id} resubmitted "
-                        f"({retries + 1}/{runtime.config.max_trial_retries})"
+                        f"({retries + 1}/{budget})"
                     ),
                 )
                 _log.info(
                     "trial %d lost its task (%s); resubmitting (%d/%d)",
-                    trial.trial_id, exc,
-                    retries + 1, runtime.config.max_trial_retries,
+                    trial.trial_id, exc, retries + 1, budget,
                 )
                 return runtime.submit(self._experiment_def, (trial.config,), {})
             trial.status = TrialStatus.FAILED

@@ -113,9 +113,16 @@ class TaskKeyer:
     arbitrary dependency chains.  Objects with a memory-address ``repr``
     digest unstably — their tasks simply never match the journal and are
     re-executed, which is safe (at-least-once, never wrong-result).
+
+    ``namespace`` salts every key (multi-tenant service mode): two
+    studies running the same driver program get disjoint key spaces, so
+    sibling journals can never cross-restore each other's outputs.  The
+    default empty namespace produces byte-identical keys to previous
+    versions — existing journals stay resumable.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, namespace: str = "") -> None:
+        self.namespace = namespace
         # Occurrence counters keyed by a 64-bit slot derived from
         # (name, param digest) rather than the strings themselves: the
         # keyer is the one journal-path structure that must persist for
@@ -132,6 +139,8 @@ class TaskKeyer:
             return task.task_key
         digest = self._params_digest(task.args, task.kwargs)
         raw = f"{task.definition.name}|{digest}"
+        if self.namespace:
+            raw = f"{self.namespace}::{raw}"
         slot = int.from_bytes(
             hashlib.sha1(raw.encode("utf-8")).digest()[:8], "big"
         )
@@ -552,6 +561,51 @@ class RecoveryManager:
             "frontier": len(self.frontier()),
             "truncated_tail": self.truncated,
         }
+
+
+# ----------------------------------------------------------------------
+# Per-study durability namespace (multi-tenant service mode)
+# ----------------------------------------------------------------------
+class StudySession:
+    """One study's namespaced durability bundle inside a shared runtime.
+
+    The single-study runtime owns one keyer/journal/store/recovery
+    quartet; a multi-tenant service runs many studies over one runtime,
+    each with its *own* quartet rooted in a per-study checkpoint
+    directory.  Keys are salted with the study id (see
+    :class:`TaskKeyer`), so sibling studies can never interleave journal
+    records or share task keys — the fault-isolation invariant the
+    service's chaos tests assert.
+    """
+
+    __slots__ = (
+        "study_id", "keyer", "journal", "checkpoint_store", "recovery",
+        "tenant",
+    )
+
+    def __init__(
+        self,
+        study_id: str,
+        keyer: Optional[TaskKeyer] = None,
+        journal: Optional[WriteAheadJournal] = None,
+        checkpoint_store: Optional[CheckpointStore] = None,
+        recovery: Optional[RecoveryManager] = None,
+        tenant: str = "",
+    ):
+        self.study_id = study_id
+        self.keyer = keyer
+        self.journal = journal
+        self.checkpoint_store = checkpoint_store
+        self.recovery = recovery
+        self.tenant = tenant
+
+    def close(self) -> None:
+        """Flush and close the study's journal (idempotent)."""
+        if self.journal is not None:
+            self.journal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StudySession {self.study_id!r} tenant={self.tenant!r}>"
 
 
 # ----------------------------------------------------------------------

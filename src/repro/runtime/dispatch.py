@@ -29,6 +29,18 @@ one per-task feasibility wrinkle: they may *refuse* nodes their class
 would accept, so a placement failure of such a task never blocks its
 class; the task is set aside for the round and retried on later rounds.
 
+**Multi-tenant service mode** adds a *study* dimension to the class
+heaps: class keys become ``(study, constraint_class)`` and, whenever a
+round sees queued work from two or more studies, heads are merged in
+fair-share order — priority first (higher wins), then stride-scheduled
+virtual time (cumulative placed CPU-units divided by the study's
+weight), recomputed at round time so shares track live usage.  Rounds
+with a single participating study take the unchanged legacy path, which
+is what keeps a solo run's placements byte-identical to a run without
+the service.  Per-tenant slot quotas are enforced here too: a class
+whose tenant is at its running-slot cap simply sits the round out (no
+blocking — the tenant's own releases re-trigger rounds).
+
 Thread-safety: capacity notifications (:meth:`on_release`,
 :meth:`on_topology_change`) arrive from arbitrary threads with the pool
 lock held; they only buffer into a wake set.  All queue mutation happens
@@ -68,6 +80,8 @@ class DispatchStats:
     full_wakes: int = 0
     classes_starved: int = 0
     starvation_failures: int = 0
+    fair_rounds: int = 0
+    quota_skips: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -80,6 +94,8 @@ class DispatchStats:
             "full_wakes": self.full_wakes,
             "classes_starved": self.classes_starved,
             "starvation_failures": self.starvation_failures,
+            "fair_rounds": self.fair_rounds,
+            "quota_skips": self.quota_skips,
         }
 
 
@@ -92,6 +108,27 @@ class _ClassQueue:
     heap: List[Tuple] = field(default_factory=list)
     #: Names of nodes whose idle capacity fits some candidate impl.
     nodes: FrozenSet[str] = frozenset()
+    #: Owning study ("" outside service mode) — the key's first element.
+    study: str = ""
+
+
+@dataclass
+class _StudyShare:
+    """Fair-share state of one registered study (service mode).
+
+    ``vtime`` is stride-scheduling virtual time: cumulative placed
+    CPU-units divided by ``weight``.  The study with the smallest vtime
+    (within the highest priority band) places next, so long-run
+    placement shares converge to the weight ratio regardless of how
+    bursty each study's submissions are.
+    """
+
+    study: str
+    priority: int = 0
+    weight: float = 1.0
+    tenant: str = ""
+    max_tenant_slots: Optional[int] = None
+    vtime: float = 0.0
 
 
 class DispatchEngine:
@@ -139,6 +176,90 @@ class DispatchEngine:
         #: allocates no fresh lists per completion batch).
         self._heads: List[Tuple] = []
         self._deferred: List[Tuple] = []
+        #: study id -> fair-share state (service mode only; empty for the
+        #: single-study runtime, which keeps every legacy code path).
+        self._studies: Dict[str, _StudyShare] = {}
+
+    # ------------------------------------------------------------------
+    # Study registration (multi-tenant service mode)
+    # ------------------------------------------------------------------
+    def register_study(
+        self,
+        study: str,
+        priority: int = 0,
+        weight: float = 1.0,
+        tenant: str = "",
+        max_tenant_slots: Optional[int] = None,
+    ) -> None:
+        """Give ``study`` a fair-share lane across the class heaps.
+
+        ``priority`` ranks studies strictly (higher places first);
+        within a priority band placement follows stride-scheduled
+        virtual time so long-run CPU shares converge to the ``weight``
+        ratio.  ``max_tenant_slots`` caps the tenant's concurrently
+        *running* placements across all its studies.
+        """
+        if not study:
+            raise ValueError("study id must be non-empty")
+        if weight <= 0:
+            raise ValueError(f"study weight must be > 0, got {weight!r}")
+        existing = self._studies.get(study)
+        share = _StudyShare(
+            study=study, priority=priority, weight=weight,
+            tenant=tenant, max_tenant_slots=max_tenant_slots,
+        )
+        if existing is not None:
+            share.vtime = existing.vtime
+        else:
+            # A late-joining study starts at the current minimum vtime of
+            # its priority band, not at zero — otherwise it would starve
+            # everyone else until it "caught up" on work it never saw.
+            peers = [
+                s.vtime for s in self._studies.values()
+                if s.priority == priority
+            ]
+            share.vtime = min(peers) if peers else 0.0
+        self._studies[study] = share
+
+    def unregister_study(self, study: str) -> None:
+        """Drop a finished study's fair-share lane (idempotent)."""
+        self._studies.pop(study, None)
+
+    def study_shares(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of registered studies (service status endpoint)."""
+        return {
+            s.study: {
+                "priority": s.priority,
+                "weight": s.weight,
+                "tenant": s.tenant,
+                "vtime": s.vtime,
+            }
+            for s in self._studies.values()
+        }
+
+    def _rank(self, study: str) -> Tuple:
+        """Round-time fair-share rank of a study (smaller places first)."""
+        share = self._studies.get(study)
+        if share is None:
+            return (0, 0.0, study)
+        return (-share.priority, share.vtime, study)
+
+    def _tenant_at_quota(self, share: Optional[_StudyShare]) -> bool:
+        if share is None or share.max_tenant_slots is None:
+            return False
+        return self.pool.tenant_load(share.tenant) >= share.max_tenant_slots
+
+    def _charge_share(self, study: str, placed: Assignment) -> None:
+        """Account one placement against the study's share and tenant."""
+        share = self._studies.get(study)
+        if share is None:
+            return
+        units = placed.allocation.cpu_units or 1
+        for extra in placed.extra_allocations:
+            units += extra.cpu_units or 1
+        share.vtime += units / share.weight
+        if share.tenant and share.max_tenant_slots is not None:
+            self.pool.charge_tenant(placed.allocation, share.tenant)
 
     # ------------------------------------------------------------------
     # Pool listener protocol (called with the pool lock held: buffer only)
@@ -159,17 +280,22 @@ class DispatchEngine:
     def _class_for(self, task: TaskInvocation) -> _ClassQueue:
         definition = task.definition
         cached = getattr(definition, "_dispatch_class_cache", None)
-        if cached is not None and cached[0] is self:
+        if (
+            cached is not None
+            and cached[0] is self
+            and cached[1].study == task.study
+        ):
             return cached[1]
-        key = definition.constraint_class()
+        key = (task.study, definition.constraint_class())
         cq = self._classes.get(key)
         if cq is None:
-            cq = _ClassQueue(key)
+            cq = _ClassQueue(key, study=task.study)
             self._classes[key] = cq
             self._register_nodes(cq, task)
-        # Safe to cache per (engine, definition): constraint_class() is
-        # itself cached on the definition and decorators finish mutating
-        # the constraint before the first submission.
+        # Safe to cache per (engine, definition, study): constraint_class()
+        # is itself cached on the definition and decorators finish mutating
+        # the constraint before the first submission.  A definition shared
+        # across studies (rare) revalidates via the study check above.
         definition._dispatch_class_cache = (self, cq)
         return cq
 
@@ -422,6 +548,8 @@ class DispatchEngine:
         heads = self._heads
         blocked = self._blocked
         stats = self.stats
+        multi_study = False
+        first_study: Optional[str] = None
         for key, cq in self._classes.items():
             heap = cq.heap
             if not heap:
@@ -430,9 +558,26 @@ class DispatchEngine:
             if restrict is not None and not restrict:
                 stats.blocked_skips += 1
                 continue
+            if first_study is None:
+                first_study = cq.study
+            elif cq.study != first_study:
+                multi_study = True
             entry = heap[0]
             heads.append((entry[0], entry[1], key))
         if not heads:
+            return
+        if multi_study and self._studies:
+            # Two or more studies have queued work: merge heads in
+            # fair-share order instead of raw policy order.  Engaged only
+            # here, so a solo study's placements stay byte-identical to a
+            # run without the service.
+            stats.fair_rounds += 1
+            shared = [
+                (self._rank(self._classes[k].study), s, q, k)
+                for (s, q, k) in heads
+            ]
+            heads.clear()
+            self._place_ready_shared(shared, quarantined, out)
             return
         if len(heads) == 1:
             # Single participating class (the common case in homogeneous
@@ -510,7 +655,102 @@ class DispatchEngine:
                 heads.clear()
             if deferred:
                 for entry in deferred:
-                    key = entry[2].definition.constraint_class()
+                    task = entry[2]
+                    key = (task.study, task.definition.constraint_class())
+                    heapq.heappush(self._classes[key].heap, entry)
+                deferred.clear()
+
+    def _place_ready_shared(
+        self,
+        shared: List[Tuple[Tuple, Tuple, int, Tuple]],
+        quarantined: List[str],
+        out: List[Assignment],
+    ) -> None:
+        """Fair-share merge loop for rounds where several studies compete.
+
+        ``shared`` holds 4-tuples ``(rank, sort, seq, class_key)`` — the
+        fair-share rank (priority band, then stride vtime) dominates, so
+        the study owed the most service places first; within a study the
+        policy sort order is preserved.  Ranks are recomputed on every
+        head re-push: each placement advances the study's vtime, which is
+        exactly what rotates service between tenants.  A class whose
+        tenant is at its slot quota sits the round out (releases trigger
+        new rounds, so no wake bookkeeping is needed).
+        """
+        blocked = self._blocked
+        stats = self.stats
+        studies = self._studies
+        heapq.heapify(shared)
+        deferred = self._deferred
+        try:
+            while shared:
+                _rank, _sort, seq, key = heapq.heappop(shared)
+                cq = self._classes[key]
+                heap = cq.heap
+                if not heap or heap[0][1] != seq:
+                    continue  # stale head entry
+                task = heap[0][2]
+                if task.task_id in self._purged:
+                    heapq.heappop(heap)
+                    self._queued.discard(task.task_id)
+                    self._purged.discard(task.task_id)
+                    if heap:
+                        nxt = heap[0]
+                        heapq.heappush(
+                            shared,
+                            (self._rank(cq.study), nxt[0], nxt[1], key),
+                        )
+                    continue
+                share = studies.get(cq.study)
+                if self._tenant_at_quota(share):
+                    # Over quota: the whole class waits for a release from
+                    # one of the tenant's running tasks.  Not re-pushed —
+                    # quota state cannot change within the round.
+                    stats.quota_skips += 1
+                    continue
+                stats.placement_probes += 1
+                try:
+                    placed = self.scheduler._try_place(
+                        task, self.pool, quarantined, blocked.get(key)
+                    )
+                except UnsatisfiableError as exc:
+                    if exc.permanent:
+                        raise
+                    blocked[key] = set()
+                    self._mark_starved(key, task, exc)
+                    continue
+                self._starved.pop(key, None)
+                if placed is not None:
+                    heapq.heappop(heap)
+                    self._queued.discard(task.task_id)
+                    self._charge_share(cq.study, placed)
+                    out.append(placed)
+                    stats.placed += 1
+                    if heap:
+                        restrict = blocked.get(key)
+                        if restrict is not None and not restrict:
+                            stats.blocked_skips += 1
+                        else:
+                            nxt = heap[0]
+                            heapq.heappush(
+                                shared,
+                                (self._rank(cq.study), nxt[0], nxt[1], key),
+                            )
+                elif task.failed_nodes:
+                    deferred.append(heapq.heappop(heap))
+                    if heap:
+                        nxt = heap[0]
+                        heapq.heappush(
+                            shared,
+                            (self._rank(cq.study), nxt[0], nxt[1], key),
+                        )
+                else:
+                    blocked[key] = set()
+        finally:
+            if deferred:
+                for entry in deferred:
+                    task = entry[2]
+                    key = (task.study, task.definition.constraint_class())
                     heapq.heappush(self._classes[key].heap, entry)
                 deferred.clear()
 

@@ -60,6 +60,15 @@ class Executor(abc.ABC):
         pick the wake up there).
         """
 
+    def notify_task_resolutions(self) -> None:
+        """Task states changed outside the executor's completion paths.
+
+        Called after out-of-band terminal transitions — e.g. the service
+        layer abandoning a whole study — so blocked ``wait_for`` calls
+        rescan and observe the failures.  Default no-op (polling
+        executors pick the change up on their next scan).
+        """
+
     def drain_node(self, node: str, deadline_s: float) -> None:
         """Begin honouring a drain: finish ``node``'s running tasks, then
         retire it; escalate to a node failure at ``deadline_s``.

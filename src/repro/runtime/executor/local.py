@@ -176,6 +176,14 @@ class LocalExecutor(Executor):
         """Run a scheduling round now (node added / drained / rejoined)."""
         self._dispatch()
 
+    def notify_task_resolutions(self) -> None:
+        """Wake blocked waiters after out-of-band terminal transitions."""
+        if self._done_cond is None:
+            return
+        with self._done_cond:
+            self._resolutions += 1
+            self._done_cond.notify_all()
+
     def _dispatch(self) -> None:
         """Incremental scheduling round (thread-safe).
 

@@ -231,6 +231,26 @@ class UpstreamFailureError(RuntimeError):
         self.upstream_cause = cause
 
 
+class StudyAbandonedError(RuntimeError):
+    """A task was cancelled because its whole study was terminated.
+
+    Raised into the unfinished tasks of a study that the service layer
+    abandons — failed-trial budget exhausted, cancelled by the tenant, or
+    shed under memory pressure.  Terminal (never retried): the study is
+    gone, so its in-flight work is worthless.  Other studies sharing the
+    runtime are unaffected — that is the fault-isolation contract.
+    """
+
+    def __init__(self, task_label: str, study: str, reason: str = ""):
+        message = f"task {task_label} cancelled: study {study!r} terminated"
+        if reason:
+            message += f" ({reason})"
+        super().__init__(message)
+        self.task_label = task_label
+        self.study = study
+        self.reason = reason
+
+
 class TaskFailedError(RuntimeError):
     """Raised to the user when a task exhausts its retry budget.
 

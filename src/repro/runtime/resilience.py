@@ -77,6 +77,17 @@ PREEMPTION_NOTICE = "preemption_notice"
 NODE_REJOINED = "node_rejoined"
 CLASS_STARVED = "class_starved"
 UPSTREAM_CANCELLED = "upstream_cancelled"
+#: Multi-tenant service events: a study was admitted into the daemon, a
+#: study finished cleanly, a study burned through its resilience budget
+#: (poison tasks / retry exhaustion / starvation) and was terminated —
+#: *that study only*, other tenants keep running — a study was cancelled
+#: by its owner, or the admission watchdog shed load before a memory
+#: ceiling.
+STUDY_ADMITTED = "study_admitted"
+STUDY_COMPLETED = "study_completed"
+STUDY_FAILED = "study_failed"
+STUDY_CANCELLED = "study_cancelled"
+LOAD_SHED = "load_shed"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -107,6 +118,11 @@ EVENT_KINDS = (
     NODE_REJOINED,
     CLASS_STARVED,
     UPSTREAM_CANCELLED,
+    STUDY_ADMITTED,
+    STUDY_COMPLETED,
+    STUDY_FAILED,
+    STUDY_CANCELLED,
+    LOAD_SHED,
 )
 
 

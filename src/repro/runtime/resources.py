@@ -40,10 +40,12 @@ class Allocation:
     placement, and the frozen-dataclass ``__init__`` — every field set
     via ``object.__setattr__`` — was measurable at 100k+ tasks.
     Instances are immutable by convention: nothing mutates an allocation
-    after :meth:`Worker._take` builds it.
+    after :meth:`Worker._take` builds it — except ``tenant``, which the
+    dispatch engine stamps once at placement time (service mode) so the
+    release path can decrement the owning tenant's slot count.
     """
 
-    __slots__ = ("node", "cpu_ids", "gpu_ids", "memory_gb")
+    __slots__ = ("node", "cpu_ids", "gpu_ids", "memory_gb", "tenant")
 
     def __init__(
         self,
@@ -56,6 +58,7 @@ class Allocation:
         self.cpu_ids = cpu_ids
         self.gpu_ids = gpu_ids
         self.memory_gb = memory_gb
+        self.tenant = ""
 
     @property
     def cpu_units(self) -> int:
@@ -234,6 +237,11 @@ class ResourcePool:
         #: Same index as a set, for O(1) membership on the single-node
         #: restricted-probe fast path.
         self._static_fit_sets: Dict[Tuple, frozenset] = {}
+        #: Per-tenant running-slot counts (service mode).  A "slot" is one
+        #: in-flight placement: charged by the dispatch engine when it
+        #: places a tenant's task, released automatically when the
+        #: stamped allocation is returned.  Empty outside service mode.
+        self._tenant_slots: Dict[str, int] = {}
         self.workers: Dict[str, Worker] = {}
         for i, spec in enumerate(cluster.nodes):
             if isinstance(reserved_cores, Mapping):
@@ -375,8 +383,35 @@ class ResourcePool:
     def release(self, alloc: Allocation) -> None:
         with self._lock:
             self.workers[alloc.node].release(alloc)
+            if alloc.tenant:
+                remaining = self._tenant_slots.get(alloc.tenant, 0) - 1
+                if remaining > 0:
+                    self._tenant_slots[alloc.tenant] = remaining
+                else:
+                    self._tenant_slots.pop(alloc.tenant, None)
+                alloc.tenant = ""
             if self.listener is not None:
                 self.listener.on_release(alloc.node)
+
+    def charge_tenant(self, alloc: Allocation, tenant: str) -> None:
+        """Stamp ``alloc`` as one running slot of ``tenant`` (service mode).
+
+        Called by the dispatch engine at placement time; the matching
+        decrement happens automatically in :meth:`release`.
+        """
+        with self._lock:
+            alloc.tenant = tenant
+            self._tenant_slots[tenant] = self._tenant_slots.get(tenant, 0) + 1
+
+    def tenant_load(self, tenant: str) -> int:
+        """Currently-running slots charged to ``tenant``."""
+        with self._lock:
+            return self._tenant_slots.get(tenant, 0)
+
+    def tenant_loads(self) -> Dict[str, int]:
+        """Snapshot of running slots per tenant (service status endpoint)."""
+        with self._lock:
+            return dict(self._tenant_slots)
 
     def blocked_nodes(self) -> List[str]:
         """Nodes the health tracker currently quarantines (may be empty)."""

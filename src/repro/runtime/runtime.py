@@ -12,8 +12,9 @@ from __future__ import annotations
 import gc
 import inspect
 import threading
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.runtime import checkpoint as ckpt
 from repro.runtime import integrity as igr
@@ -26,13 +27,14 @@ from repro.runtime.executor.local import LocalExecutor
 from repro.runtime.executor.simulated import SimulatedExecutor
 from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
-from repro.runtime.fault import UpstreamFailureError
+from repro.runtime.fault import StudyAbandonedError, UpstreamFailureError
 from repro.pycompss_api.task_group import record_submission
 from repro.runtime.resilience import (
     CHECKPOINT_RESTORE,
     DRAIN_COMPLETE,
     NODE_DRAINING,
     NODE_REJOINED,
+    STUDY_FAILED,
     UPSTREAM_CANCELLED,
     NodeHealth,
     ResilienceLog,
@@ -213,6 +215,16 @@ class COMPSsRuntime:
                 checkpoint_dir / ckpt.OUTPUTS_DIR,
                 cadence=self.config.checkpoint_every,
             )
+        # ---- Multi-tenant service mode (repro serve) ----
+        #: Per-study sessions: namespaced keyer/journal/checkpoint/recovery
+        #: bundles keyed by study id.  Empty outside service mode, in which
+        #: case every code path below falls back to the session-less
+        #: attributes above and behaves exactly as before.
+        self._sessions: Dict[str, ckpt.StudySession] = {}
+        #: Thread-local submission scope: a study worker thread enters
+        #: ``study_scope(session)`` so its submissions are keyed, journaled
+        #: and restored against that study's namespace.
+        self._study_local = threading.local()
 
     def _make_executor(self) -> Executor:
         ex = self.config.executor
@@ -299,6 +311,9 @@ class COMPSsRuntime:
             self.executor.shutdown()
             if self.journal is not None:
                 self.journal.close()
+            for session in list(self._sessions.values()):
+                session.close()
+            self._sessions.clear()
             set_current(None)
             self._started = False
             if self._gc_managed:
@@ -330,6 +345,19 @@ class COMPSsRuntime:
         if not self._started:
             raise RuntimeError("runtime not started")
         invocation = TaskInvocation(definition=definition, args=args, kwargs=kwargs)
+        # Service mode: the submitting thread's study scope decides which
+        # namespace keys/journals/restores this task.  ``None`` outside
+        # service mode — the session-less attributes apply unchanged.
+        session: Optional[ckpt.StudySession] = getattr(
+            self._study_local, "session", None
+        )
+        if session is not None:
+            invocation.study = session.study_id
+            keyer, journal, recovery = (
+                session.keyer, session.journal, session.recovery
+            )
+        else:
+            keyer, journal, recovery = self.keyer, self.journal, self.recovery
         deps: Dict[int, TaskInvocation] = {}
         edge_labels: Dict[int, str] = {}
         restored: Any = ckpt._MISSING
@@ -351,10 +379,10 @@ class COMPSsRuntime:
                 # register_output_future minus the unused label return.
                 self.access._info_for_future(fut)
             self._futures[invocation.task_id] = futures
-            if self.keyer is not None:
-                self.keyer.key_for(invocation)
-                if self.recovery is not None:
-                    restored = self.recovery.restored_result(invocation.task_key)
+            if keyer is not None:
+                keyer.key_for(invocation)
+                if recovery is not None:
+                    restored = recovery.restored_result(invocation.task_key)
             if restored is not ckpt._MISSING:
                 # Journaled-complete with a stored output: restore instead
                 # of executing (exactly-once for the replayed prefix).
@@ -373,12 +401,12 @@ class COMPSsRuntime:
                     self.executor.clock(), CHECKPOINT_RESTORE, invocation.label,
                     detail=f"key={invocation.task_key}",
                 )
-            if self.journal is not None:
-                self.journal.append(
+            if journal is not None:
+                journal.append(
                     ckpt.SUBMITTED, invocation.task_key, task=invocation.label
                 )
                 if restored is not ckpt._MISSING:
-                    self.journal.append(
+                    journal.append(
                         ckpt.COMPLETED, invocation.task_key,
                         task=invocation.label, restored=True,
                     )
@@ -553,14 +581,17 @@ class COMPSsRuntime:
             self.access.revalidate_versions_written_by(task)
         if self.integrity is not None:
             self._seal_outputs(task, result)
-        if self.journal is not None and task.task_key is not None:
+        session = self._sessions.get(task.study) if task.study else None
+        journal = session.journal if session is not None else self.journal
+        store = (
+            session.checkpoint_store if session is not None
+            else self.checkpoint_store
+        )
+        if journal is not None and task.task_key is not None:
             stored = False
-            if (
-                self.checkpoint_store is not None
-                and self.checkpoint_store.should_spill()
-            ):
-                stored = self.checkpoint_store.save(task.task_key, result)
-            self.journal.append(
+            if store is not None and store.should_spill():
+                stored = store.save(task.task_key, result)
+            journal.append(
                 ckpt.COMPLETED, task.task_key,
                 task=task.label, node=task.node or "", stored=stored,
             )
@@ -650,9 +681,11 @@ class COMPSsRuntime:
         self, task: TaskInvocation, kind: str, node: str = ""
     ) -> None:
         """Append a task lifecycle record (executors journal start/failure)."""
-        if self.journal is None or task.task_key is None:
+        session = self._sessions.get(task.study) if task.study else None
+        journal = session.journal if session is not None else self.journal
+        if journal is None or task.task_key is None:
             return
-        self.journal.append(
+        journal.append(
             kind, task.task_key, task=task.label, node=node or (task.node or "")
         )
 
@@ -704,12 +737,156 @@ class COMPSsRuntime:
             return ckpt.recover_lost_data(self, node)
 
     def resume_stats(self) -> Optional[Dict[str, Any]]:
-        """Journal-replay summary for resumed sessions (else ``None``)."""
-        if self.recovery is None:
+        """Journal-replay summary for resumed sessions (else ``None``).
+
+        In service mode the calling thread's study scope selects which
+        study's recovery is summarised.
+        """
+        session: Optional[ckpt.StudySession] = getattr(
+            self._study_local, "session", None
+        )
+        recovery = session.recovery if session is not None else self.recovery
+        if recovery is None:
             return None
-        stats = self.recovery.summary()
-        stats["restored_this_session"] = self.recovery.restored
+        stats = recovery.summary()
+        stats["restored_this_session"] = recovery.restored
         return stats
+
+    # ------------------------------------------------------------------
+    # Multi-tenant study sessions (service mode)
+    # ------------------------------------------------------------------
+    def open_study(
+        self,
+        study_id: str,
+        checkpoint_dir: Optional[Union[str, Path]] = None,
+        *,
+        priority: int = 0,
+        weight: float = 1.0,
+        tenant: str = "",
+        max_tenant_slots: Optional[int] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> ckpt.StudySession:
+        """Open a fault-isolated session for one tenant study.
+
+        The session bundles a task keyer salted with ``study_id`` (so two
+        studies running the identical space never share task keys), its
+        own write-ahead journal and checkpoint store under
+        ``checkpoint_dir``, and — when that directory already holds a
+        journal from a previous daemon life — a recovery manager that
+        replays it, giving the study exactly-once resumption after a
+        whole-daemon crash.  The study is also registered with the
+        dispatch engine as a fair-share lane (``priority``/``weight``)
+        under the tenant's slot quota.
+        """
+        if not study_id:
+            raise ValueError("study_id must be non-empty")
+        if study_id in self._sessions:
+            raise ValueError(f"study {study_id!r} is already open")
+        keyer = ckpt.TaskKeyer(namespace=study_id)
+        journal: Optional[ckpt.WriteAheadJournal] = None
+        store: Optional[ckpt.CheckpointStore] = None
+        recovery: Optional[ckpt.RecoveryManager] = None
+        if checkpoint_dir is not None:
+            ckpt_path = Path(checkpoint_dir)
+            if (ckpt_path / ckpt.JOURNAL_FILE).exists():
+                # A journal from a previous daemon life: replay it so the
+                # completed prefix restores instead of re-executing.
+                recovery = ckpt.RecoveryManager(ckpt_path, log=self.resilience)
+            journal = ckpt.WriteAheadJournal(
+                ckpt_path / ckpt.JOURNAL_FILE,
+                fsync=self.config.journal_fsync,
+                buffer_records=self.config.journal_buffer_records,
+            )
+            store = ckpt.CheckpointStore(
+                ckpt_path / ckpt.OUTPUTS_DIR,
+                cadence=(
+                    checkpoint_every if checkpoint_every is not None
+                    else self.config.checkpoint_every
+                ),
+            )
+            journal.open_session(
+                cluster=self.cluster.name, resumed=recovery is not None,
+            )
+        session = ckpt.StudySession(
+            study_id, keyer=keyer, journal=journal,
+            checkpoint_store=store, recovery=recovery, tenant=tenant,
+        )
+        with self.lock:
+            self._sessions[study_id] = session
+            # Under the runtime lock: the dispatch engine's share table is
+            # also read by scheduling rounds, which run under this lock.
+            self.dispatcher.register_study(
+                study_id, priority=priority, weight=weight,
+                tenant=tenant, max_tenant_slots=max_tenant_slots,
+            )
+        return session
+
+    def close_study(self, study_id: str) -> None:
+        """Close a study session: flush its journal, drop its share lane."""
+        with self.lock:
+            session = self._sessions.pop(study_id, None)
+            self.dispatcher.unregister_study(study_id)
+        if session is not None:
+            session.close()
+
+    def study_session(self, study_id: str) -> Optional[ckpt.StudySession]:
+        """The open session for ``study_id`` (None when unknown)."""
+        return self._sessions.get(study_id)
+
+    @contextmanager
+    def study_scope(self, session: ckpt.StudySession) -> Iterator[None]:
+        """Route this thread's submissions through ``session``.
+
+        Worker threads of the service daemon wrap each study's runner in
+        this scope; everything the study submits is keyed, journaled and
+        restored against the study's namespace, while other threads (and
+        session-less callers) are untouched.
+        """
+        previous = getattr(self._study_local, "session", None)
+        self._study_local.session = session
+        try:
+            yield
+        finally:
+            self._study_local.session = previous
+
+    def abandon_study(
+        self, study_id: str, reason: str = "", kind: str = STUDY_FAILED
+    ) -> int:
+        """Terminate one study, leaving every other tenant untouched.
+
+        Fails all of the study's unfinished tasks with
+        :class:`StudyAbandonedError` (terminal — never retried), journals
+        the failures into the study's own journal, tombstones its queued
+        entries in the dispatch engine, and records one ``study_failed``
+        resilience event (``kind`` selects ``study_cancelled`` for
+        tenant-initiated cancellation).  Running attempts of the study
+        resolve quietly: the executors' completion paths discard results
+        for tasks that are no longer RUNNING.  Returns the number of
+        tasks cancelled.
+        """
+        now = self.executor.clock()
+        victims: List[TaskInvocation] = []
+        with self.lock:
+            for task in self.graph.tasks():
+                if task.study != study_id:
+                    continue
+                if task.state in (TaskState.DONE, TaskState.FAILED):
+                    continue
+                exc = StudyAbandonedError(task.label, study_id, reason)
+                task.attempt_history.append(f"study abandoned: {exc}")
+                task.state = TaskState.FAILED
+                task.error = exc
+                self.journal_task_event(task, ckpt.FAILED, node="")
+                victims.append(task)
+            self.dispatcher.purge(victims)
+        self.resilience.record(
+            now, kind, detail=f"study={study_id} reason={reason} "
+            f"cancelled={len(victims)}",
+        )
+        # Wake any waiter blocked on the study's tasks so the study's
+        # worker thread observes the terminal failures promptly.
+        self.executor.notify_task_resolutions()
+        return len(victims)
 
     # ------------------------------------------------------------------
     # Synchronisation
@@ -890,14 +1067,23 @@ class COMPSsRuntime:
         """
         protected = 0
         with self.lock:
-            if self.checkpoint_store is not None:
+            if self.checkpoint_store is not None or self._sessions:
                 done_here = [
                     t for t in self.graph.tasks()
                     if t.state == TaskState.DONE and t.node == node
                 ]
                 for task in done_here:
-                    if task.task_key is not None and self.checkpoint_store.save(
-                        task.task_key, task.result
+                    session = (
+                        self._sessions.get(task.study) if task.study else None
+                    )
+                    store = (
+                        session.checkpoint_store if session is not None
+                        else self.checkpoint_store
+                    )
+                    if (
+                        store is not None
+                        and task.task_key is not None
+                        and store.save(task.task_key, task.result)
                     ):
                         protected += 1
             if self.integrity is not None:

@@ -128,13 +128,16 @@ class TaskInvocation:
     :class:`~repro.runtime.fault.TaskFailedError` message.  ``task_key``
     is the deterministic cross-process id (name + param digest +
     occurrence) assigned by the checkpoint subsystem when journaling is
-    on; stable across driver restarts, unlike ``task_id``.
+    on; stable across driver restarts, unlike ``task_id``.  ``study`` is
+    the id of the study session that submitted the task (``""`` outside
+    service mode); it routes journaling to the study's namespaced
+    journal and gives the dispatch engine its fair-share dimension.
     """
 
     __slots__ = (
         "definition", "args", "kwargs", "task_id", "state", "reads",
         "writes", "attempts", "failed_nodes", "attempt_history", "result",
-        "error", "start_time", "end_time", "node", "task_key",
+        "error", "start_time", "end_time", "node", "task_key", "study",
     )
 
     def __init__(
@@ -161,6 +164,7 @@ class TaskInvocation:
         self.end_time: Optional[float] = None
         self.node: Optional[str] = None
         self.task_key: Optional[str] = None
+        self.study: str = ""
 
     @property
     def label(self) -> str:

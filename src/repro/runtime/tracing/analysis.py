@@ -275,6 +275,24 @@ class TraceAnalysis:
             "upstream_cancellations": counts.get(rsl.UPSTREAM_CANCELLED, 0),
         }
 
+    def service(self) -> Dict[str, int]:
+        """Multi-tenant service summary (``repro serve`` daemons).
+
+        Counts of studies admitted / completed / failed / cancelled and
+        of load-shedding decisions — the tenancy view of a daemon life
+        (all zero outside service mode).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "studies_admitted": counts.get(rsl.STUDY_ADMITTED, 0),
+            "studies_completed": counts.get(rsl.STUDY_COMPLETED, 0),
+            "studies_failed": counts.get(rsl.STUDY_FAILED, 0),
+            "studies_cancelled": counts.get(rsl.STUDY_CANCELLED, 0),
+            "loads_shed": counts.get(rsl.LOAD_SHED, 0),
+        }
+
     def dispatch(self) -> Dict[str, float]:
         """Dispatch/batching summary (batched scheduling observability).
 
@@ -297,6 +315,8 @@ class TraceAnalysis:
             "full_wakes": d.get("full_wakes", 0),
             "placement_probes": d.get("placement_probes", 0),
             "blocked_skips": d.get("blocked_skips", 0),
+            "fair_rounds": d.get("fair_rounds", 0),
+            "quota_skips": d.get("quota_skips", 0),
         }
 
     def resilience_events(self, kind: Optional[str] = None) -> List[ResilienceEvent]:

@@ -1,0 +1,108 @@
+"""Typed errors of the multi-tenant service layer.
+
+Every rejection the daemon can issue has a distinct class so clients can
+branch on type (retry later vs give up vs fix the request), and each
+carries a stable ``code`` string that survives the file-protocol
+round-trip: the daemon records ``code`` in a rejection file and
+:mod:`repro.service.client` re-raises the matching class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+
+class ServiceError(RuntimeError):
+    """Base class of all service-layer errors."""
+
+    code = "service_error"
+
+
+class QueueFullError(ServiceError):
+    """The daemon's bounded study queue is at capacity.
+
+    Backpressure, not failure: the submission was *not* accepted and may
+    be retried once other studies drain.
+    """
+
+    code = "queue_full"
+
+
+class TenantQuotaError(ServiceError):
+    """The tenant already has its maximum number of studies queued.
+
+    Per-tenant backpressure: other tenants' submissions are still
+    accepted — one noisy tenant cannot exhaust the shared queue.
+    """
+
+    code = "tenant_quota"
+
+
+class ServiceOverloadedError(ServiceError):
+    """The daemon is shedding load (memory watchdog over its ceiling)."""
+
+    code = "service_overloaded"
+
+
+class StudyConflictError(ServiceError):
+    """A study id was re-submitted with a *different* specification.
+
+    Re-submitting the identical request is the idempotent-retry path and
+    succeeds silently; only a conflicting payload is an error.
+    """
+
+    code = "study_conflict"
+
+
+class StudyNotFoundError(ServiceError):
+    """The referenced study id is unknown to the daemon."""
+
+    code = "study_not_found"
+
+
+class ClientTimeoutError(ServiceError):
+    """A client-side wait (submit ack, watch) exceeded its deadline.
+
+    Says nothing about the study itself — the daemon may simply be busy
+    or down; the operation is safe to retry (submission is idempotent).
+    """
+
+    code = "client_timeout"
+
+
+class StudyCancelledError(ServiceError):
+    """The study was cancelled by its tenant."""
+
+    code = "study_cancelled"
+
+
+class StudyFailedError(ServiceError):
+    """The study exhausted its failed-trial budget and was terminated.
+
+    Raised inside the study's worker thread (from the budget-guard
+    callback) so the failure is confined to that study; other tenants on
+    the same daemon are unaffected.
+    """
+
+    code = "study_failed"
+
+
+_BY_CODE: Dict[str, Type[ServiceError]] = {
+    cls.code: cls
+    for cls in (
+        ServiceError,
+        QueueFullError,
+        TenantQuotaError,
+        ServiceOverloadedError,
+        StudyConflictError,
+        StudyNotFoundError,
+        ClientTimeoutError,
+        StudyCancelledError,
+        StudyFailedError,
+    )
+}
+
+
+def error_for_code(code: str, message: str) -> ServiceError:
+    """Rebuild the typed error recorded in a rejection/state file."""
+    return _BY_CODE.get(code, ServiceError)(message)

@@ -1,0 +1,222 @@
+"""File-spool protocol between service clients and the daemon.
+
+Layout under the service root directory::
+
+    daemon.json                    # daemon heartbeat manifest
+    inbox/<request_id>.json        # submissions (atomic rename)
+    rejections/<study_id>.json     # typed admission rejections
+    studies/<study_id>/
+        request.json               # the admitted specification
+        state.json                 # queued|running|completed|failed|...
+        cancel                     # flag file: tenant requested cancel
+        checkpoint/                # the study's journal + spilled outputs
+        result.json                # final Study.as_dict() when completed
+
+Every JSON file is written with write-to-temp + ``os.replace`` so a
+reader never observes a torn write; the transport therefore works over
+any POSIX filesystem — including the shared parallel filesystems of the
+paper's clusters, where a login-node daemon and compute-side clients see
+the same directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional
+
+# Study lifecycle states recorded in state.json.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+CANCELLED = "cancelled"
+SHED = "shed"
+
+#: States from which a study never leaves.
+TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELLED, SHED))
+#: States a restarted daemon must pick back up (crash recovery).
+RESUMABLE_STATES = frozenset((QUEUED, RUNNING))
+
+DAEMON_FILE = "daemon.json"
+INBOX_DIR = "inbox"
+REJECTIONS_DIR = "rejections"
+STUDIES_DIR = "studies"
+REQUEST_FILE = "request.json"
+STATE_FILE = "state.json"
+RESULT_FILE = "result.json"
+CANCEL_FILE = "cancel"
+CHECKPOINT_DIR = "checkpoint"
+
+
+def atomic_write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    """Write ``payload`` to ``path`` so readers never see a torn file."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        prefix=f".{path.name}.", suffix=".tmp", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """Read a JSON file, tolerating a concurrent replace (None if gone)."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (FileNotFoundError, json.JSONDecodeError):
+        return None
+
+
+@dataclass
+class StudyRequest:
+    """One tenant study: everything the daemon needs to run it.
+
+    ``study_id`` doubles as the idempotency key — re-submitting the
+    identical request is a no-op; a *different* payload under the same id
+    is rejected with :class:`~repro.service.errors.StudyConflictError`.
+    """
+
+    study_id: str
+    tenant: str = "default"
+    #: Listing-1-style space dict (lists → categorical, scalars → const).
+    space: Dict[str, Any] = field(default_factory=dict)
+    algorithm: str = "grid"
+    algorithm_kwargs: Dict[str, Any] = field(default_factory=dict)
+    #: Objective spec: a registry name (``fast_mock``, ``slow_mock``,
+    #: ``poison``, ``train``) or a ``module:function`` dotted path.
+    objective: str = "fast_mock"
+    batch_size: Optional[int] = None
+    #: Fair-share knobs: higher priority places strictly first; within a
+    #: band, long-run CPU share converges to the weight ratio.
+    priority: int = 0
+    weight: float = 1.0
+    #: The study's own resilience budget (fault isolation): per-trial
+    #: resubmissions, and how many FAILED trials the study tolerates
+    #: before the service terminates it (None = unlimited).
+    max_trial_retries: int = 0
+    max_failed_trials: Optional[int] = None
+    #: Cap on the tenant's concurrently *running* placements (slots)
+    #: across all its studies (None = uncapped).
+    max_tenant_slots: Optional[int] = None
+    #: Spill cadence override for the study's checkpoint store.
+    checkpoint_every: Optional[int] = 1
+
+    def __post_init__(self) -> None:
+        if not self.study_id:
+            raise ValueError("StudyRequest.study_id must be non-empty")
+        if any(sep in self.study_id for sep in ("/", "\\", "..")):
+            raise ValueError(
+                f"StudyRequest.study_id must be a plain name, "
+                f"got {self.study_id!r}"
+            )
+        if self.weight <= 0:
+            raise ValueError(
+                f"StudyRequest.weight must be > 0, got {self.weight!r}"
+            )
+
+    def to_payload(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "StudyRequest":
+        known = {f for f in cls.__dataclass_fields__}  # noqa: C416
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+class ServicePaths:
+    """Path arithmetic for one service root (shared by daemon + client)."""
+
+    def __init__(self, root: Path):
+        self.root = Path(root)
+
+    @property
+    def daemon_file(self) -> Path:
+        return self.root / DAEMON_FILE
+
+    @property
+    def inbox(self) -> Path:
+        return self.root / INBOX_DIR
+
+    @property
+    def rejections(self) -> Path:
+        return self.root / REJECTIONS_DIR
+
+    @property
+    def studies(self) -> Path:
+        return self.root / STUDIES_DIR
+
+    def study_dir(self, study_id: str) -> Path:
+        return self.studies / study_id
+
+    def request_file(self, study_id: str) -> Path:
+        return self.study_dir(study_id) / REQUEST_FILE
+
+    def state_file(self, study_id: str) -> Path:
+        return self.study_dir(study_id) / STATE_FILE
+
+    def result_file(self, study_id: str) -> Path:
+        return self.study_dir(study_id) / RESULT_FILE
+
+    def cancel_file(self, study_id: str) -> Path:
+        return self.study_dir(study_id) / CANCEL_FILE
+
+    def checkpoint_dir(self, study_id: str) -> Path:
+        return self.study_dir(study_id) / CHECKPOINT_DIR
+
+    def rejection_file(self, study_id: str) -> Path:
+        return self.rejections / f"{study_id}.json"
+
+    def ensure_layout(self) -> None:
+        for d in (self.root, self.inbox, self.rejections, self.studies):
+            d.mkdir(parents=True, exist_ok=True)
+
+
+def resolve_objective(spec: str) -> Callable[..., Any]:
+    """Turn an objective spec into a callable.
+
+    Registry names cover the built-in bodies; a ``module:function``
+    dotted path loads anything importable (it must be module-level so the
+    process backend can pickle it).
+    """
+    from repro.hpo.objective import (
+        fast_mock_objective,
+        poison_objective,
+        slow_mock_objective,
+        train_experiment,
+    )
+
+    registry: Dict[str, Callable[..., Any]] = {
+        "fast_mock": fast_mock_objective,
+        "slow_mock": slow_mock_objective,
+        "poison": poison_objective,
+        "train": train_experiment,
+    }
+    if spec in registry:
+        return registry[spec]
+    if ":" in spec:
+        module_name, _, func_name = spec.partition(":")
+        import importlib
+
+        module = importlib.import_module(module_name)
+        try:
+            return getattr(module, func_name)
+        except AttributeError:
+            raise ValueError(
+                f"objective {spec!r}: module {module_name!r} has no "
+                f"attribute {func_name!r}"
+            ) from None
+    raise ValueError(
+        f"unknown objective {spec!r}; use one of {sorted(registry)} "
+        "or a 'module:function' path"
+    )

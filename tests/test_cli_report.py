@@ -37,3 +37,16 @@ class TestReportCommand:
     def test_missing_file_errors(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(["report", str(tmp_path / "nope.json")])
+
+    def test_json_output_round_trips(self, study_json, capsys):
+        import json
+
+        assert main(["report", str(study_json), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"]
+        assert len(payload["trials"]) == 4
+        best = max(
+            (t for t in payload["trials"] if t["status"] == "completed"),
+            key=lambda t: t["result"]["val_accuracy"],
+        )
+        assert best["result"]["val_accuracy"] > 0.8

@@ -699,3 +699,135 @@ class TestAccessInvalidation:
         assert ap.invalidate_versions_written_by([producer]) == []
         ap.revalidate_versions_written_by(producer)
         assert ap.invalidated_labels() == []
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant study sessions (service mode)
+# ----------------------------------------------------------------------
+class TestStudySessionNamespacing:
+    def test_empty_namespace_keeps_legacy_keys_byte_identical(self):
+        d = make_def()
+        t = invocation(d, {"lr": 0.1})
+        assert TaskKeyer().key_for(t) == TaskKeyer(namespace="").key_for(t)
+
+    def test_namespaces_produce_disjoint_keys(self):
+        d = make_def()
+
+        def keys_for(namespace):
+            # Fresh invocations each time: the keyer memoises the key on
+            # the invocation, exactly like the runtime's one-keyer-per-
+            # study wiring.
+            keyer = (
+                TaskKeyer(namespace=namespace)
+                if namespace is not None else TaskKeyer()
+            )
+            return {
+                keyer.key_for(invocation(d, {"lr": lr}))
+                for lr in (0.1, 0.2, 0.3)
+            }
+
+        keys_a = keys_for("studyA")
+        keys_b = keys_for("studyB")
+        keys_bare = keys_for(None)
+        assert not keys_a & keys_b
+        assert not keys_a & keys_bare
+        assert len(keys_a) == len(keys_b) == 3
+
+    def test_open_study_builds_namespaced_session(self, tmp_path):
+        rt = COMPSsRuntime(RuntimeConfig()).start()
+        try:
+            session = rt.open_study("s1", checkpoint_dir=tmp_path / "s1")
+            assert session.keyer.namespace == "s1"
+            assert session.recovery is None  # fresh: nothing to resume
+            assert (tmp_path / "s1" / ckpt.JOURNAL_FILE).exists()
+            with pytest.raises(ValueError, match="already open"):
+                rt.open_study("s1", checkpoint_dir=tmp_path / "s1")
+            rt.close_study("s1")
+            # Reopening over an existing journal auto-attaches recovery.
+            session2 = rt.open_study("s1", checkpoint_dir=tmp_path / "s1")
+            assert session2.recovery is not None
+        finally:
+            rt.stop()
+
+    def test_concurrent_sibling_journals_never_interleave(self, tmp_path):
+        """Two studies journaling from parallel threads stay disjoint:
+        each journal holds only its own namespaced keys, all records
+        intact (no torn/interleaved lines), and no key appears in both.
+        """
+        import threading
+
+        rt = COMPSsRuntime(RuntimeConfig()).start()
+        sessions = {
+            sid: rt.open_study(sid, checkpoint_dir=tmp_path / sid)
+            for sid in ("alpha", "beta")
+        }
+        d = make_def()
+        errors = []
+
+        def journal_study(sid):
+            try:
+                session = sessions[sid]
+                for i in range(200):
+                    task = invocation(d, {"trial": i})
+                    key = session.keyer.key_for(task)
+                    session.journal.append(
+                        ckpt.SUBMITTED, key=key, task=task.label
+                    )
+                    session.journal.append(ckpt.COMPLETED, key=key)
+            except Exception as exc:  # pragma: no cover - thread body
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=journal_study, args=(sid,))
+            for sid in sessions
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        rt.close_study("alpha")
+        rt.close_study("beta")
+        rt.stop()
+        assert not errors
+
+        keys = {}
+        for sid in ("alpha", "beta"):
+            path = tmp_path / sid / ckpt.JOURNAL_FILE
+            records = [
+                json.loads(line)
+                for line in path.read_text().splitlines()
+            ]
+            # Every line parses (no interleaved/torn writes) and the
+            # sequence numbers are the journal's own, gap-free.
+            data = [r for r in records if r["rec"] != ckpt.SESSION]
+            assert [r["seq"] for r in records] == list(
+                range(1, len(records) + 1)
+            )
+            assert len(data) == 400
+            keys[sid] = {r["key"] for r in data}
+        assert not keys["alpha"] & keys["beta"]
+
+    def test_session_keys_survive_for_exactly_once_replay(self, tmp_path):
+        """A study journaled under a namespace replays under the same
+        namespace: completed keys are recognised, foreign keys are not."""
+        rt = COMPSsRuntime(RuntimeConfig()).start()
+        d = make_def()
+        task = invocation(d, {"lr": 0.5})
+        try:
+            session = rt.open_study("replayed", checkpoint_dir=tmp_path)
+            key = session.keyer.key_for(task)
+            session.journal.append(ckpt.SUBMITTED, key=key, task=task.label)
+            session.journal.append(ckpt.COMPLETED, key=key)
+            rt.close_study("replayed")
+        finally:
+            rt.stop()
+        records, truncated = WriteAheadJournal.replay(
+            tmp_path / ckpt.JOURNAL_FILE
+        )
+        assert not truncated
+        completed = {
+            r["key"] for r in records if r["rec"] == ckpt.COMPLETED
+        }
+        assert completed == {key}
+        foreign = invocation(d, {"lr": 0.5})
+        assert TaskKeyer(namespace="other").key_for(foreign) not in completed

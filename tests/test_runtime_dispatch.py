@@ -452,3 +452,149 @@ class TestPurgeTombstoneHygiene:
         # All ten placed exactly once, in FIFO submission order (revived
         # entries keep their original position).
         assert [a.task.task_id for a in placed] == [t.task_id for t in tasks]
+
+
+# ----------------------------------------------------------------------
+# Multi-study fair share (service mode)
+# ----------------------------------------------------------------------
+def make_study_task(study, cpu=1, name=None):
+    t = make_task(cpu=cpu, name=name or f"{study}-task")
+    t.study = study
+    return t
+
+
+def drain_one_at_a_time(engine, pool, rounds):
+    """Capacity-1 drive: place one task per round, release it at once.
+
+    Returns the study of each placement in order — the engine's
+    long-run schedule, which the stride tests assert ratios over.
+    """
+    order = []
+    for _ in range(rounds):
+        assignments = engine.schedule_round()
+        if not assignments:
+            break
+        for a in assignments:
+            order.append(a.task.study)
+            pool.release(a.allocation)
+    return order
+
+
+class TestFairShareScheduling:
+    def test_weights_converge_to_cpu_share_ratio(self):
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        engine.register_study("heavy", weight=2.0)
+        engine.register_study("light", weight=1.0)
+        engine.ingest(
+            [make_study_task("heavy") for _ in range(40)]
+            + [make_study_task("light") for _ in range(40)]
+        )
+        order = drain_one_at_a_time(engine, pool, rounds=30)
+        counts = {s: order.count(s) for s in set(order)}
+        # Stride scheduling: a weight-2 study gets ~2x the placements
+        # of a weight-1 peer while both have queued work.
+        assert counts["heavy"] == pytest.approx(2 * counts["light"], abs=2)
+        assert engine.stats.fair_rounds > 0
+
+    def test_priority_band_places_strictly_first(self):
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        engine.register_study("urgent", priority=5)
+        engine.register_study("batch", priority=0)
+        engine.ingest(
+            [make_study_task("batch") for _ in range(5)]
+            + [make_study_task("urgent") for _ in range(5)]
+        )
+        order = drain_one_at_a_time(engine, pool, rounds=10)
+        assert order == ["urgent"] * 5 + ["batch"] * 5
+
+    def test_tenant_slot_quota_blocks_placements(self):
+        pool = ResourcePool(local_machine(4))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        engine.register_study(
+            "capped", tenant="acme", max_tenant_slots=2,
+        )
+        engine.register_study("free", tenant="other")
+        engine.ingest(
+            [make_study_task("capped") for _ in range(4)]
+            + [make_study_task("free") for _ in range(2)]
+        )
+        placed = engine.schedule_round()
+        by_study = {}
+        for a in placed:
+            by_study.setdefault(a.task.study, []).append(a)
+        # The capped tenant stops at its slot quota; the other tenant
+        # fills the remaining capacity.
+        assert len(by_study["capped"]) == 2
+        assert len(by_study["free"]) == 2
+        assert engine.stats.quota_skips > 0
+        assert pool.tenant_load("acme") == 2
+        # Releasing a capped placement frees the quota for the next one.
+        pool.release(by_study["capped"][0].allocation)
+        assert pool.tenant_load("acme") == 1
+        (next_placed,) = engine.schedule_round()
+        assert next_placed.task.study == "capped"
+
+    def test_single_study_run_keeps_legacy_path(self):
+        """Placements with one registered study are byte-identical to a
+        plain run, and the fair-share merge never engages."""
+        def drive(register):
+            reset_invocation_counter()
+            pool = ResourcePool(local_machine(2))
+            engine = DispatchEngine(FIFOScheduler(), pool)
+            pool.listener = engine
+            if register:
+                engine.register_study("only")
+            tasks = [
+                make_study_task("only" if register else "", name=f"t{i}")
+                for i in range(12)
+            ]
+            engine.ingest(tasks)
+            order = []
+            while True:
+                assignments = engine.schedule_round()
+                if not assignments:
+                    break
+                for a in assignments:
+                    order.append((a.task.definition.name, a.allocation.node))
+                    pool.release(a.allocation)
+            return order, engine.stats.fair_rounds
+
+        legacy, legacy_fair = drive(register=False)
+        solo, solo_fair = drive(register=True)
+        assert solo == legacy
+        assert legacy_fair == 0 and solo_fair == 0
+
+    def test_late_joiner_starts_at_band_vtime(self):
+        pool = ResourcePool(local_machine(1))
+        engine = DispatchEngine(FIFOScheduler(), pool)
+        pool.listener = engine
+        engine.register_study("early1")
+        engine.register_study("early2")
+        engine.ingest(
+            [make_study_task("early1") for _ in range(20)]
+            + [make_study_task("early2") for _ in range(20)]
+        )
+        drain_one_at_a_time(engine, pool, rounds=10)
+        shares = engine.study_shares()
+        band_min = min(shares["early1"]["vtime"], shares["early2"]["vtime"])
+        assert band_min > 0
+        engine.register_study("late")
+        # The newcomer inherits the band's minimum vtime instead of 0,
+        # so it cannot monopolise the pool to "catch up".
+        assert engine.study_shares()["late"]["vtime"] == band_min
+        engine.ingest([make_study_task("late") for _ in range(10)])
+        order = drain_one_at_a_time(engine, pool, rounds=12)
+        assert set(order) == {"early1", "early2", "late"}
+        assert 3 <= order.count("late") <= 5
+
+    def test_unregister_study_is_idempotent(self):
+        engine = DispatchEngine(FIFOScheduler(), ResourcePool(local_machine(1)))
+        engine.register_study("gone")
+        engine.unregister_study("gone")
+        engine.unregister_study("gone")
+        assert engine.study_shares() == {}

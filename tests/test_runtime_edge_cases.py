@@ -116,3 +116,38 @@ class TestZeroDurationTasks:
             assert compss_wait_on(futs) == [i * i for i in range(10)]
         finally:
             rt.stop(wait=False)
+
+
+class TestRuntimeConfigValidation:
+    """Every rejected knob names itself and echoes the received value."""
+
+    @pytest.mark.parametrize(
+        "kwargs, knob, value_repr",
+        [
+            ({"backend": "quantum"}, "RuntimeConfig.backend", "'quantum'"),
+            ({"journal_fsync": "sometimes"},
+             "RuntimeConfig.journal_fsync", "'sometimes'"),
+            ({"max_trial_retries": -1},
+             "RuntimeConfig.max_trial_retries", "-1"),
+            ({"checkpoint_every": 0},
+             "RuntimeConfig.checkpoint_every", "0"),
+            ({"worker_heartbeat_s": 0},
+             "RuntimeConfig.worker_heartbeat_s", "0"),
+        ],
+    )
+    def test_error_names_knob_and_value(self, kwargs, knob, value_repr):
+        with pytest.raises((ValueError, TypeError)) as excinfo:
+            RuntimeConfig(cluster=local_machine(2), **kwargs)
+        message = str(excinfo.value)
+        assert knob in message
+        assert value_repr in message
+
+    def test_conflicting_knobs_name_both(self):
+        with pytest.raises(ValueError) as excinfo:
+            RuntimeConfig(
+                cluster=local_machine(2),
+                stream_completed=True, verify_outputs=True,
+            )
+        message = str(excinfo.value)
+        assert "RuntimeConfig.stream_completed" in message
+        assert "RuntimeConfig.verify_outputs" in message
