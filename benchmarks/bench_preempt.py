@@ -1,0 +1,264 @@
+"""Preemption benchmark (suspend/resume overhead + async vs sync halving).
+
+Two questions, both from the preemptible-trials tentpole:
+
+1. **What does a warm suspend/resume round trip cost?**  The same grid
+   study runs calm and with every trial suspended once at its first
+   checkpoint epoch and warm-resumed.  The happy path re-executes zero
+   epochs (asserted exactly — ``epochs_lost == 0``), so the wall-clock
+   delta is pure spill + resubmit overhead.
+2. **Does barrier-free promotion pay?**  AsyncASHA and its synchronous
+   twin ``SuccessiveHalving`` run the identical rung ladder (9 configs,
+   2→6→18 epochs, η=3) on a straggler-heavy space where one in four
+   configs trains ~10× slower.  The sync bracket holds every promotion
+   until the whole rung — stragglers included — reports; ASHA promotes
+   the moment an η-group lands and warm-resumes each promotion from its
+   rung-pause spill instead of re-training from epoch 0.
+
+Makespans are wall-clock but sleep-dominated (``epoch_sleep_s`` is the
+mock's per-epoch cost), so the ratio is stable on shared runners; the
+thresholds in ``benchmarks/perf_thresholds.json`` still carry wide
+headroom.
+
+Two entry points:
+
+* ``pytest benchmarks/bench_preempt.py`` — CI perf-smoke mode.  One
+  seed; fails if the churned grid diverges from the calm answer, if any
+  epoch is re-executed on the happy path, if suspend/resume overhead
+  exceeds ``preempt_overhead_pct_max``, or if AsyncASHA stops beating
+  the sync bracket (``preempt_async_makespan_ratio_max``).
+* ``python benchmarks/bench_preempt.py`` — full run (three seeds) that
+  writes the machine-readable ``BENCH_preempt.json`` to the repo root.
+"""
+
+import json
+import time
+from pathlib import Path
+from tempfile import TemporaryDirectory
+
+from conftest import banner
+
+from repro.hpo import PyCOMPSsRunner, parse_search_space
+from repro.hpo.objective import preemptible_mock_objective
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.preemption import _flag_locally, clear_local_flags
+from repro.simcluster.machines import local_machine
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+THRESHOLDS_PATH = Path(__file__).resolve().parent / "perf_thresholds.json"
+OUTPUT_PATH = REPO_ROOT / "BENCH_preempt.json"
+
+SEEDS = (11, 23, 37)
+WORKERS = 4
+
+
+def load_thresholds() -> dict:
+    with open(THRESHOLDS_PATH) as fh:
+        return json.load(fh)
+
+
+def overhead_space():
+    """Uniform epoch cost: the calm/churned delta isolates suspend cost."""
+    return parse_search_space(
+        {
+            "optimizer": ["Adam", "SGD"],
+            "learning_rate": [0.1, 0.01],
+            "num_epochs": [20],
+            "epoch_sleep_s": [0.01],
+        }
+    )
+
+
+def straggler_space():
+    """One in four configs trains ~10x slower — the rung-barrier poison."""
+    return parse_search_space(
+        {
+            "optimizer": ["Adam", "SGD", "RMSprop"],
+            "learning_rate": [0.1, 0.01, 0.001],
+            "epoch_sleep_s": [0.003, 0.004, 0.005, 0.04],
+        }
+    )
+
+
+def run_grid(root: Path, churn: bool) -> dict:
+    runner = PyCOMPSsRunner(
+        "grid",
+        space=overhead_space(),
+        objective=preemptible_mock_objective,
+        study_name="preempt-overhead",
+        runtime_config=RuntimeConfig(
+            cluster=local_machine(WORKERS), checkpoint_dir=root / "ckpt"
+        ),
+    )
+    if churn:
+        orig = runner._submit_trial
+        kicked = set()
+
+        def wrapped(runtime, trial, resume_epoch=None):
+            key = runner._preempt_key(trial)
+            if key not in kicked:
+                kicked.add(key)
+                _flag_locally(key)  # suspend at the first checkpoint epoch
+            return orig(runtime, trial, resume_epoch=resume_epoch)
+
+        runner._submit_trial = wrapped
+    t0 = time.perf_counter()
+    study = runner.run()
+    elapsed = time.perf_counter() - t0
+    return {
+        "wall_s": round(elapsed, 3),
+        "n_complete": len(study.completed()),
+        "best_val_accuracy": study.best_trial().val_accuracy,
+        "preemption": study.metadata.get("preemption", {}),
+    }
+
+
+def bench_overhead(seed: int) -> dict:
+    # The grid is deterministic — seed only varies the tmp dirs — but
+    # running it per seed gives the full report a jitter estimate.
+    with TemporaryDirectory(prefix=f"preempt-calm-{seed}-") as calm_dir:
+        calm = run_grid(Path(calm_dir), churn=False)
+    clear_local_flags()
+    with TemporaryDirectory(prefix=f"preempt-churn-{seed}-") as churn_dir:
+        churned = run_grid(Path(churn_dir), churn=True)
+    clear_local_flags()
+    return {
+        "calm": calm,
+        "churned": churned,
+        "same_best": churned["best_val_accuracy"] == calm["best_val_accuracy"],
+        "overhead_pct": round(
+            100.0 * (churned["wall_s"] - calm["wall_s"]) / calm["wall_s"], 1
+        ),
+    }
+
+
+def run_ladder(root: Path, algo: str, seed: int) -> dict:
+    kwargs = dict(min_epochs=2, max_epochs=18, eta=3, seed=seed)
+    if algo == "asha":
+        kwargs["n_trials"] = 9
+    else:
+        kwargs["n_configs"] = 9
+    runner = PyCOMPSsRunner(
+        algo,
+        space=straggler_space(),
+        objective=preemptible_mock_objective,
+        study_name=f"{algo}-{seed}",
+        algorithm_kwargs=kwargs,
+        runtime_config=RuntimeConfig(
+            cluster=local_machine(WORKERS), checkpoint_dir=root / "ckpt"
+        ),
+    )
+    t0 = time.perf_counter()
+    study = runner.run()
+    elapsed = time.perf_counter() - t0
+    completed = study.completed()
+    return {
+        "makespan_s": round(elapsed, 3),
+        "n_complete": len(completed),
+        "epochs_reported": sum(t.result.epochs_run or 0 for t in completed),
+        "best_val_accuracy": round(study.best_trial().val_accuracy, 4),
+        "rung_promotions": study.metadata.get("preemption", {}).get(
+            "rung_promotions", 0
+        ),
+    }
+
+
+def bench_async_vs_sync(seed: int) -> dict:
+    with TemporaryDirectory(prefix=f"sha-{seed}-") as sha_dir:
+        sync = run_ladder(Path(sha_dir), "successive_halving", seed)
+    with TemporaryDirectory(prefix=f"asha-{seed}-") as asha_dir:
+        asha = run_ladder(Path(asha_dir), "asha", seed)
+    return {
+        "sync_halving": sync,
+        "async_asha": asha,
+        "makespan_ratio": round(
+            asha["makespan_s"] / sync["makespan_s"], 3
+        ),
+    }
+
+
+def compare(seed: int) -> dict:
+    return {
+        "seed": seed,
+        "overhead": bench_overhead(seed),
+        "ladder": bench_async_vs_sync(seed),
+    }
+
+
+def report(data: dict) -> None:
+    banner(f"Preemptible trials — seed {data['seed']}")
+    ov = data["overhead"]
+    stats = ov["churned"]["preemption"]
+    print(
+        f"   suspend/resume: calm {ov['calm']['wall_s']:.3f} s vs churned "
+        f"{ov['churned']['wall_s']:.3f} s  (+{ov['overhead_pct']}%, "
+        f"{stats.get('suspended', 0)} suspends, "
+        f"{stats.get('epochs_lost', '?')} epochs lost)"
+    )
+    lad = data["ladder"]
+    print(
+        f"     sync halving: {lad['sync_halving']['makespan_s']:.3f} s "
+        f"({lad['sync_halving']['n_complete']} trials)"
+    )
+    print(
+        f"       async ASHA: {lad['async_asha']['makespan_s']:.3f} s "
+        f"({lad['async_asha']['n_complete']} trials, "
+        f"{lad['async_asha']['rung_promotions']} promotions)  "
+        f"x{lad['makespan_ratio']} makespan"
+    )
+
+
+def test_preempt_smoke():
+    """CI perf-smoke: zero lost epochs, bounded overhead, async wins."""
+    thresholds = load_thresholds()
+    data = compare(SEEDS[0])
+    report(data)
+    ov = data["overhead"]
+    assert ov["same_best"], ov
+    assert ov["churned"]["n_complete"] == ov["calm"]["n_complete"], ov
+    stats = ov["churned"]["preemption"]
+    # Every trial suspended once, resumed warm, zero epochs re-executed.
+    assert stats["suspended"] == ov["calm"]["n_complete"], stats
+    assert stats["resumed"] == stats["suspended"], stats
+    assert stats["epochs_lost"] == 0, stats
+    assert ov["overhead_pct"] <= thresholds["preempt_overhead_pct_max"], ov
+    lad = data["ladder"]
+    assert lad["async_asha"]["rung_promotions"] > 0, lad
+    assert (
+        lad["makespan_ratio"]
+        <= thresholds["preempt_async_makespan_ratio_max"]
+    ), lad
+
+
+def main() -> None:
+    results = []
+    for seed in SEEDS:
+        data = compare(seed)
+        report(data)
+        results.append(data)
+    summary = {
+        "benchmark": "preemptible_trials",
+        "workload": (
+            f"overhead: 4-trial grid, 20 epochs x 10 ms, every trial "
+            f"suspended once and warm-resumed; ladder: 9-config halving "
+            f"bracket 2/6/18 epochs eta=3 on local_machine({WORKERS}), "
+            "1-in-4 configs ~10x stragglers, sync barrier vs AsyncASHA"
+        ),
+        "runs": results,
+        "worst_overhead_pct": max(
+            r["overhead"]["overhead_pct"] for r in results
+        ),
+        "worst_makespan_ratio": max(
+            r["ladder"]["makespan_ratio"] for r in results
+        ),
+        "total_epochs_lost": sum(
+            r["overhead"]["churned"]["preemption"].get("epochs_lost", 0)
+            for r in results
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(summary, indent=2) + "\n")
+    print(f"\nwrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -98,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--algorithm",
         choices=["grid", "random", "bayesian", "tpe", "hyperband",
-                 "successive_halving", "evolutionary"],
+                 "successive_halving", "evolutionary", "asha"],
         default="grid",
     )
     run.add_argument("--n-trials", type=int, default=20,
@@ -146,6 +146,18 @@ def build_parser() -> argparse.ArgumentParser:
                      "can satisfy waits for a rejoin before failing with "
                      "ResourceStarvationError; 0 disables the watchdog "
                      "(tasks wait forever)")
+    run.add_argument("--preempt-checkpoint-epochs", type=int, default=1,
+                     help="checkpoint-epoch cadence: preemptible trials "
+                     "poll their suspension flag every Nth epoch end "
+                     "(requires --checkpoint-dir for the spill target)")
+    run.add_argument("--suspend-grace", type=float, default=30.0,
+                     help="seconds a suspend-flagged trial gets to spill "
+                     "warm before its tasks are abandoned (the spill "
+                     "still warm-resumes whatever landed)")
+    run.add_argument("--max-suspended-trials", type=int, default=64,
+                     help="ceiling on concurrently suspended trials; "
+                     "suspend requests past it are refused so a flapping "
+                     "watchdog cannot park an entire study")
     run.add_argument("--verbose", action="store_true")
 
     inspect = sub.add_parser(
@@ -232,12 +244,13 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--algorithm", default="grid",
                         choices=["grid", "random", "bayesian", "tpe",
                                  "hyperband", "successive_halving",
-                                 "evolutionary"])
+                                 "evolutionary", "asha"])
     submit.add_argument("--n-trials", type=int, default=20)
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--objective", default="fast_mock",
                         help="objective spec: fast_mock | slow_mock | "
-                        "poison | train | module:function")
+                        "preemptible_mock | poison | train | "
+                        "module:function")
     submit.add_argument("--priority", type=int, default=0)
     submit.add_argument("--weight", type=float, default=1.0)
     submit.add_argument("--batch-size", type=int, default=None)
@@ -294,6 +307,9 @@ def _make_runtime_config(args) -> RuntimeConfig:
         starvation_timeout_s=(
             args.starvation_timeout if args.starvation_timeout > 0 else None
         ),
+        preempt_checkpoint_epochs=args.preempt_checkpoint_epochs,
+        suspend_grace_s=args.suspend_grace,
+        max_suspended_trials=args.max_suspended_trials,
     )
 
 
@@ -301,7 +317,7 @@ def cmd_run(args) -> int:
     set_verbosity(args.verbose)
     space = load_search_space(args.config)
     algorithm_kwargs = {}
-    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary"):
+    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary", "asha"):
         algorithm_kwargs = {"n_trials": args.n_trials, "seed": args.seed}
     elif args.algorithm in ("hyperband", "successive_halving"):
         algorithm_kwargs = {"seed": args.seed}
@@ -368,6 +384,17 @@ def cmd_run(args) -> int:
                 f"{churn['nodes_rejoined']} rejoined, "
                 f"{churn['classes_starved']} class(es) starved, "
                 f"{churn['upstream_cancellations']} consumer(s) cancelled"
+            )]
+        preempt = runtime.analysis().preemption()
+        if any(preempt.values()):
+            stats = study.metadata.get("preemption", {})
+            report_lines += ["", (
+                "preemption: "
+                f"{preempt['trials_suspended']} trial(s) suspended, "
+                f"{preempt['suspend_spills']} warm spill(s), "
+                f"{preempt['trials_resumed']} resumed, "
+                f"{preempt['rung_promotions']} rung promotion(s), "
+                f"{stats.get('epochs_lost', 0)} epoch(s) lost"
             )]
         if len(runtime.resilience):
             report_lines += ["", render_resilience(runtime.resilience)]
@@ -506,7 +533,7 @@ def cmd_submit(args) -> int:
 
     spec = json.loads(args.config.read_text(encoding="utf-8"))
     algorithm_kwargs = {}
-    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary"):
+    if args.algorithm in ("random", "bayesian", "tpe", "evolutionary", "asha"):
         algorithm_kwargs = {"n_trials": args.n_trials, "seed": args.seed}
     elif args.algorithm in ("hyperband", "successive_halving"):
         algorithm_kwargs = {"seed": args.seed}
@@ -581,6 +608,12 @@ def cmd_service_status(args) -> int:
              if "pid" in daemon else ""))
     for state, count in sorted(status["studies"].items()):
         print(f"  {state}: {count}")
+    suspended = status.get("suspended", [])
+    if suspended:
+        # Parked warm, not terminal: the daemon re-enqueues these
+        # automatically once memory pressure clears.
+        print(f"suspended studies (resume when pressure clears): "
+              f"{', '.join(suspended)}")
     return 0
 
 

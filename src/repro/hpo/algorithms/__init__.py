@@ -18,6 +18,7 @@ from repro.hpo.algorithms.tpe import TPESearch
 from repro.hpo.algorithms.hyperband import HyperbandSearch
 from repro.hpo.algorithms.successive_halving import SuccessiveHalving
 from repro.hpo.algorithms.evolutionary import EvolutionarySearch
+from repro.hpo.algorithms.asha import AsyncASHA
 from repro.hpo.space import SearchSpace
 
 _ALGORITHMS = {
@@ -28,6 +29,7 @@ _ALGORITHMS = {
     "hyperband": HyperbandSearch,
     "successive_halving": SuccessiveHalving,
     "evolutionary": EvolutionarySearch,
+    "asha": AsyncASHA,
 }
 
 
@@ -63,5 +65,6 @@ __all__ = [
     "HyperbandSearch",
     "SuccessiveHalving",
     "EvolutionarySearch",
+    "AsyncASHA",
     "get_algorithm",
 ]

@@ -1,0 +1,175 @@
+"""Asynchronous successive halving (ASHA; Li et al., 2020).
+
+Synchronous Hyperband waits at every rung barrier: promotion decisions
+need the *whole* rung told, so one straggler idles the entire cluster.
+ASHA drops the barrier — the moment a rung has ``eta`` more results than
+promotions it has issued, the best unpromoted config is promoted with
+``eta×`` more epochs, while the rest of the rung is still in flight.
+
+Promotions pair with the runtime's warm suspension machinery: a promoted
+config keeps its ``_asha_id`` lineage key, so its rung-``k+1`` task finds
+the rung-``k`` pause spill and resumes from the epoch cursor instead of
+retraining from scratch — the "pause/resume" trial control Tune argues
+schedulers need (PAPERS.md).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.hpo.algorithms.base import SearchAlgorithm
+from repro.hpo.space import SearchSpace
+from repro.hpo.trial import Trial
+from repro.util.seeding import rng_from
+from repro.util.validation import check_positive
+
+#: Config key carrying a trial's lineage identity across rungs.  The
+#: runner keys preemption spills by it, which is what makes a promotion
+#: a warm resume rather than a restart.
+ASHA_ID_KEY = "_asha_id"
+
+
+class AsyncASHA(SearchAlgorithm):
+    """Asynchronous successive halving over the ``num_epochs`` resource.
+
+    Parameters
+    ----------
+    n_trials:
+        Number of base configs sampled into the bottom rung.
+    min_epochs / max_epochs:
+        Resource ladder endpoints; rung ``k`` runs configs to
+        ``min_epochs * eta**k`` epochs, capped at ``max_epochs``.
+    eta:
+        Promotion factor (top ``1/eta`` of each rung moves up).
+    epochs_key:
+        Config key carrying the resource (default ``"num_epochs"``).
+    seed:
+        Determinism seed for the config draws.
+    """
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        n_trials: int = 27,
+        min_epochs: int = 1,
+        max_epochs: int = 27,
+        eta: int = 3,
+        epochs_key: str = "num_epochs",
+        seed: int = 0,
+    ):
+        super().__init__(space)
+        check_positive("n_trials", n_trials)
+        check_positive("min_epochs", min_epochs)
+        check_positive("max_epochs", max_epochs)
+        if eta < 2:
+            raise ValueError(f"eta must be >= 2, got {eta}")
+        if max_epochs < min_epochs:
+            raise ValueError(
+                f"max_epochs ({max_epochs}) must be >= min_epochs ({min_epochs})"
+            )
+        self.n_trials = int(n_trials)
+        self.min_epochs = int(min_epochs)
+        self.max_epochs = int(max_epochs)
+        self.eta = int(eta)
+        self.epochs_key = epochs_key
+        self._rng = rng_from(seed, "asha")
+        # Rung ladder: rung k trains to min_epochs * eta**k epochs.
+        self.rungs: List[int] = []
+        r = self.min_epochs
+        while r < self.max_epochs:
+            self.rungs.append(r)
+            r *= self.eta
+        self.rungs.append(self.max_epochs)
+        # Per rung: results told so far as (acc, asha_id, config) plus the
+        # ids already promoted out of it.  The top rung only collects.
+        self._rung_results: List[List[Tuple[float, str, Dict[str, Any]]]] = [
+            [] for _ in self.rungs
+        ]
+        self._rung_promoted: List[set] = [set() for _ in self.rungs]
+        self._sampled = 0
+        self._inflight = 0
+        self._promo_queue: List[Dict[str, Any]] = []
+        self._events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    def _rung_of(self, epochs: int) -> int:
+        """Index of the rung whose budget is ``epochs`` (nearest match)."""
+        for k, r in enumerate(self.rungs):
+            if epochs <= r:
+                return k
+        return len(self.rungs) - 1
+
+    def _sample(self) -> Dict[str, Any]:
+        config = self.space.sample(self._rng)
+        config[ASHA_ID_KEY] = f"c{self._sampled}"
+        config[self.epochs_key] = self.rungs[0]
+        self._sampled += 1
+        return config
+
+    def _check_promotions(self, rung: int) -> None:
+        """Promote from ``rung`` while it is ``eta`` results ahead."""
+        if rung >= len(self.rungs) - 1:
+            return
+        results = self._rung_results[rung]
+        promoted = self._rung_promoted[rung]
+        while len(results) // self.eta > len(promoted):
+            candidates = sorted(
+                (r for r in results if r[1] not in promoted),
+                key=lambda r: -r[0],
+            )
+            if not candidates:
+                break
+            acc, asha_id, config = candidates[0]
+            promoted.add(asha_id)
+            promo = dict(config)
+            promo[self.epochs_key] = self.rungs[rung + 1]
+            self._promo_queue.append(promo)
+            self._events.append(
+                {
+                    "id": asha_id,
+                    "from_rung": rung,
+                    "to_rung": rung + 1,
+                    "epochs": self.rungs[rung + 1],
+                    "val_accuracy": acc,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    def ask(self, n: Optional[int] = None) -> List[Dict[str, Any]]:
+        budget = (
+            len(self._promo_queue) + (self.n_trials - self._sampled)
+            if n is None
+            else n
+        )
+        batch: List[Dict[str, Any]] = []
+        # Promotions first: they free a spilled pause and finish lineages.
+        while self._promo_queue and len(batch) < budget:
+            batch.append(self._promo_queue.pop(0))
+        while self._sampled < self.n_trials and len(batch) < budget:
+            batch.append(self._sample())
+        self._inflight += len(batch)
+        return [dict(c) for c in batch]
+
+    def tell(self, trial: Trial) -> None:
+        super().tell(trial)
+        self._inflight -= 1
+        acc = trial.val_accuracy
+        acc = acc if acc == acc else -float("inf")
+        asha_id = str(trial.config.get(ASHA_ID_KEY, f"t{trial.trial_id}"))
+        epochs = int(trial.config.get(self.epochs_key, self.rungs[0]))
+        rung = self._rung_of(epochs)
+        self._rung_results[rung].append((acc, asha_id, dict(trial.config)))
+        self._check_promotions(rung)
+
+    def pop_events(self) -> List[Dict[str, Any]]:
+        """Drain promotion events since the last call (for tracing)."""
+        events, self._events = self._events, []
+        return events
+
+    @property
+    def is_exhausted(self) -> bool:
+        return (
+            self._sampled >= self.n_trials
+            and self._inflight == 0
+            and not self._promo_queue
+        )

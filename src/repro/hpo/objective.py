@@ -25,9 +25,10 @@ from __future__ import annotations
 import time
 from typing import Any, Dict, Mapping
 
-from repro.ml import TargetMetricStopping, create_model
+from repro.ml import PreemptionCheckpoint, TargetMetricStopping, create_model
 from repro.ml.datasets import load_cifar_like, load_mnist_like
 from repro.ml.datasets.cache import cached_dataset
+from repro.runtime.preemption import SUSPENDED_PAYLOAD_KEY, PreemptContext
 
 _DATASET_LOADERS = {
     "mnist": load_mnist_like,
@@ -36,11 +37,23 @@ _DATASET_LOADERS = {
 }
 
 
-def train_experiment(config: Mapping[str, Any]) -> Dict[str, Any]:
+def train_experiment(
+    config: Mapping[str, Any], resume_epoch: int = 0
+) -> Dict[str, Any]:
     """Train one model for ``config``; return metrics + history.
 
     This is the function the paper decorates with ``@task(returns=int)``
     — here it returns a richer dict, but the scheme is identical.
+
+    When the config carries a preemption context (injected by the runner
+    under ``__preempt__``), the trial is *preemptible*: a checkpoint-epoch
+    callback polls the suspension flag and spills model + optimiser +
+    epoch cursor warm, and a prior spill — from a suspension or a lower
+    ASHA rung — is restored at start so training continues from its
+    cursor.  ``resume_epoch`` is the cursor the resubmitting runner
+    expects; it extends the resumed task's deterministic key (the actual
+    cursor is read from the verified spill, so a torn spill degrades to a
+    cold start, never a wrong restore).
     """
     start = time.perf_counter()
     dataset = str(config.get("dataset", "mnist")).lower()
@@ -62,13 +75,32 @@ def train_experiment(config: Mapping[str, Any]) -> Dict[str, Any]:
     model = create_model(
         config, input_shape=x_train.shape[1:], seed=int(config.get("seed", 0))
     )
+    epochs = int(config.get("num_epochs", config.get("epochs", 10)))
+
+    ctx = PreemptContext.from_config(config)
+    initial_epoch = 0
+    history = None
+    if ctx is not None:
+        spilled = ctx.load()
+        if spilled is not None and 0 < int(spilled.get("epoch", 0)) < epochs:
+            if not model.built:
+                model.build(x_train.shape[1:])
+            initial_epoch, history = model.restore_training_state(spilled)
+
     callbacks = []
     target = config.get("target_accuracy")
     if target is not None:
         callbacks.append(
             TargetMetricStopping(monitor="val_accuracy", target=float(target))
         )
-    epochs = int(config.get("num_epochs", config.get("epochs", 10)))
+    preempt_cb = None
+    if ctx is not None:
+        # Appended after the stopping callbacks so a trial that just
+        # finished (target reached) is never also marked suspended.
+        preempt_cb = PreemptionCheckpoint(
+            should_suspend=ctx.should_suspend, spill=ctx.spill, every=ctx.every
+        )
+        callbacks.append(preempt_cb)
     history = model.fit(
         x_train,
         y_train,
@@ -76,16 +108,29 @@ def train_experiment(config: Mapping[str, Any]) -> Dict[str, Any]:
         batch_size=int(config.get("batch_size", 32)),
         validation_data=(x_val, y_val),
         callbacks=callbacks,
+        initial_epoch=initial_epoch,
+        history=history,
     )
-    return {
+    result: Dict[str, Any] = {
         "val_accuracy": history.final("val_accuracy"),
         "val_loss": history.final("val_loss"),
         "train_accuracy": history.final("accuracy"),
         "train_loss": history.final("loss"),
         "history": history.as_dict(),
         "epochs_run": len(history),
+        "resumed_from": initial_epoch,
         "duration_s": time.perf_counter() - start,
     }
+    if preempt_cb is not None and preempt_cb.suspended_epoch is not None:
+        # Spilled warm at a checkpoint epoch: mark the payload so the
+        # runner requeues a resumable task instead of finishing the trial.
+        result[SUSPENDED_PAYLOAD_KEY] = True
+        result["epochs_done"] = len(history)
+    elif ctx is not None:
+        # Natural end: spill the final state too (the rung-pause an
+        # asynchronous ASHA promotion resumes from).
+        ctx.spill(model.capture_training_state(len(history), history))
+    return result
 
 
 def fast_mock_objective(config: Mapping[str, Any]) -> Dict[str, Any]:
@@ -117,6 +162,64 @@ def fast_mock_objective(config: Mapping[str, Any]) -> Dict[str, Any]:
         "epochs_run": epochs,
         "duration_s": 0.0,
     }
+
+
+def preemptible_mock_objective(
+    config: Mapping[str, Any], resume_epoch: int = 0
+) -> Dict[str, Any]:
+    """``fast_mock_objective`` metrics, paid for epoch by epoch, preemptible.
+
+    Walks the same deterministic accuracy curve one epoch at a time
+    (optionally sleeping ``epoch_sleep_s`` per epoch so suspends can land
+    mid-flight), polling the preemption flag at the checkpoint cadence
+    and spilling/restoring an epoch cursor through the same
+    :class:`~repro.runtime.preemption.PreemptContext` protocol as real
+    training.  Used by the preemption chaos tests and the AsyncASHA
+    benchmark, where scheduling behaviour matters but training doesn't.
+    """
+    start = time.perf_counter()
+    full = fast_mock_objective(config)
+    epochs = int(config.get("num_epochs", config.get("epochs", 10)))
+    curve = full["history"]["val_accuracy"]
+    sleep_s = float(config.get("epoch_sleep_s", 0.0))
+
+    ctx = PreemptContext.from_config(config)
+    cursor = 0
+    if ctx is not None:
+        spilled = ctx.load()
+        if spilled is not None and 0 < int(spilled.get("epoch", 0)) < epochs:
+            cursor = int(spilled["epoch"])
+    resumed_from = cursor
+
+    suspended = False
+    while cursor < epochs:
+        if sleep_s > 0.0:
+            time.sleep(sleep_s)
+        cursor += 1
+        if ctx is not None and cursor % ctx.every == 0 and ctx.should_suspend():
+            ctx.spill({"epoch": cursor})
+            suspended = cursor < epochs
+            break
+
+    done = cursor
+    acc = curve[done - 1] if done else 0.0
+    result: Dict[str, Any] = {
+        "val_accuracy": acc,
+        "val_loss": 1.0 - acc,
+        "history": {
+            "epochs": list(range(done)),
+            "val_accuracy": curve[:done],
+        },
+        "epochs_run": done,
+        "resumed_from": resumed_from,
+        "duration_s": time.perf_counter() - start,
+    }
+    if suspended:
+        result[SUSPENDED_PAYLOAD_KEY] = True
+        result["epochs_done"] = done
+    elif ctx is not None:
+        ctx.spill({"epoch": done})
+    return result
 
 
 def slow_mock_objective(config: Mapping[str, Any]) -> Dict[str, Any]:

@@ -64,9 +64,19 @@ def render_report(study: Study, max_curves: int = 8) -> str:
         f"total {format_duration(study.total_duration_s)}",
     ]
     for key, value in study.metadata.items():
-        if key == "plot":
+        if key in ("plot", "preemption"):
             continue
         lines.append(f"- {key}: {value}")
+    preempt = study.metadata.get("preemption")
+    if preempt and any(preempt.values()):
+        lines.append(
+            "- preemption: "
+            f"{preempt.get('suspended', 0)} trial(s) suspended, "
+            f"{preempt.get('spills', 0)} warm spill(s), "
+            f"{preempt.get('resumed', 0)} resumed, "
+            f"{preempt.get('rung_promotions', 0)} rung promotion(s), "
+            f"{preempt.get('epochs_lost', 0)} epoch(s) lost"
+        )
     if study.completed():
         best = study.best_trial()
         lines += [

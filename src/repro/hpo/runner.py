@@ -11,6 +11,7 @@ was given — "no code changes are required to run across multiple nodes".
 
 from __future__ import annotations
 
+import hashlib
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.hpo.algorithms import SearchAlgorithm, get_algorithm
@@ -22,6 +23,11 @@ from repro.pycompss_api.constraint import ResourceConstraint
 from repro.runtime import resilience as rsl
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.fault import StudyAbandonedError, TaskFailedError
+from repro.runtime.preemption import (
+    PREEMPT_CONFIG_KEY,
+    SUSPENDED_PAYLOAD_KEY,
+    PreemptContext,
+)
 from repro.runtime.runtime import COMPSsRuntime, current_runtime
 from repro.runtime.task_definition import TaskDefinition
 from repro.util.logging_utils import get_logger
@@ -46,6 +52,9 @@ class StudyCallback:
 
     def on_trial_start(self, study: Study, trial: Trial) -> None:
         """Called when a trial's experiment task is submitted."""
+
+    def on_trial_suspended(self, study: Study, trial: Trial) -> None:
+        """Called when a trial suspends warm (before it is resubmitted)."""
 
     def on_trial_complete(self, study: Study, trial: Trial) -> None:
         """Called after a trial resolves (COMPLETED or FAILED)."""
@@ -182,6 +191,23 @@ class PyCOMPSsRunner:
         self.stop_reason: Optional[str] = None
         #: trial_id -> resubmissions so far (fail-soft trial retries).
         self._trial_retries: Dict[int, int] = {}
+        #: Cooperative-preemption accounting, surfaced as
+        #: ``study.metadata["preemption"]`` when anything happened.
+        self._preempt_stats = {
+            "suspended": 0,
+            "resumed": 0,
+            "spills": 0,
+            "epochs_lost": 0,
+            "rung_promotions": 0,
+        }
+        #: preempt key -> epoch cursor of the last suspend spill, to
+        #: measure epochs lost when the resumption reports where it
+        #: actually restarted (0 on the happy path).
+        self._suspend_cursors: Dict[str, int] = {}
+        #: trial_id -> assigned preempt key, and config fingerprint ->
+        #: occurrence count backing the assignment (see ``_preempt_key``).
+        self._preempt_keys: Dict[int, str] = {}
+        self._preempt_occ: Dict[str, int] = {}
 
         self._experiment_def = TaskDefinition(
             func=self.objective,
@@ -236,7 +262,7 @@ class PyCOMPSsRunner:
                     for config in batch:
                         trial = study.new_trial(config)
                         trial.status = TrialStatus.RUNNING
-                        fut = runtime.submit(self._experiment_def, (config,), {})
+                        fut = self._submit_trial(runtime, trial)
                         outstanding.append((trial, fut))
                         for cb in self.callbacks:
                             cb.on_trial_start(study, trial)
@@ -257,7 +283,7 @@ class PyCOMPSsRunner:
                         break
                     continue
                 trial, fut = outstanding.pop(0)
-                retry_fut = self._resolve(runtime, trial, fut)
+                retry_fut = self._resolve(runtime, study, trial, fut)
                 if retry_fut is not None:
                     # Fail-soft: the trial's task exhausted its task-level
                     # retry budget, but the study resubmits it rather than
@@ -265,6 +291,7 @@ class PyCOMPSsRunner:
                     outstanding.append((trial, retry_fut))
                     continue
                 self.algorithm.tell(trial)
+                self._drain_rung_events(runtime)
                 for cb in self.callbacks:
                     cb.on_trial_complete(study, trial)
                 if not stopped and trial.status == TrialStatus.COMPLETED:
@@ -316,6 +343,10 @@ class PyCOMPSsRunner:
                 # (avg_batch_size ≫ 1 means batching is engaged), class
                 # wakes and blocked-class skips.
                 study.metadata["dispatch"] = dispatch
+            if any(self._preempt_stats.values()):
+                # Warm suspensions, resumes, spills, epochs lost to cold
+                # restarts and async-ASHA rung promotions.
+                study.metadata["preemption"] = dict(self._preempt_stats)
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:
@@ -326,12 +357,143 @@ class PyCOMPSsRunner:
         return study
 
     # ------------------------------------------------------------------
-    def _resolve(self, runtime: COMPSsRuntime, trial: Trial, fut: Any) -> Optional[Any]:
+    # Cooperative preemption
+    # ------------------------------------------------------------------
+    def _preempt_key(self, trial: Trial) -> str:
+        """Stable spill identity for one trial (memoised per trial id).
+
+        The ASHA lineage id wins when present, so a rung promotion
+        warm-resumes its predecessor's pause spill.  Otherwise the key is
+        *config-derived* — fingerprint plus occurrence among identical
+        configs — never the trial id: trial-id-to-config pairing depends
+        on thread timing, and since the key rides inside the submitted
+        config it would otherwise destabilise the deterministic task keys
+        a resumed session matches against its journal.  Same-config
+        trials are interchangeable, so occurrence order among them is
+        harmless exactly as it is for the task keyer's own counters.
+
+        The study name prefixes every key: on a shared service runtime
+        one :class:`PreemptionController` serves all tenants, and two
+        studies drawing the same config (or the same ASHA lineage ids)
+        must not alias each other's flags or registry entries.  The
+        prefix is stable across daemon generations (it is the study id),
+        so resumed sessions still find their spills.
+        """
+        assigned = self._preempt_keys.get(trial.trial_id)
+        if assigned is not None:
+            return assigned
+        asha_id = trial.config.get("_asha_id")
+        if asha_id:
+            key = f"{self.study_name}:{asha_id}"
+        else:
+            fingerprint = hashlib.sha1(
+                repr(
+                    sorted((k, repr(v)) for k, v in trial.config.items())
+                ).encode("utf-8")
+            ).hexdigest()[:12]
+            occurrence = self._preempt_occ.get(fingerprint, 0)
+            self._preempt_occ[fingerprint] = occurrence + 1
+            key = f"{self.study_name}:{fingerprint}-{occurrence}"
+        self._preempt_keys[trial.trial_id] = key
+        return key
+
+    def _submit_trial(
+        self, runtime: COMPSsRuntime, trial: Trial, resume_epoch: Optional[int] = None
+    ) -> Any:
+        """Submit (or resubmit) a trial's experiment task.
+
+        When the runtime has a durable spill target, a preemption context
+        is injected into the *submitted copy* of the config (the trial's
+        own config stays clean) and the trial is registered with the
+        runtime's :class:`PreemptionController`.  ``resume_epoch``
+        extends the resumed task's deterministic key beyond the
+        original's — the occurrence counter alone would also distinguish
+        them, but the kwarg makes the lineage readable in the journal.
+        """
+        task_config = dict(trial.config)
+        spill_dir = runtime.preempt_spill_dir()
+        if spill_dir is not None:
+            ctx = PreemptContext(
+                self._preempt_key(trial),
+                spill_dir,
+                every=runtime.config.preempt_checkpoint_epochs,
+            )
+            task_config[PREEMPT_CONFIG_KEY] = ctx.spec()
+            kwargs = {} if resume_epoch is None else {"resume_epoch": int(resume_epoch)}
+            fut = runtime.submit(self._experiment_def, (task_config,), kwargs)
+            runtime.preemption.register(ctx, fut.invocation)
+            return fut
+        return runtime.submit(self._experiment_def, (task_config,), {})
+
+    def _handle_suspension(
+        self, runtime: COMPSsRuntime, study: Study, trial: Trial,
+        fut: Any, payload: Mapping[str, Any],
+    ) -> Any:
+        """A trial spilled warm and stopped: requeue it as a resumable task."""
+        key = self._preempt_key(trial)
+        cursor = int(payload.get("epochs_done", 0))
+        self._preempt_stats["suspended"] += 1
+        self._preempt_stats["spills"] += 1
+        self._suspend_cursors[key] = cursor
+        runtime.resilience.record(
+            runtime.executor.clock(), rsl.SUSPEND_SPILL,
+            task_label=fut.invocation.label,
+            node=fut.invocation.node or "",
+            detail=f"key={key} epochs_done={cursor}",
+        )
+        # The guard hooks may raise (e.g. the service decided to suspend
+        # the whole study) — then the spill stays on disk and the study's
+        # eventual resumption warm-restores it.
+        for cb in self.callbacks:
+            cb.on_trial_suspended(study, trial)
+        runtime.preemption.resume_trial(key)
+        self._preempt_stats["resumed"] += 1
+        runtime.resilience.record(
+            runtime.executor.clock(), rsl.TRIAL_RESUMED,
+            task_label=fut.invocation.label,
+            detail=f"key={key} resume_epoch={cursor}",
+        )
+        _log.info(
+            "trial %d suspended at epoch %d; resubmitting warm",
+            trial.trial_id, cursor,
+        )
+        return self._submit_trial(runtime, trial, resume_epoch=cursor)
+
+    def _account_resume(self, trial: Trial, payload: Mapping[str, Any]) -> None:
+        """Fold a finished trial's resume cursor into epochs-lost stats."""
+        key = self._preempt_key(trial)
+        cursor = self._suspend_cursors.pop(key, None)
+        if cursor is None:
+            return
+        resumed_from = int(payload.get("resumed_from", 0))
+        self._preempt_stats["epochs_lost"] += max(0, cursor - resumed_from)
+
+    def _drain_rung_events(self, runtime: COMPSsRuntime) -> None:
+        """Record async-ASHA promotion decisions as resilience events."""
+        pop = getattr(self.algorithm, "pop_events", None)
+        if pop is None:
+            return
+        for ev in pop():
+            self._preempt_stats["rung_promotions"] += 1
+            runtime.resilience.record(
+                runtime.executor.clock(), rsl.RUNG_PROMOTION,
+                detail=(
+                    f"id={ev.get('id')} rung={ev.get('from_rung')}->"
+                    f"{ev.get('to_rung')} epochs={ev.get('epochs')} "
+                    f"val_acc={ev.get('val_accuracy')}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, runtime: COMPSsRuntime, study: Study, trial: Trial, fut: Any
+    ) -> Optional[Any]:
         """Wait for one experiment future and fill the trial.
 
-        Returns a replacement future when the trial is resubmitted under
-        ``RuntimeConfig.max_trial_retries`` (study-level fail-soft), else
-        ``None`` once the trial is terminally resolved.
+        Returns a replacement future when the trial is resubmitted —
+        under ``RuntimeConfig.max_trial_retries`` (study-level fail-soft)
+        or after a warm suspension — else ``None`` once the trial is
+        terminally resolved.
         """
         try:
             payload = runtime.wait_on(fut)
@@ -363,15 +525,23 @@ class PyCOMPSsRunner:
                     "trial %d lost its task (%s); resubmitting (%d/%d)",
                     trial.trial_id, exc, retries + 1, budget,
                 )
-                return runtime.submit(self._experiment_def, (trial.config,), {})
+                # Re-inject the preemption context: if the lost task had
+                # spilled warm before dying, the retry resumes from it.
+                return self._submit_trial(runtime, trial)
             trial.status = TrialStatus.FAILED
             trial.error = str(exc)
+            runtime.preemption.unregister(self._preempt_key(trial))
             return None
         invocation = fut.invocation
         if payload is None:
             # Simulated executor without execute_bodies: fabricate the
             # minimal result (timing experiments don't read accuracies).
             payload = {"val_accuracy": float("nan")}
+        if isinstance(payload, Mapping) and payload.get(SUSPENDED_PAYLOAD_KEY):
+            return self._handle_suspension(runtime, study, trial, fut, payload)
+        if isinstance(payload, Mapping):
+            self._account_resume(trial, payload)
+        runtime.preemption.unregister(self._preempt_key(trial))
         result = TrialResult.from_mapping(payload)
         if result.node is None:
             result.node = invocation.node

@@ -26,6 +26,7 @@ from repro.ml.callbacks import (
     EarlyStopping,
     TargetMetricStopping,
     LambdaCallback,
+    PreemptionCheckpoint,
 )
 from repro.ml.optimizers import SGD, Adam, RMSprop, get_optimizer
 from repro.ml.layers import (
@@ -64,6 +65,7 @@ __all__ = [
     "EarlyStopping",
     "TargetMetricStopping",
     "LambdaCallback",
+    "PreemptionCheckpoint",
     "SGD",
     "Adam",
     "RMSprop",

@@ -131,6 +131,58 @@ class TargetMetricStopping(Callback):
             self.model.stop_training = True
 
 
+class PreemptionCheckpoint(Callback):
+    """Cooperative suspension: poll a flag each checkpoint epoch, spill warm.
+
+    Rides ``on_epoch_end`` so the cut is always on an epoch boundary: when
+    ``should_suspend()`` answers True at a checkpoint epoch, the callback
+    captures the model's full training state (weights, optimiser, RNG
+    streams, history) with the epoch *cursor* pointing at the next epoch
+    to run, hands it to ``spill`` (atomic write + checksum sidecar), and
+    stops training.  The owner detects the stop via ``suspended_epoch``
+    and requeues the trial as a resumable task.
+
+    Parameters
+    ----------
+    should_suspend:
+        Zero-arg predicate polled once per checkpoint epoch (e.g.
+        ``PreemptContext.should_suspend``).
+    spill:
+        Called with the captured state dict when suspending.
+    every:
+        Checkpoint-epoch cadence (poll every ``every``-th epoch end);
+        maps from ``RuntimeConfig.preempt_checkpoint_epochs``.
+    """
+
+    def __init__(
+        self,
+        should_suspend: Callable[[], bool],
+        spill: Callable[[Dict], object],
+        every: int = 1,
+    ):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.should_suspend = should_suspend
+        self.spill = spill
+        self.every = int(every)
+        self.suspended_epoch: Optional[int] = None
+
+    def on_train_begin(self, logs=None) -> None:
+        self.suspended_epoch = None
+
+    def on_epoch_end(self, epoch: int, logs: Dict[str, float]) -> None:
+        if (epoch + 1) % self.every != 0:
+            return
+        if self.model.stop_training:  # an earlier callback already finished it
+            return
+        if not self.should_suspend():
+            return
+        state = self.model.capture_training_state(epoch + 1, self.model.history)
+        self.spill(state)
+        self.suspended_epoch = epoch
+        self.model.stop_training = True
+
+
 class LambdaCallback(Callback):
     """Adapter turning plain functions into a callback.
 

@@ -94,6 +94,10 @@ class Sequential:
         self.built = False
         self.stop_training = False
         self._from_logits = True
+        self.history: Optional[History] = None
+        self._build_rng = None
+        self._fit_rng = None
+        self._pending_fit_rng_state = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -110,6 +114,9 @@ class Sequential:
         if not self.layers:
             raise RuntimeError("model has no layers")
         rng = rng_from(self.seed, "model-init")
+        # Retained so suspended trials can restore the shared build-time
+        # generator (stochastic layers like Dropout keep drawing from it).
+        self._build_rng = rng
         shape = tuple(int(d) for d in input_shape)
         for layer in self.layers:
             layer.build(shape, rng)
@@ -200,13 +207,24 @@ class Sequential:
         callbacks: Optional[Sequence[Callback]] = None,
         shuffle: bool = True,
         verbose: bool = False,
+        initial_epoch: int = 0,
+        history: Optional[History] = None,
     ) -> History:
-        """Train for ``epochs`` epochs; returns the :class:`History`.
+        """Train for epochs ``initial_epoch .. epochs-1``; returns the history.
 
         Honors ``self.stop_training`` set by callbacks (early stopping).
+        ``initial_epoch``/``history`` let a resumed trial continue a prior
+        run: after :meth:`restore_training_state` the shuffle stream picks
+        up mid-sequence and the returned :class:`History` accumulates onto
+        the restored epochs, so a suspended-then-resumed run is
+        byte-identical to one that never stopped.
         """
         check_positive("epochs", epochs)
         check_positive("batch_size", batch_size)
+        if initial_epoch < 0 or initial_epoch >= epochs:
+            raise ValueError(
+                f"initial_epoch must be in [0, {epochs}), got {initial_epoch}"
+            )
         if x.shape[0] != y.shape[0]:
             raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
         if not self.built:
@@ -214,12 +232,17 @@ class Sequential:
         callbacks = list(callbacks or [])
         for cb in callbacks:
             cb.set_model(self)
-        history = History()
+        history = history if history is not None else History()
+        self.history = history
         self.stop_training = False
         shuffle_rng = rng_from(self.seed, "fit-shuffle")
+        if self._pending_fit_rng_state is not None:
+            shuffle_rng.bit_generator.state = self._pending_fit_rng_state
+            self._pending_fit_rng_state = None
+        self._fit_rng = shuffle_rng
         for cb in callbacks:
             cb.on_train_begin()
-        for epoch in range(epochs):
+        for epoch in range(initial_epoch, epochs):
             for cb in callbacks:
                 cb.on_epoch_begin(epoch)
             epoch_loss = 0.0
@@ -270,6 +293,71 @@ class Sequential:
                 if key not in layer.params:
                     raise KeyError(f"layer {layer.name!r} has no param {key!r}")
                 layer.params[key][...] = value
+
+    # ------------------------------------------------------------------
+    # Suspend / resume
+    # ------------------------------------------------------------------
+    def capture_training_state(self, epoch: int, history: Optional[History] = None) -> Dict:
+        """Everything needed to resume training mid-run, as a picklable dict.
+
+        ``epoch`` is the cursor: the number of *completed* epochs (the
+        resumed fit passes it as ``initial_epoch``).  Captures weights,
+        the optimiser's step counter and moment state, both RNG streams
+        (build-time — shared by stochastic layers — and shuffle), and the
+        accumulated history, so a restore is byte-identical to having
+        never stopped.
+        """
+        if not self.built or self.optimizer is None:
+            raise RuntimeError("cannot capture state before build() and compile()")
+        history = history if history is not None else self.history
+        state: Dict = {
+            "epoch": int(epoch),
+            "weights": self.get_weights(),
+            "optimizer_iterations": int(self.optimizer.iterations),
+            "optimizer_state": {
+                name: {k: v.copy() for k, v in slots.items()}
+                for name, slots in self.optimizer._state.items()
+            },
+            "history": history.as_dict() if history is not None else None,
+        }
+        if self._build_rng is not None:
+            state["build_rng_state"] = self._build_rng.bit_generator.state
+        if self._fit_rng is not None:
+            state["fit_rng_state"] = self._fit_rng.bit_generator.state
+        return state
+
+    def restore_training_state(self, state: Dict) -> Tuple[int, History]:
+        """Load a :meth:`capture_training_state` dict; returns (epoch, history).
+
+        The model must already be built and compiled with the same
+        architecture and optimiser.  The returned pair is what the
+        resumed ``fit`` call takes as ``initial_epoch``/``history``.
+        """
+        if not self.built or self.optimizer is None:
+            raise RuntimeError("cannot restore state before build() and compile()")
+        self.set_weights(state["weights"])
+        self.optimizer.iterations = int(state["optimizer_iterations"])
+        self.optimizer._state = {
+            name: {k: np.asarray(v).copy() for k, v in slots.items()}
+            for name, slots in state["optimizer_state"].items()
+        }
+        if state.get("build_rng_state") is not None and self._build_rng is not None:
+            self._build_rng.bit_generator.state = state["build_rng_state"]
+        if state.get("fit_rng_state") is not None:
+            # Consumed by the next fit() call after it recreates the stream.
+            self._pending_fit_rng_state = state["fit_rng_state"]
+        history = History()
+        dumped = state.get("history") or {}
+        epochs = dumped.get("epochs", [])
+        for i, ep in enumerate(epochs):
+            logs = {
+                k: vals[i]
+                for k, vals in dumped.items()
+                if k != "epochs" and i < len(vals)
+            }
+            history.append(ep, logs)
+        self.history = history
+        return int(state["epoch"]), history
 
     @property
     def n_params(self) -> int:

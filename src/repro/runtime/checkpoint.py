@@ -374,16 +374,19 @@ class CheckpointStore:
         self._completions += 1
         return self._completions % self.cadence == 0
 
-    def save(self, key: str, value: Any) -> bool:
+    def save(self, key: str, value: Any, overwrite: bool = False) -> bool:
         """Atomically persist ``value``; False if it cannot be pickled.
 
         The payload is serialised once, its sha256 recorded in a
         ``<key>.sum`` sidecar (also written atomically, after the data
         file — a crash between the two leaves a sidecar-less spill,
-        which loads via the unpickle-only legacy path).
+        which loads via the unpickle-only legacy path).  ``overwrite``
+        replaces an existing spill (suspend spills of the same trial
+        supersede each other as training advances); without it an
+        existing spill is kept — task outputs are immutable.
         """
         target = self._path(key)
-        if target.exists():
+        if target.exists() and not overwrite:
             return True
         try:
             payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -407,6 +410,14 @@ class CheckpointStore:
 
     def has(self, key: str) -> bool:
         return self._path(key).exists()
+
+    def remove(self, key: str) -> None:
+        """Drop one spill and its sidecar (idempotent)."""
+        for path in (self._path(key), self._sum_path(key)):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def load(self, key: str) -> Any:
         """The stored output for ``key`` (raises FileNotFoundError if absent)."""

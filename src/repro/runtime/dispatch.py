@@ -82,6 +82,7 @@ class DispatchStats:
     starvation_failures: int = 0
     fair_rounds: int = 0
     quota_skips: int = 0
+    paused_skips: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -96,6 +97,7 @@ class DispatchStats:
             "starvation_failures": self.starvation_failures,
             "fair_rounds": self.fair_rounds,
             "quota_skips": self.quota_skips,
+            "paused_skips": self.paused_skips,
         }
 
 
@@ -129,6 +131,10 @@ class _StudyShare:
     tenant: str = ""
     max_tenant_slots: Optional[int] = None
     vtime: float = 0.0
+    #: A paused (suspending) study keeps its lane and vtime but places
+    #: nothing until resumed — queued work waits warm instead of racing
+    #: the suspension of its in-flight siblings.
+    paused: bool = False
 
 
 class DispatchEngine:
@@ -225,6 +231,28 @@ class DispatchEngine:
         """Drop a finished study's fair-share lane (idempotent)."""
         self._studies.pop(study, None)
 
+    def pause_study(self, study: str) -> bool:
+        """Stop placing a study's queued tasks (suspend support).
+
+        In-flight attempts are untouched — the preemption controller
+        handles those — but nothing new starts, so a suspending study
+        cannot re-grow its footprint between the suspend decision and
+        the last spill landing.  Returns False for unknown studies.
+        """
+        share = self._studies.get(study)
+        if share is None:
+            return False
+        share.paused = True
+        return True
+
+    def resume_study(self, study: str) -> bool:
+        """Re-enable placement for a paused study (idempotent)."""
+        share = self._studies.get(study)
+        if share is None:
+            return False
+        share.paused = False
+        return True
+
     def study_shares(self) -> Dict[str, Dict[str, object]]:
         """Snapshot of registered studies (service status endpoint)."""
         return {
@@ -233,6 +261,7 @@ class DispatchEngine:
                 "weight": s.weight,
                 "tenant": s.tenant,
                 "vtime": s.vtime,
+                "paused": s.paused,
             }
             for s in self._studies.values()
         }
@@ -558,6 +587,11 @@ class DispatchEngine:
             if restrict is not None and not restrict:
                 stats.blocked_skips += 1
                 continue
+            if cq.study:
+                share = self._studies.get(cq.study)
+                if share is not None and share.paused:
+                    stats.paused_skips += 1
+                    continue
             if first_study is None:
                 first_study = cq.study
             elif cq.study != first_study:

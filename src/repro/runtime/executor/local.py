@@ -267,9 +267,12 @@ class LocalExecutor(Executor):
         # Local attempts run in this process, so their in-flight results
         # stay valid after the node is forced out — no data is destroyed;
         # the slots are simply gone for future placements.
+        flagged = runtime.preemption.suspended_count()
         runtime.resilience.record(
             self._now(), rsl.DRAIN_DEADLINE, "", node,
-            detail="attempts still running; node forcibly retired",
+            detail="attempts still running; node forcibly retired"
+            + (f"; {flagged} suspend-flagged trial(s) warm-resumable"
+               if flagged else ""),
         )
         runtime.pool.retire_worker(node)
         self._dispatch()

@@ -580,9 +580,12 @@ class SimulatedExecutor(Executor):
             for attempt in attempts
             if any(al.node == node for al in attempt.assignment.all_allocations)
         )
+        flagged = self.runtime.preemption.suspended_count()
         self.runtime.resilience.record(
             self.now, rsl.DRAIN_DEADLINE, "", node,
-            detail=f"{running} attempt(s) still running; escalating to failure",
+            detail=f"{running} attempt(s) still running; escalating to failure"
+            + (f"; {flagged} suspend-flagged trial(s) warm-resumable"
+               if flagged else ""),
         )
         self._fail_node(node, destroy_data=True)
 

@@ -166,6 +166,15 @@ def _worker_main(conn, heartbeat_s: float) -> None:
         set_current(None)
     except Exception:  # noqa: BLE001 - never let setup kill the worker
         pass
+    # Likewise under fork: inherited in-process suspend flags belong to
+    # the driver (and may have been cleared there after the fork).  The
+    # flag *file* is the cross-process truth; start with a clean slate.
+    try:
+        from repro.runtime.preemption import clear_local_flags
+
+        clear_local_flags()
+    except Exception:  # noqa: BLE001
+        pass
     send_lock = threading.Lock()
     stop = threading.Event()
 

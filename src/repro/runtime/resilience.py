@@ -88,6 +88,20 @@ STUDY_COMPLETED = "study_completed"
 STUDY_FAILED = "study_failed"
 STUDY_CANCELLED = "study_cancelled"
 LOAD_SHED = "load_shed"
+#: Cooperative-preemption events: a running trial was flagged to suspend
+#: (it spills model + optimiser + epoch cursor at its next checkpoint
+#: epoch and stops warm), its spilled training state landed on disk, a
+#: suspended trial was resubmitted and resumed from its epoch cursor, an
+#: asynchronous multi-fidelity scheduler promoted a config to its next
+#: rung the moment the result landed (no barrier), or a whole running
+#: study was suspended by the service's memory watchdog (distinct from
+#: ``load_shed``, which discards *queued* work — suspension keeps the
+#: warm state and re-queues the study for when pressure clears).
+TRIAL_SUSPENDED = "trial_suspended"
+TRIAL_RESUMED = "trial_resumed"
+SUSPEND_SPILL = "suspend_spill"
+RUNG_PROMOTION = "rung_promotion"
+STUDY_SUSPENDED = "study_suspended"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -123,6 +137,11 @@ EVENT_KINDS = (
     STUDY_FAILED,
     STUDY_CANCELLED,
     LOAD_SHED,
+    TRIAL_SUSPENDED,
+    TRIAL_RESUMED,
+    SUSPEND_SPILL,
+    RUNG_PROMOTION,
+    STUDY_SUSPENDED,
 )
 
 

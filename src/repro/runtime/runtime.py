@@ -29,6 +29,7 @@ from repro.runtime.future import Future, is_future
 from repro.runtime.graph import TaskGraph
 from repro.runtime.fault import StudyAbandonedError, UpstreamFailureError
 from repro.pycompss_api.task_group import record_submission
+from repro.runtime.preemption import PreemptionController
 from repro.runtime.resilience import (
     CHECKPOINT_RESTORE,
     DRAIN_COMPLETE,
@@ -158,6 +159,14 @@ class COMPSsRuntime:
         self.dispatcher.clock = self.executor.clock
         self.dispatcher.resilience = self.resilience
         self.dispatcher.starvation_timeout_s = self.config.starvation_timeout_s
+        #: Cooperative trial preemption: flag registry + suspend/resume
+        #: primitives (see runtime/preemption).  Always constructed; it
+        #: only has work when the HPO runner registers preemptible trials.
+        self.preemption = PreemptionController(
+            log=self.resilience,
+            clock=self.executor.clock,
+            max_suspended=self.config.max_suspended_trials,
+        )
         #: End-to-end data integrity (``config.verify_outputs``): seals a
         #: checksum on every data version at write time, verifies at
         #: consume time, repairs from replicas, escalates to lineage
@@ -833,6 +842,25 @@ class COMPSsRuntime:
         """The open session for ``study_id`` (None when unknown)."""
         return self._sessions.get(study_id)
 
+    def preempt_spill_dir(self) -> Optional[Path]:
+        """Directory for suspend spills in the calling thread's scope.
+
+        Lives beside the checkpoint store's outputs directory (per-study
+        in service mode, global otherwise) so suspend spills inherit the
+        same crash-safety story and survive daemon generations at a
+        stable path.  ``None`` — preemption disabled — when no checkpoint
+        directory is configured, since warm suspension without a durable
+        spill target would silently be a cold restart.
+        """
+        session = getattr(self._study_local, "session", None)
+        store = (
+            session.checkpoint_store if session is not None
+            else self.checkpoint_store
+        )
+        if store is None:
+            return None
+        return store.directory.parent / "preempt"
+
     @contextmanager
     def study_scope(self, session: ckpt.StudySession) -> Iterator[None]:
         """Route this thread's submissions through ``session``.
@@ -1008,11 +1036,32 @@ class COMPSsRuntime:
             return  # already draining or down
         spilled = self._spill_node_data(name)
         self.pool.drain_worker(name)
+        # Suspend-not-recompute: flag the node's resident preemptible
+        # trials so they spill warm at their next checkpoint epoch and
+        # resume elsewhere, instead of losing in-flight epochs to lineage
+        # recompute when the deadline kills them.
+        suspended = self.preemption.suspend_node(name, reason="drain")
         self.resilience.record(
             self.executor.clock(), NODE_DRAINING, node=name,
-            detail=f"deadline_s={deadline:g} spilled={spilled}",
+            detail=f"deadline_s={deadline:g} spilled={spilled}"
+            + (f" suspended={suspended}" if suspended else ""),
         )
         self.executor.drain_node(name, deadline)
+
+    def pause_study_dispatch(self, study_id: str) -> bool:
+        """Stop placing a study's queued tasks (suspend-in-progress)."""
+        with self.lock:
+            return self.dispatcher.pause_study(study_id)
+
+    def resume_study_dispatch(self, study_id: str) -> bool:
+        """Re-enable a paused study's placements and wake the scheduler
+        (a paused lane generates no completion events, so without the
+        nudge its queued tasks would wait for an unrelated one)."""
+        with self.lock:
+            resumed = self.dispatcher.resume_study(study_id)
+        if resumed:
+            self.executor.notify_topology_change()
+        return resumed
 
     def finish_drain(self, name: str) -> None:
         """Complete a drain: final spill pass, then retire the node.

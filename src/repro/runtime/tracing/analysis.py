@@ -278,9 +278,10 @@ class TraceAnalysis:
     def service(self) -> Dict[str, int]:
         """Multi-tenant service summary (``repro serve`` daemons).
 
-        Counts of studies admitted / completed / failed / cancelled and
-        of load-shedding decisions — the tenancy view of a daemon life
-        (all zero outside service mode).
+        Counts of studies admitted / completed / failed / cancelled /
+        suspended and of load-shedding decisions — the tenancy view of a
+        daemon life (all zero outside service mode).  Suspension is
+        distinct from shedding: suspended studies parked warm and resume.
         """
         from repro.runtime import resilience as rsl
 
@@ -290,7 +291,27 @@ class TraceAnalysis:
             "studies_completed": counts.get(rsl.STUDY_COMPLETED, 0),
             "studies_failed": counts.get(rsl.STUDY_FAILED, 0),
             "studies_cancelled": counts.get(rsl.STUDY_CANCELLED, 0),
+            "studies_suspended": counts.get(rsl.STUDY_SUSPENDED, 0),
             "loads_shed": counts.get(rsl.LOAD_SHED, 0),
+        }
+
+    def preemption(self) -> Dict[str, int]:
+        """Cooperative trial-preemption summary.
+
+        Counts of trials flagged to suspend, suspend spills that landed
+        on disk, trials resumed from their epoch cursor, async-ASHA rung
+        promotions and whole-study suspensions — the warm pause/resume
+        view of a run (all zero when preemption never triggered).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "trials_suspended": counts.get(rsl.TRIAL_SUSPENDED, 0),
+            "suspend_spills": counts.get(rsl.SUSPEND_SPILL, 0),
+            "trials_resumed": counts.get(rsl.TRIAL_RESUMED, 0),
+            "rung_promotions": counts.get(rsl.RUNG_PROMOTION, 0),
+            "studies_suspended": counts.get(rsl.STUDY_SUSPENDED, 0),
         }
 
     def dispatch(self) -> Dict[str, float]:

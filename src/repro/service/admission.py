@@ -5,8 +5,10 @@ with a typed verdict, and one more — *which queued study starts next?* —
 implementing per-tenant concurrency quotas and priority ordering.  A
 memory watchdog (driven by an injectable RSS probe so tests can fake
 pressure) flips the daemon into shedding mode *before* the process hits
-its ceiling: new submissions are rejected and queued-but-unstarted
-studies are shed, while running studies are left to finish.
+its ceiling: new submissions are rejected, lowest-priority *running*
+studies are suspended warm (their trials spill training state and the
+study re-enqueues once pressure clears), and only then are
+queued-but-unstarted studies shed outright.
 """
 
 from __future__ import annotations
@@ -167,6 +169,25 @@ class AdmissionController:
             loads[tenant] = loads.get(tenant, 0) + 1
             chosen.append(i)
         return chosen
+
+    def suspend_victims(self, running: Sequence[object]) -> List[int]:
+        """Indices of *running* studies to suspend under memory pressure.
+
+        The suspend tier sits ahead of :meth:`shed_victims`: running
+        studies hold the live memory, so warm-suspending them (trials
+        spill their training state and the study re-enqueues once
+        pressure clears) relieves pressure without discarding work.
+        Lowest priority first, newest first within a band; the
+        highest-priority running study is kept so the daemon always makes
+        forward progress.
+        """
+        if not self.overloaded() or len(running) <= 1:
+            return []
+        order = sorted(
+            range(len(running)),
+            key=lambda i: (getattr(running[i], "priority", 0), -i),
+        )
+        return order[:-1]
 
     def shed_victims(self, queued: Sequence[object]) -> List[int]:
         """Indices of queued studies to shed under memory pressure.

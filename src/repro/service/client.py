@@ -16,7 +16,7 @@ import tempfile
 import time
 import uuid
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.service import protocol as proto
 from repro.service.errors import (
@@ -156,14 +156,22 @@ class ServiceClient:
         cancel.touch()
 
     def service_status(self) -> Dict[str, Any]:
-        """Daemon manifest plus per-state study counts."""
+        """Daemon manifest plus per-state study counts.
+
+        Suspended studies (parked warm by the memory watchdog, resumed
+        automatically once pressure clears) are also listed by id under
+        ``"suspended"`` — they are neither queued nor terminal.
+        """
         manifest = proto.read_json(self.paths.daemon_file) or {
             "status": "absent"
         }
         counts: Dict[str, int] = {}
+        suspended: List[str] = []
         if self.paths.studies.is_dir():
-            for study_dir in self.paths.studies.iterdir():
+            for study_dir in sorted(self.paths.studies.iterdir()):
                 state = proto.read_json(study_dir / proto.STATE_FILE) or {}
                 status = str(state.get("status", "unknown"))
                 counts[status] = counts.get(status, 0) + 1
-        return {"daemon": manifest, "studies": counts}
+                if status == proto.SUSPENDED:
+                    suspended.append(study_dir.name)
+        return {"daemon": manifest, "studies": counts, "suspended": suspended}

@@ -33,6 +33,7 @@ from repro.service.errors import (
     StudyCancelledError,
     StudyConflictError,
     StudyFailedError,
+    StudySuspendedError,
 )
 from repro.util.logging_utils import get_logger
 
@@ -83,11 +84,26 @@ class _StudyGuard(StudyCallback):
                 f"study {self.study_id!r} cancelled by tenant"
             )
 
+    def _check_suspend(self) -> None:
+        if self.service.suspend_requested(self.study_id):
+            raise StudySuspendedError(
+                f"study {self.study_id!r} suspended by memory watchdog"
+            )
+
     def on_trial_start(self, study: Study, trial: Trial) -> None:
         self._check_cancel()
+        self._check_suspend()
+
+    def on_trial_suspended(self, study: Study, trial: Trial) -> None:
+        # A trial just spilled warm; if the watchdog wants the whole
+        # study out, stop here — the spill stays on disk and the study's
+        # resumption warm-restores it.
+        self._check_cancel()
+        self._check_suspend()
 
     def on_trial_complete(self, study: Study, trial: Trial) -> None:
         self._check_cancel()
+        self._check_suspend()
         if trial.status == TrialStatus.FAILED:
             self.failed += 1
             budget = self.max_failed_trials
@@ -146,6 +162,12 @@ class HPOService:
         self._running_tenants: Dict[str, str] = {}
         self._cancels: set = set()
         self._drain_requeue: set = set()
+        #: Running studies the memory watchdog asked to suspend warm,
+        #: plus the request metadata needed to pick victims and requeue.
+        self._suspends: set = set()
+        self._suspend_deadlines: Dict[str, float] = {}
+        self._suspend_requeue: set = set()
+        self._running_meta: Dict[str, proto.StudyRequest] = {}
         self._stop = threading.Event()
         self._draining = False
         self._last_heartbeat = 0.0
@@ -282,8 +304,10 @@ class HPOService:
         """One poll iteration; returns True while there is work in flight."""
         self._consume_inbox()
         self._check_cancel_flags()
-        self._shed_if_overloaded()
+        self._relieve_pressure()
+        self._escalate_suspends()
         self._reap_workers()
+        self._resume_suspended()
         self._start_ready_studies()
         self._heartbeat()
         with self._lock:
@@ -391,6 +415,7 @@ class HPOService:
                 )
                 self._running[sid] = thread
                 self._running_tenants[sid] = rec.tenant
+                self._running_meta[sid] = rec.request
         for rec in records:
             self._running[rec.request.study_id].start()
 
@@ -402,7 +427,11 @@ class HPOService:
             for sid in done:
                 self._running.pop(sid, None)
                 self._running_tenants.pop(sid, None)
+                self._running_meta.pop(sid, None)
                 self._cancels.discard(sid)
+                self._suspends.discard(sid)
+                self._suspend_deadlines.pop(sid, None)
+                self._suspend_requeue.discard(sid)
 
     def _check_cancel_flags(self) -> None:
         if not self.paths.studies.is_dir():
@@ -439,7 +468,52 @@ class HPOService:
         with self._lock:
             return study_id in self._cancels
 
-    def _shed_if_overloaded(self) -> None:
+    def suspend_requested(self, study_id: str) -> bool:
+        """Polled by the per-study guard between trials / at suspensions."""
+        with self._lock:
+            return study_id in self._suspends
+
+    def _relieve_pressure(self) -> None:
+        """Memory watchdog, suspend-before-shed.
+
+        Tier 1 suspends lowest-priority *running* studies warm: their
+        preemptible trials spill training state at the next checkpoint
+        epoch, the study parks as ``suspended`` on disk and re-enqueues
+        once pressure clears — no work lost.  Only when there is nothing
+        left to suspend does tier 2 shed queued studies outright.
+        """
+        if not self.controller.overloaded():
+            return
+        assert self.runtime is not None
+        with self._lock:
+            candidates = [
+                _QueuedStudy(self._running_meta[sid], i)
+                for i, sid in enumerate(self._running)
+                if sid in self._running_meta and sid not in self._suspends
+            ]
+        victims = self.controller.suspend_victims(candidates)
+        if victims:
+            grace = self.runtime.config.suspend_grace_s
+            for i in victims:
+                sid = candidates[i].request.study_id
+                with self._lock:
+                    self._suspends.add(sid)
+                    self._suspend_deadlines[sid] = time.monotonic() + grace
+                # Flag the study's in-flight preemptible trials so they
+                # spill warm instead of running their epochs to the end,
+                # and pause its dispatch lane so nothing new starts while
+                # the suspension is landing.
+                self.runtime.preemption.suspend_study(
+                    sid, reason="memory watchdog"
+                )
+                self.runtime.pause_study_dispatch(sid)
+                _log.warning(
+                    "suspending running study %s (memory pressure)", sid
+                )
+            return
+        self._shed_queued()
+
+    def _shed_queued(self) -> None:
         with self._lock:
             queued = list(self._queued)
         victims = self.controller.shed_victims(queued)
@@ -462,6 +536,64 @@ class HPOService:
                 detail=f"study={sid} tenant={rec.tenant}",
             )
             _log.warning("shed queued study %s (memory pressure)", sid)
+
+    def _escalate_suspends(self) -> None:
+        """Hard-park suspended studies still running past their grace.
+
+        A study whose trials are between checkpoint epochs (or whose
+        objective ignores the flag) cooperates too slowly: at
+        ``suspend_grace_s`` its in-flight tasks are abandoned.  Whatever
+        spilled by then still warm-resumes; the rest replays from the
+        journal — suspended, never failed.
+        """
+        now = time.monotonic()
+        with self._lock:
+            overdue = [
+                sid for sid, deadline in self._suspend_deadlines.items()
+                if now > deadline and sid in self._running
+            ]
+            for sid in overdue:
+                self._suspend_requeue.add(sid)
+                self._suspend_deadlines.pop(sid, None)
+        assert self.runtime is not None or not overdue
+        for sid in overdue:
+            self._write_state(
+                sid, proto.SUSPENDED,
+                detail="suspend grace expired: in-flight tasks abandoned",
+            )
+            self.runtime.abandon_study(
+                sid, reason="suspend grace expired",
+                kind=rsl.STUDY_SUSPENDED,
+            )
+            _log.warning(
+                "study %s did not suspend within grace; abandoned warm", sid
+            )
+
+    def _resume_suspended(self) -> None:
+        """Re-enqueue suspended studies once memory pressure clears."""
+        if self._draining or self.controller.overloaded():
+            return
+        if not self.paths.studies.is_dir():
+            return
+        for study_dir in sorted(self.paths.studies.iterdir()):
+            state = proto.read_json(study_dir / proto.STATE_FILE) or {}
+            if state.get("status") != proto.SUSPENDED:
+                continue
+            sid = study_dir.name
+            with self._lock:
+                if sid in self._running or sid in self._suspends:
+                    continue
+                if any(q.request.study_id == sid for q in self._queued):
+                    continue
+            payload = proto.read_json(study_dir / proto.REQUEST_FILE)
+            if payload is None:
+                continue
+            try:
+                request = proto.StudyRequest.from_payload(payload)
+            except (TypeError, ValueError):
+                continue
+            self._enqueue(request, detail="resumed after suspension")
+            _log.info("resuming suspended study %s (pressure cleared)", sid)
 
     # ------------------------------------------------------------------
     # Study execution (worker threads)
@@ -500,6 +632,12 @@ class HPOService:
         except StudyCancelledError as exc:
             runtime.abandon_study(sid, str(exc), kind=rsl.STUDY_CANCELLED)
             self._write_state(sid, proto.CANCELLED, detail=str(exc))
+        except StudySuspendedError as exc:
+            # Warm park, not a failure: trials spilled their training
+            # state, the study re-enqueues once pressure clears and its
+            # journal + spills make the resumption exactly-once.
+            runtime.abandon_study(sid, str(exc), kind=rsl.STUDY_SUSPENDED)
+            self._write_state(sid, proto.SUSPENDED, detail=str(exc))
         except StudyFailedError as exc:
             # The study's own budget gave out: terminate it, leave every
             # other tenant untouched (abandon records `study_failed`).
@@ -507,9 +645,13 @@ class HPOService:
             self._write_state(sid, proto.FAILED, detail=str(exc))
         except Exception as exc:  # noqa: BLE001 - isolate tenant failures
             with self._lock:
-                requeued = sid in self._drain_requeue
+                requeued = (
+                    sid in self._drain_requeue or sid in self._suspend_requeue
+                )
             if requeued:
-                return  # shutdown already re-queued it for the next life
+                # Shutdown re-queued it, or the suspend-grace escalation
+                # already parked it as 'suspended' — don't overwrite.
+                return
             runtime.abandon_study(sid, f"{type(exc).__name__}: {exc}")
             self._write_state(
                 sid, proto.FAILED, detail=f"{type(exc).__name__}: {exc}"
@@ -559,6 +701,7 @@ class HPOService:
         with self._lock:
             queued = len(self._queued)
             running = sorted(self._running)
+            suspending = sorted(self._suspends)
         proto.atomic_write_json(
             self.paths.daemon_file,
             {
@@ -568,6 +711,7 @@ class HPOService:
                 "updated_at": time.time(),
                 "queued": queued,
                 "running": running,
+                "suspending": suspending,
                 "max_concurrent_studies": self._max_workers,
             },
         )

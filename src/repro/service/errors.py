@@ -76,6 +76,18 @@ class StudyCancelledError(ServiceError):
     code = "study_cancelled"
 
 
+class StudySuspendedError(ServiceError):
+    """The running study was suspended warm by the memory watchdog.
+
+    Distinct from :class:`ServiceOverloadedError` (which sheds *queued*
+    work outright): a suspended study's trials spilled their training
+    state and the daemon re-enqueues the study automatically once
+    pressure clears — no work is lost, only delayed.
+    """
+
+    code = "study_suspended"
+
+
 class StudyFailedError(ServiceError):
     """The study exhausted its failed-trial budget and was terminated.
 
@@ -98,6 +110,7 @@ _BY_CODE: Dict[str, Type[ServiceError]] = {
         StudyNotFoundError,
         ClientTimeoutError,
         StudyCancelledError,
+        StudySuspendedError,
         StudyFailedError,
     )
 }

@@ -35,11 +35,14 @@ COMPLETED = "completed"
 FAILED = "failed"
 CANCELLED = "cancelled"
 SHED = "shed"
+#: Suspended warm by the memory watchdog: trials spilled their training
+#: state; the daemon re-enqueues the study once pressure clears.
+SUSPENDED = "suspended"
 
 #: States from which a study never leaves.
 TERMINAL_STATES = frozenset((COMPLETED, FAILED, CANCELLED, SHED))
 #: States a restarted daemon must pick back up (crash recovery).
-RESUMABLE_STATES = frozenset((QUEUED, RUNNING))
+RESUMABLE_STATES = frozenset((QUEUED, RUNNING, SUSPENDED))
 
 DAEMON_FILE = "daemon.json"
 INBOX_DIR = "inbox"
@@ -192,6 +195,7 @@ def resolve_objective(spec: str) -> Callable[..., Any]:
     from repro.hpo.objective import (
         fast_mock_objective,
         poison_objective,
+        preemptible_mock_objective,
         slow_mock_objective,
         train_experiment,
     )
@@ -199,6 +203,7 @@ def resolve_objective(spec: str) -> Callable[..., Any]:
     registry: Dict[str, Callable[..., Any]] = {
         "fast_mock": fast_mock_objective,
         "slow_mock": slow_mock_objective,
+        "preemptible_mock": preemptible_mock_objective,
         "poison": poison_objective,
         "train": train_experiment,
     }

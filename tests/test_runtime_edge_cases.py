@@ -133,6 +133,12 @@ class TestRuntimeConfigValidation:
              "RuntimeConfig.checkpoint_every", "0"),
             ({"worker_heartbeat_s": 0},
              "RuntimeConfig.worker_heartbeat_s", "0"),
+            ({"preempt_checkpoint_epochs": 0},
+             "RuntimeConfig.preempt_checkpoint_epochs", "0"),
+            ({"suspend_grace_s": -2.5},
+             "RuntimeConfig.suspend_grace_s", "-2.5"),
+            ({"max_suspended_trials": 0},
+             "RuntimeConfig.max_suspended_trials", "0"),
         ],
     )
     def test_error_names_knob_and_value(self, kwargs, knob, value_repr):

@@ -24,6 +24,7 @@ from repro.service.errors import (
     ServiceOverloadedError,
     StudyConflictError,
     StudyNotFoundError,
+    StudySuspendedError,
     TenantQuotaError,
     error_for_code,
 )
@@ -144,7 +145,8 @@ class TestAdmissionController:
 
     def test_error_codes_round_trip(self):
         for cls in (QueueFullError, TenantQuotaError,
-                    ServiceOverloadedError, StudyConflictError):
+                    ServiceOverloadedError, StudyConflictError,
+                    StudySuspendedError):
             err = error_for_code(cls.code, "msg")
             assert isinstance(err, cls)
         assert error_for_code("no_such_code", "msg").code == "service_error"
@@ -299,7 +301,7 @@ class TestServiceEndToEnd:
         try:
             service._admit(request("shed-me").to_payload())
             rss["mb"] = 10_000.0
-            service._shed_if_overloaded()
+            service._relieve_pressure()
             assert client.status("shed-me")["status"] == proto.SHED
             service._admit(request("late").to_payload())
             rejection = proto.read_json(service.paths.rejection_file("late"))
