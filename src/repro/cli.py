@@ -38,6 +38,7 @@ from repro.hpo import (
 from repro.hpo.objective import fast_mock_objective, train_experiment
 from repro.pycompss_api.constraint import ResourceConstraint
 from repro.runtime.config import RuntimeConfig
+from repro.runtime.reuse import ReuseCache
 from repro.runtime.runtime import COMPSsRuntime
 from repro.runtime.stats import render_resilience, render_stats
 from repro.runtime.tracing import export_prv
@@ -127,6 +128,20 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--resume-from", type=Path, default=None,
                      help="checkpoint directory (or journal.jsonl) of a "
                      "crashed run; completed tasks are restored, not rerun")
+    run.add_argument("--reuse-cache", action="store_true",
+                     help="memoise cacheable stage outputs in a verified "
+                     "content-addressed cache shared across trials and "
+                     "runs (pairs with --stage-epochs)")
+    run.add_argument("--cache-dir", type=Path, default=None,
+                     help="reuse-cache directory (default: "
+                     "<checkpoint-dir>/reuse)")
+    run.add_argument("--cache-max-bytes", type=int, default=None,
+                     help="reuse-cache size ceiling; least-recently-hit "
+                     "entries are evicted past it (leased keys excepted)")
+    run.add_argument("--stage-epochs", type=int, default=None,
+                     help="decompose each trial into cacheable train "
+                     "stages of this many epochs; trials sharing a "
+                     "hyperparameter prefix reuse each other's blocks")
     run.add_argument("--verify-outputs", action="store_true",
                      help="checksum every task output at write time and "
                      "verify it at every consume point; corruption repairs "
@@ -187,6 +202,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--json", action="store_true", dest="as_json",
                          help="machine-readable summary")
+    recover.add_argument("--cache-dir", type=Path, default=None,
+                         help="reuse-cache directory to health-scan "
+                         "(default: <dir>/reuse when present)")
+
+    gc = sub.add_parser(
+        "gc",
+        help="sweep a checkpoint directory: spills no journal record "
+        "references, torn temp files, stale reuse-cache leases and "
+        "corrupt cache entries",
+    )
+    gc.add_argument(
+        "journal", type=Path,
+        help="checkpoint directory or its journal.jsonl",
+    )
+    gc.add_argument("--cache-dir", type=Path, default=None,
+                    help="reuse-cache directory to sweep "
+                    "(default: <dir>/reuse when present)")
+    gc.add_argument("--lease-timeout", type=float, default=60.0,
+                    help="age in seconds past which a cache lease counts "
+                    "as abandoned (crashed writer) and is reaped")
+    gc.add_argument("--dry-run", action="store_true",
+                    help="report what would be reclaimed without deleting")
+    gc.add_argument("--json", action="store_true", dest="as_json",
+                    help="machine-readable summary")
 
     serve = sub.add_parser(
         "serve",
@@ -221,6 +260,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--rss-limit-mb", type=float, default=None,
                        help="memory ceiling: shed queued studies and "
                        "reject submissions while over it")
+    serve.add_argument("--reuse-cache", action="store_true",
+                       help="share a verified stage cache across all "
+                       "tenants (anchored at <root>/reuse-cache); staged "
+                       "studies reuse each other's epoch blocks")
+    serve.add_argument("--cache-max-bytes", type=int, default=None,
+                       help="shared reuse-cache size ceiling (LRU)")
     serve.add_argument("--drain-deadline", type=float, default=30.0,
                        help="graceful-shutdown budget; stragglers are "
                        "re-queued for the next daemon life")
@@ -257,6 +302,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--max-trial-retries", type=int, default=0)
     submit.add_argument("--max-failed-trials", type=int, default=None)
     submit.add_argument("--max-tenant-slots", type=int, default=None)
+    submit.add_argument("--stage-epochs", type=int, default=None,
+                        help="decompose trials into cacheable epoch "
+                        "blocks of this size (reuse across tenants when "
+                        "the daemon runs with --reuse-cache)")
     submit.add_argument("--timeout", type=float, default=30.0,
                         help="seconds to wait for the admission verdict")
     submit.add_argument("--no-wait", action="store_true",
@@ -310,6 +359,11 @@ def _make_runtime_config(args) -> RuntimeConfig:
         preempt_checkpoint_epochs=args.preempt_checkpoint_epochs,
         suspend_grace_s=args.suspend_grace,
         max_suspended_trials=args.max_suspended_trials,
+        reuse_cache=args.reuse_cache,
+        cache_dir=(
+            str(args.cache_dir) if args.cache_dir is not None else None
+        ),
+        cache_max_bytes=args.cache_max_bytes,
     )
 
 
@@ -331,6 +385,22 @@ def cmd_run(args) -> int:
     resume_from = (
         str(args.resume_from) if args.resume_from is not None else None
     )
+    if args.reuse_cache and args.cache_dir is None and args.checkpoint_dir is None:
+        print(
+            "--reuse-cache needs a home: pass --cache-dir, or "
+            "--checkpoint-dir (the cache then lives under "
+            "<checkpoint-dir>/reuse)",
+            file=sys.stderr,
+        )
+        return 2
+    stage_plan = None
+    if args.stage_epochs is not None:
+        from repro.hpo.stages import StagePlan
+
+        stage_plan = StagePlan(
+            block_epochs=args.stage_epochs,
+            objective="mock" if args.mock_objective else "train",
+        )
     runtime = COMPSsRuntime(
         _make_runtime_config(args), resume_from=resume_from
     ).start()
@@ -343,6 +413,7 @@ def cmd_run(args) -> int:
             ),
             stoppers=stoppers,
             study_name=args.config.stem,
+            stage_plan=stage_plan,
         )
         study = runner.run()
         report_lines = [
@@ -372,6 +443,8 @@ def cmd_run(args) -> int:
             )]
         if runtime.integrity is not None:
             report_lines += ["", runtime.integrity.describe()]
+        if runtime.reuse is not None:
+            report_lines += ["", runtime.reuse.describe()]
         churn = runtime.analysis().churn()
         if any(churn.values()):
             report_lines += ["", (
@@ -459,6 +532,10 @@ def cmd_recover(args) -> int:
         print(f"journal corrupt: {exc}", file=sys.stderr)
         return 2
     summary = recovery.summary()
+    cache_dir = args.cache_dir if args.cache_dir is not None else path / "reuse"
+    cache = ReuseCache.scan(cache_dir)
+    if cache is not None:
+        summary["reuse_cache"] = cache
     if args.as_json:
         print(json.dumps(summary, indent=2, sort_keys=True))
         return 0
@@ -478,10 +555,83 @@ def cmd_recover(args) -> int:
         + (" (corrupt spills re-execute on resume)" if spills["corrupt"] else "")
     )
     print(f"  frontier (will re-execute on resume): {summary['frontier']}")
+    if cache is not None:
+        print(
+            f"  reuse cache: {cache['entries']} entries, {cache['bytes']} B, "
+            f"{cache['corrupt']} corrupt, {cache['leases']} lease(s) "
+            f"({cache['stale_leases']} stale), "
+            f"{cache['quarantined']} quarantined"
+            + (" (corrupt entries re-verify as misses)" if cache["corrupt"]
+               else "")
+        )
     print(
         "resume with: repro run <config> "
         f"--resume-from {path} --checkpoint-dir {path}"
     )
+    return 0
+
+
+def cmd_gc(args) -> int:
+    from repro.runtime.checkpoint import (
+        JOURNAL_FILE,
+        JournalCorruptError,
+        RecoveryManager,
+    )
+
+    path = args.journal
+    if path.name == JOURNAL_FILE:
+        path = path.parent
+    if not (path / JOURNAL_FILE).exists():
+        print(f"no {JOURNAL_FILE} found in {path}", file=sys.stderr)
+        return 1
+    try:
+        recovery = RecoveryManager(path)
+    except JournalCorruptError as exc:
+        print(f"journal corrupt: {exc}", file=sys.stderr)
+        return 2
+    # Every key with *any* journal record stays: completed spills a
+    # resume restores, and in-flight keys a parked study may yet finish.
+    referenced = set(recovery.states)
+    # Honour active leases generically: a fresh .lease next to a spill
+    # means some process is mid-write on that key.
+    protected = set()
+    import time as _time
+
+    now = _time.time()
+    for lease in recovery.store.directory.glob("*.lease"):
+        try:
+            if now - lease.stat().st_mtime <= args.lease_timeout:
+                protected.add(lease.stem)
+        except OSError:
+            continue
+    spills = recovery.store.sweep_orphans(
+        referenced, protected=protected, dry_run=args.dry_run
+    )
+    cache_dir = args.cache_dir if args.cache_dir is not None else path / "reuse"
+    cache = ReuseCache.gc(
+        cache_dir, lease_timeout_s=args.lease_timeout, dry_run=args.dry_run
+    )
+    summary = {"spills": spills, "reuse_cache": cache}
+    if args.as_json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    verb = "would reclaim" if args.dry_run else "reclaimed"
+    print(f"checkpoint gc: {path}")
+    print(
+        f"  spills: {spills['orphans']} orphan(s), "
+        f"{spills['torn_temps']} torn temp(s) — "
+        f"{verb} {spills['freed_bytes']} B"
+    )
+    if spills["orphan_keys"]:
+        print(f"    orphan keys: {', '.join(spills['orphan_keys'][:8])}"
+              + (" ..." if len(spills["orphan_keys"]) > 8 else ""))
+    if cache is not None:
+        print(
+            f"  reuse cache: {cache['stale_leases']} stale lease(s), "
+            f"{cache['torn_temps']} torn temp(s), "
+            f"{cache['corrupt_entries']} corrupt entr(ies) — "
+            f"{verb} {cache['freed_bytes']} B"
+        )
     return 0
 
 
@@ -497,6 +647,11 @@ def cmd_serve(args) -> int:
         backend=args.backend,
         scheduler=args.scheduler,
         execute_bodies=True,
+        reuse_cache=args.reuse_cache,
+        cache_dir=(
+            str(Path(args.root) / "reuse-cache") if args.reuse_cache else None
+        ),
+        cache_max_bytes=args.cache_max_bytes,
     )
     service = HPOService(
         args.root,
@@ -550,6 +705,7 @@ def cmd_submit(args) -> int:
         max_trial_retries=args.max_trial_retries,
         max_failed_trials=args.max_failed_trials,
         max_tenant_slots=args.max_tenant_slots,
+        stage_epochs=args.stage_epochs,
     )
     client = ServiceClient(args.root, timeout_s=args.timeout)
     try:
@@ -628,6 +784,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_report(args)
     if args.command == "recover":
         return cmd_recover(args)
+    if args.command == "gc":
+        return cmd_gc(args)
     if args.command == "serve":
         return cmd_serve(args)
     if args.command == "submit":

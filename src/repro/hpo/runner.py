@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.hpo.algorithms import SearchAlgorithm, get_algorithm
 from repro.hpo.early_stopping import StudyStopper
 from repro.hpo.space import SearchSpace
+from repro.hpo.stages import STAGE_BODIES, StagePlan, split_config, stage_prepare
 from repro.hpo.trial import Study, Trial, TrialResult, TrialStatus
 from repro.hpo.objective import train_experiment
 from repro.pycompss_api.constraint import ResourceConstraint
@@ -154,6 +155,14 @@ class PyCOMPSsRunner:
         with a ``study.json`` warm start
         (:func:`repro.hpo.persistence.compose_resume`) to also skip
         fully-recorded trials.
+    stage_plan:
+        Decompose each trial into a *prepare → train block → final*
+        chain of ``cacheable`` stage tasks (see :mod:`repro.hpo.stages`)
+        instead of one monolithic ``experiment`` task.  With the
+        runtime's reuse cache on, trials sharing a hyperparameter prefix
+        resolve their common blocks from the cache.  Staged trials are
+        not preemptible and ignore ``target_accuracy``; the configured
+        ``objective`` is superseded by the plan's staged bodies.
     """
 
     def __init__(
@@ -171,6 +180,7 @@ class PyCOMPSsRunner:
         callbacks: Optional[Sequence[StudyCallback]] = None,
         resume_from: Optional[str] = None,
         max_trial_retries: Optional[int] = None,
+        stage_plan: Optional[StagePlan] = None,
     ):
         self.algorithm = get_algorithm(
             algorithm, space, **(algorithm_kwargs or {})
@@ -230,6 +240,23 @@ class PyCOMPSsRunner:
             n_returns=1,
             constraint=ResourceConstraint(cpu_units=1),
         )
+        self.stage_plan = stage_plan
+        self._warned_target = False
+        if stage_plan is not None:
+            train_body, final_body = STAGE_BODIES[stage_plan.objective]
+            light = ResourceConstraint(cpu_units=1)
+            self._stage_prepare_def = TaskDefinition(
+                func=stage_prepare, name="stage_prepare", returns=object,
+                n_returns=1, constraint=light, cacheable=True,
+            )
+            self._stage_train_def = TaskDefinition(
+                func=train_body, name="stage_train", returns=object,
+                n_returns=1, constraint=self.constraint, cacheable=True,
+            )
+            self._stage_final_def = TaskDefinition(
+                func=final_body, name="stage_final", returns=object,
+                n_returns=1, constraint=light, cacheable=True,
+            )
 
     # ------------------------------------------------------------------
     def run(self) -> Study:
@@ -347,6 +374,10 @@ class PyCOMPSsRunner:
                 # Warm suspensions, resumes, spills, epochs lost to cold
                 # restarts and async-ASHA rung promotions.
                 study.metadata["preemption"] = dict(self._preempt_stats)
+            if runtime.reuse is not None:
+                # Verified hits, misses, corruption detections, evictions
+                # and lease traffic from the cross-trial reuse cache.
+                study.metadata["reuse"] = runtime.reuse.stats()
             for cb in self.callbacks:
                 cb.on_study_end(study)
         finally:
@@ -410,6 +441,8 @@ class PyCOMPSsRunner:
         original's — the occurrence counter alone would also distinguish
         them, but the kwarg makes the lineage readable in the journal.
         """
+        if self.stage_plan is not None:
+            return self._submit_staged_trial(runtime, trial)
         task_config = dict(trial.config)
         spill_dir = runtime.preempt_spill_dir()
         if spill_dir is not None:
@@ -424,6 +457,32 @@ class PyCOMPSsRunner:
             runtime.preemption.register(ctx, fut.invocation)
             return fut
         return runtime.submit(self._experiment_def, (task_config,), {})
+
+    def _submit_staged_trial(self, runtime: COMPSsRuntime, trial: Trial) -> Any:
+        """Submit one trial as its prepare → train-block → final chain.
+
+        The returned future is the final stage's; intermediate futures
+        stay internal (the graph carries the chain).  Trials sharing a
+        config prefix submit identical stage invocations whose content
+        keys collide — exactly what the reuse cache resolves.  No
+        preemption context is injected: block boundaries already bound
+        the work a lost node can take.
+        """
+        if trial.config.get("target_accuracy") is not None and (
+            not self._warned_target
+        ):
+            self._warned_target = True
+            _log.warning(
+                "target_accuracy is ignored in staged mode (a data-dependent "
+                "early exit would break stage purity)"
+            )
+        prep, params, epochs = split_config(trial.config)
+        state = runtime.submit(self._stage_prepare_def, (prep,), {})
+        for start, end in self.stage_plan.blocks(epochs):
+            state = runtime.submit(
+                self._stage_train_def, (state, params, start, end), {}
+            )
+        return runtime.submit(self._stage_final_def, (state, params), {})
 
     def _handle_suspension(
         self, runtime: COMPSsRuntime, study: Study, trial: Trial,

@@ -11,6 +11,9 @@ Supported decorator arguments mirror COMPSs:
   tuple/list of types; 0/None means the task returns nothing.
 * ``priority=True`` — scheduler hint (paper: "tries to schedule that task
   as soon as possible").
+* ``cacheable=True`` — declares the function deterministic and pure,
+  opting its outputs into the cross-trial reuse cache (see
+  :mod:`repro.runtime.reuse`).
 * per-parameter directions as keywords, e.g. ``@task(data=INOUT)``.
 """
 
@@ -58,6 +61,7 @@ def task(
     returns: Any = None,
     priority: bool = False,
     output_size_mb: float = 0.0,
+    cacheable: bool = False,
     **param_directions: Any,
 ):
     """Decorate a function as a COMPSs task.
@@ -86,6 +90,7 @@ def task(
             n_returns=_count_returns(returns),
             priority=bool(priority),
             output_size_mb=float(output_size_mb),
+            cacheable=bool(cacheable),
         )
         definition.add_param_specs(param_directions)
 

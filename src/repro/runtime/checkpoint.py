@@ -79,6 +79,17 @@ OUTPUTS_DIR = "outputs"
 _MISSING = object()
 
 
+def sidecar_digest(payload: bytes) -> str:
+    """The sidecar digest contract: full sha256 over the pickled bytes.
+
+    One definition shared by every sidecar writer and verifier —
+    checkpoint spills, preemption spills and reuse-cache entries all use
+    the identical ``<key>.sum`` format, so ``repro recover`` and
+    ``repro gc`` can audit any of them with one code path.
+    """
+    return hashlib.sha256(payload).hexdigest()
+
+
 class JournalCorruptError(RuntimeError):
     """A journal record *before* the final one failed to parse.
 
@@ -86,6 +97,10 @@ class JournalCorruptError(RuntimeError):
     dropped; corruption earlier in the file means the journal cannot be
     trusted and replay refuses to guess.
     """
+
+
+class _UnstableArgument(Exception):
+    """An argument with no process-stable canonical form (content keys)."""
 
 
 class CheckpointCorruptError(RuntimeError):
@@ -150,6 +165,89 @@ class TaskKeyer:
             f"{raw}|{occurrence}".encode("utf-8")
         ).hexdigest()[:16]
         return task.task_key
+
+    def content_key_for(self, task: TaskInvocation) -> Optional[str]:
+        """Pure content identity of ``task`` — or ``None`` if it has none.
+
+        Where :meth:`key_for` answers "which submission of which study is
+        this?" (namespace-salted, occurrence-indexed — the journal-replay
+        identity), the content key answers "what value would this task
+        compute?": ``sha1(qualified-name | param-digest)`` with no
+        namespace and no occurrence, so identical stage invocations
+        across trials, studies and ``repro serve`` tenants collapse onto
+        one reuse-cache entry.  The qualified function name (module +
+        qualname, not just the decorator name) keys the *code*, so two
+        unrelated functions sharing a task name can never cross-restore.
+
+        Only declared-deterministic tasks participate
+        (``TaskDefinition.cacheable``), and only arguments with a stable
+        canonical form: primitives, containers thereof, and futures of
+        cacheable producers (digested by the producer's content key, so
+        a stage chain's key pins its whole prefix).  Anything else —
+        an arbitrary object whose ``repr`` may embed a memory address, a
+        future of a non-cacheable task — returns ``None``: an
+        address-based form could *collide* across processes (same
+        address, different value), and a shared cache must never trade
+        correctness for a hit.  ``None`` just means "compute it".
+        """
+        if task.content_key is not None:
+            return task.content_key
+        definition = task.definition
+        if not definition.cacheable:
+            return None
+        try:
+            h = hashlib.sha1()
+            for a in task.args:
+                h.update(self._canonical_content(a).encode("utf-8", "replace"))
+                h.update(b"\x00")
+            for k in sorted(task.kwargs):
+                h.update(k.encode("utf-8"))
+                h.update(b"=")
+                h.update(
+                    self._canonical_content(task.kwargs[k]).encode(
+                        "utf-8", "replace"
+                    )
+                )
+                h.update(b"\x00")
+        except _UnstableArgument:
+            return None
+        func = definition.func
+        qualified = (
+            f"{getattr(func, '__module__', '')}."
+            f"{getattr(func, '__qualname__', definition.name)}"
+        )
+        raw = f"{qualified}|{definition.name}|{h.hexdigest()}"
+        task.content_key = hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+        return task.content_key
+
+    def _canonical_content(self, obj: Any) -> str:
+        """Like :meth:`_canonical`, but refuses unstable forms."""
+        if is_future(obj):
+            producer = obj.invocation
+            key = self.content_key_for(producer)
+            if key is None:
+                raise _UnstableArgument(
+                    f"future of non-cacheable task {producer.label}"
+                )
+            return f"<fut:{key}:{obj.index}>"
+        if isinstance(obj, Mapping):
+            inner = ",".join(
+                f"{self._canonical_content(k)}:{self._canonical_content(obj[k])}"
+                for k in sorted(obj, key=repr)
+            )
+            return "{" + inner + "}"
+        if isinstance(obj, (list, tuple)):
+            inner = ",".join(self._canonical_content(i) for i in obj)
+            return ("[" if isinstance(obj, list) else "(") + inner
+        if isinstance(obj, (set, frozenset)):
+            return "{" + ",".join(
+                sorted(self._canonical_content(i) for i in obj)
+            ) + "}"
+        if isinstance(obj, (int, float, complex, bool, str, bytes, type(None))):
+            return repr(obj)
+        raise _UnstableArgument(
+            f"{type(obj).__name__} has no stable canonical form"
+        )
 
     def _params_digest(self, args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> str:
         h = hashlib.sha1()
@@ -401,7 +499,7 @@ class CheckpointStore:
         os.replace(tmp, target)
         sum_tmp = target.with_suffix(".sumtmp")
         with open(sum_tmp, "w", encoding="ascii") as fh:
-            fh.write(hashlib.sha256(payload).hexdigest() + "\n")
+            fh.write(sidecar_digest(payload) + "\n")
             fh.flush()
             os.fsync(fh.fileno())
         os.replace(sum_tmp, self._sum_path(key))
@@ -437,7 +535,7 @@ class CheckpointStore:
         sum_path = self._sum_path(key)
         if sum_path.exists():
             expected = sum_path.read_text(encoding="ascii").strip()
-            actual = hashlib.sha256(payload).hexdigest()
+            actual = sidecar_digest(payload)
             if actual != expected:
                 raise CheckpointCorruptError(
                     f"spill {key}: sha256 {actual[:16]}… does not match "
@@ -468,6 +566,67 @@ class CheckpointStore:
         for key in keys:
             counts[self.verify(key)] += 1
         return counts
+
+    def keys_on_disk(self) -> List[str]:
+        """Every key with a spill file in this store (sorted)."""
+        return sorted(p.stem for p in self.directory.glob("*.pkl"))
+
+    def sweep_orphans(
+        self,
+        referenced: Set[str],
+        protected: Optional[Set[str]] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, Any]:
+        """Drop spills no journal record references (``repro gc``).
+
+        A spill is *orphaned* when its key appears in neither
+        ``referenced`` (keys with any journal record — completed spills
+        a resume may restore, suspend spills a parked study may warm-
+        resume) nor ``protected`` (keys pinned by an active lease or a
+        live session).  Abandoned and superseded studies leave exactly
+        such unreferenced spills behind forever; this reclaims them.
+        Stray ``.tmp``/``.sumtmp`` files (a writer SIGKILLed mid-publish)
+        are always swept — the atomic-rename protocol guarantees no
+        reader ever trusted them.  ``dry_run`` reports without deleting.
+        """
+        protected = protected or set()
+        orphans: List[str] = []
+        freed = 0
+        for path in sorted(self.directory.glob("*.pkl")):
+            key = path.stem
+            if key in referenced or key in protected:
+                continue
+            orphans.append(key)
+            for victim in (path, self._sum_path(key)):
+                try:
+                    freed += victim.stat().st_size
+                except OSError:
+                    continue
+                if not dry_run:
+                    try:
+                        victim.unlink()
+                    except OSError:
+                        pass
+        torn = 0
+        for pattern in ("*.tmp", "*.sumtmp"):
+            for path in self.directory.glob(pattern):
+                torn += 1
+                try:
+                    freed += path.stat().st_size
+                except OSError:
+                    pass
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
+        return {
+            "orphans": len(orphans),
+            "orphan_keys": orphans,
+            "torn_temps": torn,
+            "freed_bytes": freed,
+            "dry_run": dry_run,
+        }
 
 
 # ----------------------------------------------------------------------

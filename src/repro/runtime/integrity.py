@@ -180,6 +180,11 @@ class IntegrityManager:
         #: Consumed task-written versions with no verifiable record — the
         #: acceptance criterion is that a chaos study keeps this at 0.
         self.unverified_reads = 0
+        #: Reuse-cache hit-time verifications routed through this manager
+        #: (the cache refuses to return a value that did not pass — a
+        #: failed verification is a miss, counted under cache_corrupt).
+        self.cache_verified = 0
+        self.cache_corrupt = 0
 
     # ------------------------------------------------------------------
     # Sealing (write time)
@@ -456,6 +461,22 @@ class IntegrityManager:
         if self.log is not None:
             self.log.record(self.clock(), kind, task_label, node, detail=detail)
 
+    def note_cache_verify(self, ok: bool) -> None:
+        """Account one reuse-cache hit-time verification.
+
+        The :class:`~repro.runtime.reuse.ReuseCache` proves every
+        candidate hit against its ``.sum`` sidecar before returning it;
+        routing the tally through the integrity manager keeps one ledger
+        for *all* verified reads, so the chaos acceptance's "zero
+        unverified reads" claim covers cache restores too.
+        """
+        with self._lock:
+            if ok:
+                self.cache_verified += 1
+            else:
+                self.cache_corrupt += 1
+                self.corruptions_detected += 1
+
     def stats(self) -> Dict[str, int]:
         """Machine-readable counters (study metadata / CLI report)."""
         return {
@@ -467,6 +488,8 @@ class IntegrityManager:
             "transfer_retries": self.transfer_retries,
             "transfer_failures": self.transfer_failures,
             "unverified_reads": self.unverified_reads,
+            "cache_verified": self.cache_verified,
+            "cache_corrupt": self.cache_corrupt,
         }
 
     def describe(self) -> str:

@@ -102,6 +102,17 @@ TRIAL_RESUMED = "trial_resumed"
 SUSPEND_SPILL = "suspend_spill"
 RUNG_PROMOTION = "rung_promotion"
 STUDY_SUSPENDED = "study_suspended"
+#: Cross-trial reuse events: a stage resolved from the content-addressed
+#: cache after sidecar verification (hit), missed and was computed, an
+#: entry failed verification (corrupt/truncated — treated as a miss,
+#: quarantined after ``poison_threshold`` failures), an entry was shed by
+#: the LRU disk-pressure evictor, or a submitter waited on (or broke, or
+#: timed out against) another writer's single-flight lease.
+CACHE_HIT = "cache_hit"
+CACHE_MISS = "cache_miss"
+CACHE_CORRUPT = "cache_corrupt"
+CACHE_EVICT = "cache_evict"
+LEASE_WAIT = "lease_wait"
 
 EVENT_KINDS = (
     TIMEOUT,
@@ -142,6 +153,11 @@ EVENT_KINDS = (
     SUSPEND_SPILL,
     RUNG_PROMOTION,
     STUDY_SUSPENDED,
+    CACHE_HIT,
+    CACHE_MISS,
+    CACHE_CORRUPT,
+    CACHE_EVICT,
+    LEASE_WAIT,
 )
 
 

@@ -30,6 +30,7 @@ from repro.runtime.graph import TaskGraph
 from repro.runtime.fault import StudyAbandonedError, UpstreamFailureError
 from repro.pycompss_api.task_group import record_submission
 from repro.runtime.preemption import PreemptionController
+from repro.runtime.reuse import MISS as _CACHE_MISS, ReuseCache
 from repro.runtime.resilience import (
     CHECKPOINT_RESTORE,
     DRAIN_COMPLETE,
@@ -224,6 +225,38 @@ class COMPSsRuntime:
                 checkpoint_dir / ckpt.OUTPUTS_DIR,
                 cadence=self.config.checkpoint_every,
             )
+        # ---- Cross-trial reuse (content-addressed stage cache) ----
+        #: One cache per runtime, shared by every study/tenant: content
+        #: keys are namespace-free by design, so a stage one tenant
+        #: computed is a verified hit for every other.  ``None`` when
+        #: reuse is off (zero overhead).
+        self.reuse: Optional[ReuseCache] = None
+        if self.config.reuse_cache:
+            if self.config.cache_dir is not None:
+                cache_dir = Path(self.config.cache_dir)
+            elif checkpoint_dir is not None:
+                cache_dir = checkpoint_dir / "reuse"
+            else:
+                raise ValueError(
+                    "RuntimeConfig.reuse_cache needs a home: set cache_dir, "
+                    "or set checkpoint_dir (the cache then lives under "
+                    "<checkpoint_dir>/reuse)"
+                )
+            self.reuse = ReuseCache(
+                cache_dir,
+                max_bytes=self.config.cache_max_bytes,
+                lease_timeout_s=self.config.cache_lease_timeout_s,
+                lease_wait_s=self.config.cache_lease_wait_s,
+                poison_threshold=self.config.cache_poison_threshold,
+                seed=getattr(self.failure_injector, "_seed", 0) or 0,
+                integrity=self.integrity,
+                log=self.resilience,
+                clock=self.executor.clock,
+            )
+        #: Content-key canonicaliser for cacheable submissions.  Its own
+        #: keyer (not the journal one): content keys touch no occurrence
+        #: state and must exist even when journaling is off.
+        self._content_keyer = ckpt.TaskKeyer()
         # ---- Multi-tenant service mode (repro serve) ----
         #: Per-study sessions: namespaced keyer/journal/checkpoint/recovery
         #: bundles keyed by study id.  Empty outside service mode, in which
@@ -318,6 +351,10 @@ class COMPSsRuntime:
                     _log.warning("outstanding task failed during stop(): %s", exc)
         finally:
             self.executor.shutdown()
+            if self.reuse is not None:
+                # Leases of never-completed stages would otherwise linger
+                # until stale-age expiry in the next process.
+                self.reuse.release_all()
             if self.journal is not None:
                 self.journal.close()
             for session in list(self._sessions.values()):
@@ -367,6 +404,19 @@ class COMPSsRuntime:
             )
         else:
             keyer, journal, recovery = self.keyer, self.journal, self.recovery
+        # Cross-trial reuse: resolve the stage's content key and consult
+        # the cache BEFORE taking the runtime lock — a busy single-flight
+        # lease may be waited on (bounded, seeded-jitter backoff), and
+        # other studies' submissions/completions must keep flowing while
+        # this thread waits.  Every outcome is safe under concurrency:
+        # a verified value restores, anything else computes.
+        reuse = self.reuse
+        content_key: Optional[str] = None
+        cached: Any = _CACHE_MISS
+        if reuse is not None and definition.cacheable:
+            content_key = self._content_keyer.content_key_for(invocation)
+            if content_key is not None:
+                cached = reuse.acquire(content_key)
         deps: Dict[int, TaskInvocation] = {}
         edge_labels: Dict[int, str] = {}
         restored: Any = ckpt._MISSING
@@ -392,9 +442,23 @@ class COMPSsRuntime:
                 keyer.key_for(invocation)
                 if recovery is not None:
                     restored = recovery.restored_result(invocation.task_key)
+            cache_hit = False
             if restored is not ckpt._MISSING:
                 # Journaled-complete with a stored output: restore instead
                 # of executing (exactly-once for the replayed prefix).
+                # If this thread also claimed a reuse lease (cache missed
+                # but the journal had the value), publish the restored
+                # result so other trials hit — and the lease is released.
+                invocation.state = TaskState.DONE
+                invocation.result = restored
+                if content_key is not None and reuse.holds_lease(content_key):
+                    reuse.publish(content_key, restored)
+            elif cached is not _CACHE_MISS:
+                # Verified cross-trial cache hit: same restore machinery
+                # as a journal replay — the graph accepts DONE-at-add
+                # tasks and never dispatches them.
+                cache_hit = True
+                restored = cached
                 invocation.state = TaskState.DONE
                 invocation.result = restored
             dep_list = list(deps.values())
@@ -406,10 +470,16 @@ class COMPSsRuntime:
                 # Restored outputs verified at spill load; seal them so
                 # consumers can verify them like freshly-produced ones.
                 self._seal_outputs(invocation, restored)
-                self.resilience.record(
-                    self.executor.clock(), CHECKPOINT_RESTORE, invocation.label,
-                    detail=f"key={invocation.task_key}",
-                )
+                if not cache_hit:
+                    # Cache hits already logged CACHE_HIT inside
+                    # ReuseCache.acquire; a second record here would
+                    # double-count hits vs. reuse.stats().
+                    self.resilience.record(
+                        self.executor.clock(),
+                        CHECKPOINT_RESTORE,
+                        invocation.label,
+                        detail=f"key={invocation.task_key}",
+                    )
             if journal is not None:
                 journal.append(
                     ckpt.SUBMITTED, invocation.task_key, task=invocation.label
@@ -417,7 +487,9 @@ class COMPSsRuntime:
                 if restored is not ckpt._MISSING:
                     journal.append(
                         ckpt.COMPLETED, invocation.task_key,
-                        task=invocation.label, restored=True,
+                        task=invocation.label,
+                        **({"cached": True} if cache_hit
+                           else {"restored": True}),
                     )
         # Attach to any open TaskGroup (selective barriers).
         record_submission(invocation)
@@ -604,6 +676,21 @@ class COMPSsRuntime:
                 ckpt.COMPLETED, task.task_key,
                 task=task.label, node=task.node or "", stored=stored,
             )
+        reuse = self.reuse
+        if reuse is not None and task.content_key is not None:
+            injector = self.failure_injector
+            if injector is not None and injector.cache_lease_stalls(task.label):
+                # Chaos: simulate a writer SIGKILLed mid-stage — its lease
+                # file survives but no entry ever lands.  Waiters must
+                # expire the lease or time out and recompute.
+                reuse.wedge_lease(task.content_key)
+            else:
+                reuse.publish(task.content_key, result)
+                if injector is not None and injector.cache_corrupts(task.label):
+                    # Chaos: bit-rot the freshly-published entry in place
+                    # (payload flipped, sidecar intact).  Detection happens
+                    # at the next hit's verify — never silently consumed.
+                    reuse.corrupt_entry(task.content_key)
 
     def _on_task_freed(self, task: TaskInvocation) -> None:
         """Streaming: drop registry entries of a graph-freed task."""
@@ -690,6 +777,11 @@ class COMPSsRuntime:
         self, task: TaskInvocation, kind: str, node: str = ""
     ) -> None:
         """Append a task lifecycle record (executors journal start/failure)."""
+        if kind == ckpt.FAILED and self.reuse is not None:
+            if task.content_key is not None:
+                # A terminally-failed stage never publishes: surrender the
+                # single-flight lease so waiters stop spinning on it.
+                self.reuse.abandon(task.content_key)
         session = self._sessions.get(task.study) if task.study else None
         journal = session.journal if session is not None else self.journal
         if journal is None or task.task_key is None:

@@ -55,6 +55,12 @@ class TaskDefinition:
     #: on a different node than the producer (paper §3: the runtime is
     #: "transferring the data when needed").
     output_size_mb: float = 0.0
+    #: Declared deterministic-and-pure: same arguments, same result, no
+    #: side effects — the opt-in that lets the cross-trial
+    #: :class:`~repro.runtime.reuse.ReuseCache` memoise this task's
+    #: outputs under a namespace-free content key.  False by default;
+    #: ordinary tasks keep at-most-study-scoped identities.
+    cacheable: bool = False
 
     def spec_for(self, param_name: str) -> ParameterSpec:
         """Direction spec for ``param_name`` (default: IN)."""
@@ -138,6 +144,7 @@ class TaskInvocation:
         "definition", "args", "kwargs", "task_id", "state", "reads",
         "writes", "attempts", "failed_nodes", "attempt_history", "result",
         "error", "start_time", "end_time", "node", "task_key", "study",
+        "content_key",
     )
 
     def __init__(
@@ -165,6 +172,9 @@ class TaskInvocation:
         self.node: Optional[str] = None
         self.task_key: Optional[str] = None
         self.study: str = ""
+        #: Namespace-free reuse-cache identity (cacheable tasks only);
+        #: assigned by TaskKeyer.content_key_for on the submit path.
+        self.content_key: Optional[str] = None
 
     @property
     def label(self) -> str:

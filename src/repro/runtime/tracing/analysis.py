@@ -314,6 +314,24 @@ class TraceAnalysis:
             "studies_suspended": counts.get(rsl.STUDY_SUSPENDED, 0),
         }
 
+    def reuse(self) -> Dict[str, int]:
+        """Cross-trial reuse-cache summary (verified stage memoisation).
+
+        Counts of verified cache hits, misses, corrupt entries detected
+        at verify time, LRU evictions and single-flight lease waits —
+        the stage-reuse view of a run (all zero when the cache is off).
+        """
+        from repro.runtime import resilience as rsl
+
+        counts = self.resilience_counts()
+        return {
+            "cache_hits": counts.get(rsl.CACHE_HIT, 0),
+            "cache_misses": counts.get(rsl.CACHE_MISS, 0),
+            "cache_corrupt": counts.get(rsl.CACHE_CORRUPT, 0),
+            "cache_evictions": counts.get(rsl.CACHE_EVICT, 0),
+            "lease_waits": counts.get(rsl.LEASE_WAIT, 0),
+        }
+
     def dispatch(self) -> Dict[str, float]:
         """Dispatch/batching summary (batched scheduling observability).
 

@@ -124,7 +124,11 @@ class HPOService:
         Service root (shared filesystem path clients also see).
     runtime_config:
         Runtime for the shared pool.  ``checkpoint_dir`` is ignored —
-        checkpointing is per-study, under each study's directory.
+        checkpointing is per-study, under each study's directory.  With
+        ``reuse_cache`` on and no explicit ``cache_dir``, the shared
+        stage cache is anchored at ``<root>/reuse-cache`` so all tenants
+        (and successive daemon generations) reuse each other's verified
+        stage outputs.
     admission:
         Backpressure knobs (:class:`AdmissionConfig`).
     rss_fn:
@@ -148,6 +152,12 @@ class HPOService:
     ):
         self.paths = proto.ServicePaths(Path(root))
         self.config = runtime_config or RuntimeConfig()
+        if self.config.reuse_cache and self.config.cache_dir is None:
+            # Service mode ignores the global checkpoint_dir (spills are
+            # per-study), so anchor the shared reuse cache under the
+            # service root instead: every tenant and every daemon
+            # generation resolves the same entries.
+            self.config.cache_dir = str(self.paths.root / "reuse-cache")
         self.controller = AdmissionController(
             admission or AdmissionConfig(), rss_fn=rss_fn
         )
@@ -616,6 +626,18 @@ class HPOService:
                 checkpoint_every=request.checkpoint_every,
             )
             guard = _StudyGuard(self, sid, request.max_failed_trials)
+            stage_plan = None
+            if request.stage_epochs is not None:
+                # Staged trials supersede the objective body: real
+                # training for the "train" objective, the deterministic
+                # cumulative curve for every mock flavour.
+                from repro.hpo.stages import StagePlan
+
+                stage_plan = StagePlan(
+                    block_epochs=request.stage_epochs,
+                    objective="train" if request.objective == "train"
+                    else "mock",
+                )
             with runtime.study_scope(session):
                 runner = PyCOMPSsRunner(
                     request.algorithm,
@@ -626,6 +648,7 @@ class HPOService:
                     algorithm_kwargs=dict(request.algorithm_kwargs),
                     callbacks=[guard],
                     max_trial_retries=request.max_trial_retries,
+                    stage_plan=stage_plan,
                 )
                 study = runner.run()
             self._finish_study(sid, study)

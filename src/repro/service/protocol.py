@@ -114,10 +114,21 @@ class StudyRequest:
     max_tenant_slots: Optional[int] = None
     #: Spill cadence override for the study's checkpoint store.
     checkpoint_every: Optional[int] = 1
+    #: Stage-decompose trials into cacheable epoch blocks of this size
+    #: (see :class:`repro.hpo.stages.StagePlan`).  None = monolithic
+    #: experiment tasks.  With the daemon's shared reuse cache on,
+    #: identical stage prefixes resolve from cache *across tenants* —
+    #: content keys carry no study namespace by design.
+    stage_epochs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.study_id:
             raise ValueError("StudyRequest.study_id must be non-empty")
+        if self.stage_epochs is not None and self.stage_epochs < 1:
+            raise ValueError(
+                f"StudyRequest.stage_epochs must be >= 1, "
+                f"got {self.stage_epochs!r}"
+            )
         if any(sep in self.study_id for sep in ("/", "\\", "..")):
             raise ValueError(
                 f"StudyRequest.study_id must be a plain name, "

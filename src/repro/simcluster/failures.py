@@ -76,6 +76,16 @@ class FailurePlan:
     link_slowdowns:
         ``(src, dst) → factor`` transfer-time multipliers (degraded
         links); applied on top of the network model.
+    cache_corruptions:
+        Task labels whose first reuse-cache publication is bit-rotted in
+        place (payload flipped, sidecar digest intact) — exercises the
+        verified-hit path: the next reader must detect the mismatch and
+        recompute, never consume the bad bytes.
+    cache_stalls:
+        Task labels whose first reuse-cache publication is replaced by a
+        wedged single-flight lease (no entry lands, lease file survives)
+        — models a writer SIGKILLed mid-stage; waiters must expire the
+        lease or time out and recompute.
     """
 
     task_failures: Set[Tuple[str, int]] = field(default_factory=set)
@@ -85,6 +95,8 @@ class FailurePlan:
     output_corruptions: Dict[str, str] = field(default_factory=dict)
     transfer_failures: Set[Tuple[str, int]] = field(default_factory=set)
     link_slowdowns: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    cache_corruptions: Set[str] = field(default_factory=set)
+    cache_stalls: Set[str] = field(default_factory=set)
 
     def fail_task(self, task_label: str, *attempts: int) -> "FailurePlan":
         """Schedule ``task_label`` to fail on the given attempt numbers."""
@@ -156,6 +168,28 @@ class FailurePlan:
         self.link_slowdowns[(src, dst)] = float(factor)
         return self
 
+    def corrupt_cache_entry(self, task_label: str) -> "FailurePlan":
+        """Bit-rot ``task_label``'s first reuse-cache entry after publish.
+
+        The payload is flipped in place while the ``.sum`` sidecar keeps
+        the original digest, so the corruption is only discoverable at
+        hit-verify time — exactly the bit-rot scenario the verified-hit
+        contract exists for.
+        """
+        self.cache_corruptions.add(task_label)
+        return self
+
+    def stall_cache_lease(self, task_label: str) -> "FailurePlan":
+        """Wedge ``task_label``'s first publication into a stuck lease.
+
+        The stage completes but never publishes; its single-flight lease
+        file is left behind as if the writer were SIGKILLed mid-write.
+        Readers must break the lease once stale (or time out) and
+        recompute.
+        """
+        self.cache_stalls.add(task_label)
+        return self
+
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Whether this attempt of this task is scripted to fail."""
         return (task_label, attempt) in self.task_failures
@@ -179,6 +213,14 @@ class FailurePlan:
     def link_factor(self, src: str, dst: str) -> float:
         """Transfer-time multiplier for the ``src → dst`` link (1.0 = ok)."""
         return self.link_slowdowns.get((src, dst), 1.0)
+
+    def cache_corruption(self, task_label: str) -> bool:
+        """Whether ``task_label``'s cache entry is scripted to bit-rot."""
+        return task_label in self.cache_corruptions
+
+    def cache_stall(self, task_label: str) -> bool:
+        """Whether ``task_label``'s publication is scripted to wedge."""
+        return task_label in self.cache_stalls
 
 
 @dataclass(frozen=True)
@@ -372,6 +414,11 @@ class FailureInjector:
     transfer_failure_prob:
         I.i.d. probability that one cross-node staging attempt tears.
         Each attempt (including retries and re-stagings) draws afresh.
+    cache_corrupt_prob:
+        I.i.d. probability that one reuse-cache publication is bit-rotted
+        in place right after landing (sidecar digest intact).  Each
+        publication of a label draws afresh, so a republished entry is
+        not doomed to re-corrupt.
     seed:
         Seed for the random component; identical seeds reproduce the
         exact same failure pattern (attempts are counted, not timed, so
@@ -389,15 +436,18 @@ class FailureInjector:
         output_corrupt_prob: float = 0.0,
         transfer_failure_prob: float = 0.0,
         churn: Optional[ChurnPlan] = None,
+        cache_corrupt_prob: float = 0.0,
     ) -> None:
         check_in_range("task_failure_prob", task_failure_prob, 0.0, 1.0)
         check_in_range("output_corrupt_prob", output_corrupt_prob, 0.0, 1.0)
         check_in_range("transfer_failure_prob", transfer_failure_prob, 0.0, 1.0)
+        check_in_range("cache_corrupt_prob", cache_corrupt_prob, 0.0, 1.0)
         self.plan = plan or FailurePlan()
         self.churn = churn
         self.task_failure_prob = task_failure_prob
         self.output_corrupt_prob = output_corrupt_prob
         self.transfer_failure_prob = transfer_failure_prob
+        self.cache_corrupt_prob = cache_corrupt_prob
         self._seed = seed
         self._draws: Dict[Tuple[str, int], bool] = {}
         #: Per-label completion counter: the n-th completion of a label
@@ -409,10 +459,18 @@ class FailureInjector:
         #: Scripted transfer tears fire once each (staging attempts are
         #: numbered within a sequence, which restarts after a recompute).
         self._transfer_script_used: Set[Tuple[str, int]] = set()
+        #: Per-label reuse-publication counter: the n-th publication of a
+        #: label gets its own corruption draw (a republish redraws).
+        self._cache_pub_counts: Dict[str, int] = {}
+        #: Scripted cache stalls fire on the first publication only (the
+        #: recompute that follows must be allowed to land).
+        self._cache_stalls_used: Set[str] = set()
         self.injected_failures: List[Tuple[str, int]] = []
         self.injected_hangs: List[Tuple[str, int]] = []
         self.injected_corruptions: List[str] = []
         self.injected_transfer_failures: List[Tuple[str, str]] = []
+        self.injected_cache_corruptions: List[str] = []
+        self.injected_cache_stalls: List[str] = []
 
     def should_fail(self, task_label: str, attempt: int) -> bool:
         """Decide (deterministically per (task, attempt)) whether to fail.
@@ -510,6 +568,43 @@ class FailureInjector:
             return True
         return False
 
+    def cache_corrupts(self, task_label: str) -> bool:
+        """Whether this reuse-cache publication of ``task_label`` bit-rots.
+
+        A scripted corruption fires on the label's first publication
+        only (the recompute's republish lands clean, so the study
+        converges).  The random component draws per publication with a
+        seeded, order-independent verdict.
+        """
+        n = self._cache_pub_counts.get(task_label, 0)
+        self._cache_pub_counts[task_label] = n + 1
+        if self.plan.cache_corruption(task_label) and n == 0:
+            self.injected_cache_corruptions.append(task_label)
+            return True
+        if self.cache_corrupt_prob <= 0.0:
+            return False
+        rng = rng_from(self._seed, f"cache-corrupt-injector/{task_label}/{n}")
+        if rng.random() < self.cache_corrupt_prob:
+            self.injected_cache_corruptions.append(task_label)
+            return True
+        return False
+
+    def cache_lease_stalls(self, task_label: str) -> bool:
+        """Whether this publication of ``task_label`` wedges its lease.
+
+        Scripted only, first publication only: the stage's recompute (or
+        another trial's unleased compute) must eventually publish, or
+        the study would depend on lease expiry forever.
+        """
+        if (
+            self.plan.cache_stall(task_label)
+            and task_label not in self._cache_stalls_used
+        ):
+            self._cache_stalls_used.add(task_label)
+            self.injected_cache_stalls.append(task_label)
+            return True
+        return False
+
     def link_factor(self, src: str, dst: str) -> float:
         """Scripted transfer-time multiplier for the link (1.0 = none)."""
         return self.plan.link_factor(src, dst)
@@ -525,7 +620,11 @@ class FailureInjector:
         self._seal_counts.clear()
         self._transfer_counts.clear()
         self._transfer_script_used.clear()
+        self._cache_pub_counts.clear()
+        self._cache_stalls_used.clear()
         self.injected_failures.clear()
         self.injected_hangs.clear()
         self.injected_corruptions.clear()
         self.injected_transfer_failures.clear()
+        self.injected_cache_corruptions.clear()
+        self.injected_cache_stalls.clear()

@@ -1,0 +1,571 @@
+"""Cross-trial reuse cache: unit, integration and chaos acceptance.
+
+Covers the tentpole contract of the content-addressed stage cache:
+
+* unit — verified hits (corrupt == miss, never a wrong restore),
+  quarantine after repeated failures, single-flight lease claim /
+  stale-break / wait, LRU eviction that never evicts leased keys,
+  atomic publication (torn temps invisible), offline ``scan`` / ``gc``;
+* integration — an epochs-varying grid resolves its shared prefixes
+  from cache (>= 30 % redundant-epoch reduction) while producing the
+  identical best configuration to the cache-off baseline;
+* chaos acceptance — 3 seeds x (10 % stochastic corruption + a
+  wedged lease + concurrent daemon tenants racing identical stages)
+  still match the cache-off best config, with zero unverified reads
+  and bit-identical same-seed reruns.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.hpo import PyCOMPSsRunner
+from repro.hpo.space import Categorical, SearchSpace
+from repro.hpo.stages import (
+    StagePlan,
+    executed_epochs,
+    reset_epoch_counter,
+    split_config,
+    stage_final_mock,
+    stage_prepare,
+    stage_train_mock,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.reuse import MISS, ReuseCache
+from repro.simcluster.failures import FailureInjector, FailurePlan
+from repro.simcluster.machines import local_machine
+
+SPACE = {"optimizer": ["SGD", "Adam", "RMSprop"], "num_epochs": [4, 8, 12]}
+
+
+def make_cache(tmp_path, **kw):
+    return ReuseCache(tmp_path / "cache", **kw)
+
+
+# ----------------------------------------------------------------------
+# Unit: verified hits and quarantine
+# ----------------------------------------------------------------------
+class TestVerifiedHits:
+    def test_roundtrip_hit(self, tmp_path):
+        cache = make_cache(tmp_path)
+        assert cache.acquire("k1") is MISS  # claims the lease
+        assert cache.publish("k1", {"epoch": 4})
+        assert not cache.holds_lease("k1")  # publish released it
+        assert cache.acquire("k1") == {"epoch": 4}
+        s = cache.stats()
+        assert (s["hits"], s["misses"], s["published"]) == (1, 1, 1)
+        assert s["unverified_hits"] == 0
+
+    def test_cached_none_is_not_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("k")
+        cache.publish("k", None)
+        assert cache.acquire("k") is None
+
+    def test_corrupt_entry_is_a_miss_not_a_wrong_value(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("k")
+        cache.publish("k", list(range(100)))
+        assert cache.corrupt_entry("k")
+        assert cache.acquire("k") is MISS
+        s = cache.stats()
+        assert s["corrupt"] == 1
+        assert s["unverified_hits"] == 0
+        # The poisoned bytes were dropped; a clean republish hits again.
+        cache.publish("k", list(range(100)))
+        assert cache.acquire("k") == list(range(100))
+
+    def test_quarantine_after_poison_threshold(self, tmp_path):
+        cache = make_cache(tmp_path, poison_threshold=2)
+        for _ in range(2):
+            cache.acquire("bad")
+            cache.publish("bad", "v")
+            cache.corrupt_entry("bad")
+            assert cache.acquire("bad") is MISS
+        assert cache.is_quarantined("bad")
+        assert cache.stats()["quarantined"] == 1
+        # Quarantined keys refuse publication and always miss.
+        assert not cache.publish("bad", "v")
+        assert cache.acquire("bad") is MISS
+        # Quarantine markers persist across cache instances (restart).
+        again = make_cache(tmp_path, poison_threshold=2)
+        assert again.is_quarantined("bad")
+
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("t")
+        cache.publish("t", {"x": 1})
+        path = cache.store._path("t")
+        path.write_bytes(path.read_bytes()[:3])
+        assert cache.acquire("t") is MISS
+        assert cache.stats()["unverified_hits"] == 0
+
+    def test_integrity_manager_accounts_verifications(self, tmp_path):
+        from repro.runtime.integrity import MODE_LOCAL, IntegrityManager
+
+        integrity = IntegrityManager(MODE_LOCAL)
+        cache = make_cache(tmp_path, integrity=integrity)
+        cache.acquire("k")
+        cache.publish("k", 1)
+        cache.acquire("k")
+        cache.corrupt_entry("k")
+        cache.acquire("k")
+        stats = integrity.stats()
+        assert stats["cache_verified"] == 1
+        assert stats["cache_corrupt"] == 1
+
+
+# ----------------------------------------------------------------------
+# Unit: single-flight leases
+# ----------------------------------------------------------------------
+class TestLeases:
+    def test_lease_claimed_on_miss_blocks_second_claim(self, tmp_path):
+        first = make_cache(tmp_path)
+        second = make_cache(tmp_path)
+        assert first.acquire("k") is MISS
+        assert first.holds_lease("k")
+        # A second (process-like) cache instance cannot claim it and,
+        # with lease_wait_s=0, degrades to an unleased recompute.
+        assert second.acquire("k") is MISS
+        assert not second.holds_lease("k")
+        # Both computed; both publish — first atomic publish wins and
+        # the loser's bytes are never written over it.
+        assert first.publish("k", "A")
+        second.publish("k", "B")
+        assert second.stats()["published"] == 0
+        assert first.acquire("k") == "A"
+
+    def test_stale_lease_is_broken(self, tmp_path):
+        cache = make_cache(tmp_path, lease_timeout_s=0.05, lease_wait_s=5.0)
+        other = make_cache(tmp_path, lease_timeout_s=0.05, lease_wait_s=5.0)
+        assert other.acquire("k") is MISS  # writer that will "crash"
+        other.wedge_lease("k")  # keeps the file, forgets it held it
+        time.sleep(0.1)  # let the lease age past timeout
+        # The waiter breaks the stale lease and takes over as writer.
+        assert cache.acquire("k") is MISS
+        assert cache.holds_lease("k")
+        assert cache.stats()["lease_breaks"] == 1
+
+    def test_waiter_turns_miss_into_hit_when_writer_publishes(self, tmp_path):
+        import threading
+
+        writer = make_cache(tmp_path)
+        waiter = make_cache(tmp_path, lease_wait_s=10.0)
+        assert writer.acquire("k") is MISS
+
+        def publish_later():
+            time.sleep(0.15)
+            writer.publish("k", "value")
+
+        t = threading.Thread(target=publish_later)
+        t.start()
+        try:
+            assert waiter.acquire("k") == "value"
+        finally:
+            t.join()
+        assert waiter.stats()["lease_waits"] == 1
+
+    def test_wait_timeout_degrades_to_unleased_recompute(self, tmp_path):
+        writer = make_cache(tmp_path, lease_timeout_s=60.0)
+        waiter = make_cache(tmp_path, lease_timeout_s=60.0, lease_wait_s=0.2)
+        assert writer.acquire("k") is MISS  # fresh lease, never publishes
+        assert waiter.acquire("k") is MISS  # timed out, computes unleased
+        assert not waiter.holds_lease("k")
+        assert waiter.stats()["lease_timeouts"] == 1
+
+    def test_abandon_frees_the_lease_for_waiters(self, tmp_path):
+        writer = make_cache(tmp_path)
+        waiter = make_cache(tmp_path, lease_wait_s=5.0)
+        assert writer.acquire("k") is MISS
+        import threading
+
+        def fail_later():
+            time.sleep(0.1)
+            writer.abandon("k")  # the computation failed
+
+        t = threading.Thread(target=fail_later)
+        t.start()
+        try:
+            # The waiter contends for the freed lease and becomes writer.
+            assert waiter.acquire("k") is MISS
+            assert waiter.holds_lease("k")
+        finally:
+            t.join()
+
+    def test_release_all_drops_held_leases(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for k in ("a", "b"):
+            assert cache.acquire(k) is MISS
+        cache.release_all()
+        assert not cache.holds_lease("a")
+        assert not list((tmp_path / "cache").glob("*.lease"))
+
+
+# ----------------------------------------------------------------------
+# Unit: eviction and atomic publication
+# ----------------------------------------------------------------------
+class TestEvictionAndAtomicity:
+    def test_lru_eviction_under_max_bytes(self, tmp_path):
+        cache = make_cache(tmp_path, max_bytes=2000)
+        payload = os.urandom(600)  # ~600 B entry + sidecar
+        for i in range(4):
+            key = f"k{i}"
+            cache.acquire(key)
+            cache.publish(key, payload + bytes([i]))
+            time.sleep(0.01)  # distinct atimes for LRU order
+        s = cache.stats()
+        assert s["evicted"] >= 1
+        assert s["bytes"] <= 2000
+        # Oldest entry went first; the newest survives.
+        assert cache.acquire("k3") == payload + bytes([3])
+
+    def test_eviction_never_evicts_leased_keys(self, tmp_path):
+        cache = make_cache(tmp_path, max_bytes=1500)
+        payload = os.urandom(600)
+        cache.acquire("pinned")  # lease held, never published
+        other = make_cache(tmp_path, max_bytes=1500)
+        other.acquire("seed")
+        other.publish("seed", payload)
+        # Blow past the ceiling; "pinned" has only a lease (no bytes),
+        # "seed" is evictable, the fresh key is protected.
+        other.acquire("big")
+        other.publish("big", payload + payload)
+        assert cache.holds_lease("pinned")
+        assert (tmp_path / "cache" / "pinned.lease").exists()
+
+    def test_torn_temp_files_are_invisible_to_readers(self, tmp_path):
+        cache = make_cache(tmp_path)
+        # A SIGKILLed publisher leaves a .tmp the atomic-rename protocol
+        # never exposes: readers miss, gc reaps.
+        (tmp_path / "cache" / "torn.pkl.tmp").write_bytes(b"partial")
+        assert cache.acquire("torn") is MISS
+        report = ReuseCache.gc(tmp_path / "cache")
+        assert report["torn_temps"] == 1
+        assert not (tmp_path / "cache" / "torn.pkl.tmp").exists()
+
+    def test_unpicklable_value_degrades_to_skip(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("k")
+        assert cache.publish("k", lambda: None) is False
+        assert not cache.holds_lease("k")  # lease still released
+        assert cache.stats()["publish_skipped"] == 1
+
+
+# ----------------------------------------------------------------------
+# Unit: offline scan and gc
+# ----------------------------------------------------------------------
+class TestScanAndGc:
+    def test_scan_reports_entries_corrupt_and_leases(self, tmp_path):
+        cache = make_cache(tmp_path)
+        for key in ("a", "b"):
+            cache.acquire(key)
+            cache.publish(key, key * 10)
+        cache.acquire("leased")  # leaves a live lease
+        # Rot one entry behind the cache's back.
+        path = cache.store._path("a")
+        data = bytearray(path.read_bytes())
+        data[len(data) // 2] ^= 0xFF
+        path.write_bytes(bytes(data))
+        report = ReuseCache.scan(tmp_path / "cache")
+        assert report["entries"] == 2
+        assert report["corrupt"] == 1
+        assert report["leases"] == 1
+        assert ReuseCache.scan(tmp_path / "nope") is None
+
+    def test_gc_reaps_stale_leases_honours_fresh_ones(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("fresh")
+        stale = tmp_path / "cache" / "stale.lease"
+        stale.write_text("{}")
+        old = time.time() - 600
+        os.utime(stale, (old, old))
+        report = ReuseCache.gc(tmp_path / "cache", lease_timeout_s=60.0)
+        assert report["stale_leases"] == 1
+        assert not stale.exists()
+        assert (tmp_path / "cache" / "fresh.lease").exists()
+
+    def test_gc_dry_run_removes_nothing(self, tmp_path):
+        cache = make_cache(tmp_path)
+        cache.acquire("k")
+        cache.publish("k", "v")
+        cache.corrupt_entry("k")
+        report = ReuseCache.gc(tmp_path / "cache", dry_run=True)
+        assert report["corrupt_entries"] == 1
+        assert report["dry_run"] is True
+        assert cache.store._path("k").exists()
+        # The real sweep then reaps it.
+        report = ReuseCache.gc(tmp_path / "cache")
+        assert report["corrupt_entries"] == 1
+        assert not cache.store._path("k").exists()
+
+
+# ----------------------------------------------------------------------
+# Unit: stage decomposition determinism
+# ----------------------------------------------------------------------
+class TestStages:
+    def test_split_config_strips_control_keys(self):
+        prep, params, epochs = split_config(
+            {"optimizer": "SGD", "num_epochs": 8, "dataset": "mnist",
+             "target_accuracy": 0.9, "batch_size": 64}
+        )
+        assert prep == {"dataset": "mnist"}
+        assert params == {"optimizer": "SGD", "batch_size": 64}
+        assert epochs == 8
+
+    def test_mock_curve_is_prefix_stable(self):
+        # The whole point: the 4-epoch prefix computed under an 8-epoch
+        # trial must equal the 4-epoch trial's full run.
+        params = {"optimizer": "Adam", "batch_size": 32}
+        state = stage_prepare({})
+        s4 = stage_train_mock(state, params, 0, 4)
+        s8 = stage_train_mock(s4, params, 4, 8)
+        alone = stage_train_mock(stage_prepare({}), params, 0, 4)
+        assert s4 == alone
+        assert s8["curve"][:4] == s4["curve"]
+        final4 = stage_final_mock(s4, params)
+        assert final4["val_accuracy"] == s4["curve"][-1]
+        assert final4["staged"] is True
+
+    def test_out_of_order_chain_is_rejected(self):
+        state = stage_prepare({})
+        with pytest.raises(ValueError, match="out of order"):
+            stage_train_mock(state, {}, 4, 8)
+
+    def test_plan_blocks_cover_budget_with_partial_tail(self):
+        plan = StagePlan(block_epochs=4)
+        assert plan.blocks(10) == [(0, 4), (4, 8), (8, 10)]
+        assert plan.blocks(4) == [(0, 4)]
+        with pytest.raises(ValueError):
+            StagePlan(block_epochs=0)
+        with pytest.raises(ValueError):
+            StagePlan(objective="nope")
+
+
+# ----------------------------------------------------------------------
+# Integration: staged grid with reuse on vs off
+# ----------------------------------------------------------------------
+def staged_study(tmp_path, name, reuse, seed=0, injector=None,
+                 space=None, plan=None):
+    config = RuntimeConfig(
+        cluster=local_machine(4),
+        reuse_cache=reuse,
+        cache_dir=str(tmp_path / "cache") if reuse else None,
+        failure_injector=injector,
+    )
+    runner = PyCOMPSsRunner(
+        "grid",
+        space=SearchSpace.from_dict(space or SPACE),
+        runtime_config=config,
+        stage_plan=plan or StagePlan(block_epochs=4),
+        study_name=name,
+        batch_size=1,  # sequential trials: prefixes resolve before reuse
+    )
+    return runner.run()
+
+
+def best_of(study):
+    best = study.best_trial()
+    return best.config, best.val_accuracy
+
+
+class TestStagedGridReuse:
+    def test_prefix_reuse_cuts_redundant_epochs(self, tmp_path):
+        reset_epoch_counter()
+        baseline = staged_study(tmp_path / "off", "off", reuse=False)
+        epochs_off = executed_epochs()
+        reset_epoch_counter()
+        cached = staged_study(tmp_path / "on", "on", reuse=True)
+        epochs_on = executed_epochs()
+        reset_epoch_counter()
+
+        # Same study, same results — cache changes cost, never answers.
+        assert best_of(cached) == best_of(baseline)
+        off = {t.trial_id: t.val_accuracy for t in baseline.completed()}
+        on = {t.trial_id: t.val_accuracy for t in cached.completed()}
+        assert on == off
+
+        # The acceptance floor: >= 30 % of epochs were redundant.
+        # 3 optimizers x epochs {4,8,12}: 72 epochs monolithic, 36 with
+        # shared prefixes (per optimizer 4+8+12 -> 12).
+        assert epochs_off == 72
+        assert epochs_on <= epochs_off * 0.7
+        reuse = cached.metadata["reuse"]
+        assert reuse["hits"] > 0
+        assert reuse["unverified_hits"] == 0
+
+    def test_second_process_rides_the_populated_cache(self, tmp_path):
+        staged_study(tmp_path, "warm", reuse=True)
+        reset_epoch_counter()
+        again = staged_study(tmp_path, "ride", reuse=True)
+        assert executed_epochs() == 0  # fully cache-resolved
+        reset_epoch_counter()
+        assert again.metadata["reuse"]["misses"] == 0
+
+    def test_target_accuracy_warned_and_ignored(self, tmp_path):
+        config = RuntimeConfig(cluster=local_machine(2))
+        runner = PyCOMPSsRunner(
+            "grid",
+            space=SearchSpace.from_dict(
+                {"optimizer": ["SGD"], "num_epochs": [4]}
+            ),
+            runtime_config=config,
+            stage_plan=StagePlan(block_epochs=4),
+            study_name="warn",
+        )
+        runner.target_accuracy = 0.5  # would stop instantly if honoured
+        study = runner.run()
+        assert len(study.completed()) == 1
+
+
+# ----------------------------------------------------------------------
+# Chaos acceptance
+# ----------------------------------------------------------------------
+class TestChaosAcceptance:
+    @pytest.mark.parametrize("seed", [11, 23, 37])
+    def test_chaos_matches_cache_off_with_zero_unverified_reads(
+        self, tmp_path, seed
+    ):
+        """10 % corruption + a wedged lease never change the answer."""
+        baseline = staged_study(tmp_path / "off", "off", reuse=False,
+                                seed=seed)
+        reset_epoch_counter()
+
+        def chaos_injector():
+            plan = FailurePlan().stall_cache_lease("stage_prepare-1")
+            return FailureInjector(
+                plan=plan, seed=seed, cache_corrupt_prob=0.10
+            )
+
+        chaotic = staged_study(
+            tmp_path / "on", "on", reuse=True, seed=seed,
+            injector=chaos_injector(),
+        )
+        reset_epoch_counter()
+
+        assert best_of(chaotic) == best_of(baseline)
+        off = {t.trial_id: t.val_accuracy for t in baseline.completed()}
+        on = {t.trial_id: t.val_accuracy for t in chaotic.completed()}
+        assert on == off
+        reuse = chaotic.metadata["reuse"]
+        assert reuse["unverified_hits"] == 0
+
+        # Bit-identical same-seed rerun: same chaos draws, same stats
+        # that matter, same study payload.
+        rerun = staged_study(
+            tmp_path / "rerun", "on", reuse=True, seed=seed,
+            injector=chaos_injector(),
+        )
+        reset_epoch_counter()
+        assert {t.trial_id: t.val_accuracy for t in rerun.completed()} == on
+        assert best_of(rerun) == best_of(chaotic)
+
+    def test_scripted_corruption_is_detected_and_survived(self, tmp_path):
+        plan = (
+            FailurePlan()
+            .corrupt_cache_entry("stage_train-2")
+            .stall_cache_lease("stage_prepare-1")
+        )
+        injector = FailureInjector(plan=plan, seed=3)
+        study = staged_study(tmp_path, "scripted", reuse=True,
+                             injector=injector)
+        baseline = staged_study(tmp_path / "off", "off", reuse=False)
+        assert best_of(study) == best_of(baseline)
+        assert injector.injected_cache_corruptions == ["stage_train-2"]
+        assert injector.injected_cache_stalls == ["stage_prepare-1"]
+        reuse = study.metadata["reuse"]
+        assert reuse["corrupt"] >= 1
+        assert reuse["unverified_hits"] == 0
+
+    def test_concurrent_tenants_race_identical_stages(self, tmp_path):
+        """Two daemon tenants, same space: shared cache, same answers."""
+        import repro.service.protocol as proto
+        from repro.service.client import ServiceClient
+        from repro.service.daemon import HPOService
+
+        service = HPOService(
+            tmp_path / "svc",
+            runtime_config=RuntimeConfig(
+                cluster=local_machine(4), reuse_cache=True
+            ),
+            heartbeat_s=0.05,
+        ).start()
+        client = ServiceClient(service.paths.root, poll_s=0.01)
+        space = {"optimizer": ["SGD", "Adam"], "num_epochs": [4, 8]}
+        try:
+            for sid, tenant in (("tA", "a"), ("tB", "b")):
+                client.submit(
+                    proto.StudyRequest(
+                        study_id=sid, tenant=tenant, space=space,
+                        stage_epochs=4, objective="fast_mock",
+                    ),
+                    wait_admission=False,
+                )
+            service.run_until_idle(max_wait_s=120)
+            reuse_stats = service.runtime.reuse.stats()
+        finally:
+            service.shutdown()
+
+        results = {}
+        for sid in ("tA", "tB"):
+            state = client.status(sid)
+            assert state["status"] == proto.COMPLETED
+            results[sid] = (
+                state["best"]["config"],
+                {t["trial_id"]: t["result"]["val_accuracy"]
+                 for t in client.result(sid)["trials"]},
+            )
+        # Identical studies, identical answers — racing the cache never
+        # leaks one tenant's chaos into another's results.
+        assert results["tA"] == results["tB"]
+        assert reuse_stats["unverified_hits"] == 0
+        # The shared cache actually engaged across tenants.
+        assert reuse_stats["hits"] > 0
+        assert (tmp_path / "svc" / "reuse-cache").is_dir()
+
+
+# ----------------------------------------------------------------------
+# CLI surfaces
+# ----------------------------------------------------------------------
+class TestReuseCli:
+    def test_recover_and_gc_report_cache_state(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text(
+            '{"optimizer": ["SGD", "Adam"], "num_epochs": [4, 8]}'
+        )
+        ckpt = tmp_path / "ckpt"
+        cache = tmp_path / "cache"
+        assert main([
+            "run", str(cfg), "--mock-objective", "--stage-epochs", "4",
+            "--reuse-cache", "--cache-dir", str(cache),
+            "--checkpoint-dir", str(ckpt), "--out-dir", str(tmp_path / "out"),
+        ]) == 0
+        capsys.readouterr()
+
+        assert main([
+            "recover", str(ckpt), "--cache-dir", str(cache)
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "reuse cache:" in out
+
+        stale = cache / "dead.lease"
+        stale.write_text("{}")
+        old = time.time() - 600
+        os.utime(stale, (old, old))
+        assert main(["gc", str(ckpt), "--cache-dir", str(cache)]) == 0
+        out = capsys.readouterr().out
+        assert "1 stale lease(s)" in out
+        assert not stale.exists()
+
+    def test_run_reuse_without_cache_home_is_a_friendly_error(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        cfg = tmp_path / "cfg.json"
+        cfg.write_text('{"optimizer": ["SGD"]}')
+        assert main(["run", str(cfg), "--mock-objective",
+                     "--reuse-cache"]) == 2
+        assert "--cache-dir" in capsys.readouterr().err
